@@ -1,0 +1,111 @@
+// Figure 3 reproduction: reconstruction accuracy on (simulated) hardware.
+//
+// Paper setup: weighted distance d_w (Eq. 17) between the ground-truth
+// bitstring distribution (noiseless Aer simulation of the uncut circuit)
+// and (a) the uncut circuit run on an IBM device, (b) the golden-cut
+// reconstruction from fragments run on the same device. Two device sizes:
+// a 5-qubit device running a 5-qubit circuit split 3+3, and a 7-qubit
+// device running a 7-qubit circuit split 4+4. 10 trials, 10,000 shots per
+// (sub)circuit, 95% confidence intervals.
+//
+// Expected shape (paper): the two bars are statistically indistinguishable
+// - golden cutting does not sacrifice accuracy; on these shallow circuits
+// cutting gives no fidelity benefit either.
+
+#include <cstdio>
+#include <iostream>
+
+#include "backend/presets.hpp"
+#include "circuit/random.hpp"
+#include "common/table.hpp"
+#include "cutting/pipeline.hpp"
+#include "metrics/distance.hpp"
+#include "metrics/stats.hpp"
+#include "sim/statevector.hpp"
+
+namespace {
+
+constexpr int kTrials = 10;
+constexpr std::size_t kShots = 10000;
+
+struct Row {
+  int num_qubits;
+  qcut::metrics::Summary uncut;
+  qcut::metrics::Summary golden_cut;
+};
+
+Row run_configuration(int num_qubits, std::uint64_t seed) {
+  using namespace qcut;
+
+  std::vector<double> uncut_distances;
+  std::vector<double> cut_distances;
+
+  for (int trial = 0; trial < kTrials; ++trial) {
+    // Fresh random circuit per trial (the paper randomizes the ansatz).
+    Rng rng(seed + static_cast<std::uint64_t>(trial));
+    circuit::GoldenAnsatzOptions options;
+    options.num_qubits = num_qubits;
+    const circuit::GoldenAnsatz ansatz = circuit::make_golden_ansatz(options, rng);
+    const std::array<circuit::WirePoint, 1> cuts = {ansatz.cut};
+
+    // Ground truth: noiseless simulation of the uncut circuit.
+    sim::StateVector sv(num_qubits);
+    sv.apply_circuit(ansatz.circuit);
+    const std::vector<double> truth = sv.probabilities();
+
+    auto device = backend::make_fake_device(num_qubits,
+                                            seed * 1000 + static_cast<std::uint64_t>(trial));
+
+    // (a) Uncut circuit on hardware.
+    const std::vector<double> uncut_probs =
+        cutting::run_uncut(ansatz.circuit, *device, kShots, 0);
+    uncut_distances.push_back(metrics::weighted_distance(uncut_probs, truth));
+
+    // (b) Golden-cut fragments on hardware.
+    cutting::CutRunOptions run;
+    run.shots_per_variant = kShots;
+    run.golden_mode = cutting::GoldenMode::Provided;
+    run.provided_spec = cutting::NeglectSpec(1);
+    run.provided_spec->neglect(0, ansatz.golden_basis);
+    const cutting::CutRunReport report =
+        cutting::cut_and_run(ansatz.circuit, cuts, *device, run);
+    cut_distances.push_back(metrics::weighted_distance(report.probabilities(), truth));
+  }
+
+  return Row{num_qubits, qcut::metrics::summarize(uncut_distances),
+             qcut::metrics::summarize(cut_distances)};
+}
+
+}  // namespace
+
+int main() {
+  using qcut::Table;
+  using qcut::format_pm;
+
+  std::printf("Figure 3: weighted distance d_w to the noiseless ground truth\n");
+  std::printf("(%d trials, %zu shots per (sub)circuit, 95%% CI; fake devices)\n\n",
+              kTrials, kShots);
+
+  Table table({"configuration", "uncut on device", "golden cut on device",
+               "CIs overlap?"});
+  for (int num_qubits : {5, 7}) {
+    const Row row = run_configuration(num_qubits, num_qubits == 5 ? 101 : 202);
+    const double lo_a = row.uncut.mean - row.uncut.ci95;
+    const double hi_a = row.uncut.mean + row.uncut.ci95;
+    const double lo_b = row.golden_cut.mean - row.golden_cut.ci95;
+    const double hi_b = row.golden_cut.mean + row.golden_cut.ci95;
+    const bool overlap = lo_a <= hi_b && lo_b <= hi_a;
+    table.add_row({std::to_string(num_qubits) + "q circuit, " +
+                       std::to_string(num_qubits / 2 + 1) + "+" +
+                       std::to_string(num_qubits / 2 + 1) + " fragments",
+                   format_pm(row.uncut.mean, row.uncut.ci95, 4),
+                   format_pm(row.golden_cut.mean, row.golden_cut.ci95, 4),
+                   overlap ? "yes" : "no"});
+  }
+  std::cout << table;
+  std::printf(
+      "\nPaper's observation: golden-cut reconstruction matches uncut execution\n"
+      "within error bars (no accuracy loss); cutting yields no detectable\n"
+      "fidelity benefit at these shallow depths.\n");
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Micro benchmarks for the cutting pipeline: fragment execution fan-out and
+// the reconstruction contraction, standard vs golden (google-benchmark).
+
+#include <benchmark/benchmark.h>
+
+#include "backend/statevector_backend.hpp"
+#include "circuit/random.hpp"
+#include "cutting/pipeline.hpp"
+
+namespace {
+
+using namespace qcut;
+
+struct Fixture {
+  circuit::GoldenAnsatz ansatz;
+  cutting::Bipartition bp;
+  cutting::FragmentData data;
+
+  static Fixture make(int num_qubits) {
+    Rng rng(11);
+    circuit::GoldenAnsatzOptions options;
+    options.num_qubits = num_qubits;
+    circuit::GoldenAnsatz ansatz = circuit::make_golden_ansatz(options, rng);
+    const std::array<circuit::WirePoint, 1> cuts = {ansatz.cut};
+    cutting::Bipartition bp = cutting::make_bipartition(ansatz.circuit, cuts);
+    backend::StatevectorBackend backend(3);
+    cutting::ExecutionOptions exec;
+    exec.shots_per_variant = 1000;
+    cutting::FragmentData data =
+        cutting::execute_fragments(bp, cutting::NeglectSpec::none(1), backend, exec);
+    return Fixture{std::move(ansatz), std::move(bp), std::move(data)};
+  }
+};
+
+void BM_ReconstructStandard(benchmark::State& state) {
+  const Fixture fixture = Fixture::make(static_cast<int>(state.range(0)));
+  const cutting::NeglectSpec spec = cutting::NeglectSpec::none(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cutting::reconstruct_distribution(fixture.bp, fixture.data, spec).raw_probabilities
+            .data());
+  }
+}
+BENCHMARK(BM_ReconstructStandard)->Arg(5)->Arg(7)->Arg(9)->Arg(11);
+
+void BM_ReconstructGolden(benchmark::State& state) {
+  const Fixture fixture = Fixture::make(static_cast<int>(state.range(0)));
+  cutting::NeglectSpec spec(1);
+  spec.neglect(0, fixture.ansatz.golden_basis);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cutting::reconstruct_distribution(fixture.bp, fixture.data, spec).raw_probabilities
+            .data());
+  }
+}
+BENCHMARK(BM_ReconstructGolden)->Arg(5)->Arg(7)->Arg(9)->Arg(11);
+
+void BM_FragmentExecutionStandard(benchmark::State& state) {
+  Rng rng(12);
+  circuit::GoldenAnsatzOptions options;
+  options.num_qubits = 5;
+  const circuit::GoldenAnsatz ansatz = circuit::make_golden_ansatz(options, rng);
+  const std::array<circuit::WirePoint, 1> cuts = {ansatz.cut};
+  const cutting::Bipartition bp = cutting::make_bipartition(ansatz.circuit, cuts);
+  backend::StatevectorBackend backend(4);
+  const cutting::NeglectSpec spec = cutting::NeglectSpec::none(1);
+  std::uint64_t stream = 0;
+  for (auto _ : state) {
+    cutting::ExecutionOptions exec;
+    exec.shots_per_variant = 1000;
+    exec.seed_stream_base = (stream++) << 16;
+    benchmark::DoNotOptimize(
+        cutting::execute_fragments(bp, spec, backend, exec).total_jobs);
+  }
+}
+BENCHMARK(BM_FragmentExecutionStandard);
+
+void BM_FragmentExecutionGolden(benchmark::State& state) {
+  Rng rng(12);
+  circuit::GoldenAnsatzOptions options;
+  options.num_qubits = 5;
+  const circuit::GoldenAnsatz ansatz = circuit::make_golden_ansatz(options, rng);
+  const std::array<circuit::WirePoint, 1> cuts = {ansatz.cut};
+  const cutting::Bipartition bp = cutting::make_bipartition(ansatz.circuit, cuts);
+  backend::StatevectorBackend backend(4);
+  cutting::NeglectSpec spec(1);
+  spec.neglect(0, ansatz.golden_basis);
+  std::uint64_t stream = 0;
+  for (auto _ : state) {
+    cutting::ExecutionOptions exec;
+    exec.shots_per_variant = 1000;
+    exec.seed_stream_base = (stream++) << 16;
+    benchmark::DoNotOptimize(
+        cutting::execute_fragments(bp, spec, backend, exec).total_jobs);
+  }
+}
+BENCHMARK(BM_FragmentExecutionGolden);
+
+void BM_EndToEndCutAndRun(benchmark::State& state) {
+  const bool golden = state.range(0) == 1;
+  Rng rng(13);
+  circuit::GoldenAnsatzOptions options;
+  options.num_qubits = 5;
+  const circuit::GoldenAnsatz ansatz = circuit::make_golden_ansatz(options, rng);
+  const std::array<circuit::WirePoint, 1> cuts = {ansatz.cut};
+  backend::StatevectorBackend backend(5);
+  std::uint64_t stream = 0;
+  for (auto _ : state) {
+    cutting::CutRunOptions run;
+    run.shots_per_variant = 1000;
+    run.seed_stream_base = (stream++) << 16;
+    if (golden) {
+      run.golden_mode = cutting::GoldenMode::Provided;
+      run.provided_spec = cutting::NeglectSpec(1);
+      run.provided_spec->neglect(0, ansatz.golden_basis);
+    }
+    benchmark::DoNotOptimize(
+        cutting::cut_and_run(ansatz.circuit, cuts, backend, run).reconstruction.terms);
+  }
+  state.SetLabel(golden ? "golden" : "standard");
+}
+BENCHMARK(BM_EndToEndCutAndRun)->Arg(0)->Arg(1);
+
+void BM_ExactGoldenDetection(benchmark::State& state) {
+  Rng rng(14);
+  circuit::GoldenAnsatzOptions options;
+  options.num_qubits = static_cast<int>(state.range(0));
+  const circuit::GoldenAnsatz ansatz = circuit::make_golden_ansatz(options, rng);
+  const std::array<circuit::WirePoint, 1> cuts = {ansatz.cut};
+  const cutting::Bipartition bp = cutting::make_bipartition(ansatz.circuit, cuts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cutting::detect_golden_exact(bp, 1e-9).violation.data());
+  }
+}
+BENCHMARK(BM_ExactGoldenDetection)->Arg(5)->Arg(9)->Arg(13);
+
+}  // namespace

@@ -1,0 +1,113 @@
+// Micro benchmarks for the simulation substrate (google-benchmark).
+
+#include <benchmark/benchmark.h>
+
+#include "backend/noisy_backend.hpp"
+#include "backend/statevector_backend.hpp"
+#include "circuit/random.hpp"
+#include "noise/standard_channels.hpp"
+#include "sim/density_matrix.hpp"
+#include "sim/sampling.hpp"
+#include "sim/statevector.hpp"
+
+namespace {
+
+using namespace qcut;
+
+circuit::Circuit random_for(int num_qubits, int depth, std::uint64_t seed) {
+  Rng rng(seed);
+  circuit::RandomCircuitOptions options;
+  options.num_qubits = num_qubits;
+  options.depth = depth;
+  return circuit::random_circuit(options, rng);
+}
+
+void BM_StatevectorApplyCircuit(benchmark::State& state) {
+  const int num_qubits = static_cast<int>(state.range(0));
+  const circuit::Circuit c = random_for(num_qubits, 10, 1);
+  for (auto _ : state) {
+    sim::StateVector sv(num_qubits);
+    sv.apply_circuit(c);
+    benchmark::DoNotOptimize(sv.amplitudes().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(c.num_ops()));
+}
+BENCHMARK(BM_StatevectorApplyCircuit)->DenseRange(4, 16, 4);
+
+void BM_Statevector1QGate(benchmark::State& state) {
+  const int num_qubits = static_cast<int>(state.range(0));
+  sim::StateVector sv(num_qubits);
+  const linalg::CMat h = circuit::gate_matrix(circuit::GateKind::H, {});
+  const std::array<int, 1> target = {num_qubits / 2};
+  for (auto _ : state) {
+    sv.apply_matrix(h, target);
+    benchmark::DoNotOptimize(sv.amplitudes().data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sv.dim() * sizeof(linalg::cx)));
+}
+BENCHMARK(BM_Statevector1QGate)->DenseRange(8, 20, 4);
+
+void BM_Statevector2QGate(benchmark::State& state) {
+  const int num_qubits = static_cast<int>(state.range(0));
+  sim::StateVector sv(num_qubits);
+  const linalg::CMat cx_m = circuit::gate_matrix(circuit::GateKind::CX, {});
+  const std::array<int, 2> targets = {0, num_qubits - 1};
+  for (auto _ : state) {
+    sv.apply_matrix(cx_m, targets);
+    benchmark::DoNotOptimize(sv.amplitudes().data());
+  }
+}
+BENCHMARK(BM_Statevector2QGate)->DenseRange(8, 20, 4);
+
+void BM_DensityMatrixNoisyCircuit(benchmark::State& state) {
+  const int num_qubits = static_cast<int>(state.range(0));
+  const circuit::Circuit c = random_for(num_qubits, 4, 2);
+  const noise::Channel chan1 = noise::depolarizing_1q(0.001);
+  const noise::Channel chan2 = noise::depolarizing_2q(0.01);
+  for (auto _ : state) {
+    sim::DensityMatrix dm(num_qubits);
+    for (const circuit::Operation& op : c.ops()) {
+      dm.apply_operation(op);
+      if (op.num_qubits() == 1) {
+        dm.apply_kraus(chan1.kraus_ops(), op.qubits);
+      } else if (op.num_qubits() == 2) {
+        dm.apply_kraus(chan2.kraus_ops(), op.qubits);
+      }
+    }
+    benchmark::DoNotOptimize(dm.probabilities().data());
+  }
+}
+BENCHMARK(BM_DensityMatrixNoisyCircuit)->DenseRange(2, 7, 1);
+
+void BM_SampleHistogram(benchmark::State& state) {
+  const std::size_t shots = static_cast<std::size_t>(state.range(0));
+  sim::StateVector sv(10);
+  const circuit::Circuit c = random_for(10, 6, 3);
+  sv.apply_circuit(c);
+  const std::vector<double> probs = sv.probabilities();
+  Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::sample_histogram(probs, shots, rng).data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(shots));
+}
+BENCHMARK(BM_SampleHistogram)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_NoisyBackendRun(benchmark::State& state) {
+  noise::NoiseModel model;
+  model.set_after_1q(noise::depolarizing_1q(0.001));
+  model.set_after_2q(noise::depolarizing_2q(0.01));
+  model.set_readout(noise::ReadoutModel(4, noise::ReadoutError{0.02, 0.02}));
+  backend::NoisyBackend be(model, 5);
+  const circuit::Circuit c = random_for(4, 6, 6);
+  std::uint64_t stream = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(be.run(c, 1000, stream++).total_shots());
+  }
+}
+BENCHMARK(BM_NoisyBackendRun);
+
+}  // namespace

@@ -1,0 +1,78 @@
+// Estimating observable expectations through a cut, with bootstrap error
+// bars, and using observable-specific golden detection (Definition 1 is
+// observable-dependent - a weaker observable can admit more golden bases
+// than the full distribution does).
+
+#include <iostream>
+
+#include "backend/statevector_backend.hpp"
+#include "circuit/random.hpp"
+#include "common/table.hpp"
+#include "cutting/observables.hpp"
+#include "cutting/pipeline.hpp"
+#include "cutting/uncertainty.hpp"
+#include "sim/statevector.hpp"
+
+int main() {
+  using namespace qcut;
+  using linalg::Pauli;
+
+  Rng rng(31);
+  circuit::GoldenAnsatzOptions options;
+  options.num_qubits = 5;
+  const circuit::GoldenAnsatz ansatz = circuit::make_golden_ansatz(options, rng);
+  const std::array<circuit::WirePoint, 1> cuts = {ansatz.cut};
+  const cutting::Bipartition bp = cutting::make_bipartition(ansatz.circuit, cuts);
+
+  sim::StateVector sv(5);
+  sv.apply_circuit(ansatz.circuit);
+
+  // Gather golden fragment data once.
+  cutting::NeglectSpec spec(1);
+  spec.neglect(0, ansatz.golden_basis);
+  backend::StatevectorBackend backend(17);
+  cutting::ExecutionOptions exec;
+  exec.shots_per_variant = 20000;
+  const cutting::FragmentData data = cutting::execute_fragments(bp, spec, backend, exec);
+
+  Table table({"observable", "exact <O>", "estimate", "bootstrap SE", "95% CI"});
+  for (const std::string label : {"ZIIII", "IZIZI", "ZZZZZ", "IIZII"}) {
+    const circuit::PauliString pauli = circuit::PauliString::parse(label);
+    const cutting::DiagonalObservable obs = cutting::DiagonalObservable::from_pauli(pauli);
+
+    cutting::BootstrapOptions boot;
+    boot.replicas = 200;
+    const cutting::ExpectationUncertainty u =
+        cutting::bootstrap_expectation(bp, data, spec, obs, boot);
+    table.add_row({label, format_double(sv.expectation_pauli(pauli), 5),
+                   format_double(u.estimate, 5), format_double(u.standard_error, 5),
+                   "[" + format_double(u.ci_lower, 4) + ", " + format_double(u.ci_upper, 4) +
+                       "]"});
+  }
+  std::cout << table << '\n';
+
+  // Observable-specific golden detection: for <Z_0> alone on a circuit
+  // whose output qubit is unentangled with the cut, EVERY basis is golden.
+  circuit::Circuit simple(3);
+  simple.h(0);
+  simple.t(1).h(1).t(1).rx(0.7, 1);
+  const std::size_t cut_after = simple.num_ops() - 1;
+  simple.cx(1, 2);
+  const std::array<circuit::WirePoint, 1> simple_cuts = {circuit::WirePoint{1, cut_after}};
+  const cutting::Bipartition simple_bp = cutting::make_bipartition(simple, simple_cuts);
+
+  circuit::PauliString z0(3);
+  z0.set_label(0, Pauli::Z);
+  const auto report = cutting::detect_golden_for_observable(
+      simple_bp, cutting::DiagonalObservable::from_pauli(z0));
+  std::cout << "Observable-specific detection for <Z_0> on the simple circuit:\n";
+  for (Pauli p : {Pauli::X, Pauli::Y, Pauli::Z}) {
+    std::cout << "  basis " << linalg::pauli_name(p) << ": "
+              << (report.golden[0][static_cast<std::size_t>(p)] ? "golden" : "not golden")
+              << " (violation " << format_double(report.violation[0][static_cast<std::size_t>(p)], 6)
+              << ")\n";
+  }
+  std::cout << "All three bases are negligible for this observable: the estimate\n"
+               "needs only the identity term - 1 upstream setting, 2 preparations.\n";
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Running circuit cutting on simulated hardware: a 5-qubit fake device with
+// depolarizing gate noise, readout error, and a job timing model. Compares
+// the uncut execution with golden-cut execution - both against the
+// noiseless ground truth - and reports the simulated device time.
+
+#include <iostream>
+
+#include "backend/presets.hpp"
+#include "circuit/random.hpp"
+#include "common/table.hpp"
+#include "cutting/pipeline.hpp"
+#include "metrics/distance.hpp"
+#include "sim/statevector.hpp"
+
+int main() {
+  using namespace qcut;
+
+  Rng rng(11);
+  circuit::GoldenAnsatzOptions options;
+  options.num_qubits = 5;
+  const circuit::GoldenAnsatz ansatz = circuit::make_golden_ansatz(options, rng);
+  const std::array<circuit::WirePoint, 1> cuts = {ansatz.cut};
+
+  sim::StateVector sv(5);
+  sv.apply_circuit(ansatz.circuit);
+  const std::vector<double> truth = sv.probabilities();
+
+  auto device = backend::make_fake_5q(3);
+  const std::size_t shots = 10000;
+
+  // Uncut execution on the device.
+  const std::vector<double> uncut = cutting::run_uncut(ansatz.circuit, *device, shots, 0);
+  const double uncut_seconds = device->stats().simulated_device_seconds;
+
+  // Golden-cut execution on the same device.
+  device->reset_stats();
+  cutting::CutRunOptions run;
+  run.shots_per_variant = shots;
+  run.golden_mode = cutting::GoldenMode::Provided;
+  run.provided_spec = cutting::NeglectSpec(1);
+  run.provided_spec->neglect(0, ansatz.golden_basis);
+  const cutting::CutRunReport report =
+      cutting::cut_and_run(ansatz.circuit, cuts, *device, run);
+
+  Table table({"method", "jobs", "device seconds", "d_w vs noiseless truth"});
+  table.add_row({"uncut on device", "1", format_double(uncut_seconds, 2),
+                 format_double(metrics::weighted_distance(uncut, truth), 5)});
+  table.add_row({"golden cut on device", std::to_string(report.backend_delta.jobs),
+                 format_double(report.backend_delta.simulated_device_seconds, 2),
+                 format_double(metrics::weighted_distance(report.probabilities(), truth), 5)});
+  std::cout << table;
+  std::cout << "\nBoth methods see comparable accuracy under hardware noise (the\n"
+               "paper's Fig. 3 observation); the cut run pays device time for the\n"
+               "extra jobs but each job fits a smaller, less error-prone device.\n";
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Quickstart: cut a 5-qubit circuit with a known golden cutting point, run
+// both fragments on a simulator backend, reconstruct the bitstring
+// distribution, and compare standard vs golden reconstruction.
+//
+// Build and run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+#include <iostream>
+
+#include "backend/statevector_backend.hpp"
+#include "circuit/random.hpp"
+#include "circuit/render.hpp"
+#include "common/table.hpp"
+#include "cutting/pipeline.hpp"
+#include "metrics/distance.hpp"
+#include "sim/statevector.hpp"
+
+int main() {
+  using namespace qcut;
+
+  // 1. Build the paper's experiment circuit: a 5-qubit ansatz whose middle
+  //    wire has a designed golden cutting point (Pauli-Y negligible).
+  Rng rng(2023);
+  circuit::GoldenAnsatzOptions ansatz_options;
+  ansatz_options.num_qubits = 5;
+  const circuit::GoldenAnsatz ansatz = circuit::make_golden_ansatz(ansatz_options, rng);
+
+  std::cout << "Circuit (cut marked with -//- on wire " << ansatz.cut.qubit << "):\n"
+            << circuit::render_ascii(ansatz.circuit, std::array{ansatz.cut}) << "\n";
+
+  // 2. Ground truth from exact simulation of the uncut circuit.
+  sim::StateVector sv(5);
+  sv.apply_circuit(ansatz.circuit);
+  const std::vector<double> truth = sv.probabilities();
+
+  // 3. Cut and run on a sampling simulator backend.
+  backend::StatevectorBackend backend(42);
+  const std::array<circuit::WirePoint, 1> cuts = {ansatz.cut};
+
+  cutting::CutRunOptions standard;
+  standard.shots_per_variant = 10000;
+  const cutting::CutRunReport standard_report =
+      cutting::cut_and_run(ansatz.circuit, cuts, backend, standard);
+
+  cutting::CutRunOptions golden = standard;
+  golden.golden_mode = cutting::GoldenMode::Provided;
+  golden.provided_spec = cutting::NeglectSpec(1);
+  golden.provided_spec->neglect(0, ansatz.golden_basis);
+  const cutting::CutRunReport golden_report =
+      cutting::cut_and_run(ansatz.circuit, cuts, backend, golden);
+
+  // 4. Compare.
+  Table table({"method", "circuit evals", "shots", "recon terms", "weighted dist d_w"});
+  table.add_row({"standard cutting", std::to_string(standard_report.data.total_jobs),
+                 std::to_string(standard_report.data.total_shots),
+                 std::to_string(standard_report.reconstruction.terms),
+                 format_double(metrics::weighted_distance(standard_report.probabilities(),
+                                                          truth),
+                               6)});
+  table.add_row({"golden cutting", std::to_string(golden_report.data.total_jobs),
+                 std::to_string(golden_report.data.total_shots),
+                 std::to_string(golden_report.reconstruction.terms),
+                 format_double(metrics::weighted_distance(golden_report.probabilities(),
+                                                          truth),
+                               6)});
+  std::cout << table;
+
+  std::cout << "\nGolden cutting executed "
+            << standard_report.data.total_jobs - golden_report.data.total_jobs
+            << " fewer circuits ("
+            << format_double(100.0 *
+                                 static_cast<double>(standard_report.data.total_jobs -
+                                                     golden_report.data.total_jobs) /
+                                 static_cast<double>(standard_report.data.total_jobs),
+                             1)
+            << "% of executions avoided) with no loss of accuracy.\n";
+  return 0;
+}

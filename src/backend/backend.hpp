@@ -1,0 +1,67 @@
+#pragma once
+// Execution backend interface.
+//
+// A Backend runs a circuit from |0...0> and measures every qubit in the
+// computational basis. Implementations must be safe to call concurrently
+// from multiple threads (the FragmentExecutor fans variants out over a
+// thread pool). Determinism contract: results depend only on
+// (circuit, shots, seed_stream) and the backend's construction seed, never
+// on thread scheduling.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "backend/counts.hpp"
+#include "circuit/circuit.hpp"
+#include "common/error.hpp"
+
+namespace qcut::backend {
+
+using circuit::Circuit;
+
+/// Cumulative execution statistics, used by the runtime experiments.
+struct BackendStats {
+  std::uint64_t jobs = 0;                  // circuit executions submitted
+  std::uint64_t shots = 0;                 // total shots across jobs
+  double simulated_device_seconds = 0.0;   // device wall time (FakeHardwareBackend only)
+};
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  /// Human-readable backend name.
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Samples `shots` measurements of all qubits after running `circuit`.
+  /// `seed_stream` selects a deterministic random substream; callers that
+  /// fan out concurrently pass distinct streams to stay reproducible.
+  [[nodiscard]] virtual Counts run(const Circuit& circuit, std::size_t shots,
+                                   std::uint64_t seed_stream) = 0;
+
+  /// Convenience overload drawing streams from a per-backend counter.
+  /// Deterministic for sequential callers; parallel code should pass
+  /// explicit streams instead.
+  [[nodiscard]] Counts run(const Circuit& circuit, std::size_t shots) {
+    return run(circuit, shots, auto_stream_.fetch_add(1, std::memory_order_relaxed));
+  }
+
+  /// Exact measurement distribution (the noiseless part of the backend's
+  /// model). Backends that cannot provide it throw qcut::Error.
+  [[nodiscard]] virtual std::vector<double> exact_probabilities(const Circuit& circuit) {
+    (void)circuit;
+    QCUT_CHECK(false, name() + ": exact probabilities are not available on this backend");
+  }
+
+  /// Cumulative statistics since construction (thread-safe snapshot).
+  [[nodiscard]] virtual BackendStats stats() const = 0;
+
+  /// Resets cumulative statistics.
+  virtual void reset_stats() = 0;
+
+ private:
+  std::atomic<std::uint64_t> auto_stream_{0};
+};
+
+}  // namespace qcut::backend

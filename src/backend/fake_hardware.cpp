@@ -1,0 +1,78 @@
+#include "backend/fake_hardware.hpp"
+
+#include <algorithm>
+
+namespace qcut::backend {
+
+double DeviceTimingModel::circuit_duration(const Circuit& circuit) const {
+  // Critical path: each qubit accumulates gate time; an op ends at
+  // max(start over its qubits) + duration.
+  std::vector<double> ready_at(static_cast<std::size_t>(circuit.num_qubits()), 0.0);
+  for (const circuit::Operation& op : circuit.ops()) {
+    double start = 0.0;
+    for (int q : op.qubits) start = std::max(start, ready_at[static_cast<std::size_t>(q)]);
+    const double duration = op.num_qubits() == 1
+                                ? gate_1q_seconds
+                                : gate_2q_seconds * (op.num_qubits() - 1);
+    for (int q : op.qubits) ready_at[static_cast<std::size_t>(q)] = start + duration;
+  }
+  const double max_ready =
+      ready_at.empty() ? 0.0 : *std::max_element(ready_at.begin(), ready_at.end());
+  return max_ready + readout_seconds;
+}
+
+double DeviceTimingModel::job_seconds(const Circuit& circuit, std::size_t shots, Rng& rng) const {
+  const double jitter = job_overhead_jitter > 0.0 ? rng.normal(0.0, job_overhead_jitter) : 0.0;
+  const double overhead = std::max(0.0, job_overhead_seconds + jitter);
+  return overhead +
+         static_cast<double>(shots) * (shot_overhead_seconds + circuit_duration(circuit));
+}
+
+FakeHardwareBackend::FakeHardwareBackend(std::string device_name, int num_qubits,
+                                         noise::NoiseModel model, DeviceTimingModel timing,
+                                         std::uint64_t seed)
+    : device_name_(std::move(device_name)),
+      num_qubits_(num_qubits),
+      simulator_(std::move(model), seed),
+      timing_(timing),
+      timing_rng_(seed ^ 0xfeedface12345678ULL) {
+  QCUT_CHECK(num_qubits >= 1, "FakeHardwareBackend: need at least one qubit");
+}
+
+Counts FakeHardwareBackend::run(const Circuit& circuit, std::size_t shots,
+                                std::uint64_t seed_stream) {
+  QCUT_CHECK(circuit.num_qubits() <= num_qubits_,
+             name() + ": circuit is wider than the device (" +
+                 std::to_string(circuit.num_qubits()) + " > " + std::to_string(num_qubits_) +
+                 " qubits)");
+  Counts counts = simulator_.run(circuit, shots, seed_stream);
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    Rng job_rng = timing_rng_.child(seed_stream);
+    simulated_seconds_ += timing_.job_seconds(circuit, shots, job_rng);
+  }
+  return counts;
+}
+
+std::vector<double> FakeHardwareBackend::exact_probabilities(const Circuit& circuit) {
+  return simulator_.exact_probabilities(circuit);
+}
+
+std::vector<double> FakeHardwareBackend::noisy_probabilities(const Circuit& circuit) const {
+  return simulator_.noisy_probabilities(circuit);
+}
+
+BackendStats FakeHardwareBackend::stats() const {
+  BackendStats s = simulator_.stats();
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  s.simulated_device_seconds = simulated_seconds_;
+  return s;
+}
+
+void FakeHardwareBackend::reset_stats() {
+  simulator_.reset_stats();
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  simulated_seconds_ = 0.0;
+}
+
+}  // namespace qcut::backend

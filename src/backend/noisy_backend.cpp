@@ -1,0 +1,112 @@
+#include "backend/noisy_backend.hpp"
+
+#include <cmath>
+
+#include "linalg/ops.hpp"
+#include "sim/density_matrix.hpp"
+#include "sim/sampling.hpp"
+#include "sim/statevector.hpp"
+
+namespace qcut::backend {
+
+NoisyBackend::NoisyBackend(noise::NoiseModel model, std::uint64_t seed, Method method)
+    : model_(std::move(model)), base_rng_(seed), method_(method) {}
+
+Counts NoisyBackend::run(const Circuit& circuit, std::size_t shots, std::uint64_t seed_stream) {
+  QCUT_CHECK(shots > 0, "NoisyBackend::run: shots must be positive");
+  Rng rng = base_rng_.child(seed_stream);
+  Counts counts = method_ == Method::DensityMatrix ? run_density(circuit, shots, rng)
+                                                   : run_trajectory(circuit, shots, rng);
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.jobs;
+    stats_.shots += shots;
+  }
+  return counts;
+}
+
+std::vector<double> NoisyBackend::exact_probabilities(const Circuit& circuit) {
+  sim::StateVector sv(circuit.num_qubits());
+  sv.apply_circuit(circuit);
+  return sv.probabilities();
+}
+
+std::vector<double> NoisyBackend::noisy_probabilities(const Circuit& circuit) const {
+  sim::DensityMatrix dm(circuit.num_qubits());
+  for (const circuit::Operation& op : circuit.ops()) {
+    dm.apply_operation(op);
+    const auto& channel = model_.channel_for_arity(op.num_qubits());
+    if (channel.has_value()) {
+      dm.apply_kraus(channel->kraus_ops(), op.qubits);
+    }
+  }
+  std::vector<double> probs = dm.probabilities();
+  if (model_.readout().has_value()) {
+    QCUT_CHECK(model_.readout()->num_qubits() >= circuit.num_qubits(),
+               "NoisyBackend: readout model is narrower than the circuit");
+    probs = model_.readout()->prefix(circuit.num_qubits()).apply_to_probabilities(probs);
+  }
+  return probs;
+}
+
+Counts NoisyBackend::run_density(const Circuit& circuit, std::size_t shots, Rng& rng) const {
+  const std::vector<double> probs = noisy_probabilities(circuit);
+  const std::vector<std::uint64_t> histogram = sim::sample_histogram(probs, shots, rng);
+  return Counts::from_histogram(histogram, circuit.num_qubits());
+}
+
+Counts NoisyBackend::run_trajectory(const Circuit& circuit, std::size_t shots, Rng& rng) const {
+  Counts counts(circuit.num_qubits());
+  std::optional<noise::ReadoutModel> readout;
+  if (model_.readout().has_value()) {
+    QCUT_CHECK(model_.readout()->num_qubits() >= circuit.num_qubits(),
+               "NoisyBackend: readout model is narrower than the circuit");
+    readout = model_.readout()->prefix(circuit.num_qubits());
+  }
+
+  std::vector<double> branch_weights;
+  for (std::size_t shot = 0; shot < shots; ++shot) {
+    sim::StateVector sv(circuit.num_qubits());
+    for (const circuit::Operation& op : circuit.ops()) {
+      sv.apply_operation(op);
+      const auto& channel = model_.channel_for_arity(op.num_qubits());
+      if (!channel.has_value()) continue;
+
+      // Pick a Kraus branch with probability ||K_k psi||^2.
+      branch_weights.clear();
+      std::vector<sim::StateVector> branches;
+      branches.reserve(channel->num_kraus());
+      for (const linalg::CMat& k : channel->kraus_ops()) {
+        sim::StateVector branch = sv;
+        branch.apply_matrix(k, op.qubits);
+        const double w = branch.norm();
+        branch_weights.push_back(w * w);
+        branches.push_back(std::move(branch));
+      }
+      const DiscreteSampler sampler(branch_weights);
+      sv = std::move(branches[sampler.sample(rng)]);
+      sv.normalize();
+    }
+
+    const std::vector<double> probs = sv.probabilities();
+    const DiscreteSampler outcome_sampler(probs);
+    index_t outcome = outcome_sampler.sample(rng);
+    if (readout.has_value()) {
+      outcome = readout->corrupt(outcome, rng);
+    }
+    counts.add(outcome);
+  }
+  return counts;
+}
+
+BackendStats NoisyBackend::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+void NoisyBackend::reset_stats() {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  stats_ = BackendStats{};
+}
+
+}  // namespace qcut::backend

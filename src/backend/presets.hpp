@@ -1,0 +1,21 @@
+#pragma once
+// Device presets: fake 5- and 7-qubit superconducting backends with error
+// rates and timings typical of the IBM devices the paper used.
+
+#include <memory>
+
+#include "backend/fake_hardware.hpp"
+
+namespace qcut::backend {
+
+/// 5-qubit device (the paper's 5-qubit experiments: 5q circuit, 3+3 cut).
+[[nodiscard]] std::unique_ptr<FakeHardwareBackend> make_fake_5q(std::uint64_t seed = 17);
+
+/// 7-qubit device (the paper's 7-qubit experiments: 7q circuit, 4+4 cut).
+[[nodiscard]] std::unique_ptr<FakeHardwareBackend> make_fake_7q(std::uint64_t seed = 17);
+
+/// Arbitrary-width fake device with the default error/timing profile.
+[[nodiscard]] std::unique_ptr<FakeHardwareBackend> make_fake_device(int num_qubits,
+                                                                    std::uint64_t seed = 17);
+
+}  // namespace qcut::backend

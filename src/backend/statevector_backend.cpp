@@ -1,0 +1,41 @@
+#include "backend/statevector_backend.hpp"
+
+#include "sim/sampling.hpp"
+#include "sim/statevector.hpp"
+
+namespace qcut::backend {
+
+StatevectorBackend::StatevectorBackend(std::uint64_t seed) : base_rng_(seed) {}
+
+Counts StatevectorBackend::run(const Circuit& circuit, std::size_t shots,
+                               std::uint64_t seed_stream) {
+  QCUT_CHECK(shots > 0, "StatevectorBackend::run: shots must be positive");
+  const std::vector<double> probs = exact_probabilities(circuit);
+  Rng rng = base_rng_.child(seed_stream);
+  const std::vector<std::uint64_t> histogram = sim::sample_histogram(probs, shots, rng);
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.jobs;
+    stats_.shots += shots;
+  }
+  return Counts::from_histogram(histogram, circuit.num_qubits());
+}
+
+std::vector<double> StatevectorBackend::exact_probabilities(const Circuit& circuit) {
+  sim::StateVector sv(circuit.num_qubits());
+  sv.apply_circuit(circuit);
+  return sv.probabilities();
+}
+
+BackendStats StatevectorBackend::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+void StatevectorBackend::reset_stats() {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  stats_ = BackendStats{};
+}
+
+}  // namespace qcut::backend

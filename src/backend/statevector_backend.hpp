@@ -1,0 +1,33 @@
+#pragma once
+// Ideal (noiseless) simulator backend with multinomial shot sampling —
+// the role Qiskit Aer plays in the paper's simulator experiments.
+
+#include <mutex>
+
+#include "backend/backend.hpp"
+#include "common/rng.hpp"
+
+namespace qcut::backend {
+
+class StatevectorBackend : public Backend {
+ public:
+  explicit StatevectorBackend(std::uint64_t seed = 7);
+
+  [[nodiscard]] std::string name() const override { return "statevector"; }
+
+  using Backend::run;
+  [[nodiscard]] Counts run(const Circuit& circuit, std::size_t shots,
+                           std::uint64_t seed_stream) override;
+
+  [[nodiscard]] std::vector<double> exact_probabilities(const Circuit& circuit) override;
+
+  [[nodiscard]] BackendStats stats() const override;
+  void reset_stats() override;
+
+ private:
+  Rng base_rng_;
+  mutable std::mutex stats_mutex_;
+  BackendStats stats_;
+};
+
+}  // namespace qcut::backend

@@ -1,0 +1,125 @@
+#pragma once
+// Circuit intermediate representation.
+//
+// A Circuit is an ordered list of gate operations on `num_qubits` qubits.
+// There are no explicit measurement operations: backends measure every
+// qubit in the computational basis at the end of the circuit, which is the
+// model the paper's experiments use (bitstring distributions).
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "circuit/gate.hpp"
+
+namespace qcut::circuit {
+
+/// One gate application.
+struct Operation {
+  GateKind kind = GateKind::I;
+  std::vector<int> qubits;      // distinct; first listed qubit = LSB of the matrix index
+  std::vector<double> params;   // gate_num_params(kind) entries
+  CMat custom;                  // only used when kind == Custom
+  std::string label;            // optional display label (Custom blocks, annotations)
+
+  /// The unitary matrix of this operation.
+  [[nodiscard]] const CMat& matrix() const;
+
+  /// Number of qubits this operation touches.
+  [[nodiscard]] int num_qubits() const noexcept { return static_cast<int>(qubits.size()); }
+
+  /// True if this operation acts on qubit q.
+  [[nodiscard]] bool acts_on(int q) const noexcept;
+
+ private:
+  friend class Circuit;
+  mutable std::optional<CMat> cached_matrix_;
+};
+
+class Circuit {
+ public:
+  /// Circuit on `num_qubits` qubits with no operations.
+  explicit Circuit(int num_qubits);
+
+  [[nodiscard]] int num_qubits() const noexcept { return num_qubits_; }
+  [[nodiscard]] std::size_t num_ops() const noexcept { return ops_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return ops_.empty(); }
+  [[nodiscard]] const std::vector<Operation>& ops() const noexcept { return ops_; }
+  [[nodiscard]] const Operation& op(std::size_t i) const;
+
+  /// Appends a named gate. Validates qubit indices, distinctness and
+  /// parameter count.
+  Circuit& append(GateKind kind, std::vector<int> qubits, std::vector<double> params = {});
+
+  /// Appends an arbitrary unitary. The matrix must be square with dimension
+  /// 2^{qubits.size()} and unitary within `unitarity_tol`.
+  Circuit& append_custom(CMat unitary, std::vector<int> qubits, std::string label = "U",
+                         double unitarity_tol = 1e-10);
+
+  // Convenience builders (chainable).
+  Circuit& i(int q) { return append(GateKind::I, {q}); }
+  Circuit& x(int q) { return append(GateKind::X, {q}); }
+  Circuit& y(int q) { return append(GateKind::Y, {q}); }
+  Circuit& z(int q) { return append(GateKind::Z, {q}); }
+  Circuit& h(int q) { return append(GateKind::H, {q}); }
+  Circuit& s(int q) { return append(GateKind::S, {q}); }
+  Circuit& sdg(int q) { return append(GateKind::Sdg, {q}); }
+  Circuit& t(int q) { return append(GateKind::T, {q}); }
+  Circuit& tdg(int q) { return append(GateKind::Tdg, {q}); }
+  Circuit& sx(int q) { return append(GateKind::SX, {q}); }
+  Circuit& rx(double theta, int q) { return append(GateKind::RX, {q}, {theta}); }
+  Circuit& ry(double theta, int q) { return append(GateKind::RY, {q}, {theta}); }
+  Circuit& rz(double theta, int q) { return append(GateKind::RZ, {q}, {theta}); }
+  Circuit& p(double lambda, int q) { return append(GateKind::P, {q}, {lambda}); }
+  Circuit& u(double theta, double phi, double lambda, int q) {
+    return append(GateKind::U, {q}, {theta, phi, lambda});
+  }
+  Circuit& cx(int control, int target) { return append(GateKind::CX, {control, target}); }
+  Circuit& cy(int control, int target) { return append(GateKind::CY, {control, target}); }
+  Circuit& cz(int control, int target) { return append(GateKind::CZ, {control, target}); }
+  Circuit& ch(int control, int target) { return append(GateKind::CH, {control, target}); }
+  Circuit& swap(int a, int b) { return append(GateKind::SWAP, {a, b}); }
+  Circuit& crz(double theta, int control, int target) {
+    return append(GateKind::CRZ, {control, target}, {theta});
+  }
+  Circuit& ccx(int c1, int c2, int target) { return append(GateKind::CCX, {c1, c2, target}); }
+
+  /// Appends all operations of `other` (same width required).
+  Circuit& compose(const Circuit& other);
+
+  /// Appends all operations of `other` with its qubit j mapped to
+  /// qubit_map[j] of this circuit.
+  Circuit& compose(const Circuit& other, std::span<const int> qubit_map);
+
+  /// The inverse circuit (reversed order, inverted gates).
+  [[nodiscard]] Circuit inverse() const;
+
+  /// Circuit with qubit q renamed to new_index_of[q] on a register of
+  /// `new_num_qubits` qubits. Every qubit referenced by an op must map to a
+  /// valid, distinct index.
+  [[nodiscard]] Circuit remapped(std::span<const int> new_index_of, int new_num_qubits) const;
+
+  /// Sub-circuit with ops [begin, end).
+  [[nodiscard]] Circuit slice(std::size_t begin, std::size_t end) const;
+
+  /// Greedy-moment depth (number of layers if ops are left-packed).
+  [[nodiscard]] int depth() const;
+
+  /// Number of operations touching >= 2 qubits.
+  [[nodiscard]] std::size_t two_qubit_op_count() const;
+
+  /// Indices of ops acting on qubit q, in program order.
+  [[nodiscard]] std::vector<std::size_t> ops_on_qubit(int q) const;
+
+  /// Qubits with at least one operation.
+  [[nodiscard]] std::vector<int> active_qubits() const;
+
+ private:
+  void validate_qubits(const std::vector<int>& qubits) const;
+
+  int num_qubits_;
+  std::vector<Operation> ops_;
+};
+
+}  // namespace qcut::circuit

@@ -1,0 +1,174 @@
+#include "circuit/dag.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace qcut::circuit {
+
+namespace {
+
+/// Union-find over operation indices.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    for (std::size_t i = 0; i < n; ++i) parent_[i] = i;
+  }
+
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+std::optional<CutAnalysis> try_analyze_cuts(const Circuit& circuit,
+                                            std::span<const WirePoint> cuts,
+                                            std::string* why) {
+  auto fail = [&](const std::string& message) -> std::optional<CutAnalysis> {
+    if (why != nullptr) *why = message;
+    return std::nullopt;
+  };
+
+  if (cuts.empty()) return fail("no cuts given");
+  if (circuit.num_ops() == 0) return fail("circuit has no operations");
+
+  // Per-qubit op chains.
+  std::vector<std::vector<std::size_t>> chain(static_cast<std::size_t>(circuit.num_qubits()));
+  for (int q = 0; q < circuit.num_qubits(); ++q) {
+    chain[static_cast<std::size_t>(q)] = circuit.ops_on_qubit(q);
+  }
+
+  // Validate each cut and record the wire segment (pair of op indices) it removes.
+  struct CutEdge {
+    std::size_t up_op;
+    std::size_t down_op;
+  };
+  std::vector<CutEdge> cut_edges;
+  std::vector<int> cut_qubits;
+  for (const WirePoint& cut : cuts) {
+    if (cut.qubit < 0 || cut.qubit >= circuit.num_qubits()) {
+      return fail("cut qubit index out of range");
+    }
+    if (std::find(cut_qubits.begin(), cut_qubits.end(), cut.qubit) != cut_qubits.end()) {
+      return fail("multiple cuts on the same qubit are not supported (injective cut map)");
+    }
+    if (cut.after_op >= circuit.num_ops() || !circuit.op(cut.after_op).acts_on(cut.qubit)) {
+      return fail("cut.after_op must reference an operation acting on the cut qubit");
+    }
+    const auto& ops = chain[static_cast<std::size_t>(cut.qubit)];
+    const auto it = std::find(ops.begin(), ops.end(), cut.after_op);
+    QCUT_ASSERT(it != ops.end(), "analyze_cuts: op chain inconsistent");
+    if (std::next(it) == ops.end()) {
+      return fail("cutting after the final operation on a qubit is meaningless");
+    }
+    cut_edges.push_back({*it, *std::next(it)});
+    cut_qubits.push_back(cut.qubit);
+  }
+
+  // Connect consecutive ops on each qubit, skipping removed segments.
+  auto is_cut_segment = [&](int qubit, std::size_t up, std::size_t down) {
+    for (std::size_t k = 0; k < cut_edges.size(); ++k) {
+      if (cut_qubits[k] == qubit && cut_edges[k].up_op == up && cut_edges[k].down_op == down) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  UnionFind uf(circuit.num_ops());
+  for (int q = 0; q < circuit.num_qubits(); ++q) {
+    const auto& ops = chain[static_cast<std::size_t>(q)];
+    for (std::size_t i = 0; i + 1 < ops.size(); ++i) {
+      if (!is_cut_segment(q, ops[i], ops[i + 1])) {
+        uf.unite(ops[i], ops[i + 1]);
+      }
+    }
+  }
+
+  // Orient the components: a component containing the upstream endpoint of
+  // any cut must be entirely upstream, one containing a downstream endpoint
+  // entirely downstream. Fragments need not be internally connected (two
+  // disjoint upstream blocks feeding two cuts form one fragment), so
+  // components touched by no cut default to upstream.
+  enum class Mark : int { None, Up, Down };
+  std::vector<Mark> mark(circuit.num_ops(), Mark::None);
+  auto apply_mark = [&](std::size_t op, Mark m) -> bool {
+    const std::size_t root = uf.find(op);
+    if (mark[root] == Mark::None) {
+      mark[root] = m;
+      return true;
+    }
+    return mark[root] == m;
+  };
+  for (const CutEdge& edge : cut_edges) {
+    if (uf.find(edge.up_op) == uf.find(edge.down_op)) {
+      return fail("cut does not disconnect the circuit (a path around the cut remains)");
+    }
+    if (!apply_mark(edge.up_op, Mark::Up) || !apply_mark(edge.down_op, Mark::Down)) {
+      return fail("cut set is contradictory: some operations would have to be both "
+                  "upstream and downstream (the cuts do not induce a bipartition)");
+    }
+  }
+
+  CutAnalysis analysis;
+  analysis.op_fragment.resize(circuit.num_ops());
+  for (std::size_t i = 0; i < circuit.num_ops(); ++i) {
+    const std::size_t root = uf.find(i);
+    analysis.op_fragment[i] =
+        mark[root] == Mark::Down ? FragmentId::Downstream : FragmentId::Upstream;
+  }
+
+  // Uncut qubits must live entirely in one fragment; cut qubits must be a
+  // clean upstream-prefix / downstream-suffix split at the cut point.
+  for (int q = 0; q < circuit.num_qubits(); ++q) {
+    const auto& ops = chain[static_cast<std::size_t>(q)];
+    if (ops.empty()) continue;
+    const auto cut_it = std::find(cut_qubits.begin(), cut_qubits.end(), q);
+    if (cut_it == cut_qubits.end()) {
+      for (std::size_t i = 0; i + 1 < ops.size(); ++i) {
+        if (analysis.op_fragment[ops[i]] != analysis.op_fragment[ops[i + 1]]) {
+          std::ostringstream oss;
+          oss << "qubit " << q << " has operations in both fragments but no cut; "
+              << "add a cut on this wire";
+          return fail(oss.str());
+        }
+      }
+    } else {
+      const std::size_t k = static_cast<std::size_t>(cut_it - cut_qubits.begin());
+      for (std::size_t op_idx : ops) {
+        const bool upstream_side = op_idx <= cut_edges[k].up_op;
+        const FragmentId expected =
+            upstream_side ? FragmentId::Upstream : FragmentId::Downstream;
+        if (analysis.op_fragment[op_idx] != expected) {
+          std::ostringstream oss;
+          oss << "operations on cut qubit " << q
+              << " do not split cleanly at the cut point";
+          return fail(oss.str());
+        }
+      }
+    }
+  }
+
+  analysis.cut_qubits = std::move(cut_qubits);
+  return analysis;
+}
+
+CutAnalysis analyze_cuts(const Circuit& circuit, std::span<const WirePoint> cuts) {
+  std::string why;
+  auto analysis = try_analyze_cuts(circuit, cuts, &why);
+  QCUT_CHECK(analysis.has_value(), "analyze_cuts: " + why);
+  return *std::move(analysis);
+}
+
+}  // namespace qcut::circuit

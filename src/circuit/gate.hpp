@@ -1,0 +1,58 @@
+#pragma once
+// Standard gate library.
+//
+// Matrix convention: for a gate applied to qubits {q0, q1, ...}, the first
+// listed qubit is the LEAST significant bit of the matrix index (the same
+// little-endian convention Qiskit uses). For controlled gates the control
+// is listed first.
+
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace qcut::circuit {
+
+using linalg::CMat;
+using linalg::cx;
+
+/// Identifier of every supported gate.
+enum class GateKind : int {
+  // 1-qubit, no parameters
+  I, X, Y, Z, H, S, Sdg, T, Tdg, SX, SXdg,
+  // 1-qubit, parameterized
+  RX, RY, RZ, P, U,
+  // 2-qubit, no parameters
+  CX, CY, CZ, CH, SWAP, ISwap,
+  // 2-qubit, parameterized
+  CRX, CRY, CRZ, CP, RXX, RYY, RZZ,
+  // 3-qubit
+  CCX, CSWAP,
+  // Arbitrary unitary supplied by the caller
+  Custom,
+};
+
+/// Lower-case mnemonic, e.g. "cx", "rz".
+[[nodiscard]] std::string gate_name(GateKind kind);
+
+/// Number of qubits the gate acts on. Custom gates are excluded (their
+/// arity comes from the supplied matrix); calling this with Custom throws.
+[[nodiscard]] int gate_num_qubits(GateKind kind);
+
+/// Number of real parameters the gate takes (0 for most).
+[[nodiscard]] int gate_num_params(GateKind kind);
+
+/// The unitary matrix of the gate. `params` must have exactly
+/// gate_num_params(kind) entries. Custom is excluded.
+[[nodiscard]] CMat gate_matrix(GateKind kind, const std::vector<double>& params);
+
+/// Gate kind and params implementing the inverse. Returns false if the
+/// inverse is not expressible in the named gate set (caller should fall
+/// back to a Custom gate with the dagger matrix).
+struct GateInverse {
+  GateKind kind;
+  std::vector<double> params;
+};
+[[nodiscard]] bool gate_inverse(GateKind kind, const std::vector<double>& params, GateInverse& out);
+
+}  // namespace qcut::circuit

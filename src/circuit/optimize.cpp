@@ -1,0 +1,185 @@
+#include "circuit/optimize.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <optional>
+
+namespace qcut::circuit {
+
+namespace {
+
+constexpr double kFourPi = 4.0 * std::numbers::pi;
+constexpr double kAngleTol = 1e-12;
+
+bool is_rotation(GateKind kind) {
+  switch (kind) {
+    case GateKind::RX:
+    case GateKind::RY:
+    case GateKind::RZ:
+    case GateKind::P:
+    case GateKind::CRX:
+    case GateKind::CRY:
+    case GateKind::CRZ:
+    case GateKind::CP:
+    case GateKind::RXX:
+    case GateKind::RYY:
+    case GateKind::RZZ:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Period of the rotation as a matrix: phase gates (P, CP) repeat at 2*pi,
+/// half-angle rotations at 4*pi.
+double rotation_period(GateKind kind) {
+  return (kind == GateKind::P || kind == GateKind::CP) ? 2.0 * std::numbers::pi : kFourPi;
+}
+
+bool is_self_inverse(GateKind kind) {
+  switch (kind) {
+    case GateKind::X:
+    case GateKind::Y:
+    case GateKind::Z:
+    case GateKind::H:
+    case GateKind::CX:
+    case GateKind::CY:
+    case GateKind::CZ:
+    case GateKind::CH:
+    case GateKind::SWAP:
+    case GateKind::CCX:
+    case GateKind::CSWAP:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Inverse-pair table for non-self-inverse named gates.
+bool are_inverse_kinds(GateKind a, GateKind b) {
+  const auto matches = [&](GateKind x, GateKind y) {
+    return (a == x && b == y) || (a == y && b == x);
+  };
+  return matches(GateKind::S, GateKind::Sdg) || matches(GateKind::T, GateKind::Tdg) ||
+         matches(GateKind::SX, GateKind::SXdg);
+}
+
+/// True if two ops act on identical qubit lists (same order).
+bool same_qubits(const Operation& a, const Operation& b) { return a.qubits == b.qubits; }
+
+/// For symmetric two-qubit gates the qubit order does not matter.
+bool is_symmetric_gate(GateKind kind) {
+  switch (kind) {
+    case GateKind::CZ:
+    case GateKind::CP:
+    case GateKind::SWAP:
+    case GateKind::RXX:
+    case GateKind::RYY:
+    case GateKind::RZZ:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool same_qubit_set(const Operation& a, const Operation& b) {
+  if (same_qubits(a, b)) return true;
+  if (a.qubits.size() != 2 || b.qubits.size() != 2) return false;
+  return is_symmetric_gate(a.kind) && a.qubits[0] == b.qubits[1] && a.qubits[1] == b.qubits[0];
+}
+
+/// A single fixed-point-free pass; returns true if anything changed.
+bool pass_once(std::vector<Operation>& ops, OptimizeStats& stats) {
+  bool changed = false;
+  std::vector<Operation> out;
+  out.reserve(ops.size());
+
+  for (Operation& op : ops) {
+    // Drop identity gates.
+    if (op.kind == GateKind::I) {
+      ++stats.removed_identities;
+      changed = true;
+      continue;
+    }
+    // Drop zero-angle rotations.
+    if (is_rotation(op.kind)) {
+      const double period = rotation_period(op.kind);
+      const double reduced = std::remainder(op.params[0], period);
+      if (std::abs(reduced) < kAngleTol) {
+        ++stats.merged_rotations;
+        changed = true;
+        continue;
+      }
+    }
+
+    if (!out.empty()) {
+      const Operation& prev = out.back();
+      // Cancel adjacent inverse pairs. (Rotation merging happens in the
+      // caller's dedicated loop, which has access to both angles.)
+      const bool self_inverse_pair =
+          is_self_inverse(op.kind) && prev.kind == op.kind && same_qubit_set(prev, op);
+      const bool named_inverse_pair =
+          are_inverse_kinds(prev.kind, op.kind) && same_qubits(prev, op);
+      if (self_inverse_pair || named_inverse_pair) {
+        out.pop_back();
+        ++stats.cancelled_pairs;
+        changed = true;
+        continue;
+      }
+    }
+    out.push_back(std::move(op));
+  }
+  ops = std::move(out);
+  return changed;
+}
+
+}  // namespace
+
+Circuit optimize(const Circuit& circuit, OptimizeStats* stats) {
+  OptimizeStats local;
+  std::vector<Operation> ops(circuit.ops().begin(), circuit.ops().end());
+
+  // Rotation merging needs the previous op's angle; handle it here with a
+  // dedicated loop (pass_once handles drops and cancellations).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+
+    // Merge same-axis rotation runs.
+    std::vector<Operation> merged;
+    merged.reserve(ops.size());
+    for (Operation& op : ops) {
+      if (!merged.empty() && is_rotation(op.kind) && merged.back().kind == op.kind &&
+          same_qubit_set(merged.back(), op)) {
+        const double period = rotation_period(op.kind);
+        const double angle =
+            std::remainder(merged.back().params[0] + op.params[0], period);
+        Operation combined;
+        combined.kind = op.kind;
+        combined.qubits = merged.back().qubits;
+        combined.params = {angle};
+        merged.back() = std::move(combined);
+        ++local.merged_rotations;
+        changed = true;
+        continue;
+      }
+      merged.push_back(std::move(op));
+    }
+    ops = std::move(merged);
+
+    if (pass_once(ops, local)) changed = true;
+  }
+
+  Circuit out(circuit.num_qubits());
+  for (Operation& op : ops) {
+    if (op.kind == GateKind::Custom) {
+      out.append_custom(op.custom, op.qubits, op.label);
+    } else {
+      out.append(op.kind, op.qubits, op.params);
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+}  // namespace qcut::circuit

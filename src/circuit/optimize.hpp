@@ -1,0 +1,31 @@
+#pragma once
+// Peephole circuit optimization.
+//
+// Fragment variants re-execute the same fragment thousands of times, so
+// shaving gates off once pays for itself immediately. The passes are
+// strictly unitary-preserving (exactly, including global phase):
+//   * drop identity gates;
+//   * cancel adjacent self-inverse pairs on identical qubit lists;
+//   * merge adjacent same-axis rotations on the same qubits
+//     (RX/RY/RZ/P/CRX/CRY/CRZ/CP/RXX/RYY/RZZ), dropping the result when the
+//     merged angle is 0 mod 4*pi (rotations are 4*pi-periodic as matrices).
+
+#include "circuit/circuit.hpp"
+
+namespace qcut::circuit {
+
+struct OptimizeStats {
+  std::size_t removed_identities = 0;
+  std::size_t cancelled_pairs = 0;
+  std::size_t merged_rotations = 0;
+
+  [[nodiscard]] std::size_t total_removed() const noexcept {
+    return removed_identities + 2 * cancelled_pairs + merged_rotations;
+  }
+};
+
+/// Applies the peephole passes to a fixed point. The returned circuit
+/// implements exactly the same unitary (including global phase).
+[[nodiscard]] Circuit optimize(const Circuit& circuit, OptimizeStats* stats = nullptr);
+
+}  // namespace qcut::circuit

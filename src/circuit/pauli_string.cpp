@@ -1,0 +1,82 @@
+#include "circuit/pauli_string.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "linalg/ops.hpp"
+
+namespace qcut::circuit {
+
+PauliString::PauliString(int num_qubits)
+    : labels_(static_cast<std::size_t>(num_qubits), Pauli::I) {
+  QCUT_CHECK(num_qubits >= 1, "PauliString: need at least one qubit");
+}
+
+PauliString::PauliString(std::vector<Pauli> labels) : labels_(std::move(labels)) {
+  QCUT_CHECK(!labels_.empty(), "PauliString: need at least one qubit");
+}
+
+PauliString PauliString::parse(const std::string& text) {
+  QCUT_CHECK(!text.empty(), "PauliString::parse: empty string");
+  std::vector<Pauli> labels(text.size(), Pauli::I);
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    // First character = highest qubit.
+    const std::size_t qubit = text.size() - 1 - i;
+    switch (text[i]) {
+      case 'I': labels[qubit] = Pauli::I; break;
+      case 'X': labels[qubit] = Pauli::X; break;
+      case 'Y': labels[qubit] = Pauli::Y; break;
+      case 'Z': labels[qubit] = Pauli::Z; break;
+      default:
+        QCUT_CHECK(false, "PauliString::parse: invalid character (expected I/X/Y/Z)");
+    }
+  }
+  return PauliString(std::move(labels));
+}
+
+Pauli PauliString::label(int qubit) const {
+  QCUT_CHECK(qubit >= 0 && qubit < num_qubits(), "PauliString::label: qubit out of range");
+  return labels_[static_cast<std::size_t>(qubit)];
+}
+
+void PauliString::set_label(int qubit, Pauli p) {
+  QCUT_CHECK(qubit >= 0 && qubit < num_qubits(), "PauliString::set_label: qubit out of range");
+  labels_[static_cast<std::size_t>(qubit)] = p;
+}
+
+int PauliString::weight() const noexcept {
+  return static_cast<int>(
+      std::count_if(labels_.begin(), labels_.end(), [](Pauli p) { return p != Pauli::I; }));
+}
+
+std::vector<int> PauliString::support() const {
+  std::vector<int> out;
+  for (int q = 0; q < num_qubits(); ++q) {
+    if (labels_[static_cast<std::size_t>(q)] != Pauli::I) out.push_back(q);
+  }
+  return out;
+}
+
+int PauliString::y_count() const noexcept {
+  return static_cast<int>(
+      std::count(labels_.begin(), labels_.end(), Pauli::Y));
+}
+
+linalg::CMat PauliString::to_matrix() const {
+  linalg::CMat out = linalg::pauli_matrix(labels_.back());
+  for (std::size_t i = labels_.size() - 1; i-- > 0;) {
+    out = linalg::kron(out, linalg::pauli_matrix(labels_[i]));
+  }
+  return out;
+}
+
+std::string PauliString::to_string() const {
+  std::string out;
+  out.reserve(labels_.size());
+  for (std::size_t i = labels_.size(); i-- > 0;) {
+    out += linalg::pauli_name(labels_[i]);
+  }
+  return out;
+}
+
+}  // namespace qcut::circuit

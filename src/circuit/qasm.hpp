@@ -1,0 +1,40 @@
+#pragma once
+// OpenQASM 2.0 export.
+//
+// Lets fragments and variant circuits be inspected or executed with
+// external toolchains (Qiskit et al.). Gates without a qelib1.inc
+// equivalent (ISwap, RXX, RYY, RZZ, SX, SXdg) are exported through
+// standard decompositions; the decomposition helper is public so tests can
+// verify unitary equivalence. Custom matrix gates are not exportable.
+
+#include <string>
+
+#include "circuit/circuit.hpp"
+
+namespace qcut::circuit {
+
+/// Ops implementing `op` using only qelib1-representable gates. Equal to
+/// {op} when the gate maps directly. The result is equivalent to `op` up to
+/// global phase. Throws for Custom gates.
+[[nodiscard]] std::vector<Operation> decompose_for_qasm(const Operation& op);
+
+/// Full OpenQASM 2.0 program text ("OPENQASM 2.0; include qelib1.inc;",
+/// one quantum register `q`, one classical register `c`, measurement of
+/// every qubit at the end unless `measure_all` is false).
+/// Throws qcut::Error if the circuit contains Custom gates.
+[[nodiscard]] std::string to_qasm(const Circuit& circuit, bool measure_all = true);
+
+/// Parses an OpenQASM 2.0 program (the qelib1 subset) into a Circuit.
+///
+/// Supported: one quantum register (any name); classical registers;
+/// comments; barrier (ignored); measure (ignored - backends measure
+/// everything); the gates id, x, y, z, h, s, sdg, t, tdg, sx, sxdg, rx, ry,
+/// rz, p/u1, u2, u/u3, cx, cy, cz, ch, swap, iswap, crx, cry, crz, cp/cu1,
+/// cu3, ccx, cswap, rxx, ryy, rzz. Parameter expressions may use numeric
+/// literals, `pi`, parentheses, unary minus and + - * /.
+///
+/// cu3 imports as a Custom controlled-U3 block (no named gate kind exists
+/// for it). Throws qcut::Error with a line diagnostic on anything else.
+[[nodiscard]] Circuit from_qasm(const std::string& source);
+
+}  // namespace qcut::circuit

@@ -1,0 +1,323 @@
+// OpenQASM 2.0 import (the qelib1 subset qcut exports, plus the common
+// aliases external toolchains emit).
+
+#include <cctype>
+#include <cmath>
+#include <map>
+#include <numbers>
+#include <optional>
+#include <sstream>
+
+#include "circuit/qasm.hpp"
+#include "common/error.hpp"
+#include "linalg/ops.hpp"
+
+namespace qcut::circuit {
+
+namespace {
+
+[[noreturn]] void parse_error(int line, const std::string& message) {
+  std::ostringstream oss;
+  oss << "from_qasm: line " << line << ": " << message;
+  throw Error(oss.str());
+}
+
+/// Recursive-descent evaluator for parameter expressions:
+///   expr   := term (('+' | '-') term)*
+///   term   := factor (('*' | '/') factor)*
+///   factor := number | 'pi' | '(' expr ')' | '-' factor | '+' factor
+class ExpressionParser {
+ public:
+  ExpressionParser(std::string_view text, int line) : text_(text), line_(line) {}
+
+  double parse() {
+    const double value = expr();
+    skip_space();
+    if (pos_ != text_.size()) parse_error(line_, "trailing characters in expression");
+    return value;
+  }
+
+ private:
+  double expr() {
+    double value = term();
+    for (;;) {
+      skip_space();
+      if (consume('+')) {
+        value += term();
+      } else if (consume('-')) {
+        value -= term();
+      } else {
+        return value;
+      }
+    }
+  }
+
+  double term() {
+    double value = factor();
+    for (;;) {
+      skip_space();
+      if (consume('*')) {
+        value *= factor();
+      } else if (consume('/')) {
+        const double denominator = factor();
+        if (denominator == 0.0) parse_error(line_, "division by zero in expression");
+        value /= denominator;
+      } else {
+        return value;
+      }
+    }
+  }
+
+  double factor() {
+    skip_space();
+    if (consume('-')) return -factor();
+    if (consume('+')) return factor();
+    if (consume('(')) {
+      const double value = expr();
+      skip_space();
+      if (!consume(')')) parse_error(line_, "expected ')' in expression");
+      return value;
+    }
+    if (pos_ + 1 < text_.size() && text_.compare(pos_, 2, "pi") == 0) {
+      pos_ += 2;
+      return std::numbers::pi;
+    }
+    // Numeric literal.
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            ((text_[pos_] == '+' || text_[pos_] == '-') && pos_ > start &&
+             (text_[pos_ - 1] == 'e' || text_[pos_ - 1] == 'E')))) {
+      ++pos_;
+    }
+    if (pos_ == start) parse_error(line_, "expected a number, 'pi' or '(' in expression");
+    try {
+      return std::stod(std::string(text_.substr(start, pos_ - start)));
+    } catch (const std::exception&) {
+      parse_error(line_, "invalid numeric literal");
+    }
+  }
+
+  bool consume(char c) {
+    skip_space();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void skip_space() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+  }
+
+  std::string_view text_;
+  int line_;
+  std::size_t pos_ = 0;
+};
+
+struct GateSpec {
+  GateKind kind;
+  int num_params;
+};
+
+const std::map<std::string, GateSpec, std::less<>>& gate_table() {
+  static const std::map<std::string, GateSpec, std::less<>> table = {
+      {"id", {GateKind::I, 0}},     {"x", {GateKind::X, 0}},
+      {"y", {GateKind::Y, 0}},      {"z", {GateKind::Z, 0}},
+      {"h", {GateKind::H, 0}},      {"s", {GateKind::S, 0}},
+      {"sdg", {GateKind::Sdg, 0}},  {"t", {GateKind::T, 0}},
+      {"tdg", {GateKind::Tdg, 0}},  {"sx", {GateKind::SX, 0}},
+      {"sxdg", {GateKind::SXdg, 0}},
+      {"rx", {GateKind::RX, 1}},    {"ry", {GateKind::RY, 1}},
+      {"rz", {GateKind::RZ, 1}},    {"p", {GateKind::P, 1}},
+      {"u1", {GateKind::P, 1}},     {"u3", {GateKind::U, 3}},
+      {"u", {GateKind::U, 3}},
+      {"cx", {GateKind::CX, 0}},    {"cy", {GateKind::CY, 0}},
+      {"cz", {GateKind::CZ, 0}},    {"ch", {GateKind::CH, 0}},
+      {"swap", {GateKind::SWAP, 0}},{"iswap", {GateKind::ISwap, 0}},
+      {"crx", {GateKind::CRX, 1}},  {"cry", {GateKind::CRY, 1}},
+      {"crz", {GateKind::CRZ, 1}},  {"cp", {GateKind::CP, 1}},
+      {"cu1", {GateKind::CP, 1}},
+      {"ccx", {GateKind::CCX, 0}},  {"cswap", {GateKind::CSWAP, 0}},
+      {"rxx", {GateKind::RXX, 1}},  {"ryy", {GateKind::RYY, 1}},
+      {"rzz", {GateKind::RZZ, 1}},
+  };
+  return table;
+}
+
+std::string strip(const std::string& text) {
+  std::size_t begin = 0, end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) --end;
+  return text.substr(begin, end - begin);
+}
+
+/// Parses "name[index]" and returns the index; validates the register name.
+int parse_qubit_ref(const std::string& token, const std::string& register_name, int line) {
+  const std::size_t bracket = token.find('[');
+  if (bracket == std::string::npos || token.back() != ']') {
+    parse_error(line, "expected a qubit reference like " + register_name + "[i], got '" +
+                          token + "'");
+  }
+  const std::string name = strip(token.substr(0, bracket));
+  if (name != register_name) {
+    parse_error(line, "unknown register '" + name + "' (declared: '" + register_name + "')");
+  }
+  try {
+    return std::stoi(token.substr(bracket + 1, token.size() - bracket - 2));
+  } catch (const std::exception&) {
+    parse_error(line, "invalid qubit index in '" + token + "'");
+  }
+}
+
+std::vector<std::string> split(const std::string& text, char delimiter) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  // Split at top level only (respect parentheses for parameter lists).
+  int depth = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '(') ++depth;
+    if (text[i] == ')') --depth;
+    if (text[i] == delimiter && depth == 0) {
+      out.push_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  out.push_back(text.substr(start));
+  return out;
+}
+
+/// Controlled-U3 as an explicit matrix (no named GateKind exists).
+CMat controlled_u3_matrix(double theta, double phi, double lambda) {
+  const CMat u = gate_matrix(GateKind::U, {theta, phi, lambda});
+  CMat m = CMat::identity(4);
+  m(1, 1) = u(0, 0);
+  m(1, 3) = u(0, 1);
+  m(3, 1) = u(1, 0);
+  m(3, 3) = u(1, 1);
+  return m;
+}
+
+}  // namespace
+
+Circuit from_qasm(const std::string& source) {
+  std::istringstream stream(source);
+  std::string raw_line;
+  int line_number = 0;
+
+  std::optional<Circuit> circuit;
+  std::string register_name;
+  bool saw_header = false;
+
+  while (std::getline(stream, raw_line)) {
+    ++line_number;
+    // Strip comments.
+    const std::size_t comment = raw_line.find("//");
+    if (comment != std::string::npos) raw_line.resize(comment);
+
+    // A line may hold several ';'-terminated statements.
+    for (std::string& statement_text : split(raw_line, ';')) {
+      const std::string statement = strip(statement_text);
+      if (statement.empty()) continue;
+
+      if (statement.rfind("OPENQASM", 0) == 0) {
+        saw_header = true;
+        continue;
+      }
+      if (statement.rfind("include", 0) == 0) continue;
+      if (statement.rfind("barrier", 0) == 0) continue;
+      if (statement.rfind("creg", 0) == 0) continue;
+      if (statement.rfind("measure", 0) == 0) continue;
+
+      if (statement.rfind("qreg", 0) == 0) {
+        if (circuit.has_value()) parse_error(line_number, "multiple qreg declarations");
+        const std::string decl = strip(statement.substr(4));
+        const std::size_t bracket = decl.find('[');
+        if (bracket == std::string::npos || decl.back() != ']') {
+          parse_error(line_number, "malformed qreg declaration");
+        }
+        register_name = strip(decl.substr(0, bracket));
+        int width = 0;
+        try {
+          width = std::stoi(decl.substr(bracket + 1, decl.size() - bracket - 2));
+        } catch (const std::exception&) {
+          parse_error(line_number, "invalid qreg width");
+        }
+        if (width < 1) parse_error(line_number, "qreg width must be positive");
+        circuit.emplace(width);
+        continue;
+      }
+
+      // Gate statement: name[(params)] qubit {, qubit}.
+      std::size_t name_end = 0;
+      while (name_end < statement.size() &&
+             (std::isalnum(static_cast<unsigned char>(statement[name_end])) ||
+              statement[name_end] == '_')) {
+        ++name_end;
+      }
+      const std::string name = statement.substr(0, name_end);
+      if (name.empty()) parse_error(line_number, "unparseable statement '" + statement + "'");
+      if (!circuit.has_value()) {
+        parse_error(line_number, "gate statement before qreg declaration");
+      }
+
+      std::string rest = strip(statement.substr(name_end));
+      std::vector<double> params;
+      if (!rest.empty() && rest.front() == '(') {
+        // Find the matching close paren (parameter expressions may nest).
+        std::size_t close = std::string::npos;
+        int depth = 0;
+        for (std::size_t i = 0; i < rest.size(); ++i) {
+          if (rest[i] == '(') ++depth;
+          if (rest[i] == ')' && --depth == 0) {
+            close = i;
+            break;
+          }
+        }
+        if (close == std::string::npos) parse_error(line_number, "unterminated parameter list");
+        for (const std::string& piece : split(rest.substr(1, close - 1), ',')) {
+          params.push_back(ExpressionParser(piece, line_number).parse());
+        }
+        rest = strip(rest.substr(close + 1));
+      }
+
+      std::vector<int> qubits;
+      for (const std::string& piece : split(rest, ',')) {
+        qubits.push_back(parse_qubit_ref(strip(piece), register_name, line_number));
+      }
+
+      if (name == "u2") {
+        // u2(phi, lambda) == u3(pi/2, phi, lambda)
+        if (params.size() != 2) parse_error(line_number, "u2 takes 2 parameters");
+        circuit->append(GateKind::U, qubits,
+                        {std::numbers::pi / 2.0, params[0], params[1]});
+        continue;
+      }
+      if (name == "cu3") {
+        if (params.size() != 3) parse_error(line_number, "cu3 takes 3 parameters");
+        if (qubits.size() != 2) parse_error(line_number, "cu3 takes 2 qubits");
+        circuit->append_custom(controlled_u3_matrix(params[0], params[1], params[2]), qubits,
+                               "cu3");
+        continue;
+      }
+
+      const auto it = gate_table().find(name);
+      if (it == gate_table().end()) {
+        parse_error(line_number, "unsupported gate '" + name + "'");
+      }
+      if (static_cast<int>(params.size()) != it->second.num_params) {
+        parse_error(line_number, "gate '" + name + "' expects " +
+                                     std::to_string(it->second.num_params) + " parameter(s)");
+      }
+      circuit->append(it->second.kind, qubits, params);
+    }
+  }
+
+  QCUT_CHECK(saw_header, "from_qasm: missing OPENQASM header");
+  QCUT_CHECK(circuit.has_value(), "from_qasm: no qreg declaration found");
+  return *std::move(circuit);
+}
+
+}  // namespace qcut::circuit

@@ -1,0 +1,232 @@
+#include "circuit/random.hpp"
+
+#include <algorithm>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace qcut::circuit {
+
+namespace {
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+struct GatePools {
+  std::vector<GateKind> one_qubit;
+  std::vector<GateKind> two_qubit;
+};
+
+const GatePools& pools_for(GateSet set) {
+  static const GatePools general{
+      {GateKind::X, GateKind::Y, GateKind::Z, GateKind::H, GateKind::S, GateKind::Sdg,
+       GateKind::T, GateKind::Tdg, GateKind::SX, GateKind::RX, GateKind::RY, GateKind::RZ,
+       GateKind::P, GateKind::U},
+      {GateKind::CX, GateKind::CY, GateKind::CZ, GateKind::CH, GateKind::SWAP, GateKind::ISwap,
+       GateKind::CRX, GateKind::CRY, GateKind::CRZ, GateKind::CP, GateKind::RXX, GateKind::RYY,
+       GateKind::RZZ}};
+  static const GatePools real_amplitude{
+      {GateKind::X, GateKind::Z, GateKind::H, GateKind::RY},
+      {GateKind::CX, GateKind::CZ, GateKind::CH, GateKind::SWAP, GateKind::CRY}};
+  static const GatePools ix_class{
+      {GateKind::RX, GateKind::X, GateKind::Z},
+      {GateKind::CZ}};
+  switch (set) {
+    case GateSet::General: return general;
+    case GateSet::RealAmplitude: return real_amplitude;
+    case GateSet::IXClass: return ix_class;
+  }
+  QCUT_CHECK(false, "pools_for: invalid gate set");
+}
+
+std::vector<double> random_params(GateKind kind, Rng& rng) {
+  std::vector<double> params(static_cast<std::size_t>(gate_num_params(kind)));
+  for (double& p : params) p = rng.uniform(0.0, kTwoPi);
+  return params;
+}
+
+void shuffle(std::vector<int>& values, Rng& rng) {
+  for (std::size_t i = values.size(); i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(rng.uniform_int(0, i - 1));
+    std::swap(values[i - 1], values[j]);
+  }
+}
+
+}  // namespace
+
+Circuit random_circuit_on(const RandomCircuitOptions& options, std::span<const int> qubits,
+                          int total_qubits, Rng& rng) {
+  QCUT_CHECK(!qubits.empty(), "random_circuit_on: need at least one qubit");
+  QCUT_CHECK(options.depth >= 0, "random_circuit_on: depth must be non-negative");
+  QCUT_CHECK(options.two_qubit_fraction >= 0.0 && options.two_qubit_fraction <= 1.0,
+             "random_circuit_on: two_qubit_fraction must be in [0, 1]");
+
+  Circuit out(total_qubits);
+  const GatePools& pools = pools_for(options.gate_set);
+  std::vector<int> order(qubits.begin(), qubits.end());
+
+  for (int layer = 0; layer < options.depth; ++layer) {
+    shuffle(order, rng);
+    std::size_t i = 0;
+    while (i < order.size()) {
+      const bool pair_available = i + 1 < order.size();
+      if (pair_available && rng.bernoulli(options.two_qubit_fraction)) {
+        const GateKind kind =
+            pools.two_qubit[rng.uniform_int(0, pools.two_qubit.size() - 1)];
+        out.append(kind, {order[i], order[i + 1]}, random_params(kind, rng));
+        i += 2;
+      } else {
+        const GateKind kind =
+            pools.one_qubit[rng.uniform_int(0, pools.one_qubit.size() - 1)];
+        out.append(kind, {order[i]}, random_params(kind, rng));
+        i += 1;
+      }
+    }
+  }
+  return out;
+}
+
+Circuit random_circuit(const RandomCircuitOptions& options, Rng& rng) {
+  std::vector<int> qubits(static_cast<std::size_t>(options.num_qubits));
+  for (int q = 0; q < options.num_qubits; ++q) qubits[static_cast<std::size_t>(q)] = q;
+  return random_circuit_on(options, qubits, options.num_qubits, rng);
+}
+
+Circuit rx_collection(int total_qubits, std::span<const int> qubits, Rng& rng) {
+  Circuit out(total_qubits);
+  for (int q : qubits) {
+    out.rx(rng.uniform(0.0, 6.28), q);
+  }
+  return out;
+}
+
+Circuit ry_collection(int total_qubits, std::span<const int> qubits, Rng& rng) {
+  Circuit out(total_qubits);
+  for (int q : qubits) {
+    out.ry(rng.uniform(0.0, 6.28), q);
+  }
+  return out;
+}
+
+GoldenAnsatz make_golden_ansatz(const GoldenAnsatzOptions& options, Rng& rng) {
+  QCUT_CHECK(options.num_qubits >= 3, "make_golden_ansatz: need at least 3 qubits");
+  QCUT_CHECK(options.golden_basis == linalg::Pauli::Y || options.golden_basis == linalg::Pauli::X,
+             "make_golden_ansatz: golden basis must be X or Y");
+  const int n = options.num_qubits;
+  const int cut_qubit = options.cut_qubit < 0 ? n / 2 : options.cut_qubit;
+  QCUT_CHECK(cut_qubit >= 1 && cut_qubit <= n - 2,
+             "make_golden_ansatz: cut qubit must leave at least one qubit on each side");
+
+  std::vector<int> upstream_qubits, downstream_qubits;
+  for (int q = 0; q <= cut_qubit; ++q) upstream_qubits.push_back(q);
+  for (int q = cut_qubit; q < n; ++q) downstream_qubits.push_back(q);
+
+  const GateSet upstream_set = options.golden_basis == linalg::Pauli::Y
+                                   ? GateSet::RealAmplitude
+                                   : GateSet::IXClass;
+
+  Circuit circuit(n);
+
+  // Entangling backbone so the upstream block is always one connected
+  // component regardless of where the random gates land.
+  for (int q = 0; q + 1 <= cut_qubit; ++q) {
+    if (upstream_set == GateSet::RealAmplitude) {
+      circuit.cx(q, q + 1);
+    } else {
+      circuit.cz(q, q + 1);
+    }
+  }
+
+  // U1: restricted random block upstream.
+  RandomCircuitOptions u1;
+  u1.num_qubits = n;
+  u1.depth = options.upstream_depth;
+  u1.gate_set = upstream_set;
+  circuit.compose(random_circuit_on(u1, upstream_qubits, n, rng));
+
+  // Rotation collection on the upstream qubits. The paper's ansatz uses RX
+  // collections; upstream we use the real-gate analogue RY (golden Y) or RX
+  // itself (golden X) so the golden property is preserved by construction.
+  if (upstream_set == GateSet::RealAmplitude) {
+    circuit.compose(ry_collection(n, upstream_qubits, rng));
+  } else {
+    circuit.compose(rx_collection(n, upstream_qubits, rng));
+  }
+
+  // The cut sits after the last upstream operation on the cut qubit, which
+  // is the rotation appended by the collection above.
+  std::size_t cut_after = 0;
+  for (std::size_t i = 0; i < circuit.num_ops(); ++i) {
+    if (circuit.op(i).acts_on(cut_qubit)) cut_after = i;
+  }
+
+  // Downstream: RX collection (the paper's), then unrestricted U2, then a
+  // backbone keeping the downstream block connected.
+  circuit.compose(rx_collection(n, downstream_qubits, rng));
+  RandomCircuitOptions u2;
+  u2.num_qubits = n;
+  u2.depth = options.downstream_depth;
+  u2.gate_set = GateSet::General;
+  circuit.compose(random_circuit_on(u2, downstream_qubits, n, rng));
+  for (int q = cut_qubit; q + 1 <= n - 1; ++q) {
+    circuit.cx(q, q + 1);
+  }
+
+  return GoldenAnsatz{std::move(circuit), WirePoint{cut_qubit, cut_after},
+                      options.golden_basis, std::move(upstream_qubits),
+                      std::move(downstream_qubits)};
+}
+
+MultiCutAnsatz make_multi_cut_golden_ansatz(const MultiCutAnsatzOptions& options, Rng& rng) {
+  QCUT_CHECK(options.num_cuts >= 1 && options.num_cuts <= 6,
+             "make_multi_cut_golden_ansatz: supported cut counts are 1..6");
+  QCUT_CHECK(options.block_width >= 2,
+             "make_multi_cut_golden_ansatz: blocks need at least 2 qubits");
+
+  // Layout: block k owns qubits [k*w, (k+1)*w); its highest qubit is the
+  // cut wire. One spare qubit at the top keeps the downstream block wider
+  // than the union of cut wires.
+  const int w = options.block_width;
+  const int n = options.num_cuts * w + 1;
+  Circuit circuit(n);
+  std::vector<WirePoint> cuts;
+
+  RandomCircuitOptions block;
+  block.num_qubits = n;
+  block.depth = options.upstream_depth;
+  block.gate_set = GateSet::RealAmplitude;
+
+  for (int k = 0; k < options.num_cuts; ++k) {
+    const int base = k * w;
+    const int cut_qubit = base + w - 1;
+    std::vector<int> qubits;
+    for (int q = base; q < base + w; ++q) qubits.push_back(q);
+    // Backbone, random real layers, then a real rotation ending the wire.
+    for (int q = base; q + 1 <= cut_qubit; ++q) circuit.cx(q, q + 1);
+    circuit.compose(random_circuit_on(block, qubits, n, rng));
+    circuit.compose(ry_collection(n, qubits, rng));
+    std::size_t cut_after = 0;
+    for (std::size_t i = 0; i < circuit.num_ops(); ++i) {
+      if (circuit.op(i).acts_on(cut_qubit)) cut_after = i;
+    }
+    cuts.push_back(WirePoint{cut_qubit, cut_after});
+  }
+
+  // Downstream: chain every cut wire and the spare qubit, then a random
+  // general block over them.
+  std::vector<int> downstream_qubits;
+  for (int k = 0; k < options.num_cuts; ++k) downstream_qubits.push_back(k * w + w - 1);
+  downstream_qubits.push_back(n - 1);
+  for (std::size_t i = 0; i + 1 < downstream_qubits.size(); ++i) {
+    circuit.cx(downstream_qubits[i], downstream_qubits[i + 1]);
+  }
+  circuit.compose(rx_collection(n, downstream_qubits, rng));
+  RandomCircuitOptions general;
+  general.num_qubits = n;
+  general.depth = options.downstream_depth;
+  general.gate_set = GateSet::General;
+  circuit.compose(random_circuit_on(general, downstream_qubits, n, rng));
+
+  return MultiCutAnsatz{std::move(circuit), std::move(cuts)};
+}
+
+}  // namespace qcut::circuit

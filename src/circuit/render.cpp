@@ -1,0 +1,159 @@
+#include "circuit/render.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace qcut::circuit {
+
+namespace {
+
+/// Display text for one operation on one of its qubits.
+std::string op_cell_text(const Operation& op, int qubit) {
+  const auto position = std::find(op.qubits.begin(), op.qubits.end(), qubit);
+  QCUT_ASSERT(position != op.qubits.end(), "op_cell_text: qubit not in op");
+  const std::size_t slot = static_cast<std::size_t>(position - op.qubits.begin());
+
+  // Control dots for controlled gates.
+  switch (op.kind) {
+    case GateKind::CX:
+    case GateKind::CY:
+    case GateKind::CZ:
+    case GateKind::CH:
+    case GateKind::CRX:
+    case GateKind::CRY:
+    case GateKind::CRZ:
+    case GateKind::CP:
+      if (slot == 0) return "*";
+      break;
+    case GateKind::CCX:
+      if (slot <= 1) return "*";
+      break;
+    case GateKind::CSWAP:
+      if (slot == 0) return "*";
+      return "x";
+    case GateKind::SWAP:
+      return "x";
+    default:
+      break;
+  }
+
+  std::string text;
+  switch (op.kind) {
+    case GateKind::CX: text = "X"; break;
+    case GateKind::CY: text = "Y"; break;
+    case GateKind::CZ: text = "Z"; break;
+    case GateKind::CH: text = "H"; break;
+    case GateKind::CCX: text = "X"; break;
+    case GateKind::Custom: text = op.label.empty() ? "U" : op.label; break;
+    default: {
+      text = gate_name(op.kind);
+      std::transform(text.begin(), text.end(), text.begin(),
+                     [](unsigned char c) { return static_cast<char>(std::toupper(c)); });
+      break;
+    }
+  }
+  if (!op.params.empty()) {
+    std::ostringstream oss;
+    oss << text << '(';
+    for (std::size_t i = 0; i < op.params.size(); ++i) {
+      if (i > 0) oss << ',';
+      oss << std::fixed << std::setprecision(2) << op.params[i];
+    }
+    oss << ')';
+    text = oss.str();
+  }
+  return text;
+}
+
+}  // namespace
+
+std::string render_ascii(const Circuit& circuit, std::span<const WirePoint> cut_markers) {
+  const int n = circuit.num_qubits();
+
+  // Pack ops into columns: an op occupies the qubit range [min,max]; two ops
+  // share a column only if their ranges are disjoint.
+  std::vector<int> column_of_op(circuit.num_ops());
+  std::vector<int> busy_until(static_cast<std::size_t>(n), -1);  // last column used per qubit row
+  int num_columns = 0;
+  for (std::size_t i = 0; i < circuit.num_ops(); ++i) {
+    const Operation& op = circuit.op(i);
+    const auto [lo_it, hi_it] = std::minmax_element(op.qubits.begin(), op.qubits.end());
+    int col = 0;
+    for (int q = *lo_it; q <= *hi_it; ++q) {
+      col = std::max(col, busy_until[static_cast<std::size_t>(q)] + 1);
+    }
+    for (int q = *lo_it; q <= *hi_it; ++q) {
+      busy_until[static_cast<std::size_t>(q)] = col;
+    }
+    column_of_op[i] = col;
+    num_columns = std::max(num_columns, col + 1);
+  }
+
+  // Cell text per (qubit row, column); "" means plain wire.
+  std::vector<std::vector<std::string>> cells(static_cast<std::size_t>(n),
+                                              std::vector<std::string>(
+                                                  static_cast<std::size_t>(num_columns)));
+  // Columns where a vertical connector passes through a qubit row.
+  std::vector<std::vector<bool>> vertical(static_cast<std::size_t>(n),
+                                          std::vector<bool>(static_cast<std::size_t>(num_columns),
+                                                            false));
+  for (std::size_t i = 0; i < circuit.num_ops(); ++i) {
+    const Operation& op = circuit.op(i);
+    const int col = column_of_op[i];
+    for (int q : op.qubits) {
+      cells[static_cast<std::size_t>(q)][static_cast<std::size_t>(col)] = op_cell_text(op, q);
+    }
+    if (op.num_qubits() > 1) {
+      const auto [lo_it, hi_it] = std::minmax_element(op.qubits.begin(), op.qubits.end());
+      for (int q = *lo_it + 1; q < *hi_it; ++q) {
+        vertical[static_cast<std::size_t>(q)][static_cast<std::size_t>(col)] = true;
+      }
+    }
+  }
+
+  // Cut markers: draw right after the op's column on the cut qubit row.
+  for (const WirePoint& cut : cut_markers) {
+    if (cut.after_op < circuit.num_ops() && cut.qubit >= 0 && cut.qubit < n &&
+        circuit.op(cut.after_op).acts_on(cut.qubit)) {
+      auto& cell = cells[static_cast<std::size_t>(cut.qubit)]
+                        [static_cast<std::size_t>(column_of_op[cut.after_op])];
+      cell += " -//-";
+    }
+  }
+
+  std::vector<std::size_t> widths(static_cast<std::size_t>(num_columns), 1);
+  for (int c = 0; c < num_columns; ++c) {
+    for (int q = 0; q < n; ++q) {
+      widths[static_cast<std::size_t>(c)] =
+          std::max(widths[static_cast<std::size_t>(c)],
+                   cells[static_cast<std::size_t>(q)][static_cast<std::size_t>(c)].size());
+    }
+  }
+
+  std::ostringstream oss;
+  for (int q = 0; q < n; ++q) {
+    oss << 'q' << q << ": ";
+    for (int c = 0; c < num_columns; ++c) {
+      const std::string& text = cells[static_cast<std::size_t>(q)][static_cast<std::size_t>(c)];
+      const std::size_t width = widths[static_cast<std::size_t>(c)];
+      if (text.empty()) {
+        const char fill = '-';
+        const char center = vertical[static_cast<std::size_t>(q)][static_cast<std::size_t>(c)]
+                                ? '|'
+                                : fill;
+        oss << '-' << std::string(width / 2, fill) << center
+            << std::string(width - width / 2 - 1, fill) << '-';
+      } else {
+        const std::size_t pad = width - text.size();
+        oss << '-' << std::string(pad / 2, '-') << text << std::string(pad - pad / 2, '-') << '-';
+      }
+    }
+    oss << "--\n";
+  }
+  return oss.str();
+}
+
+}  // namespace qcut::circuit

@@ -1,0 +1,17 @@
+#pragma once
+// ASCII circuit rendering for examples and diagnostics.
+
+#include <string>
+
+#include "circuit/circuit.hpp"
+#include "circuit/dag.hpp"
+
+namespace qcut::circuit {
+
+/// Renders the circuit as ASCII art, one row per qubit, gates packed into
+/// greedy moments. Controlled gates draw '*' on controls; a wire cut given
+/// in `cut_markers` draws "-//-" after the corresponding operation.
+[[nodiscard]] std::string render_ascii(const Circuit& circuit,
+                                       std::span<const WirePoint> cut_markers = {});
+
+}  // namespace qcut::circuit

@@ -1,0 +1,109 @@
+#pragma once
+// Bit-manipulation helpers for basis-state indexing.
+//
+// Throughout qcut, an n-qubit computational basis state |q_{n-1} ... q_1 q_0>
+// is identified with the integer whose k-th bit (LSB = bit 0) is the value of
+// qubit k. These helpers implement the index surgery needed by gate
+// application, partial traces, and fragment reconstruction.
+
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace qcut {
+
+using index_t = std::uint64_t;
+
+/// Value (0 or 1) of bit `k` of `i`.
+[[nodiscard]] constexpr int bit(index_t i, int k) noexcept {
+  return static_cast<int>((i >> k) & index_t{1});
+}
+
+/// `i` with bit `k` set to 1.
+[[nodiscard]] constexpr index_t set_bit(index_t i, int k) noexcept {
+  return i | (index_t{1} << k);
+}
+
+/// `i` with bit `k` cleared to 0.
+[[nodiscard]] constexpr index_t clear_bit(index_t i, int k) noexcept {
+  return i & ~(index_t{1} << k);
+}
+
+/// `i` with bit `k` flipped.
+[[nodiscard]] constexpr index_t flip_bit(index_t i, int k) noexcept {
+  return i ^ (index_t{1} << k);
+}
+
+/// `i` with bit `k` overwritten by `value` (0 or 1).
+[[nodiscard]] constexpr index_t assign_bit(index_t i, int k, int value) noexcept {
+  return value != 0 ? set_bit(i, k) : clear_bit(i, k);
+}
+
+/// Inserts a 0-bit at position `pos`, shifting bits >= pos left by one.
+/// Example: insert_zero_bit(0b101, 1) == 0b1001.
+[[nodiscard]] constexpr index_t insert_zero_bit(index_t i, int pos) noexcept {
+  const index_t low_mask = (index_t{1} << pos) - 1;
+  return ((i & ~low_mask) << 1) | (i & low_mask);
+}
+
+/// Inserts 0-bits at each position in `sorted_positions` (ascending order,
+/// positions refer to the *output* index). Used to enumerate all basis
+/// indices whose bits at `sorted_positions` are zero.
+[[nodiscard]] inline index_t insert_zero_bits(index_t i, std::span<const int> sorted_positions) noexcept {
+  for (int pos : sorted_positions) {
+    i = insert_zero_bit(i, pos);
+  }
+  return i;
+}
+
+/// Collects the bits of `i` at `positions` into a compact integer whose
+/// bit j equals bit positions[j] of i.
+[[nodiscard]] inline index_t gather_bits(index_t i, std::span<const int> positions) noexcept {
+  index_t out = 0;
+  for (std::size_t j = 0; j < positions.size(); ++j) {
+    out |= static_cast<index_t>(bit(i, positions[j])) << j;
+  }
+  return out;
+}
+
+/// Inverse of gather_bits: spreads bit j of `compact` onto bit positions[j].
+[[nodiscard]] inline index_t scatter_bits(index_t compact, std::span<const int> positions) noexcept {
+  index_t out = 0;
+  for (std::size_t j = 0; j < positions.size(); ++j) {
+    out |= static_cast<index_t>(bit(compact, static_cast<int>(j))) << positions[j];
+  }
+  return out;
+}
+
+/// Number of set bits.
+[[nodiscard]] constexpr int popcount(index_t i) noexcept { return std::popcount(i); }
+
+/// Parity (0 or 1) of the number of set bits.
+[[nodiscard]] constexpr int parity(index_t i) noexcept { return std::popcount(i) & 1; }
+
+/// True if `i` is a power of two (and nonzero).
+[[nodiscard]] constexpr bool is_pow2(index_t i) noexcept { return i != 0 && (i & (i - 1)) == 0; }
+
+/// Exact base-2 logarithm of a power of two.
+[[nodiscard]] constexpr int log2_exact(index_t i) noexcept {
+  return 63 - std::countl_zero(i);
+}
+
+/// 2^k as index_t.
+[[nodiscard]] constexpr index_t pow2(int k) noexcept { return index_t{1} << k; }
+
+/// Renders the `width` low bits of `i` as a bitstring.
+/// With msb_first (the conventional reading |q_{n-1}...q_0>), bit width-1
+/// is printed first.
+[[nodiscard]] inline std::string bits_to_string(index_t i, int width, bool msb_first = true) {
+  std::string s(static_cast<std::size_t>(width), '0');
+  for (int k = 0; k < width; ++k) {
+    const int pos = msb_first ? width - 1 - k : k;
+    if (bit(i, k) != 0) s[static_cast<std::size_t>(pos)] = '1';
+  }
+  return s;
+}
+
+}  // namespace qcut

@@ -1,0 +1,13 @@
+#include "common/error.hpp"
+
+#include <sstream>
+
+namespace qcut::detail {
+
+void raise_error(const char* file, int line, const std::string& message) {
+  std::ostringstream oss;
+  oss << message << " (" << file << ":" << line << ")";
+  throw Error(oss.str());
+}
+
+}  // namespace qcut::detail

@@ -1,0 +1,35 @@
+#pragma once
+// Error handling for qcut.
+//
+// All precondition violations and contract failures throw qcut::Error.
+// Use QCUT_CHECK for user-facing precondition checks (always on) and
+// QCUT_ASSERT for internal invariants (also always on; the cost is
+// negligible next to simulation work).
+
+#include <stdexcept>
+#include <string>
+
+namespace qcut {
+
+/// Exception type thrown on any contract violation inside the library.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+[[noreturn]] void raise_error(const char* file, int line, const std::string& message);
+}  // namespace detail
+
+}  // namespace qcut
+
+/// Throws qcut::Error with source location when `cond` is false.
+#define QCUT_CHECK(cond, message)                                      \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::qcut::detail::raise_error(__FILE__, __LINE__, (message));      \
+    }                                                                  \
+  } while (false)
+
+/// Internal invariant check; semantically an assertion but always enabled.
+#define QCUT_ASSERT(cond, message) QCUT_CHECK(cond, message)

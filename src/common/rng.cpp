@@ -1,0 +1,123 @@
+#include "common/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace qcut {
+
+std::uint64_t splitmix64_next(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+[[nodiscard]] constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Xoshiro256StarStar::Xoshiro256StarStar(std::uint64_t seed) noexcept {
+  // Expand the seed through splitmix64 as recommended by the xoshiro authors;
+  // guarantees the state is never all-zero.
+  std::uint64_t sm = seed;
+  for (auto& word : s_) {
+    word = splitmix64_next(sm);
+  }
+}
+
+Xoshiro256StarStar::result_type Xoshiro256StarStar::operator()() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+Rng Rng::child(std::uint64_t stream) const noexcept {
+  // Mix (seed, stream) through splitmix64 twice so children of consecutive
+  // stream ids are decorrelated.
+  std::uint64_t sm = seed_ ^ (0x6a09e667f3bcc909ULL + stream * 0x3c6ef372fe94f82bULL);
+  const std::uint64_t derived = splitmix64_next(sm) ^ splitmix64_next(sm);
+  return Rng(derived);
+}
+
+double Rng::uniform() {
+  // 53 random bits -> double in [0, 1).
+  return static_cast<double>(engine_() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  QCUT_CHECK(lo <= hi, "Rng::uniform: lo must be <= hi");
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniform_int(std::uint64_t lo, std::uint64_t hi) {
+  QCUT_CHECK(lo <= hi, "Rng::uniform_int: lo must be <= hi");
+  const std::uint64_t range = hi - lo + 1;  // range == 0 means the full 2^64 span
+  if (range == 0) return engine_();
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = (~std::uint64_t{0}) - ((~std::uint64_t{0}) % range + 1) % range;
+  std::uint64_t draw = engine_();
+  while (draw > limit) draw = engine_();
+  return lo + draw % range;
+}
+
+double Rng::normal() {
+  if (have_spare_normal_) {
+    have_spare_normal_ = false;
+    return spare_normal_;
+  }
+  // Box-Muller; u1 in (0,1] to avoid log(0).
+  double u1 = 1.0 - uniform();
+  double u2 = uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * std::numbers::pi * u2;
+  spare_normal_ = radius * std::sin(angle);
+  have_spare_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+bool Rng::bernoulli(double p) { return uniform() < p; }
+
+std::uint64_t Rng::next_u64() { return engine_(); }
+
+DiscreteSampler::DiscreteSampler(std::span<const double> weights) {
+  QCUT_CHECK(!weights.empty(), "DiscreteSampler: weights must be non-empty");
+  cdf_.resize(weights.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    QCUT_CHECK(weights[i] >= 0.0, "DiscreteSampler: weights must be non-negative");
+    total += weights[i];
+    cdf_[i] = total;
+  }
+  QCUT_CHECK(total > 0.0, "DiscreteSampler: total weight must be positive");
+}
+
+std::size_t DiscreteSampler::sample(Rng& rng) const {
+  const double u = rng.uniform() * cdf_.back();
+  const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  const auto idx = static_cast<std::size_t>(std::distance(cdf_.begin(), it));
+  return std::min(idx, cdf_.size() - 1);
+}
+
+std::vector<std::uint64_t> DiscreteSampler::sample_histogram(std::size_t n, Rng& rng) const {
+  std::vector<std::uint64_t> histogram(cdf_.size(), 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    ++histogram[sample(rng)];
+  }
+  return histogram;
+}
+
+}  // namespace qcut

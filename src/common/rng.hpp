@@ -1,0 +1,97 @@
+#pragma once
+// Deterministic, stream-splittable random number generation.
+//
+// Experiments in qcut must be exactly reproducible from a single seed, and
+// parallel fan-out (fragment variants executed on a thread pool) must not
+// share a generator. Rng::child(stream) derives statistically independent
+// generators for sub-tasks.
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace qcut {
+
+/// splitmix64: used to expand seeds into xoshiro state.
+[[nodiscard]] std::uint64_t splitmix64_next(std::uint64_t& state) noexcept;
+
+/// xoshiro256** engine. Satisfies UniformRandomBitGenerator.
+class Xoshiro256StarStar {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256StarStar(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  result_type operator()() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+/// High-level generator with the distributions qcut needs.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 12345) noexcept : seed_(seed), engine_(seed) {}
+
+  /// Seed this generator was created with.
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+  /// Derives an independent generator for sub-task `stream`.
+  /// Deterministic in (seed, stream).
+  [[nodiscard]] Rng child(std::uint64_t stream) const noexcept;
+
+  /// Uniform in [0, 1).
+  [[nodiscard]] double uniform();
+
+  /// Uniform in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  [[nodiscard]] std::uint64_t uniform_int(std::uint64_t lo, std::uint64_t hi);
+
+  /// Standard normal via Box-Muller.
+  [[nodiscard]] double normal();
+
+  /// Normal with given mean and standard deviation.
+  [[nodiscard]] double normal(double mean, double stddev);
+
+  /// True with probability p.
+  [[nodiscard]] bool bernoulli(double p);
+
+  /// Raw 64 random bits.
+  [[nodiscard]] std::uint64_t next_u64();
+
+ private:
+  std::uint64_t seed_;
+  Xoshiro256StarStar engine_;
+  bool have_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+/// Samples indices from a fixed discrete distribution in O(log n) per draw.
+///
+/// Weights need not be normalized; negative weights are rejected. Tiny
+/// negative values caused by floating-point cancellation should be clamped
+/// by the caller before constructing the sampler.
+class DiscreteSampler {
+ public:
+  explicit DiscreteSampler(std::span<const double> weights);
+
+  /// Number of categories.
+  [[nodiscard]] std::size_t size() const noexcept { return cdf_.size(); }
+
+  /// Draws one index with probability weight[i] / total.
+  [[nodiscard]] std::size_t sample(Rng& rng) const;
+
+  /// Draws `n` indices and tallies them into a histogram of length size().
+  [[nodiscard]] std::vector<std::uint64_t> sample_histogram(std::size_t n, Rng& rng) const;
+
+ private:
+  std::vector<double> cdf_;  // inclusive prefix sums, cdf_.back() == total
+};
+
+}  // namespace qcut

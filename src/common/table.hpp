@@ -1,0 +1,38 @@
+#pragma once
+// Minimal fixed-width table printer for benchmark reports.
+//
+// The benchmark harnesses print the same rows/series the paper's figures
+// show; Table keeps that output aligned and diff-friendly.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace qcut {
+
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with columns padded to their widest cell.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Streams the rendered table.
+  friend std::ostream& operator<<(std::ostream& os, const Table& table);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant decimal places.
+[[nodiscard]] std::string format_double(double value, int digits = 4);
+
+/// Formats "mean ± half_width" (e.g. a 95% confidence interval).
+[[nodiscard]] std::string format_pm(double mean, double half_width, int digits = 4);
+
+}  // namespace qcut

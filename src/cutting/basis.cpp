@@ -1,0 +1,139 @@
+#include "cutting/basis.hpp"
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+
+namespace qcut::cutting {
+
+std::string setting_name(MeasSetting s) {
+  switch (s) {
+    case MeasSetting::X: return "X";
+    case MeasSetting::Y: return "Y";
+    case MeasSetting::Z: return "Z";
+  }
+  QCUT_CHECK(false, "setting_name: invalid setting");
+}
+
+MeasSetting setting_for(Pauli p) {
+  switch (p) {
+    case Pauli::I:
+    case Pauli::Z:
+      return MeasSetting::Z;
+    case Pauli::X:
+      return MeasSetting::X;
+    case Pauli::Y:
+      return MeasSetting::Y;
+  }
+  QCUT_CHECK(false, "setting_for: invalid Pauli");
+}
+
+void append_basis_rotation(Circuit& circuit, int qubit, MeasSetting s) {
+  switch (s) {
+    case MeasSetting::X:
+      circuit.h(qubit);
+      return;
+    case MeasSetting::Y:
+      circuit.sdg(qubit);
+      circuit.h(qubit);
+      return;
+    case MeasSetting::Z:
+      return;
+  }
+  QCUT_CHECK(false, "append_basis_rotation: invalid setting");
+}
+
+void append_preparation(Circuit& circuit, int qubit, PrepState s) {
+  switch (s) {
+    case PrepState::ZPlus:
+      return;
+    case PrepState::ZMinus:
+      circuit.x(qubit);
+      return;
+    case PrepState::XPlus:
+      circuit.h(qubit);
+      return;
+    case PrepState::XMinus:
+      circuit.x(qubit);
+      circuit.h(qubit);
+      return;
+    case PrepState::YPlus:
+      circuit.h(qubit);
+      circuit.s(qubit);
+      return;
+    case PrepState::YMinus:
+      circuit.x(qubit);
+      circuit.h(qubit);
+      circuit.s(qubit);
+      return;
+  }
+  QCUT_CHECK(false, "append_preparation: invalid state");
+}
+
+double eigenvalue_weight(Pauli p, int bit_value) {
+  QCUT_CHECK(bit_value == 0 || bit_value == 1, "eigenvalue_weight: bit must be 0 or 1");
+  if (p == Pauli::I) return 1.0;
+  return bit_value == 0 ? 1.0 : -1.0;
+}
+
+std::uint32_t encode_settings(std::span<const MeasSetting> settings) {
+  std::uint32_t index = 0;
+  std::uint32_t radix = 1;
+  for (MeasSetting s : settings) {
+    index += static_cast<std::uint32_t>(s) * radix;
+    radix *= kNumMeasSettings;
+  }
+  return index;
+}
+
+std::vector<MeasSetting> decode_settings(std::uint32_t index, int num_cuts) {
+  std::vector<MeasSetting> out(static_cast<std::size_t>(num_cuts));
+  for (int k = 0; k < num_cuts; ++k) {
+    out[static_cast<std::size_t>(k)] = static_cast<MeasSetting>(index % kNumMeasSettings);
+    index /= kNumMeasSettings;
+  }
+  QCUT_CHECK(index == 0, "decode_settings: index out of range for the given cut count");
+  return out;
+}
+
+std::uint32_t encode_preps(std::span<const PrepState> preps) {
+  std::uint32_t index = 0;
+  std::uint32_t radix = 1;
+  for (PrepState s : preps) {
+    index += static_cast<std::uint32_t>(s) * radix;
+    radix *= kNumPrepStates;
+  }
+  return index;
+}
+
+std::vector<PrepState> decode_preps(std::uint32_t index, int num_cuts) {
+  std::vector<PrepState> out(static_cast<std::size_t>(num_cuts));
+  for (int k = 0; k < num_cuts; ++k) {
+    out[static_cast<std::size_t>(k)] = static_cast<PrepState>(index % kNumPrepStates);
+    index /= kNumPrepStates;
+  }
+  QCUT_CHECK(index == 0, "decode_preps: index out of range for the given cut count");
+  return out;
+}
+
+std::uint32_t settings_index_for_basis(std::span<const Pauli> basis) {
+  std::uint32_t index = 0;
+  std::uint32_t radix = 1;
+  for (Pauli p : basis) {
+    index += static_cast<std::uint32_t>(setting_for(p)) * radix;
+    radix *= kNumMeasSettings;
+  }
+  return index;
+}
+
+std::uint32_t preps_index_for_basis(std::span<const Pauli> basis, std::uint32_t slots) {
+  std::uint32_t index = 0;
+  std::uint32_t radix = 1;
+  for (std::size_t k = 0; k < basis.size(); ++k) {
+    const PrepState prep = linalg::prep_state_for(basis[k], bit(slots, static_cast<int>(k)));
+    index += static_cast<std::uint32_t>(prep) * radix;
+    radix *= kNumPrepStates;
+  }
+  return index;
+}
+
+}  // namespace qcut::cutting

@@ -1,0 +1,70 @@
+#pragma once
+// Measurement settings and preparation states for cut wires.
+//
+// Upstream, each cut qubit is measured in one of three settings {X, Y, Z}
+// (a basis rotation followed by a computational measurement); the Pauli-I
+// basis element reuses the Z-setting data with +1/+1 eigenvalue weights.
+// Downstream, each cut qubit is prepared in one of the six eigenstates
+// {|0>, |1>, |+>, |->, |+i>, |-i>}. This is the standard (overcomplete)
+// measure-and-prepare scheme of Peng et al. that the paper builds on.
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "linalg/pauli_matrices.hpp"
+
+namespace qcut::cutting {
+
+using circuit::Circuit;
+using linalg::Pauli;
+using linalg::PrepState;
+
+/// Upstream measurement setting for one cut wire.
+enum class MeasSetting : int { X = 0, Y = 1, Z = 2 };
+
+inline constexpr std::array<MeasSetting, 3> kAllMeasSettings = {MeasSetting::X, MeasSetting::Y,
+                                                                MeasSetting::Z};
+inline constexpr int kNumMeasSettings = 3;
+inline constexpr int kNumPrepStates = 6;
+
+[[nodiscard]] std::string setting_name(MeasSetting s);
+
+/// The setting that provides data for a Pauli basis element (I -> Z).
+[[nodiscard]] MeasSetting setting_for(Pauli p);
+
+/// Appends the rotation mapping the setting's eigenbasis onto the
+/// computational basis (X: H; Y: Sdg then H; Z: nothing), so a subsequent
+/// computational measurement realizes the setting.
+void append_basis_rotation(Circuit& circuit, int qubit, MeasSetting s);
+
+/// Appends gates preparing |0> into the given state (prepended at the start
+/// of downstream variants).
+void append_preparation(Circuit& circuit, int qubit, PrepState s);
+
+/// Eigenvalue weight of Pauli `p` for measured bit `bit_value` under
+/// setting_for(p): I gives +1/+1, the others +1/-1.
+[[nodiscard]] double eigenvalue_weight(Pauli p, int bit_value);
+
+// ---- Tuple encodings over K cut wires (mixed-radix indices) ----
+
+/// settings[k] in base 3, cut 0 least significant.
+[[nodiscard]] std::uint32_t encode_settings(std::span<const MeasSetting> settings);
+[[nodiscard]] std::vector<MeasSetting> decode_settings(std::uint32_t index, int num_cuts);
+
+/// preps[k] in base 6, cut 0 least significant.
+[[nodiscard]] std::uint32_t encode_preps(std::span<const PrepState> preps);
+[[nodiscard]] std::vector<PrepState> decode_preps(std::uint32_t index, int num_cuts);
+
+/// Setting tuple used by a Pauli basis string (component-wise setting_for).
+[[nodiscard]] std::uint32_t settings_index_for_basis(std::span<const Pauli> basis);
+
+/// Prep tuple for basis string `basis` with eigenstate slots `slots`
+/// (bit k of `slots` selects eigenstate 0/1 at cut k).
+[[nodiscard]] std::uint32_t preps_index_for_basis(std::span<const Pauli> basis,
+                                                  std::uint32_t slots);
+
+}  // namespace qcut::cutting

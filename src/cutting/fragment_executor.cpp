@@ -1,0 +1,172 @@
+#include "cutting/fragment_executor.hpp"
+
+#include "common/error.hpp"
+#include "common/stopwatch.hpp"
+
+namespace qcut::cutting {
+
+namespace {
+// Seed-stream layout: upstream variants use base + setting_index, downstream
+// variants use base + kDownstreamStreamOffset + prep_index. The offset keeps
+// the two blocks disjoint for any realistic cut count.
+constexpr std::uint64_t kDownstreamStreamOffset = 1u << 20;
+}  // namespace
+
+const std::vector<double>& FragmentData::upstream_distribution(std::uint32_t setting) const {
+  const auto it = upstream.find(setting);
+  QCUT_CHECK(it != upstream.end(),
+             "FragmentData: upstream setting " + std::to_string(setting) + " was not executed");
+  return it->second;
+}
+
+const std::vector<double>& FragmentData::downstream_distribution(std::uint32_t prep) const {
+  const auto it = downstream.find(prep);
+  QCUT_CHECK(it != downstream.end(),
+             "FragmentData: downstream prep " + std::to_string(prep) + " was not executed");
+  return it->second;
+}
+
+namespace {
+
+FragmentData execute_impl(const Bipartition& bp, const NeglectSpec& spec,
+                          backend::Backend& backend, const ExecutionOptions& options,
+                          bool do_upstream, bool do_downstream) {
+  QCUT_CHECK(spec.num_cuts() == bp.num_cuts(),
+             "execute_fragments: spec cut count must match the bipartition");
+  QCUT_CHECK(options.exact || options.shots_per_variant > 0 || options.total_shot_budget > 0,
+             "execute_fragments: need shots_per_variant or total_shot_budget when sampling");
+
+  Stopwatch timer;
+  parallel::ThreadPool& pool =
+      options.pool != nullptr ? *options.pool : parallel::ThreadPool::global();
+
+  const std::vector<std::uint32_t> settings =
+      do_upstream ? required_setting_indices(spec) : std::vector<std::uint32_t>{};
+  const std::vector<std::uint32_t> preps =
+      do_downstream ? required_prep_indices(spec) : std::vector<std::uint32_t>{};
+
+  // Per-variant shot plan: fixed per-variant count, or an even split of a
+  // total budget with the remainder going to the earliest variants.
+  const std::size_t num_variants_planned = settings.size() + preps.size();
+  std::vector<std::size_t> shots_for(num_variants_planned, options.shots_per_variant);
+  if (!options.exact && options.total_shot_budget > 0) {
+    QCUT_CHECK(options.total_shot_budget >= num_variants_planned,
+               "execute_fragments: total_shot_budget must cover at least one shot per variant");
+    const std::size_t base = options.total_shot_budget / num_variants_planned;
+    const std::size_t remainder = options.total_shot_budget % num_variants_planned;
+    for (std::size_t v = 0; v < num_variants_planned; ++v) {
+      shots_for[v] = base + (v < remainder ? 1 : 0);
+    }
+  }
+
+  FragmentData data;
+  data.num_cuts = bp.num_cuts();
+  data.f1_width = bp.f1_width();
+  data.f2_width = bp.f2_width();
+  if (options.exact) {
+    data.shots_per_variant = 0;
+  } else {
+    data.shots_per_variant = shots_for.empty() ? 0 : shots_for.back();  // smallest share
+  }
+
+  // Pre-size the result slots so worker threads write disjoint entries.
+  std::vector<std::vector<double>> upstream_results(settings.size());
+  std::vector<std::vector<double>> downstream_results(preps.size());
+
+  const std::size_t num_variants = settings.size() + preps.size();
+  parallel::parallel_for(pool, 0, num_variants, [&](std::size_t v) {
+    if (v < settings.size()) {
+      const UpstreamVariant variant = make_upstream_variant(bp, settings[v]);
+      if (options.exact) {
+        upstream_results[v] = backend.exact_probabilities(variant.circuit);
+      } else {
+        const backend::Counts counts =
+            backend.run(variant.circuit, shots_for[v],
+                        options.seed_stream_base + variant.setting_index);
+        upstream_results[v] = counts.to_probabilities();
+      }
+    } else {
+      const std::size_t d = v - settings.size();
+      const DownstreamVariant variant = make_downstream_variant(bp, preps[d]);
+      if (options.exact) {
+        downstream_results[d] = backend.exact_probabilities(variant.circuit);
+      } else {
+        const backend::Counts counts =
+            backend.run(variant.circuit, shots_for[v],
+                        options.seed_stream_base + kDownstreamStreamOffset + variant.prep_index);
+        downstream_results[d] = counts.to_probabilities();
+      }
+    }
+  });
+
+  for (std::size_t i = 0; i < settings.size(); ++i) {
+    data.upstream.emplace(settings[i], std::move(upstream_results[i]));
+  }
+  for (std::size_t i = 0; i < preps.size(); ++i) {
+    data.downstream.emplace(preps[i], std::move(downstream_results[i]));
+  }
+
+  data.total_jobs = num_variants;
+  if (!options.exact) {
+    for (std::size_t v = 0; v < num_variants; ++v) data.total_shots += shots_for[v];
+  }
+  data.wall_seconds = timer.elapsed_seconds();
+  return data;
+}
+
+}  // namespace
+
+FragmentData execute_fragments(const Bipartition& bp, const NeglectSpec& spec,
+                               backend::Backend& backend, const ExecutionOptions& options) {
+  return execute_impl(bp, spec, backend, options, /*do_upstream=*/true, /*do_downstream=*/true);
+}
+
+FragmentData execute_upstream_only(const Bipartition& bp, const NeglectSpec& spec,
+                                   backend::Backend& backend, const ExecutionOptions& options) {
+  return execute_impl(bp, spec, backend, options, /*do_upstream=*/true, /*do_downstream=*/false);
+}
+
+FragmentData execute_downstream_only(const Bipartition& bp, const NeglectSpec& spec,
+                                     backend::Backend& backend,
+                                     const ExecutionOptions& options) {
+  return execute_impl(bp, spec, backend, options, /*do_upstream=*/false, /*do_downstream=*/true);
+}
+
+FragmentData make_fragment_data(const Bipartition& bp, std::size_t shots_per_variant) {
+  QCUT_CHECK(shots_per_variant > 0, "make_fragment_data: shots_per_variant must be positive");
+  FragmentData data;
+  data.num_cuts = bp.num_cuts();
+  data.f1_width = bp.f1_width();
+  data.f2_width = bp.f2_width();
+  data.shots_per_variant = shots_per_variant;
+  return data;
+}
+
+namespace {
+void check_ingest(const FragmentData& data, const backend::Counts& counts, int expected_bits) {
+  QCUT_CHECK(counts.num_bits() == expected_bits,
+             "ingest: counts register width does not match the fragment");
+  QCUT_CHECK(counts.total_shots() > 0, "ingest: counts are empty");
+  QCUT_CHECK(data.shots_per_variant == 0 || counts.total_shots() == data.shots_per_variant,
+             "ingest: counts shot total does not match shots_per_variant");
+}
+}  // namespace
+
+void ingest_upstream_counts(FragmentData& data, std::uint32_t setting,
+                            const backend::Counts& counts) {
+  check_ingest(data, counts, data.f1_width);
+  data.upstream[setting] = counts.to_probabilities();
+  ++data.total_jobs;
+  data.total_shots += counts.total_shots();
+}
+
+void ingest_downstream_counts(FragmentData& data, std::uint32_t prep,
+                              const backend::Counts& counts) {
+  check_ingest(data, counts, data.f2_width);
+  data.downstream[prep] = counts.to_probabilities();
+  ++data.total_jobs;
+  data.total_shots += counts.total_shots();
+}
+
+}  // namespace qcut::cutting
+

@@ -1,0 +1,98 @@
+#pragma once
+// Fragment execution: running every required variant of both fragments on a
+// backend, in parallel, and collecting the outcome distributions.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "backend/backend.hpp"
+#include "cutting/variants.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace qcut::cutting {
+
+struct ExecutionOptions {
+  /// Shots per circuit variant (ignored in exact mode and when
+  /// total_shot_budget is set).
+  std::size_t shots_per_variant = 1000;
+
+  /// When nonzero, a TOTAL shot budget split evenly across the required
+  /// variants (remainder given to the earliest variants). Under a fixed
+  /// budget a golden cut concentrates the same shots on fewer variants,
+  /// reducing the estimator variance at equal cost.
+  std::size_t total_shot_budget = 0;
+
+  /// Use Backend::exact_probabilities instead of sampling (noise-free
+  /// reference pipeline; used by the correctness tests).
+  bool exact = false;
+
+  /// Pool for concurrent variant execution; nullptr selects the global pool.
+  parallel::ThreadPool* pool = nullptr;
+
+  /// Base of the deterministic seed-stream block used for this execution.
+  std::uint64_t seed_stream_base = 0;
+};
+
+/// The measured fragment data the Reconstructor consumes.
+struct FragmentData {
+  int num_cuts = 0;
+  int f1_width = 0;
+  int f2_width = 0;
+
+  /// setting tuple code -> outcome distribution over 2^f1_width.
+  std::unordered_map<std::uint32_t, std::vector<double>> upstream;
+
+  /// prep tuple code -> outcome distribution over 2^f2_width.
+  std::unordered_map<std::uint32_t, std::vector<double>> downstream;
+
+  std::size_t shots_per_variant = 0;  // 0 in exact mode; smallest count under a budget
+  std::uint64_t total_jobs = 0;
+  std::uint64_t total_shots = 0;
+  double wall_seconds = 0.0;          // wall time spent gathering the data
+
+  [[nodiscard]] const std::vector<double>& upstream_distribution(std::uint32_t setting) const;
+  [[nodiscard]] const std::vector<double>& downstream_distribution(std::uint32_t prep) const;
+};
+
+/// Runs every variant required by `spec` on `backend` and collects the
+/// distributions. Variants are independent and are fanned out over the
+/// thread pool; seed streams are assigned per variant so results do not
+/// depend on scheduling.
+[[nodiscard]] FragmentData execute_fragments(const Bipartition& bp, const NeglectSpec& spec,
+                                             backend::Backend& backend,
+                                             const ExecutionOptions& options = {});
+
+/// Upstream half only (all settings required by `spec`). Used by the
+/// online-detection pipeline, which must see the upstream data before it
+/// can decide which downstream preparations to skip.
+[[nodiscard]] FragmentData execute_upstream_only(const Bipartition& bp, const NeglectSpec& spec,
+                                                 backend::Backend& backend,
+                                                 const ExecutionOptions& options = {});
+
+/// Downstream half only (all preparations required by `spec`).
+[[nodiscard]] FragmentData execute_downstream_only(const Bipartition& bp,
+                                                   const NeglectSpec& spec,
+                                                   backend::Backend& backend,
+                                                   const ExecutionOptions& options = {});
+
+// ---- Bring-your-own-counts ingestion ----
+//
+// For running fragment variants on external stacks (e.g. exporting the
+// variant circuits with to_qasm and executing on real hardware), build the
+// FragmentData by hand from the returned counts.
+
+/// Empty FragmentData shaped for `bp`, expecting `shots_per_variant` shots
+/// per ingested variant.
+[[nodiscard]] FragmentData make_fragment_data(const Bipartition& bp,
+                                              std::size_t shots_per_variant);
+
+/// Records the counts of the upstream variant with setting tuple `setting`.
+void ingest_upstream_counts(FragmentData& data, std::uint32_t setting,
+                            const backend::Counts& counts);
+
+/// Records the counts of the downstream variant with prep tuple `prep`.
+void ingest_downstream_counts(FragmentData& data, std::uint32_t prep,
+                              const backend::Counts& counts);
+
+}  // namespace qcut::cutting

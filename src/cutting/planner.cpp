@@ -1,0 +1,61 @@
+#include "cutting/planner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cutting/variants.hpp"
+
+namespace qcut::cutting {
+
+std::vector<CutCandidate> enumerate_single_cuts(const Circuit& circuit, double golden_tol) {
+  std::vector<CutCandidate> candidates;
+  for (int q = 0; q < circuit.num_qubits(); ++q) {
+    const std::vector<std::size_t> ops = circuit.ops_on_qubit(q);
+    // Cutting after the last op on a wire is meaningless; skip it.
+    for (std::size_t i = 0; i + 1 < ops.size(); ++i) {
+      const WirePoint point{q, ops[i]};
+      const std::array<WirePoint, 1> cuts = {point};
+      std::string why;
+      if (!circuit::try_analyze_cuts(circuit, cuts, &why).has_value()) continue;
+
+      const Bipartition bp = make_bipartition(circuit, cuts);
+      const GoldenDetectionReport report = detect_golden_exact(bp, golden_tol);
+      const NeglectSpec spec = report.to_spec();
+
+      CutCandidate candidate;
+      candidate.point = point;
+      candidate.f1_width = bp.f1_width();
+      candidate.f2_width = bp.f2_width();
+      candidate.violation = report.violation.front();
+      for (Pauli p : {Pauli::X, Pauli::Y, Pauli::Z}) {
+        if (report.golden.front()[static_cast<std::size_t>(p)]) {
+          candidate.golden_bases.push_back(p);
+        }
+      }
+      candidate.terms = spec.num_active_strings();
+      candidate.evaluations = count_variants(spec).total();
+      candidates.push_back(std::move(candidate));
+    }
+  }
+  return candidates;
+}
+
+std::optional<CutCandidate> plan_best_single_cut(const Circuit& circuit,
+                                                 const PlannerOptions& options) {
+  std::vector<CutCandidate> candidates = enumerate_single_cuts(circuit, options.golden_tol);
+  if (candidates.empty()) return std::nullopt;
+
+  // Score: circuit evaluations dominate (that is the paper's wall-time
+  // driver); fragment imbalance is penalized so the simulator load stays
+  // manageable on small devices.
+  const auto score = [&](const CutCandidate& c) {
+    const double imbalance = std::abs(c.f1_width - c.f2_width);
+    return static_cast<double>(c.evaluations) + options.balance_weight * imbalance;
+  };
+  const auto best = std::min_element(
+      candidates.begin(), candidates.end(),
+      [&](const CutCandidate& a, const CutCandidate& b) { return score(a) < score(b); });
+  return *best;
+}
+
+}  // namespace qcut::cutting

@@ -1,0 +1,51 @@
+#pragma once
+// Cut planning: scanning a circuit for valid single-cut bipartitions and
+// ranking them, including whether each cut is golden (the paper's Section IV
+// asks how golden points might be found; this is the offline answer).
+
+#include <optional>
+#include <vector>
+
+#include "cutting/golden.hpp"
+
+namespace qcut::cutting {
+
+/// One analyzed cut position.
+struct CutCandidate {
+  WirePoint point;
+  int f1_width = 0;
+  int f2_width = 0;
+
+  /// Exact Definition-1 violation per Pauli {I, X, Y, Z} at this cut.
+  std::array<double, 4> violation = {0.0, 0.0, 0.0, 0.0};
+
+  /// Paulis detected golden at tolerance.
+  std::vector<Pauli> golden_bases;
+
+  /// Reconstruction terms with the detected golden bases neglected
+  /// (4 for a regular cut, 3 or fewer for a golden cut).
+  std::uint64_t terms = 4;
+
+  /// Circuit evaluations (upstream settings + downstream preps).
+  std::size_t evaluations = 9;
+};
+
+/// Enumerates every valid single-cut bipartition of the circuit and
+/// evaluates it with the exact golden detector.
+[[nodiscard]] std::vector<CutCandidate> enumerate_single_cuts(const Circuit& circuit,
+                                                              double golden_tol = 1e-9);
+
+/// Ranking preferences for plan_best_single_cut.
+struct PlannerOptions {
+  double golden_tol = 1e-9;
+  /// Weight of fragment balance vs term count in the score (see planner.cpp).
+  double balance_weight = 0.25;
+};
+
+/// Picks the lowest-cost cut: fewest reconstruction terms, ties broken by
+/// how evenly the fragments split. Returns nullopt if no valid single cut
+/// exists.
+[[nodiscard]] std::optional<CutCandidate> plan_best_single_cut(
+    const Circuit& circuit, const PlannerOptions& options = {});
+
+}  // namespace qcut::cutting

@@ -1,0 +1,63 @@
+#include "linalg/eigen2.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/ops.hpp"
+
+namespace qcut::linalg {
+
+CMat EigenDecomp2::reconstruct() const {
+  CMat out(2, 2);
+  for (const auto& pair : pairs) {
+    out += cx{pair.value, 0.0} * outer(pair.vector, pair.vector);
+  }
+  return out;
+}
+
+EigenDecomp2 eigen_hermitian_2x2(const CMat& m, double hermiticity_tol) {
+  QCUT_CHECK(m.rows() == 2 && m.cols() == 2, "eigen_hermitian_2x2: matrix must be 2x2");
+  QCUT_CHECK(is_hermitian(m, hermiticity_tol), "eigen_hermitian_2x2: matrix must be Hermitian");
+
+  const double a = m(0, 0).real();
+  const double d = m(1, 1).real();
+  const cx b = m(0, 1);
+  const double abs_b = std::abs(b);
+
+  const double mean = 0.5 * (a + d);
+  const double half_gap = 0.5 * (a - d);
+  const double radius = std::sqrt(half_gap * half_gap + abs_b * abs_b);
+
+  const double lambda_plus = mean + radius;
+  const double lambda_minus = mean - radius;
+
+  EigenDecomp2 out;
+  out.pairs[0].value = lambda_plus;
+  out.pairs[1].value = lambda_minus;
+
+  if (abs_b < 1e-14) {
+    // Diagonal matrix: eigenvectors are the basis states, ordered by value.
+    if (a >= d) {
+      out.pairs[0].vector = {cx{1, 0}, cx{0, 0}};
+      out.pairs[1].vector = {cx{0, 0}, cx{1, 0}};
+    } else {
+      out.pairs[0].vector = {cx{0, 0}, cx{1, 0}};
+      out.pairs[1].vector = {cx{1, 0}, cx{0, 0}};
+    }
+    return out;
+  }
+
+  // For eigenvalue lambda, (a - lambda) v0 + b v1 = 0 gives v = (b, lambda - a)
+  // up to normalization; this is non-degenerate because abs_b > 0.
+  for (auto& pair : out.pairs) {
+    CVec v = {b, cx{pair.value - a, 0.0}};
+    const double n = norm(v);
+    QCUT_ASSERT(n > 0.0, "eigen_hermitian_2x2: degenerate eigenvector");
+    v[0] /= n;
+    v[1] /= n;
+    pair.vector = std::move(v);
+  }
+  return out;
+}
+
+}  // namespace qcut::linalg

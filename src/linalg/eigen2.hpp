@@ -1,0 +1,33 @@
+#pragma once
+// Analytic eigendecomposition of 2x2 Hermitian matrices.
+//
+// Circuit cutting needs the spectral decomposition M = sum_r r |m_r><m_r| of
+// each single-qubit basis operator (Eq. 6 of the paper). For 2x2 Hermitian
+// matrices this is available in closed form; no iterative solver is needed.
+
+#include <array>
+
+#include "linalg/matrix.hpp"
+
+namespace qcut::linalg {
+
+/// One eigenpair of a 2x2 Hermitian matrix.
+struct EigenPair2 {
+  double value = 0.0;
+  CVec vector;  // length-2, unit norm
+};
+
+/// Full spectral decomposition of a 2x2 Hermitian matrix.
+/// Pairs are ordered by descending eigenvalue.
+struct EigenDecomp2 {
+  std::array<EigenPair2, 2> pairs;
+
+  /// Reconstructs sum_r value_r |v_r><v_r| (for testing).
+  [[nodiscard]] CMat reconstruct() const;
+};
+
+/// Computes the eigendecomposition of a 2x2 Hermitian matrix.
+/// Throws qcut::Error if the matrix is not 2x2 or not Hermitian.
+[[nodiscard]] EigenDecomp2 eigen_hermitian_2x2(const CMat& m, double hermiticity_tol = 1e-10);
+
+}  // namespace qcut::linalg

@@ -1,0 +1,86 @@
+#pragma once
+// Dense complex matrix and vector types.
+//
+// qcut works with small dense operators (gate matrices up to a few qubits,
+// fragment density matrices up to ~10 qubits). CMat is a row-major dense
+// matrix of std::complex<double>; CVec is a plain std::vector of amplitudes.
+
+#include <complex>
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace qcut::linalg {
+
+using cx = std::complex<double>;
+using CVec = std::vector<cx>;
+
+/// Row-major dense complex matrix.
+class CMat {
+ public:
+  /// Empty 0x0 matrix.
+  CMat() = default;
+
+  /// Zero-initialized rows x cols matrix.
+  CMat(std::size_t rows, std::size_t cols);
+
+  /// Builds from nested initializer lists; all rows must have equal length.
+  CMat(std::initializer_list<std::initializer_list<cx>> rows);
+
+  /// n x n identity.
+  [[nodiscard]] static CMat identity(std::size_t n);
+
+  /// rows x cols zero matrix.
+  [[nodiscard]] static CMat zero(std::size_t rows, std::size_t cols);
+
+  /// Diagonal matrix from the given entries.
+  [[nodiscard]] static CMat diagonal(const CVec& entries);
+
+  /// Column vector (n x 1) from entries.
+  [[nodiscard]] static CMat column(const CVec& entries);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+  [[nodiscard]] bool is_square() const noexcept { return rows_ == cols_; }
+
+  [[nodiscard]] cx& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] const cx& operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  /// Bounds-checked element access.
+  [[nodiscard]] cx& at(std::size_t r, std::size_t c);
+  [[nodiscard]] const cx& at(std::size_t r, std::size_t c) const;
+
+  [[nodiscard]] cx* data() noexcept { return data_.data(); }
+  [[nodiscard]] const cx* data() const noexcept { return data_.data(); }
+
+  CMat& operator+=(const CMat& other);
+  CMat& operator-=(const CMat& other);
+  CMat& operator*=(cx scalar);
+
+  friend CMat operator+(CMat lhs, const CMat& rhs) { return lhs += rhs; }
+  friend CMat operator-(CMat lhs, const CMat& rhs) { return lhs -= rhs; }
+  friend CMat operator*(CMat lhs, cx scalar) { return lhs *= scalar; }
+  friend CMat operator*(cx scalar, CMat rhs) { return rhs *= scalar; }
+
+  /// Matrix product (inner dimensions must agree).
+  friend CMat operator*(const CMat& lhs, const CMat& rhs);
+
+  /// Element-wise equality within absolute tolerance.
+  [[nodiscard]] bool approx_equal(const CMat& other, double tol = 1e-12) const noexcept;
+
+  /// Multi-line human-readable rendering (for diagnostics and tests).
+  [[nodiscard]] std::string to_string(int precision = 4) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  CVec data_;
+};
+
+}  // namespace qcut::linalg

@@ -1,0 +1,141 @@
+#include "linalg/pauli_matrices.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/ops.hpp"
+
+namespace qcut::linalg {
+
+namespace {
+
+const CMat& matrix_I() {
+  static const CMat m = {{cx{1, 0}, cx{0, 0}}, {cx{0, 0}, cx{1, 0}}};
+  return m;
+}
+const CMat& matrix_X() {
+  static const CMat m = {{cx{0, 0}, cx{1, 0}}, {cx{1, 0}, cx{0, 0}}};
+  return m;
+}
+const CMat& matrix_Y() {
+  static const CMat m = {{cx{0, 0}, cx{0, -1}}, {cx{0, 1}, cx{0, 0}}};
+  return m;
+}
+const CMat& matrix_Z() {
+  static const CMat m = {{cx{1, 0}, cx{0, 0}}, {cx{0, 0}, cx{-1, 0}}};
+  return m;
+}
+
+const double kInvSqrt2 = 1.0 / std::sqrt(2.0);
+
+const CVec& state_zero() {
+  static const CVec v = {cx{1, 0}, cx{0, 0}};
+  return v;
+}
+const CVec& state_one() {
+  static const CVec v = {cx{0, 0}, cx{1, 0}};
+  return v;
+}
+const CVec& state_plus() {
+  static const CVec v = {cx{kInvSqrt2, 0}, cx{kInvSqrt2, 0}};
+  return v;
+}
+const CVec& state_minus() {
+  static const CVec v = {cx{kInvSqrt2, 0}, cx{-kInvSqrt2, 0}};
+  return v;
+}
+const CVec& state_plus_i() {
+  static const CVec v = {cx{kInvSqrt2, 0}, cx{0, kInvSqrt2}};
+  return v;
+}
+const CVec& state_minus_i() {
+  static const CVec v = {cx{kInvSqrt2, 0}, cx{0, -kInvSqrt2}};
+  return v;
+}
+
+}  // namespace
+
+std::string pauli_name(Pauli p) {
+  switch (p) {
+    case Pauli::I: return "I";
+    case Pauli::X: return "X";
+    case Pauli::Y: return "Y";
+    case Pauli::Z: return "Z";
+  }
+  QCUT_CHECK(false, "pauli_name: invalid Pauli");
+}
+
+const CMat& pauli_matrix(Pauli p) {
+  switch (p) {
+    case Pauli::I: return matrix_I();
+    case Pauli::X: return matrix_X();
+    case Pauli::Y: return matrix_Y();
+    case Pauli::Z: return matrix_Z();
+  }
+  QCUT_CHECK(false, "pauli_matrix: invalid Pauli");
+}
+
+double pauli_eigenvalue(Pauli p, int which) {
+  QCUT_CHECK(which == 0 || which == 1, "pauli_eigenvalue: slot must be 0 or 1");
+  if (p == Pauli::I) return 1.0;
+  return which == 0 ? 1.0 : -1.0;
+}
+
+const CVec& pauli_eigenstate(Pauli p, int which) {
+  QCUT_CHECK(which == 0 || which == 1, "pauli_eigenstate: slot must be 0 or 1");
+  switch (p) {
+    case Pauli::I:
+    case Pauli::Z:
+      return which == 0 ? state_zero() : state_one();
+    case Pauli::X:
+      return which == 0 ? state_plus() : state_minus();
+    case Pauli::Y:
+      return which == 0 ? state_plus_i() : state_minus_i();
+  }
+  QCUT_CHECK(false, "pauli_eigenstate: invalid Pauli");
+}
+
+CMat pauli_eigenprojector(Pauli p, int which) {
+  const CVec& v = pauli_eigenstate(p, which);
+  return outer(v, v);
+}
+
+std::string prep_state_name(PrepState s) {
+  switch (s) {
+    case PrepState::ZPlus: return "|0>";
+    case PrepState::ZMinus: return "|1>";
+    case PrepState::XPlus: return "|+>";
+    case PrepState::XMinus: return "|->";
+    case PrepState::YPlus: return "|+i>";
+    case PrepState::YMinus: return "|-i>";
+  }
+  QCUT_CHECK(false, "prep_state_name: invalid state");
+}
+
+const CVec& prep_state_vector(PrepState s) {
+  switch (s) {
+    case PrepState::ZPlus: return state_zero();
+    case PrepState::ZMinus: return state_one();
+    case PrepState::XPlus: return state_plus();
+    case PrepState::XMinus: return state_minus();
+    case PrepState::YPlus: return state_plus_i();
+    case PrepState::YMinus: return state_minus_i();
+  }
+  QCUT_CHECK(false, "prep_state_vector: invalid state");
+}
+
+PrepState prep_state_for(Pauli p, int which) {
+  QCUT_CHECK(which == 0 || which == 1, "prep_state_for: slot must be 0 or 1");
+  switch (p) {
+    case Pauli::I:
+    case Pauli::Z:
+      return which == 0 ? PrepState::ZPlus : PrepState::ZMinus;
+    case Pauli::X:
+      return which == 0 ? PrepState::XPlus : PrepState::XMinus;
+    case Pauli::Y:
+      return which == 0 ? PrepState::YPlus : PrepState::YMinus;
+  }
+  QCUT_CHECK(false, "prep_state_for: invalid Pauli");
+}
+
+}  // namespace qcut::linalg

@@ -1,0 +1,61 @@
+#pragma once
+// The single-qubit Pauli basis {I, X, Y, Z} (Eq. 1 of the paper), its
+// eigensystem, and the associated preparation states.
+
+#include <array>
+#include <string>
+
+#include "linalg/matrix.hpp"
+
+namespace qcut::linalg {
+
+/// Pauli basis label. Values index arrays; keep the order {I, X, Y, Z}.
+enum class Pauli : int { I = 0, X = 1, Y = 2, Z = 3 };
+
+/// All four Pauli labels in canonical order.
+inline constexpr std::array<Pauli, 4> kAllPaulis = {Pauli::I, Pauli::X, Pauli::Y, Pauli::Z};
+
+/// Single character name: "I", "X", "Y", "Z".
+[[nodiscard]] std::string pauli_name(Pauli p);
+
+/// 2x2 matrix of the given Pauli.
+[[nodiscard]] const CMat& pauli_matrix(Pauli p);
+
+/// Eigenvalue of the Pauli for eigenstate slot `which` (0 or 1).
+/// For I both slots have eigenvalue +1; for X, Y, Z slot 0 is +1, slot 1 is -1.
+[[nodiscard]] double pauli_eigenvalue(Pauli p, int which);
+
+/// Eigenstate of the Pauli for slot `which` as a length-2 state vector.
+/// I uses the computational states {|0>, |1>}; X uses {|+>, |->};
+/// Y uses {|+i>, |-i>}; Z uses {|0>, |1>}.
+[[nodiscard]] const CVec& pauli_eigenstate(Pauli p, int which);
+
+/// Projector |e><e| onto the eigenstate in slot `which`.
+[[nodiscard]] CMat pauli_eigenprojector(Pauli p, int which);
+
+/// Named single-qubit states used when preparing the downstream fragment.
+/// The integer values index arrays; order groups the +1 eigenstate first.
+enum class PrepState : int {
+  ZPlus = 0,   // |0>
+  ZMinus = 1,  // |1>
+  XPlus = 2,   // |+>
+  XMinus = 3,  // |->
+  YPlus = 4,   // |+i>
+  YMinus = 5,  // |-i>
+};
+
+inline constexpr std::array<PrepState, 6> kAllPrepStates = {
+    PrepState::ZPlus, PrepState::ZMinus, PrepState::XPlus,
+    PrepState::XMinus, PrepState::YPlus, PrepState::YMinus};
+
+/// Human-readable name, e.g. "|0>", "|+i>".
+[[nodiscard]] std::string prep_state_name(PrepState s);
+
+/// The state vector of the preparation state.
+[[nodiscard]] const CVec& prep_state_vector(PrepState s);
+
+/// Preparation state corresponding to eigenstate slot `which` of Pauli `p`.
+/// Pauli I maps to the Z states (same eigenvectors).
+[[nodiscard]] PrepState prep_state_for(Pauli p, int which);
+
+}  // namespace qcut::linalg

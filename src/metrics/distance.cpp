@@ -1,0 +1,73 @@
+#include "metrics/distance.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace qcut::metrics {
+
+namespace {
+void check_same_size(std::span<const double> a, std::span<const double> b, const char* what) {
+  QCUT_CHECK(a.size() == b.size() && !a.empty(),
+             std::string(what) + ": distributions must be non-empty and equal length");
+}
+}  // namespace
+
+double weighted_distance(std::span<const double> test, std::span<const double> truth,
+                         double support_eps) {
+  check_same_size(test, truth, "weighted_distance");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    if (truth[i] > support_eps) {
+      const double diff = test[i] - truth[i];
+      acc += diff * diff / truth[i];
+    }
+  }
+  return acc;
+}
+
+double total_variation_distance(std::span<const double> p, std::span<const double> q) {
+  check_same_size(p, q, "total_variation_distance");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    acc += std::abs(p[i] - q[i]);
+  }
+  return 0.5 * acc;
+}
+
+double hellinger_fidelity(std::span<const double> p, std::span<const double> q) {
+  check_same_size(p, q, "hellinger_fidelity");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    acc += std::sqrt(std::max(0.0, p[i]) * std::max(0.0, q[i]));
+  }
+  return acc * acc;
+}
+
+double kl_divergence(std::span<const double> p, std::span<const double> q, double support_eps) {
+  check_same_size(p, q, "kl_divergence");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (p[i] > support_eps) {
+      QCUT_CHECK(q[i] > 0.0, "kl_divergence: q must dominate p (q(x)=0 while p(x)>0)");
+      acc += p[i] * std::log(p[i] / q[i]);
+    }
+  }
+  return acc;
+}
+
+std::vector<double> clip_and_normalize(std::span<const double> distribution) {
+  QCUT_CHECK(!distribution.empty(), "clip_and_normalize: empty distribution");
+  std::vector<double> out(distribution.begin(), distribution.end());
+  double total = 0.0;
+  for (double& v : out) {
+    if (v < 0.0) v = 0.0;
+    total += v;
+  }
+  QCUT_CHECK(total > 0.0, "clip_and_normalize: no positive mass");
+  for (double& v : out) v /= total;
+  return out;
+}
+
+}  // namespace qcut::metrics

@@ -1,0 +1,35 @@
+#pragma once
+// Distribution distance measures.
+//
+// weighted_distance is Eq. 17 of the paper:
+//   d_w(p; q) = sum_x (p(x) - q(x))^2 / q(x)
+// over the support of the ground-truth q. It penalizes large *percentage*
+// deviations more than total-variation distance does.
+
+#include <span>
+#include <vector>
+
+namespace qcut::metrics {
+
+/// Eq. 17. `test` is p, `truth` is q; the sum runs over x with
+/// q(x) > support_eps (the paper's X is the support of the ground truth).
+[[nodiscard]] double weighted_distance(std::span<const double> test,
+                                       std::span<const double> truth,
+                                       double support_eps = 1e-12);
+
+/// Total-variation distance: 0.5 * sum |p - q|.
+[[nodiscard]] double total_variation_distance(std::span<const double> p,
+                                              std::span<const double> q);
+
+/// Hellinger fidelity: (sum sqrt(p q))^2.
+[[nodiscard]] double hellinger_fidelity(std::span<const double> p, std::span<const double> q);
+
+/// KL divergence D(p || q) over the common support.
+[[nodiscard]] double kl_divergence(std::span<const double> p, std::span<const double> q,
+                                   double support_eps = 1e-12);
+
+/// Clamps small negative entries (finite-shot reconstruction artifacts) to
+/// zero and rescales to sum 1. Throws if the positive mass is zero.
+[[nodiscard]] std::vector<double> clip_and_normalize(std::span<const double> distribution);
+
+}  // namespace qcut::metrics

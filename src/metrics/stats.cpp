@@ -1,0 +1,114 @@
+#include "metrics/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace qcut::metrics {
+
+void RunningStats::add(double value) noexcept {
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::sem() const noexcept {
+  if (count_ == 0) return 0.0;
+  return stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+double RunningStats::ci95_half_width() const noexcept {
+  if (count_ < 2) return 0.0;
+  return t_critical_975(count_ - 1) * sem();
+}
+
+double t_critical_975(std::size_t dof) noexcept {
+  // Two-sided 95% (upper 97.5% point) Student-t critical values.
+  static constexpr double table[] = {
+      0.0,    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+      2.228,  2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093,
+      2.086,  2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045,
+      2.042};
+  if (dof == 0) return 12.706;
+  if (dof <= 30) return table[dof];
+  if (dof <= 60) return 2.00;
+  return 1.96;
+}
+
+Summary summarize(std::span<const double> values) {
+  RunningStats stats;
+  for (double v : values) stats.add(v);
+  return Summary{stats.count(), stats.mean(), stats.stddev(), stats.ci95_half_width()};
+}
+
+BootstrapInterval bootstrap_mean_ci(std::span<const double> values, double confidence,
+                                    std::size_t resamples, std::uint64_t seed) {
+  QCUT_CHECK(!values.empty(), "bootstrap_mean_ci: empty sample");
+  QCUT_CHECK(confidence > 0.0 && confidence < 1.0,
+             "bootstrap_mean_ci: confidence must be in (0, 1)");
+  Rng rng(seed);
+  std::vector<double> means(resamples);
+  for (std::size_t r = 0; r < resamples; ++r) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      acc += values[rng.uniform_int(0, values.size() - 1)];
+    }
+    means[r] = acc / static_cast<double>(values.size());
+  }
+  std::sort(means.begin(), means.end());
+  const double alpha = (1.0 - confidence) / 2.0;
+  const auto pick = [&](double quantile) {
+    const double pos = quantile * static_cast<double>(means.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, means.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return means[lo] * (1.0 - frac) + means[hi] * frac;
+  };
+  return BootstrapInterval{pick(alpha), pick(1.0 - alpha)};
+}
+
+double normal_quantile(double p) {
+  QCUT_CHECK(p > 0.0 && p < 1.0, "normal_quantile: p must be in (0, 1)");
+  // Acklam's algorithm: rational approximations on the central region and
+  // the two tails.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+  constexpr double p_high = 1.0 - p_low;
+
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p <= p_high) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  }
+  const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+}  // namespace qcut::metrics

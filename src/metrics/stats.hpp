@@ -1,0 +1,65 @@
+#pragma once
+// Summary statistics for repeated-trial experiments (means, 95% CIs).
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace qcut::metrics {
+
+/// Streaming mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double value) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+
+  /// Standard error of the mean.
+  [[nodiscard]] double sem() const noexcept;
+
+  /// Half width of the 95% confidence interval on the mean
+  /// (Student-t critical value for small samples).
+  [[nodiscard]] double ci95_half_width() const noexcept;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Two-sided 97.5% Student-t critical value for `dof` degrees of freedom
+/// (table for small dof, 1.96 asymptote).
+[[nodiscard]] double t_critical_975(std::size_t dof) noexcept;
+
+/// Summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double ci95 = 0.0;  // half width
+};
+
+[[nodiscard]] Summary summarize(std::span<const double> values);
+
+/// Percentile bootstrap CI for the mean (for skewed samples). Returns
+/// {lower, upper} of the central `confidence` interval.
+struct BootstrapInterval {
+  double lower = 0.0;
+  double upper = 0.0;
+};
+[[nodiscard]] BootstrapInterval bootstrap_mean_ci(std::span<const double> values,
+                                                  double confidence = 0.95,
+                                                  std::size_t resamples = 2000,
+                                                  std::uint64_t seed = 99);
+
+/// Standard normal quantile function Phi^{-1}(p) for p in (0, 1)
+/// (Acklam's rational approximation, |error| < 1.2e-9).
+[[nodiscard]] double normal_quantile(double p);
+
+}  // namespace qcut::metrics

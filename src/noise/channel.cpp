@@ -1,0 +1,50 @@
+#include "noise/channel.hpp"
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+#include "linalg/ops.hpp"
+
+namespace qcut::noise {
+
+Channel::Channel(std::vector<CMat> kraus_ops, double tol) : kraus_(std::move(kraus_ops)) {
+  QCUT_CHECK(!kraus_.empty(), "Channel: need at least one Kraus operator");
+  const std::size_t dim = kraus_.front().rows();
+  QCUT_CHECK(is_pow2(dim), "Channel: Kraus dimension must be a power of two");
+  for (const CMat& k : kraus_) {
+    QCUT_CHECK(k.rows() == dim && k.cols() == dim, "Channel: Kraus operators must be square "
+                                                   "with equal dimensions");
+  }
+  num_qubits_ = log2_exact(dim);
+  QCUT_CHECK(num_qubits_ >= 1, "Channel: need at least one qubit");
+  QCUT_CHECK(is_trace_preserving(tol),
+             "Channel: Kraus operators do not satisfy sum K^dagger K = I (not CPTP)");
+}
+
+Channel Channel::identity(int num_qubits) {
+  QCUT_CHECK(num_qubits >= 1, "Channel::identity: need at least one qubit");
+  return Channel({CMat::identity(pow2(num_qubits))});
+}
+
+bool Channel::is_trace_preserving(double tol) const {
+  const std::size_t dim = kraus_.front().rows();
+  CMat sum(dim, dim);
+  for (const CMat& k : kraus_) {
+    sum += linalg::dagger(k) * k;
+  }
+  return sum.approx_equal(CMat::identity(dim), tol);
+}
+
+Channel Channel::compose_after(const Channel& first) const {
+  QCUT_CHECK(num_qubits_ == first.num_qubits_,
+             "Channel::compose_after: channels must act on the same number of qubits");
+  std::vector<CMat> combined;
+  combined.reserve(kraus_.size() * first.kraus_.size());
+  for (const CMat& second_op : kraus_) {
+    for (const CMat& first_op : first.kraus_) {
+      combined.push_back(second_op * first_op);
+    }
+  }
+  return Channel(std::move(combined));
+}
+
+}  // namespace qcut::noise

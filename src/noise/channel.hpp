@@ -1,0 +1,40 @@
+#pragma once
+// Kraus-operator representation of quantum channels.
+
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace qcut::noise {
+
+using linalg::CMat;
+using linalg::cx;
+
+/// A completely-positive trace-preserving map given by Kraus operators
+/// {K_k} with sum_k K_k^dagger K_k = I.
+class Channel {
+ public:
+  /// Validates dimensions (all operators square, equal, power of two) and
+  /// the CPTP completeness relation within `tol`.
+  explicit Channel(std::vector<CMat> kraus_ops, double tol = 1e-8);
+
+  /// Identity channel on `num_qubits` qubits.
+  [[nodiscard]] static Channel identity(int num_qubits);
+
+  [[nodiscard]] int num_qubits() const noexcept { return num_qubits_; }
+  [[nodiscard]] std::span<const CMat> kraus_ops() const noexcept { return kraus_; }
+  [[nodiscard]] std::size_t num_kraus() const noexcept { return kraus_.size(); }
+
+  /// Verifies sum_k K_k^dagger K_k == I within tol.
+  [[nodiscard]] bool is_trace_preserving(double tol = 1e-8) const;
+
+  /// Composition: apply `this` after `first` (same arity required).
+  [[nodiscard]] Channel compose_after(const Channel& first) const;
+
+ private:
+  std::vector<CMat> kraus_;
+  int num_qubits_;
+};
+
+}  // namespace qcut::noise

@@ -1,0 +1,36 @@
+#include "noise/noise_model.hpp"
+
+#include "common/error.hpp"
+
+namespace qcut::noise {
+
+NoiseModel& NoiseModel::set_after_1q(Channel channel) {
+  QCUT_CHECK(channel.num_qubits() == 1, "NoiseModel::set_after_1q: channel must act on 1 qubit");
+  after_1q_ = std::move(channel);
+  return *this;
+}
+
+NoiseModel& NoiseModel::set_after_2q(Channel channel) {
+  QCUT_CHECK(channel.num_qubits() == 2, "NoiseModel::set_after_2q: channel must act on 2 qubits");
+  after_2q_ = std::move(channel);
+  return *this;
+}
+
+NoiseModel& NoiseModel::set_readout(ReadoutModel readout) {
+  readout_ = std::move(readout);
+  return *this;
+}
+
+const std::optional<Channel>& NoiseModel::channel_for_arity(int num_qubits) const {
+  static const std::optional<Channel> none;
+  if (num_qubits == 1) return after_1q_;
+  if (num_qubits == 2) return after_2q_;
+  return none;
+}
+
+bool NoiseModel::is_noiseless() const noexcept {
+  const bool readout_trivial = !readout_.has_value() || readout_->is_trivial();
+  return !after_1q_.has_value() && !after_2q_.has_value() && readout_trivial;
+}
+
+}  // namespace qcut::noise

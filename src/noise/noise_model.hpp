@@ -1,0 +1,42 @@
+#pragma once
+// Device noise model: channels attached to gate applications plus readout
+// error. Mirrors the structure of Qiskit Aer's basic device models.
+
+#include <optional>
+
+#include "noise/channel.hpp"
+#include "noise/readout_error.hpp"
+
+namespace qcut::noise {
+
+class NoiseModel {
+ public:
+  /// Noiseless model.
+  NoiseModel() = default;
+
+  /// Channel applied (on the touched qubits) after every 1-qubit gate.
+  NoiseModel& set_after_1q(Channel channel);
+
+  /// Channel applied after every 2-qubit gate.
+  NoiseModel& set_after_2q(Channel channel);
+
+  /// Readout model applied to final measurements.
+  NoiseModel& set_readout(ReadoutModel readout);
+
+  [[nodiscard]] const std::optional<Channel>& after_1q() const noexcept { return after_1q_; }
+  [[nodiscard]] const std::optional<Channel>& after_2q() const noexcept { return after_2q_; }
+  [[nodiscard]] const std::optional<ReadoutModel>& readout() const noexcept { return readout_; }
+
+  /// Channel to apply after a gate of the given arity, if any.
+  [[nodiscard]] const std::optional<Channel>& channel_for_arity(int num_qubits) const;
+
+  /// True if this model introduces no error at all.
+  [[nodiscard]] bool is_noiseless() const noexcept;
+
+ private:
+  std::optional<Channel> after_1q_;
+  std::optional<Channel> after_2q_;
+  std::optional<ReadoutModel> readout_;
+};
+
+}  // namespace qcut::noise

@@ -1,0 +1,76 @@
+#include "noise/readout_error.hpp"
+
+#include "common/error.hpp"
+
+namespace qcut::noise {
+
+ReadoutModel::ReadoutModel(int num_qubits, ReadoutError uniform_error)
+    : errors_(static_cast<std::size_t>(num_qubits), uniform_error) {
+  QCUT_CHECK(num_qubits >= 1, "ReadoutModel: need at least one qubit");
+  QCUT_CHECK(uniform_error.p01 >= 0.0 && uniform_error.p01 <= 1.0 &&
+                 uniform_error.p10 >= 0.0 && uniform_error.p10 <= 1.0,
+             "ReadoutModel: probabilities must be in [0, 1]");
+}
+
+ReadoutModel::ReadoutModel(std::vector<ReadoutError> per_qubit) : errors_(std::move(per_qubit)) {
+  QCUT_CHECK(!errors_.empty(), "ReadoutModel: need at least one qubit");
+  for (const ReadoutError& e : errors_) {
+    QCUT_CHECK(e.p01 >= 0.0 && e.p01 <= 1.0 && e.p10 >= 0.0 && e.p10 <= 1.0,
+               "ReadoutModel: probabilities must be in [0, 1]");
+  }
+}
+
+bool ReadoutModel::is_trivial() const noexcept {
+  for (const ReadoutError& e : errors_) {
+    if (!e.is_trivial()) return false;
+  }
+  return true;
+}
+
+const ReadoutError& ReadoutModel::error(int qubit) const {
+  QCUT_CHECK(qubit >= 0 && qubit < num_qubits(), "ReadoutModel::error: qubit out of range");
+  return errors_[static_cast<std::size_t>(qubit)];
+}
+
+index_t ReadoutModel::corrupt(index_t outcome, Rng& rng) const {
+  for (int q = 0; q < num_qubits(); ++q) {
+    const ReadoutError& e = errors_[static_cast<std::size_t>(q)];
+    const double flip_probability = bit(outcome, q) == 0 ? e.p01 : e.p10;
+    if (flip_probability > 0.0 && rng.bernoulli(flip_probability)) {
+      outcome = flip_bit(outcome, q);
+    }
+  }
+  return outcome;
+}
+
+std::vector<double> ReadoutModel::apply_to_probabilities(
+    std::span<const double> probabilities) const {
+  QCUT_CHECK(probabilities.size() == pow2(num_qubits()),
+             "ReadoutModel::apply_to_probabilities: distribution size mismatch");
+  std::vector<double> current(probabilities.begin(), probabilities.end());
+  std::vector<double> next(current.size());
+  for (int q = 0; q < num_qubits(); ++q) {
+    const ReadoutError& e = errors_[static_cast<std::size_t>(q)];
+    if (e.is_trivial()) continue;
+    const index_t stride = pow2(q);
+    for (index_t i = 0; i < current.size(); ++i) {
+      const double p = current[i];
+      if (bit(i, q) == 0) {
+        next[i] = p * (1.0 - e.p01) + current[i | stride] * e.p10;
+      } else {
+        next[i] = p * (1.0 - e.p10) + current[i & ~stride] * e.p01;
+      }
+    }
+    std::swap(current, next);
+  }
+  return current;
+}
+
+ReadoutModel ReadoutModel::prefix(int num_qubits) const {
+  QCUT_CHECK(num_qubits >= 1 && num_qubits <= this->num_qubits(),
+             "ReadoutModel::prefix: requested width exceeds the model");
+  return ReadoutModel(std::vector<ReadoutError>(
+      errors_.begin(), errors_.begin() + num_qubits));
+}
+
+}  // namespace qcut::noise

@@ -1,0 +1,52 @@
+#pragma once
+// Classical readout (measurement assignment) error.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "common/rng.hpp"
+
+namespace qcut::noise {
+
+/// Per-qubit readout error: P(read 1 | true 0) and P(read 0 | true 1).
+struct ReadoutError {
+  double p01 = 0.0;  // probability of reading 1 when the qubit is 0
+  double p10 = 0.0;  // probability of reading 0 when the qubit is 1
+
+  [[nodiscard]] bool is_trivial() const noexcept { return p01 == 0.0 && p10 == 0.0; }
+};
+
+/// Readout model over a register: one ReadoutError per qubit.
+class ReadoutModel {
+ public:
+  ReadoutModel() = default;
+
+  /// Same error on every qubit of an n-qubit register.
+  ReadoutModel(int num_qubits, ReadoutError uniform_error);
+
+  /// Per-qubit errors.
+  explicit ReadoutModel(std::vector<ReadoutError> per_qubit);
+
+  [[nodiscard]] int num_qubits() const noexcept { return static_cast<int>(errors_.size()); }
+  [[nodiscard]] bool is_trivial() const noexcept;
+  [[nodiscard]] const ReadoutError& error(int qubit) const;
+
+  /// Flips each bit of a sampled outcome with its assignment probability.
+  [[nodiscard]] index_t corrupt(index_t outcome, Rng& rng) const;
+
+  /// Applies the stochastic assignment matrix to an exact distribution,
+  /// returning the distribution of *read* outcomes.
+  [[nodiscard]] std::vector<double> apply_to_probabilities(
+      std::span<const double> probabilities) const;
+
+  /// Restriction to the first `num_qubits` qubits (a narrower circuit run
+  /// on a wider device uses the device's low qubits).
+  [[nodiscard]] ReadoutModel prefix(int num_qubits) const;
+
+ private:
+  std::vector<ReadoutError> errors_;
+};
+
+}  // namespace qcut::noise

@@ -1,0 +1,86 @@
+#include "noise/standard_channels.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/ops.hpp"
+#include "linalg/pauli_matrices.hpp"
+
+namespace qcut::noise {
+
+namespace {
+
+void check_probability(double p, const char* what) {
+  QCUT_CHECK(p >= 0.0 && p <= 1.0, std::string(what) + ": probability must be in [0, 1]");
+}
+
+CMat scaled(const CMat& m, double factor) { return m * cx{factor, 0.0}; }
+
+}  // namespace
+
+Channel depolarizing_1q(double p) {
+  check_probability(p, "depolarizing_1q");
+  using linalg::Pauli;
+  using linalg::pauli_matrix;
+  std::vector<CMat> kraus;
+  kraus.push_back(scaled(pauli_matrix(Pauli::I), std::sqrt(1.0 - 3.0 * p / 4.0)));
+  for (Pauli pauli : {Pauli::X, Pauli::Y, Pauli::Z}) {
+    kraus.push_back(scaled(pauli_matrix(pauli), std::sqrt(p / 4.0)));
+  }
+  return Channel(std::move(kraus));
+}
+
+Channel depolarizing_2q(double p) {
+  check_probability(p, "depolarizing_2q");
+  using linalg::Pauli;
+  using linalg::pauli_matrix;
+  std::vector<CMat> kraus;
+  kraus.reserve(16);
+  for (Pauli p1 : linalg::kAllPaulis) {
+    for (Pauli p0 : linalg::kAllPaulis) {
+      const bool is_identity = p1 == Pauli::I && p0 == Pauli::I;
+      const double weight = is_identity ? 1.0 - 15.0 * p / 16.0 : p / 16.0;
+      // Qubit 0 is the low matrix-index bit: kron(high, low).
+      kraus.push_back(scaled(linalg::kron(pauli_matrix(p1), pauli_matrix(p0)),
+                             std::sqrt(weight)));
+    }
+  }
+  return Channel(std::move(kraus));
+}
+
+Channel bit_flip(double p) { return pauli_channel(p, 0.0, 0.0); }
+
+Channel phase_flip(double p) { return pauli_channel(0.0, 0.0, p); }
+
+Channel bit_phase_flip(double p) { return pauli_channel(0.0, p, 0.0); }
+
+Channel pauli_channel(double px, double py, double pz) {
+  check_probability(px, "pauli_channel");
+  check_probability(py, "pauli_channel");
+  check_probability(pz, "pauli_channel");
+  QCUT_CHECK(px + py + pz <= 1.0 + 1e-12, "pauli_channel: px + py + pz must be <= 1");
+  using linalg::Pauli;
+  using linalg::pauli_matrix;
+  std::vector<CMat> kraus;
+  kraus.push_back(scaled(pauli_matrix(Pauli::I), std::sqrt(std::max(0.0, 1.0 - px - py - pz))));
+  if (px > 0.0) kraus.push_back(scaled(pauli_matrix(Pauli::X), std::sqrt(px)));
+  if (py > 0.0) kraus.push_back(scaled(pauli_matrix(Pauli::Y), std::sqrt(py)));
+  if (pz > 0.0) kraus.push_back(scaled(pauli_matrix(Pauli::Z), std::sqrt(pz)));
+  return Channel(std::move(kraus));
+}
+
+Channel amplitude_damping(double gamma) {
+  check_probability(gamma, "amplitude_damping");
+  CMat k0 = {{cx{1, 0}, cx{0, 0}}, {cx{0, 0}, cx{std::sqrt(1.0 - gamma), 0}}};
+  CMat k1 = {{cx{0, 0}, cx{std::sqrt(gamma), 0}}, {cx{0, 0}, cx{0, 0}}};
+  return Channel({std::move(k0), std::move(k1)});
+}
+
+Channel phase_damping(double lambda) {
+  check_probability(lambda, "phase_damping");
+  CMat k0 = {{cx{1, 0}, cx{0, 0}}, {cx{0, 0}, cx{std::sqrt(1.0 - lambda), 0}}};
+  CMat k1 = {{cx{0, 0}, cx{0, 0}}, {cx{0, 0}, cx{std::sqrt(lambda), 0}}};
+  return Channel({std::move(k0), std::move(k1)});
+}
+
+}  // namespace qcut::noise

@@ -1,0 +1,33 @@
+#pragma once
+// The standard noise channels used to model superconducting hardware.
+
+#include "noise/channel.hpp"
+
+namespace qcut::noise {
+
+/// Single-qubit depolarizing channel: with probability p the state is
+/// replaced by the maximally mixed state (Pauli-twirl form).
+[[nodiscard]] Channel depolarizing_1q(double p);
+
+/// Two-qubit depolarizing channel over the 16-element Pauli basis.
+[[nodiscard]] Channel depolarizing_2q(double p);
+
+/// X error with probability p.
+[[nodiscard]] Channel bit_flip(double p);
+
+/// Z error with probability p.
+[[nodiscard]] Channel phase_flip(double p);
+
+/// Y error with probability p.
+[[nodiscard]] Channel bit_phase_flip(double p);
+
+/// General Pauli channel: X with px, Y with py, Z with pz.
+[[nodiscard]] Channel pauli_channel(double px, double py, double pz);
+
+/// Amplitude damping (T1 decay) with damping parameter gamma in [0, 1].
+[[nodiscard]] Channel amplitude_damping(double gamma);
+
+/// Phase damping (pure T2 dephasing) with parameter lambda in [0, 1].
+[[nodiscard]] Channel phase_damping(double lambda);
+
+}  // namespace qcut::noise

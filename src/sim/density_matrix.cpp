@@ -1,0 +1,181 @@
+#include "sim/density_matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/ops.hpp"
+
+namespace qcut::sim {
+
+namespace {
+
+/// Applies matrix m to the "qubits" of a raw vector treated as a register of
+/// `total_qubits` qubits. Same kernel as StateVector::apply_kq but operating
+/// on a caller-owned buffer (the density matrix's doubled register).
+void apply_to_vec(CVec& vec, int total_qubits, const CMat& m, std::span<const int> qubits) {
+  const int k = static_cast<int>(qubits.size());
+  const index_t block = pow2(k);
+  QCUT_ASSERT(m.rows() == block && m.cols() == block, "apply_to_vec: dimension mismatch");
+
+  std::vector<int> sorted(qubits.begin(), qubits.end());
+  std::sort(sorted.begin(), sorted.end());
+
+  std::vector<index_t> offsets(block);
+  for (index_t p = 0; p < block; ++p) offsets[p] = scatter_bits(p, qubits);
+
+  std::vector<cx> in(block), out(block);
+  const index_t groups = (index_t{1} << total_qubits) >> k;
+  for (index_t g = 0; g < groups; ++g) {
+    const index_t base = insert_zero_bits(g, sorted);
+    for (index_t p = 0; p < block; ++p) in[p] = vec[base | offsets[p]];
+    for (index_t r = 0; r < block; ++r) {
+      cx acc{0.0, 0.0};
+      for (index_t c = 0; c < block; ++c) acc += m(r, c) * in[c];
+      out[r] = acc;
+    }
+    for (index_t p = 0; p < block; ++p) vec[base | offsets[p]] = out[p];
+  }
+}
+
+}  // namespace
+
+DensityMatrix::DensityMatrix(int num_qubits) : num_qubits_(num_qubits) {
+  QCUT_CHECK(num_qubits >= 1 && num_qubits <= 13,
+             "DensityMatrix: supported widths are 1..13 qubits");
+  vec_.assign(pow2(2 * num_qubits), cx{0.0, 0.0});
+  vec_[0] = cx{1.0, 0.0};
+}
+
+DensityMatrix DensityMatrix::from_statevector(const StateVector& sv) {
+  DensityMatrix dm(sv.num_qubits());
+  const CVec& amps = sv.amplitudes();
+  for (index_t col = 0; col < sv.dim(); ++col) {
+    for (index_t row = 0; row < sv.dim(); ++row) {
+      dm.element(row, col) = amps[row] * std::conj(amps[col]);
+    }
+  }
+  return dm;
+}
+
+DensityMatrix DensityMatrix::from_matrix(const CMat& rho, bool validate, double tol) {
+  QCUT_CHECK(rho.is_square() && is_pow2(rho.rows()), "DensityMatrix: matrix must be 2^n x 2^n");
+  const int n = log2_exact(rho.rows());
+  QCUT_CHECK(n >= 1, "DensityMatrix: need at least one qubit");
+  if (validate) {
+    QCUT_CHECK(linalg::is_hermitian(rho, tol), "DensityMatrix: matrix must be Hermitian");
+    QCUT_CHECK(std::abs(linalg::trace(rho) - cx{1.0, 0.0}) < tol,
+               "DensityMatrix: matrix must have unit trace");
+  }
+  DensityMatrix dm(n);
+  for (index_t col = 0; col < rho.cols(); ++col) {
+    for (index_t row = 0; row < rho.rows(); ++row) {
+      dm.element(row, col) = rho(row, col);
+    }
+  }
+  return dm;
+}
+
+void DensityMatrix::apply_matrix(const CMat& u, std::span<const int> qubits) {
+  for (int q : qubits) {
+    QCUT_CHECK(q >= 0 && q < num_qubits_, "DensityMatrix::apply_matrix: qubit out of range");
+  }
+  // Row side: U on qubits q; column side: conj(U) on qubits n + q.
+  apply_to_vec(vec_, 2 * num_qubits_, u, qubits);
+  std::vector<int> col_qubits(qubits.begin(), qubits.end());
+  for (int& q : col_qubits) q += num_qubits_;
+  apply_to_vec(vec_, 2 * num_qubits_, linalg::conjugate(u), col_qubits);
+}
+
+void DensityMatrix::apply_operation(const Operation& op) {
+  apply_matrix(op.matrix(), op.qubits);
+}
+
+void DensityMatrix::apply_circuit(const Circuit& circuit) {
+  QCUT_CHECK(circuit.num_qubits() == num_qubits_,
+             "DensityMatrix::apply_circuit: circuit width must match the register");
+  for (const Operation& op : circuit.ops()) {
+    apply_operation(op);
+  }
+}
+
+void DensityMatrix::apply_kraus(std::span<const CMat> kraus_ops, std::span<const int> qubits) {
+  QCUT_CHECK(!kraus_ops.empty(), "DensityMatrix::apply_kraus: need at least one Kraus operator");
+  std::vector<int> col_qubits(qubits.begin(), qubits.end());
+  for (int& q : col_qubits) q += num_qubits_;
+
+  CVec accumulated(vec_.size(), cx{0.0, 0.0});
+  for (const CMat& k : kraus_ops) {
+    CVec branch = vec_;
+    apply_to_vec(branch, 2 * num_qubits_, k, qubits);
+    apply_to_vec(branch, 2 * num_qubits_, linalg::conjugate(k), col_qubits);
+    for (std::size_t i = 0; i < accumulated.size(); ++i) accumulated[i] += branch[i];
+  }
+  vec_ = std::move(accumulated);
+}
+
+std::vector<double> DensityMatrix::probabilities() const {
+  std::vector<double> probs(dim());
+  for (index_t i = 0; i < dim(); ++i) probs[i] = element(i, i).real();
+  return probs;
+}
+
+cx DensityMatrix::trace() const {
+  cx acc{0.0, 0.0};
+  for (index_t i = 0; i < dim(); ++i) acc += element(i, i);
+  return acc;
+}
+
+cx DensityMatrix::expectation(const CMat& op, std::span<const int> qubits) const {
+  // tr(O rho) = sum_i (O rho)_{ii}; apply O to a copy and take the trace.
+  DensityMatrix transformed = *this;
+  apply_to_vec(transformed.vec_, 2 * num_qubits_, op, qubits);
+  return transformed.trace();
+}
+
+CMat DensityMatrix::matrix() const {
+  CMat out(dim(), dim());
+  for (index_t col = 0; col < dim(); ++col) {
+    for (index_t row = 0; row < dim(); ++row) {
+      out(row, col) = element(row, col);
+    }
+  }
+  return out;
+}
+
+DensityMatrix DensityMatrix::partial_trace(std::span<const int> keep_qubits) const {
+  const int k = static_cast<int>(keep_qubits.size());
+  QCUT_CHECK(k >= 1 && k <= num_qubits_, "DensityMatrix::partial_trace: invalid qubit count");
+  for (int q : keep_qubits) {
+    QCUT_CHECK(q >= 0 && q < num_qubits_, "DensityMatrix::partial_trace: qubit out of range");
+  }
+
+  std::vector<int> env;
+  for (int q = 0; q < num_qubits_; ++q) {
+    if (std::find(keep_qubits.begin(), keep_qubits.end(), q) == keep_qubits.end()) {
+      env.push_back(q);
+    }
+  }
+  QCUT_CHECK(static_cast<int>(env.size()) + k == num_qubits_,
+             "DensityMatrix::partial_trace: kept qubits must be distinct");
+
+  DensityMatrix out(k);
+  out.vec_.assign(pow2(2 * k), cx{0.0, 0.0});
+  const index_t keep_dim = pow2(k);
+  const index_t env_dim = pow2(num_qubits_ - k);
+  for (index_t i = 0; i < keep_dim; ++i) {
+    const index_t i_bits = scatter_bits(i, keep_qubits);
+    for (index_t j = 0; j < keep_dim; ++j) {
+      const index_t j_bits = scatter_bits(j, keep_qubits);
+      cx acc{0.0, 0.0};
+      for (index_t e = 0; e < env_dim; ++e) {
+        const index_t e_bits = scatter_bits(e, env);
+        acc += element(i_bits | e_bits, j_bits | e_bits);
+      }
+      out.element(i, j) = acc;
+    }
+  }
+  return out;
+}
+
+}  // namespace qcut::sim

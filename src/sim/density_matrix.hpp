@@ -1,0 +1,78 @@
+#pragma once
+// Density-matrix simulator.
+//
+// Used for exact noisy simulation, for the fragment states rho_f(M^r) of
+// the cutting formalism (which are generally mixed / unnormalized), and as
+// a reference implementation the trajectory sampler is tested against.
+//
+// Internally the matrix rho_{ij} is stored as a vector over 2n "qubits":
+// row-index bit k is qubit k, column-index bit k is qubit n + k. A gate U on
+// qubit q maps rho -> U rho U^dagger, i.e. U on qubit q and conj(U) on qubit
+// n + q, which reuses the statevector update kernels.
+
+#include <span>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "sim/statevector.hpp"
+
+namespace qcut::sim {
+
+class DensityMatrix {
+ public:
+  /// |0...0><0...0| on n qubits.
+  explicit DensityMatrix(int num_qubits);
+
+  /// Pure state |psi><psi|.
+  [[nodiscard]] static DensityMatrix from_statevector(const StateVector& sv);
+
+  /// From an explicit (2^n x 2^n) matrix. Hermiticity and unit trace are
+  /// checked within `tol` unless `validate` is false (unnormalized fragment
+  /// states are legitimate inputs).
+  [[nodiscard]] static DensityMatrix from_matrix(const CMat& rho, bool validate = true,
+                                                 double tol = 1e-8);
+
+  [[nodiscard]] int num_qubits() const noexcept { return num_qubits_; }
+  [[nodiscard]] index_t dim() const noexcept { return pow2(num_qubits_); }
+
+  /// Applies a unitary to the listed qubits: rho -> U rho U^dagger.
+  void apply_matrix(const CMat& u, std::span<const int> qubits);
+
+  /// Applies one circuit operation.
+  void apply_operation(const Operation& op);
+
+  /// Applies every operation of the circuit in order.
+  void apply_circuit(const Circuit& circuit);
+
+  /// Applies a Kraus channel: rho -> sum_k K_k rho K_k^dagger.
+  void apply_kraus(std::span<const CMat> kraus_ops, std::span<const int> qubits);
+
+  /// Diagonal of rho: outcome probabilities in the computational basis.
+  [[nodiscard]] std::vector<double> probabilities() const;
+
+  /// tr(rho).
+  [[nodiscard]] cx trace() const;
+
+  /// tr(O rho) for an operator on the listed qubits.
+  [[nodiscard]] cx expectation(const CMat& op, std::span<const int> qubits) const;
+
+  /// Dense matrix form.
+  [[nodiscard]] CMat matrix() const;
+
+  /// Partial trace keeping `keep_qubits` (bit j of the result corresponds
+  /// to keep_qubits[j]).
+  [[nodiscard]] DensityMatrix partial_trace(std::span<const int> keep_qubits) const;
+
+ private:
+  [[nodiscard]] cx& element(index_t row, index_t col) noexcept {
+    return vec_[(col << num_qubits_) | row];
+  }
+  [[nodiscard]] const cx& element(index_t row, index_t col) const noexcept {
+    return vec_[(col << num_qubits_) | row];
+  }
+
+  int num_qubits_;
+  CVec vec_;  // length 4^n; index = (col << n) | row
+};
+
+}  // namespace qcut::sim

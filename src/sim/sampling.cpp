@@ -1,0 +1,32 @@
+#include "sim/sampling.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace qcut::sim {
+
+std::vector<std::uint64_t> sample_histogram(std::span<const double> probabilities,
+                                            std::size_t shots, Rng& rng) {
+  QCUT_CHECK(!probabilities.empty(), "sample_histogram: empty distribution");
+  std::vector<double> clamped(probabilities.begin(), probabilities.end());
+  for (double& p : clamped) {
+    QCUT_CHECK(p > -1e-9, "sample_histogram: distribution has a significantly negative entry");
+    p = std::max(p, 0.0);
+  }
+  const DiscreteSampler sampler(clamped);
+  return sampler.sample_histogram(shots, rng);
+}
+
+std::vector<double> histogram_to_probabilities(std::span<const std::uint64_t> histogram) {
+  std::uint64_t total = 0;
+  for (std::uint64_t c : histogram) total += c;
+  QCUT_CHECK(total > 0, "histogram_to_probabilities: histogram is empty");
+  std::vector<double> probs(histogram.size());
+  for (std::size_t i = 0; i < histogram.size(); ++i) {
+    probs[i] = static_cast<double>(histogram[i]) / static_cast<double>(total);
+  }
+  return probs;
+}
+
+}  // namespace qcut::sim

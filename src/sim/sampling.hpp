@@ -1,0 +1,22 @@
+#pragma once
+// Shot sampling from exact outcome distributions.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace qcut::sim {
+
+/// Draws `shots` outcomes from the distribution `probabilities` (need not be
+/// perfectly normalized; tiny negative entries from floating-point noise are
+/// clamped to zero) and returns the histogram of counts.
+[[nodiscard]] std::vector<std::uint64_t> sample_histogram(std::span<const double> probabilities,
+                                                          std::size_t shots, Rng& rng);
+
+/// Empirical probabilities from a histogram (histogram / total).
+[[nodiscard]] std::vector<double> histogram_to_probabilities(
+    std::span<const std::uint64_t> histogram);
+
+}  // namespace qcut::sim

@@ -1,0 +1,255 @@
+#include "sim/statevector.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/ops.hpp"
+#include "linalg/pauli_matrices.hpp"
+
+namespace qcut::sim {
+
+StateVector::StateVector(int num_qubits) : num_qubits_(num_qubits) {
+  QCUT_CHECK(num_qubits >= 1 && num_qubits <= 26,
+             "StateVector: supported widths are 1..26 qubits");
+  amps_.assign(pow2(num_qubits), cx{0.0, 0.0});
+  amps_[0] = cx{1.0, 0.0};
+}
+
+StateVector StateVector::from_amplitudes(CVec amplitudes, bool check_normalization) {
+  QCUT_CHECK(is_pow2(amplitudes.size()), "StateVector: amplitude count must be a power of two");
+  const int n = log2_exact(amplitudes.size());
+  StateVector sv(n == 0 ? 1 : n);
+  QCUT_CHECK(n >= 1, "StateVector: need at least 2 amplitudes");
+  if (check_normalization) {
+    double norm2 = 0.0;
+    for (const cx& a : amplitudes) norm2 += std::norm(a);
+    QCUT_CHECK(std::abs(norm2 - 1.0) < 1e-8, "StateVector: amplitudes are not normalized");
+  }
+  sv.amps_ = std::move(amplitudes);
+  return sv;
+}
+
+StateVector StateVector::product_state(const std::vector<CVec>& single_qubit_states) {
+  QCUT_CHECK(!single_qubit_states.empty(), "StateVector::product_state: empty state list");
+  const int n = static_cast<int>(single_qubit_states.size());
+  StateVector sv(n);
+  for (index_t i = 0; i < sv.dim(); ++i) {
+    cx amp{1.0, 0.0};
+    for (int q = 0; q < n; ++q) {
+      const CVec& s = single_qubit_states[static_cast<std::size_t>(q)];
+      QCUT_CHECK(s.size() == 2, "StateVector::product_state: each state must have length 2");
+      amp *= s[static_cast<std::size_t>(bit(i, q))];
+    }
+    sv.amps_[i] = amp;
+  }
+  return sv;
+}
+
+cx StateVector::amplitude(index_t basis_state) const {
+  QCUT_CHECK(basis_state < dim(), "StateVector::amplitude: index out of range");
+  return amps_[basis_state];
+}
+
+void StateVector::apply_matrix(const CMat& m, std::span<const int> qubits) {
+  QCUT_CHECK(!qubits.empty(), "StateVector::apply_matrix: need at least one qubit");
+  for (int q : qubits) {
+    QCUT_CHECK(q >= 0 && q < num_qubits_, "StateVector::apply_matrix: qubit out of range");
+  }
+  const index_t block = pow2(static_cast<int>(qubits.size()));
+  QCUT_CHECK(m.rows() == block && m.cols() == block,
+             "StateVector::apply_matrix: matrix dimension must be 2^(number of qubits)");
+
+  if (qubits.size() == 1) {
+    apply_1q(m, qubits[0]);
+  } else if (qubits.size() == 2) {
+    apply_2q(m, qubits[0], qubits[1]);
+  } else {
+    apply_kq(m, qubits);
+  }
+}
+
+void StateVector::apply_1q(const CMat& m, int qubit) {
+  const index_t stride = pow2(qubit);
+  const cx m00 = m(0, 0), m01 = m(0, 1), m10 = m(1, 0), m11 = m(1, 1);
+  for (index_t base = 0; base < dim(); base += 2 * stride) {
+    for (index_t offset = 0; offset < stride; ++offset) {
+      const index_t i0 = base + offset;
+      const index_t i1 = i0 + stride;
+      const cx a0 = amps_[i0];
+      const cx a1 = amps_[i1];
+      amps_[i0] = m00 * a0 + m01 * a1;
+      amps_[i1] = m10 * a0 + m11 * a1;
+    }
+  }
+}
+
+void StateVector::apply_2q(const CMat& m, int q0, int q1) {
+  // Bit j of the matrix index corresponds to qubit qj.
+  const int lo = std::min(q0, q1);
+  const int hi = std::max(q0, q1);
+  const index_t mask0 = pow2(q0);
+  const index_t mask1 = pow2(q1);
+  const std::array<int, 2> positions = {lo, hi};
+  const index_t groups = dim() >> 2;
+  for (index_t g = 0; g < groups; ++g) {
+    const index_t base = insert_zero_bits(g, positions);
+    const std::array<index_t, 4> idx = {base, base | mask0, base | mask1, base | mask0 | mask1};
+    std::array<cx, 4> in;
+    for (int j = 0; j < 4; ++j) in[static_cast<std::size_t>(j)] = amps_[idx[static_cast<std::size_t>(j)]];
+    for (int r = 0; r < 4; ++r) {
+      cx acc{0.0, 0.0};
+      for (int c = 0; c < 4; ++c) {
+        acc += m(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) *
+               in[static_cast<std::size_t>(c)];
+      }
+      amps_[idx[static_cast<std::size_t>(r)]] = acc;
+    }
+  }
+}
+
+void StateVector::apply_kq(const CMat& m, std::span<const int> qubits) {
+  const int k = static_cast<int>(qubits.size());
+  const index_t block = pow2(k);
+
+  std::vector<int> sorted(qubits.begin(), qubits.end());
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i + 1 < k; ++i) {
+    QCUT_CHECK(sorted[static_cast<std::size_t>(i)] != sorted[static_cast<std::size_t>(i + 1)],
+               "StateVector::apply_matrix: qubits must be distinct");
+  }
+
+  // Pattern p (matrix index) scatters onto the state index via the original
+  // qubit order: bit j of p -> bit qubits[j].
+  std::vector<index_t> offsets(block);
+  for (index_t p = 0; p < block; ++p) {
+    offsets[p] = scatter_bits(p, qubits);
+  }
+
+  std::vector<cx> in(block), out(block);
+  const index_t groups = dim() >> k;
+  for (index_t g = 0; g < groups; ++g) {
+    const index_t base = insert_zero_bits(g, sorted);
+    for (index_t p = 0; p < block; ++p) in[p] = amps_[base | offsets[p]];
+    for (index_t r = 0; r < block; ++r) {
+      cx acc{0.0, 0.0};
+      for (index_t c = 0; c < block; ++c) acc += m(r, c) * in[c];
+      out[r] = acc;
+    }
+    for (index_t p = 0; p < block; ++p) amps_[base | offsets[p]] = out[p];
+  }
+}
+
+void StateVector::apply_operation(const Operation& op) {
+  apply_matrix(op.matrix(), op.qubits);
+}
+
+void StateVector::apply_circuit(const Circuit& circuit) {
+  QCUT_CHECK(circuit.num_qubits() == num_qubits_,
+             "StateVector::apply_circuit: circuit width must match the register");
+  for (const Operation& op : circuit.ops()) {
+    apply_operation(op);
+  }
+}
+
+std::vector<double> StateVector::probabilities() const {
+  std::vector<double> probs(dim());
+  for (index_t i = 0; i < dim(); ++i) probs[i] = std::norm(amps_[i]);
+  return probs;
+}
+
+double StateVector::probability_of(index_t basis_state) const {
+  QCUT_CHECK(basis_state < dim(), "StateVector::probability_of: index out of range");
+  return std::norm(amps_[basis_state]);
+}
+
+double StateVector::expectation_pauli(const PauliString& pauli) const {
+  QCUT_CHECK(pauli.num_qubits() == num_qubits_,
+             "StateVector::expectation_pauli: width mismatch");
+  const std::vector<int> support = pauli.support();
+  if (support.empty()) return 1.0;
+
+  // Apply the non-identity factors to a copy and take the inner product.
+  StateVector transformed = *this;
+  for (int q : support) {
+    const std::array<int, 1> qs = {q};
+    transformed.apply_matrix(linalg::pauli_matrix(pauli.label(q)), qs);
+  }
+  return linalg::inner(amps_, transformed.amps_).real();
+}
+
+cx StateVector::expectation(const CMat& op, std::span<const int> qubits) const {
+  StateVector transformed = *this;
+  transformed.apply_matrix(op, qubits);
+  return linalg::inner(amps_, transformed.amps_);
+}
+
+CMat StateVector::density_matrix() const {
+  QCUT_CHECK(num_qubits_ <= 12, "StateVector::density_matrix: too many qubits");
+  return linalg::outer(amps_, amps_);
+}
+
+CMat StateVector::reduced_density_matrix(std::span<const int> keep_qubits) const {
+  const int k = static_cast<int>(keep_qubits.size());
+  QCUT_CHECK(k >= 1 && k <= num_qubits_,
+             "StateVector::reduced_density_matrix: invalid qubit count");
+  QCUT_CHECK(k <= 12, "StateVector::reduced_density_matrix: too many kept qubits");
+  for (int q : keep_qubits) {
+    QCUT_CHECK(q >= 0 && q < num_qubits_,
+               "StateVector::reduced_density_matrix: qubit out of range");
+  }
+
+  std::vector<int> env;
+  for (int q = 0; q < num_qubits_; ++q) {
+    if (std::find(keep_qubits.begin(), keep_qubits.end(), q) == keep_qubits.end()) {
+      env.push_back(q);
+    }
+  }
+  QCUT_CHECK(static_cast<int>(env.size()) + k == num_qubits_,
+             "StateVector::reduced_density_matrix: kept qubits must be distinct");
+
+  const index_t keep_dim = pow2(k);
+  const index_t env_dim = pow2(num_qubits_ - k);
+  CMat rho(keep_dim, keep_dim);
+  for (index_t i = 0; i < keep_dim; ++i) {
+    const index_t i_bits = scatter_bits(i, keep_qubits);
+    for (index_t j = 0; j < keep_dim; ++j) {
+      const index_t j_bits = scatter_bits(j, keep_qubits);
+      cx acc{0.0, 0.0};
+      for (index_t e = 0; e < env_dim; ++e) {
+        const index_t e_bits = scatter_bits(e, env);
+        acc += amps_[i_bits | e_bits] * std::conj(amps_[j_bits | e_bits]);
+      }
+      rho(i, j) = acc;
+    }
+  }
+  return rho;
+}
+
+double StateVector::norm() const { return linalg::norm(amps_); }
+
+void StateVector::normalize() {
+  const double n = norm();
+  QCUT_CHECK(n > 1e-300, "StateVector::normalize: zero state");
+  const double inv = 1.0 / n;
+  for (cx& a : amps_) a *= inv;
+}
+
+CMat circuit_unitary(const Circuit& circuit) {
+  QCUT_CHECK(circuit.num_qubits() <= 10, "circuit_unitary: too many qubits");
+  const index_t dim = pow2(circuit.num_qubits());
+  CMat u(dim, dim);
+  for (index_t col = 0; col < dim; ++col) {
+    CVec basis(dim, cx{0.0, 0.0});
+    basis[col] = cx{1.0, 0.0};
+    StateVector sv = StateVector::from_amplitudes(std::move(basis));
+    sv.apply_circuit(circuit);
+    for (index_t row = 0; row < dim; ++row) {
+      u(row, col) = sv.amplitude(row);
+    }
+  }
+  return u;
+}
+
+}  // namespace qcut::sim

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "backend/fake_hardware.hpp"
+#include "backend/noisy_backend.hpp"
+#include "backend/presets.hpp"
+#include "backend/statevector_backend.hpp"
+#include "circuit/random.hpp"
+#include "common/error.hpp"
+#include "metrics/distance.hpp"
+#include "noise/standard_channels.hpp"
+
+namespace qcut::backend {
+namespace {
+
+using circuit::Circuit;
+
+Circuit bell() {
+  Circuit c(2);
+  c.h(0).cx(0, 1);
+  return c;
+}
+
+TEST(StatevectorBackend, ExactProbabilities) {
+  StatevectorBackend backend(1);
+  const std::vector<double> probs = backend.exact_probabilities(bell());
+  EXPECT_NEAR(probs[0], 0.5, 1e-12);
+  EXPECT_NEAR(probs[3], 0.5, 1e-12);
+  EXPECT_NEAR(probs[1], 0.0, 1e-12);
+}
+
+TEST(StatevectorBackend, SamplingMatchesExact) {
+  StatevectorBackend backend(2);
+  const Counts counts = backend.run(bell(), 100000, 0);
+  EXPECT_EQ(counts.total_shots(), 100000u);
+  const std::vector<double> probs = counts.to_probabilities();
+  EXPECT_NEAR(probs[0], 0.5, 0.01);
+  EXPECT_NEAR(probs[3], 0.5, 0.01);
+  EXPECT_EQ(counts.count(1), 0u);
+  EXPECT_EQ(counts.count(2), 0u);
+}
+
+TEST(StatevectorBackend, DeterministicPerStream) {
+  StatevectorBackend a(3), b(3);
+  const Counts ca = a.run(bell(), 1000, 7);
+  const Counts cb = b.run(bell(), 1000, 7);
+  EXPECT_EQ(ca.count(0), cb.count(0));
+  EXPECT_EQ(ca.count(3), cb.count(3));
+  // Different streams give different samples (with overwhelming probability).
+  const Counts cc = a.run(bell(), 1000, 8);
+  EXPECT_NE(ca.count(0), cc.count(0));
+}
+
+TEST(StatevectorBackend, StatsTracking) {
+  StatevectorBackend backend(4);
+  EXPECT_EQ(backend.stats().jobs, 0u);
+  (void)backend.run(bell(), 500, 0);
+  (void)backend.run(bell(), 700, 1);
+  const BackendStats stats = backend.stats();
+  EXPECT_EQ(stats.jobs, 2u);
+  EXPECT_EQ(stats.shots, 1200u);
+  backend.reset_stats();
+  EXPECT_EQ(backend.stats().jobs, 0u);
+}
+
+TEST(StatevectorBackend, RejectsZeroShots) {
+  StatevectorBackend backend(5);
+  EXPECT_THROW((void)backend.run(bell(), 0, 0), Error);
+}
+
+noise::NoiseModel small_noise() {
+  noise::NoiseModel model;
+  model.set_after_1q(noise::depolarizing_1q(0.01));
+  model.set_after_2q(noise::depolarizing_2q(0.05));
+  model.set_readout(noise::ReadoutModel(4, noise::ReadoutError{0.02, 0.03}));
+  return model;
+}
+
+TEST(NoisyBackend, NoiseDegradesBellCorrelations) {
+  NoisyBackend backend(small_noise(), 6);
+  const std::vector<double> noisy = backend.noisy_probabilities(bell());
+  // Forbidden outcomes now have some mass, but the Bell peaks dominate.
+  EXPECT_GT(noisy[1], 0.0);
+  EXPECT_GT(noisy[2], 0.0);
+  EXPECT_GT(noisy[0], 0.3);
+  EXPECT_GT(noisy[3], 0.3);
+  double total = 0.0;
+  for (double p : noisy) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-10);
+}
+
+TEST(NoisyBackend, ExactProbabilitiesAreNoiseless) {
+  NoisyBackend backend(small_noise(), 6);
+  const std::vector<double> ideal = backend.exact_probabilities(bell());
+  EXPECT_NEAR(ideal[1], 0.0, 1e-12);
+}
+
+TEST(NoisyBackend, TrajectoryAgreesWithDensityMethod) {
+  const std::size_t shots = 20000;
+  NoisyBackend density(small_noise(), 7, NoisyBackend::Method::DensityMatrix);
+  NoisyBackend trajectory(small_noise(), 7, NoisyBackend::Method::Trajectory);
+
+  const std::vector<double> expected = density.noisy_probabilities(bell());
+  const Counts counts = trajectory.run(bell(), shots, 0);
+  const std::vector<double> sampled = counts.to_probabilities();
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(sampled[i], expected[i], 0.015) << i;
+  }
+}
+
+TEST(NoisyBackend, NoiselessModelMatchesStatevector) {
+  NoisyBackend backend(noise::NoiseModel{}, 8);
+  const std::vector<double> probs = backend.noisy_probabilities(bell());
+  EXPECT_NEAR(probs[0], 0.5, 1e-10);
+  EXPECT_NEAR(probs[3], 0.5, 1e-10);
+}
+
+TEST(FakeHardware, RejectsTooWideCircuits) {
+  auto device = make_fake_5q(1);
+  Circuit wide(6);
+  wide.h(0);
+  EXPECT_THROW((void)device->run(wide, 100, 0), Error);
+}
+
+TEST(FakeHardware, AccumulatesSimulatedTime) {
+  auto device = make_fake_5q(2);
+  EXPECT_NEAR(device->stats().simulated_device_seconds, 0.0, 1e-12);
+  (void)device->run(bell(), 1000, 0);
+  const double after_one = device->stats().simulated_device_seconds;
+  // Dominated by ~2 s job overhead plus 1000 * ~84 us of shot time.
+  EXPECT_GT(after_one, 1.5);
+  EXPECT_LT(after_one, 3.0);
+  (void)device->run(bell(), 1000, 1);
+  EXPECT_NEAR(device->stats().simulated_device_seconds, 2 * after_one, 0.5);
+}
+
+TEST(FakeHardware, SimulatedTimeScalesWithJobs) {
+  auto a = make_fake_5q(3);
+  auto b = make_fake_5q(3);
+  for (int i = 0; i < 9; ++i) (void)a->run(bell(), 1000, static_cast<std::uint64_t>(i));
+  for (int i = 0; i < 6; ++i) (void)b->run(bell(), 1000, static_cast<std::uint64_t>(i));
+  const double ratio = b->stats().simulated_device_seconds /
+                       a->stats().simulated_device_seconds;
+  // 6 jobs vs 9 jobs: ratio ~ 2/3 (the paper's 12.61 / 18.84 = 0.669).
+  EXPECT_NEAR(ratio, 2.0 / 3.0, 0.05);
+}
+
+TEST(FakeHardware, NoisyDistributionDiffersFromIdeal) {
+  auto device = make_fake_7q(4);
+  Rng rng(5);
+  circuit::RandomCircuitOptions options;
+  options.num_qubits = 7;
+  options.depth = 2;
+  const Circuit c = circuit::random_circuit(options, rng);
+  const std::vector<double> ideal = device->exact_probabilities(c);
+  const std::vector<double> noisy = device->noisy_probabilities(c);
+  EXPECT_GT(metrics::total_variation_distance(noisy, ideal), 1e-4);
+}
+
+TEST(DeviceTimingModel, CircuitDurationUsesCriticalPath) {
+  DeviceTimingModel timing;
+  Circuit serial(1);
+  serial.h(0).h(0).h(0);
+  Circuit parallel_c(3);
+  parallel_c.h(0).h(1).h(2);
+  EXPECT_GT(timing.circuit_duration(serial), timing.circuit_duration(parallel_c));
+}
+
+TEST(DeviceTimingModel, JobSecondsGrowsWithShots) {
+  DeviceTimingModel timing;
+  timing.job_overhead_jitter = 0.0;
+  Rng rng(1);
+  const Circuit c = bell();
+  const double t1 = timing.job_seconds(c, 100, rng);
+  const double t2 = timing.job_seconds(c, 10000, rng);
+  EXPECT_GT(t2, t1);
+  EXPECT_NEAR(t2 - t1, 9900 * (timing.shot_overhead_seconds + timing.circuit_duration(c)),
+              1e-9);
+}
+
+TEST(Backend, AutoStreamOverloadWorks) {
+  StatevectorBackend backend(9);
+  const Counts a = backend.run(bell(), 100);
+  const Counts b = backend.run(bell(), 100);
+  EXPECT_EQ(a.total_shots(), 100u);
+  EXPECT_EQ(b.total_shots(), 100u);
+}
+
+}  // namespace
+}  // namespace qcut::backend

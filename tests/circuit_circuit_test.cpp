@@ -1,0 +1,141 @@
+#include "circuit/circuit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "linalg/ops.hpp"
+#include "sim/statevector.hpp"
+
+namespace qcut::circuit {
+namespace {
+
+TEST(Circuit, ConstructionBounds) {
+  EXPECT_THROW(Circuit(0), Error);
+  EXPECT_THROW(Circuit(31), Error);
+  EXPECT_NO_THROW(Circuit(1));
+  EXPECT_NO_THROW(Circuit(30));
+}
+
+TEST(Circuit, AppendValidation) {
+  Circuit c(3);
+  EXPECT_THROW(c.append(GateKind::H, {3}), Error);            // out of range
+  EXPECT_THROW(c.append(GateKind::CX, {1, 1}), Error);        // duplicate qubits
+  EXPECT_THROW(c.append(GateKind::CX, {0}), Error);           // wrong arity
+  EXPECT_THROW(c.append(GateKind::RX, {0}), Error);           // missing param
+  EXPECT_THROW(c.append(GateKind::H, {0}, {0.1}), Error);     // extra param
+  EXPECT_THROW(c.append(GateKind::Custom, {0}), Error);       // must use append_custom
+  EXPECT_EQ(c.num_ops(), 0u);
+  c.h(0).cx(0, 1).rx(0.5, 2);
+  EXPECT_EQ(c.num_ops(), 3u);
+}
+
+TEST(Circuit, AppendCustomValidation) {
+  Circuit c(2);
+  // Non-unitary rejected.
+  CMat bad = {{cx{1, 0}, cx{1, 0}}, {cx{0, 0}, cx{1, 0}}};
+  EXPECT_THROW(c.append_custom(bad, {0}), Error);
+  // Wrong dimension rejected.
+  EXPECT_THROW(c.append_custom(CMat::identity(4), {0}), Error);
+  EXPECT_NO_THROW(c.append_custom(CMat::identity(4), {0, 1}, "block"));
+  EXPECT_EQ(c.op(0).label, "block");
+}
+
+TEST(Circuit, OperationMatrixCaching) {
+  Circuit c(1);
+  c.rx(1.25, 0);
+  const CMat& first = c.op(0).matrix();
+  const CMat& second = c.op(0).matrix();
+  EXPECT_EQ(first.data(), second.data());  // same cached object
+}
+
+TEST(Circuit, ComposeAndRemap) {
+  Circuit inner(2);
+  inner.h(0).cx(0, 1);
+
+  Circuit outer(4);
+  const std::array<int, 2> map = {2, 3};
+  outer.compose(inner, map);
+  EXPECT_EQ(outer.num_ops(), 2u);
+  EXPECT_EQ(outer.op(0).qubits, (std::vector<int>{2}));
+  EXPECT_EQ(outer.op(1).qubits, (std::vector<int>{2, 3}));
+
+  // remapped: move back down
+  std::vector<int> down = {-1, -1, 0, 1};
+  const Circuit back = outer.remapped(down, 2);
+  EXPECT_EQ(back.op(1).qubits, (std::vector<int>{0, 1}));
+
+  // remapping an op whose qubit has no mapping fails
+  std::vector<int> broken = {-1, -1, -1, 1};
+  EXPECT_THROW((void)outer.remapped(broken, 2), Error);
+}
+
+TEST(Circuit, InverseReversesTheUnitary) {
+  Circuit c(2);
+  c.h(0).t(0).cx(0, 1).rz(0.3, 1).append(GateKind::ISwap, {0, 1});
+  Circuit round_trip(2);
+  round_trip.compose(c);
+  round_trip.compose(c.inverse());
+  const CMat u = sim::circuit_unitary(round_trip);
+  EXPECT_TRUE(u.approx_equal(CMat::identity(4), 1e-9));
+}
+
+TEST(Circuit, InverseOfCustomUsesDagger) {
+  Circuit c(1);
+  c.append_custom(gate_matrix(GateKind::S, {}), {0}, "sgate");
+  const Circuit inv = c.inverse();
+  EXPECT_EQ(inv.op(0).kind, GateKind::Custom);
+  EXPECT_TRUE(inv.op(0).matrix().approx_equal(gate_matrix(GateKind::Sdg, {}), 1e-12));
+}
+
+TEST(Circuit, SliceAndOpAccess) {
+  Circuit c(2);
+  c.h(0).x(1).cx(0, 1).z(0);
+  const Circuit mid = c.slice(1, 3);
+  EXPECT_EQ(mid.num_ops(), 2u);
+  EXPECT_EQ(mid.op(0).kind, GateKind::X);
+  EXPECT_EQ(mid.op(1).kind, GateKind::CX);
+  EXPECT_THROW((void)c.slice(3, 2), Error);
+  EXPECT_THROW((void)c.op(4), Error);
+}
+
+TEST(Circuit, DepthComputation) {
+  Circuit c(3);
+  EXPECT_EQ(c.depth(), 0);
+  c.h(0);
+  EXPECT_EQ(c.depth(), 1);
+  c.h(1);  // parallel with the first
+  EXPECT_EQ(c.depth(), 1);
+  c.cx(0, 1);
+  EXPECT_EQ(c.depth(), 2);
+  c.h(2);  // parallel wire
+  EXPECT_EQ(c.depth(), 2);
+  c.cx(1, 2);
+  EXPECT_EQ(c.depth(), 3);
+}
+
+TEST(Circuit, TwoQubitOpCountAndActiveQubits) {
+  Circuit c(4);
+  c.h(0).cx(0, 1).swap(1, 2).rz(0.2, 1);
+  EXPECT_EQ(c.two_qubit_op_count(), 2u);
+  EXPECT_EQ(c.active_qubits(), (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Circuit, OpsOnQubit) {
+  Circuit c(3);
+  c.h(0).cx(0, 1).x(2).cx(1, 2);
+  EXPECT_EQ(c.ops_on_qubit(0), (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(c.ops_on_qubit(1), (std::vector<std::size_t>{1, 3}));
+  EXPECT_EQ(c.ops_on_qubit(2), (std::vector<std::size_t>{2, 3}));
+  EXPECT_THROW((void)c.ops_on_qubit(5), Error);
+}
+
+TEST(Circuit, ComposeWidthCheck) {
+  Circuit narrow(2);
+  Circuit wide(3);
+  wide.h(2);
+  EXPECT_THROW(narrow.compose(wide), Error);
+  EXPECT_NO_THROW(wide.compose(narrow));
+}
+
+}  // namespace
+}  // namespace qcut::circuit

@@ -1,0 +1,147 @@
+#include "circuit/dag.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace qcut::circuit {
+namespace {
+
+/// The paper's 3-qubit chain: U12 on (0,1), U23 on (1,2), cut wire 1.
+Circuit chain3() {
+  Circuit c(3);
+  c.cx(0, 1);   // op 0 (upstream)
+  c.ry(0.4, 1); // op 1 (upstream, last on wire 1 before the cut)
+  c.cx(1, 2);   // op 2 (downstream)
+  c.h(2);       // op 3 (downstream)
+  return c;
+}
+
+TEST(Dag, ValidSingleCut) {
+  const Circuit c = chain3();
+  const std::array<WirePoint, 1> cuts = {WirePoint{1, 1}};
+  const CutAnalysis analysis = analyze_cuts(c, cuts);
+  EXPECT_EQ(analysis.op_fragment[0], FragmentId::Upstream);
+  EXPECT_EQ(analysis.op_fragment[1], FragmentId::Upstream);
+  EXPECT_EQ(analysis.op_fragment[2], FragmentId::Downstream);
+  EXPECT_EQ(analysis.op_fragment[3], FragmentId::Downstream);
+  EXPECT_EQ(analysis.cut_qubits, (std::vector<int>{1}));
+}
+
+TEST(Dag, CutAfterEarlierOpMovesBoundary) {
+  const Circuit c = chain3();
+  // Cutting after op 0 on wire 1 leaves ry(1) downstream... but then op 1
+  // (ry on wire 1) is downstream while cx(0,1) is upstream - still a valid
+  // split: f1 = {cx01}, f2 = {ry1, cx12, h2}.
+  const std::array<WirePoint, 1> cuts = {WirePoint{1, 0}};
+  const CutAnalysis analysis = analyze_cuts(c, cuts);
+  EXPECT_EQ(analysis.op_fragment[0], FragmentId::Upstream);
+  EXPECT_EQ(analysis.op_fragment[1], FragmentId::Downstream);
+}
+
+TEST(Dag, RejectsCutAfterLastOpOnWire) {
+  const Circuit c = chain3();
+  // Last op on wire 1 is op 2 (cx(1,2)); cutting after it is meaningless.
+  const std::array<WirePoint, 1> cuts = {WirePoint{1, 2}};
+  std::string why;
+  EXPECT_FALSE(try_analyze_cuts(c, cuts, &why).has_value());
+  EXPECT_NE(why.find("final operation"), std::string::npos);
+  EXPECT_THROW((void)analyze_cuts(c, cuts), Error);
+}
+
+TEST(Dag, RejectsOpNotOnQubit) {
+  const Circuit c = chain3();
+  const std::array<WirePoint, 1> cuts = {WirePoint{2, 0}};  // op 0 does not act on qubit 2
+  std::string why;
+  EXPECT_FALSE(try_analyze_cuts(c, cuts, &why).has_value());
+}
+
+TEST(Dag, RejectsOutOfRange) {
+  const Circuit c = chain3();
+  EXPECT_FALSE(try_analyze_cuts(c, std::array<WirePoint, 1>{WirePoint{7, 0}}).has_value());
+  EXPECT_FALSE(try_analyze_cuts(c, std::array<WirePoint, 1>{WirePoint{1, 99}}).has_value());
+  EXPECT_FALSE(try_analyze_cuts(c, std::span<const WirePoint>{}).has_value());
+}
+
+TEST(Dag, RejectsDoubleCutOnSameQubit) {
+  Circuit c(3);
+  c.cx(0, 1).ry(0.1, 1).cx(1, 2).ry(0.2, 1).cx(1, 2);
+  const std::array<WirePoint, 2> cuts = {WirePoint{1, 1}, WirePoint{1, 3}};
+  std::string why;
+  EXPECT_FALSE(try_analyze_cuts(c, cuts, &why).has_value());
+  EXPECT_NE(why.find("injective"), std::string::npos);
+}
+
+TEST(Dag, RejectsCutThatDoesNotDisconnect) {
+  // Two parallel wires between the halves: cutting only one leaves a path.
+  Circuit c(3);
+  c.cx(0, 1);      // op 0
+  c.cx(0, 2);      // op 1 - second crossing path via qubit 2... build explicitly:
+  c.cx(1, 2);      // op 2 downstream-ish
+  // Cut wire 1 after op 0: qubit 2 still connects op 1 and op 2.
+  const std::array<WirePoint, 1> cuts = {WirePoint{1, 0}};
+  std::string why;
+  EXPECT_FALSE(try_analyze_cuts(c, cuts, &why).has_value());
+}
+
+TEST(Dag, TwoCutsRestoreBipartition) {
+  // Same topology as above, but cutting both crossing wires works.
+  Circuit c(3);
+  c.cx(0, 1);  // op 0
+  c.cx(0, 2);  // op 1
+  c.cx(1, 2);  // op 2
+  const std::array<WirePoint, 2> cuts = {WirePoint{1, 0}, WirePoint{2, 1}};
+  const CutAnalysis analysis = analyze_cuts(c, cuts);
+  EXPECT_EQ(analysis.op_fragment[0], FragmentId::Upstream);
+  EXPECT_EQ(analysis.op_fragment[1], FragmentId::Upstream);
+  EXPECT_EQ(analysis.op_fragment[2], FragmentId::Downstream);
+}
+
+TEST(Dag, DisjointUpstreamBlocksAreOneFragment) {
+  // Two disconnected upstream blocks feed two cuts into a joint downstream
+  // block; both blocks must land upstream.
+  Circuit c(4);
+  c.h(0).cx(0, 1);   // ops 0,1: block A
+  c.h(3).cx(3, 2);   // ops 2,3: block B
+  c.cx(1, 2);        // op 4: downstream
+  const std::array<WirePoint, 2> cuts = {WirePoint{1, 1}, WirePoint{2, 3}};
+  const CutAnalysis analysis = analyze_cuts(c, cuts);
+  EXPECT_EQ(analysis.op_fragment[0], FragmentId::Upstream);
+  EXPECT_EQ(analysis.op_fragment[1], FragmentId::Upstream);
+  EXPECT_EQ(analysis.op_fragment[2], FragmentId::Upstream);
+  EXPECT_EQ(analysis.op_fragment[3], FragmentId::Upstream);
+  EXPECT_EQ(analysis.op_fragment[4], FragmentId::Downstream);
+}
+
+TEST(Dag, UntouchedComponentDefaultsUpstream) {
+  Circuit c(4);
+  c.cx(0, 1);   // op 0 upstream
+  c.cx(1, 2);   // op 1 downstream after cut
+  c.h(3);       // op 2: disconnected from everything
+  const std::array<WirePoint, 1> cuts = {WirePoint{1, 0}};
+  const CutAnalysis analysis = analyze_cuts(c, cuts);
+  EXPECT_EQ(analysis.op_fragment[2], FragmentId::Upstream);
+}
+
+TEST(Dag, RejectsContradictoryCuts) {
+  // A cycle: cutting one direction of a feedback loop makes an op both
+  // upstream (of one cut) and downstream (of the other).
+  Circuit c(2);
+  c.cx(0, 1);  // op 0
+  c.cx(1, 0);  // op 1
+  c.cx(0, 1);  // op 2
+  // Cut wire 0 after op 0 and wire 1 after op 1: op 1 must be downstream of
+  // cut 1... op ordering makes this contradictory.
+  const std::array<WirePoint, 2> cuts = {WirePoint{0, 0}, WirePoint{1, 1}};
+  std::string why;
+  const auto analysis = try_analyze_cuts(c, cuts, &why);
+  EXPECT_FALSE(analysis.has_value());
+}
+
+TEST(Dag, WirePointEquality) {
+  EXPECT_EQ((WirePoint{1, 2}), (WirePoint{1, 2}));
+  EXPECT_FALSE((WirePoint{1, 2}) == (WirePoint{1, 3}));
+}
+
+}  // namespace
+}  // namespace qcut::circuit

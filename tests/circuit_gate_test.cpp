@@ -1,0 +1,141 @@
+#include "circuit/gate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <set>
+#include <string>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+#include "linalg/ops.hpp"
+
+namespace qcut::circuit {
+namespace {
+
+using linalg::dagger;
+using linalg::is_unitary;
+
+std::vector<GateKind> all_named_kinds() {
+  return {GateKind::I,    GateKind::X,    GateKind::Y,     GateKind::Z,    GateKind::H,
+          GateKind::S,    GateKind::Sdg,  GateKind::T,     GateKind::Tdg,  GateKind::SX,
+          GateKind::SXdg, GateKind::RX,   GateKind::RY,    GateKind::RZ,   GateKind::P,
+          GateKind::U,    GateKind::CX,   GateKind::CY,    GateKind::CZ,   GateKind::CH,
+          GateKind::SWAP, GateKind::ISwap, GateKind::CRX,  GateKind::CRY,  GateKind::CRZ,
+          GateKind::CP,   GateKind::RXX,  GateKind::RYY,   GateKind::RZZ,  GateKind::CCX,
+          GateKind::CSWAP};
+}
+
+std::vector<double> params_for(GateKind kind, double value = 0.37) {
+  std::vector<double> p(static_cast<std::size_t>(gate_num_params(kind)), value);
+  return p;
+}
+
+TEST(Gate, EveryNamedGateIsUnitary) {
+  for (GateKind kind : all_named_kinds()) {
+    const CMat m = gate_matrix(kind, params_for(kind));
+    EXPECT_TRUE(is_unitary(m, 1e-10)) << gate_name(kind);
+    EXPECT_EQ(m.rows(), pow2(gate_num_qubits(kind))) << gate_name(kind);
+  }
+}
+
+TEST(Gate, NamesAreUniqueAndLowerCase) {
+  std::set<std::string> names;
+  for (GateKind kind : all_named_kinds()) {
+    const std::string name = gate_name(kind);
+    EXPECT_FALSE(name.empty());
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name " << name;
+  }
+}
+
+TEST(Gate, SpecificMatrices) {
+  const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+  const CMat h = gate_matrix(GateKind::H, {});
+  EXPECT_NEAR(h(0, 0).real(), inv_sqrt2, 1e-12);
+  EXPECT_NEAR(h(1, 1).real(), -inv_sqrt2, 1e-12);
+
+  // CX with control = bit 0, target = bit 1: |c=1,t=0> (index 1) -> index 3.
+  const CMat cx_m = gate_matrix(GateKind::CX, {});
+  EXPECT_NEAR(cx_m(3, 1).real(), 1.0, 1e-12);
+  EXPECT_NEAR(cx_m(1, 3).real(), 1.0, 1e-12);
+  EXPECT_NEAR(cx_m(2, 2).real(), 1.0, 1e-12);
+  EXPECT_NEAR(std::abs(cx_m(1, 1)), 0.0, 1e-12);
+
+  // SWAP exchanges indices 1 and 2.
+  const CMat swap_m = gate_matrix(GateKind::SWAP, {});
+  EXPECT_NEAR(swap_m(2, 1).real(), 1.0, 1e-12);
+  EXPECT_NEAR(swap_m(1, 2).real(), 1.0, 1e-12);
+}
+
+TEST(Gate, RotationIdentities) {
+  // RX(0) == I; RX(2pi) == -I; RY(pi)|0> == |1> up to sign.
+  EXPECT_TRUE(gate_matrix(GateKind::RX, {0.0}).approx_equal(CMat::identity(2), 1e-12));
+  const CMat rx_2pi = gate_matrix(GateKind::RX, {2.0 * std::numbers::pi});
+  EXPECT_TRUE(rx_2pi.approx_equal(CMat::identity(2) * cx{-1.0, 0.0}, 1e-12));
+
+  // S == P(pi/2), T == P(pi/4)
+  EXPECT_TRUE(gate_matrix(GateKind::S, {}).approx_equal(
+      gate_matrix(GateKind::P, {std::numbers::pi / 2}), 1e-12));
+  EXPECT_TRUE(gate_matrix(GateKind::T, {}).approx_equal(
+      gate_matrix(GateKind::P, {std::numbers::pi / 4}), 1e-12));
+
+  // U(theta, phi, lambda) at theta=pi/3, phi=0, lambda=0 equals RY(pi/3).
+  EXPECT_TRUE(gate_matrix(GateKind::U, {std::numbers::pi / 3, 0.0, 0.0})
+                  .approx_equal(gate_matrix(GateKind::RY, {std::numbers::pi / 3}), 1e-12));
+}
+
+TEST(Gate, SXSquaredIsX) {
+  const CMat sx = gate_matrix(GateKind::SX, {});
+  EXPECT_TRUE((sx * sx).approx_equal(gate_matrix(GateKind::X, {}), 1e-12));
+}
+
+TEST(Gate, RZZIsDiagonalWithCorrectPhases) {
+  const double theta = 0.9;
+  const CMat rzz = gate_matrix(GateKind::RZZ, {theta});
+  EXPECT_NEAR(std::arg(rzz(0, 0)), -theta / 2, 1e-12);
+  EXPECT_NEAR(std::arg(rzz(1, 1)), theta / 2, 1e-12);
+  EXPECT_NEAR(std::arg(rzz(2, 2)), theta / 2, 1e-12);
+  EXPECT_NEAR(std::arg(rzz(3, 3)), -theta / 2, 1e-12);
+}
+
+TEST(Gate, InverseKindsActuallyInvert) {
+  for (GateKind kind : all_named_kinds()) {
+    const std::vector<double> params = params_for(kind, 0.81);
+    GateInverse inverse;
+    if (!gate_inverse(kind, params, inverse)) {
+      EXPECT_EQ(kind, GateKind::ISwap);  // the only named gate without a named inverse
+      continue;
+    }
+    const CMat product =
+        gate_matrix(inverse.kind, inverse.params) * gate_matrix(kind, params);
+    EXPECT_TRUE(product.approx_equal(CMat::identity(product.rows()), 1e-10))
+        << gate_name(kind);
+  }
+}
+
+TEST(Gate, ParameterCountValidation) {
+  EXPECT_THROW((void)gate_matrix(GateKind::RX, {}), Error);
+  EXPECT_THROW((void)gate_matrix(GateKind::H, {0.1}), Error);
+  EXPECT_THROW((void)gate_matrix(GateKind::U, {0.1, 0.2}), Error);
+  EXPECT_EQ(gate_num_params(GateKind::U), 3);
+  EXPECT_EQ(gate_num_params(GateKind::CZ), 0);
+}
+
+TEST(Gate, CustomIsRejectedByNamedHelpers) {
+  EXPECT_THROW((void)gate_matrix(GateKind::Custom, {}), Error);
+  EXPECT_THROW((void)gate_num_qubits(GateKind::Custom), Error);
+}
+
+TEST(Gate, CCXPermutesOnlyDoubleControlledStates) {
+  const CMat ccx = gate_matrix(GateKind::CCX, {});
+  // Controls are bits 0,1; target bit 2: index 3 <-> index 7.
+  EXPECT_NEAR(ccx(7, 3).real(), 1.0, 1e-12);
+  EXPECT_NEAR(ccx(3, 7).real(), 1.0, 1e-12);
+  for (std::size_t i : {0u, 1u, 2u, 4u, 5u, 6u}) {
+    EXPECT_NEAR(ccx(i, i).real(), 1.0, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace qcut::circuit

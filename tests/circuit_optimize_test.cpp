@@ -1,0 +1,173 @@
+#include "circuit/optimize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "circuit/random.hpp"
+#include "linalg/ops.hpp"
+#include "sim/statevector.hpp"
+
+namespace qcut::circuit {
+namespace {
+
+void expect_same_unitary(const Circuit& a, const Circuit& b, double tol = 1e-9) {
+  // Exact equality, including global phase.
+  EXPECT_TRUE(sim::circuit_unitary(a).approx_equal(sim::circuit_unitary(b), tol));
+}
+
+TEST(Optimize, RemovesIdentities) {
+  Circuit c(2);
+  c.i(0).h(0).i(1).cx(0, 1).i(0);
+  OptimizeStats stats;
+  const Circuit optimized = optimize(c, &stats);
+  EXPECT_EQ(optimized.num_ops(), 2u);
+  EXPECT_EQ(stats.removed_identities, 3u);
+  expect_same_unitary(c, optimized);
+}
+
+TEST(Optimize, CancelsSelfInversePairs) {
+  Circuit c(2);
+  c.h(0).h(0).cx(0, 1).cx(0, 1).x(1);
+  OptimizeStats stats;
+  const Circuit optimized = optimize(c, &stats);
+  EXPECT_EQ(optimized.num_ops(), 1u);
+  EXPECT_EQ(optimized.op(0).kind, GateKind::X);
+  EXPECT_EQ(stats.cancelled_pairs, 2u);
+  expect_same_unitary(c, optimized);
+}
+
+TEST(Optimize, CancelsNamedInversePairs) {
+  Circuit c(1);
+  c.s(0).sdg(0).t(0).tdg(0).h(0);
+  const Circuit optimized = optimize(c);
+  EXPECT_EQ(optimized.num_ops(), 1u);
+  expect_same_unitary(c, optimized);
+}
+
+TEST(Optimize, CascadingCancellation) {
+  // h x x h collapses completely: inner xx cancels, then hh cancels.
+  Circuit c(1);
+  c.h(0).x(0).x(0).h(0);
+  const Circuit optimized = optimize(c);
+  EXPECT_EQ(optimized.num_ops(), 0u);
+}
+
+TEST(Optimize, MergesRotations) {
+  Circuit c(1);
+  c.rx(0.3, 0).rx(0.4, 0).rx(-0.1, 0);
+  OptimizeStats stats;
+  const Circuit optimized = optimize(c, &stats);
+  ASSERT_EQ(optimized.num_ops(), 1u);
+  EXPECT_EQ(optimized.op(0).kind, GateKind::RX);
+  EXPECT_NEAR(optimized.op(0).params[0], 0.6, 1e-12);
+  EXPECT_EQ(stats.merged_rotations, 2u);
+  expect_same_unitary(c, optimized);
+}
+
+TEST(Optimize, MergedRotationsCancelToNothing) {
+  Circuit c(1);
+  c.rz(1.1, 0).rz(-1.1, 0);
+  const Circuit optimized = optimize(c);
+  EXPECT_EQ(optimized.num_ops(), 0u);
+  expect_same_unitary(c, optimized);
+}
+
+TEST(Optimize, RotationPeriodicityIsExact) {
+  // RX(2*pi) == -I, NOT I: it must survive (global phase matters for the
+  // exact-unitary contract). RX(4*pi) == I and is dropped.
+  Circuit two_pi(1);
+  two_pi.rx(2.0 * std::numbers::pi, 0);
+  const Circuit optimized_two_pi = optimize(two_pi);
+  EXPECT_EQ(optimized_two_pi.num_ops(), 1u);
+  expect_same_unitary(two_pi, optimized_two_pi);
+
+  Circuit four_pi(1);
+  four_pi.rx(4.0 * std::numbers::pi, 0);
+  EXPECT_EQ(optimize(four_pi).num_ops(), 0u);
+
+  // P has period 2*pi.
+  Circuit p_two_pi(1);
+  p_two_pi.p(2.0 * std::numbers::pi, 0);
+  EXPECT_EQ(optimize(p_two_pi).num_ops(), 0u);
+}
+
+TEST(Optimize, DoesNotMergeAcrossDifferentQubits) {
+  Circuit c(2);
+  c.rx(0.3, 0).rx(0.4, 1);
+  EXPECT_EQ(optimize(c).num_ops(), 2u);
+}
+
+TEST(Optimize, DoesNotCancelAcrossInterveningGates) {
+  Circuit c(2);
+  c.h(0).cx(0, 1).h(0);
+  EXPECT_EQ(optimize(c).num_ops(), 3u);
+}
+
+TEST(Optimize, SymmetricTwoQubitGatesMergeEitherOrder) {
+  Circuit c(2);
+  c.append(GateKind::RZZ, {0, 1}, {0.3});
+  c.append(GateKind::RZZ, {1, 0}, {0.4});
+  const Circuit optimized = optimize(c);
+  ASSERT_EQ(optimized.num_ops(), 1u);
+  EXPECT_NEAR(optimized.op(0).params[0], 0.7, 1e-12);
+  expect_same_unitary(c, optimized);
+}
+
+TEST(Optimize, DirectionalGatesDoNotCancelReversed) {
+  Circuit c(2);
+  c.cx(0, 1).cx(1, 0);  // NOT inverses of each other
+  EXPECT_EQ(optimize(c).num_ops(), 2u);
+}
+
+TEST(Optimize, SymmetricSelfInverseCancelsReversed) {
+  Circuit c(2);
+  c.cz(0, 1).cz(1, 0);
+  EXPECT_EQ(optimize(c).num_ops(), 0u);
+  Circuit s(2);
+  s.swap(0, 1).swap(1, 0);
+  EXPECT_EQ(optimize(s).num_ops(), 0u);
+}
+
+TEST(Optimize, PreservesCustomGates) {
+  Circuit c(1);
+  c.append_custom(gate_matrix(GateKind::T, {}), {0}, "custom_t");
+  c.i(0);
+  const Circuit optimized = optimize(c);
+  EXPECT_EQ(optimized.num_ops(), 1u);
+  EXPECT_EQ(optimized.op(0).label, "custom_t");
+}
+
+class OptimizePropertySweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OptimizePropertySweep, RandomCircuitUnitaryIsPreserved) {
+  Rng rng(GetParam());
+  RandomCircuitOptions options;
+  options.num_qubits = 4;
+  options.depth = 6;
+  const Circuit c = random_circuit(options, rng);
+  const Circuit optimized = optimize(c);
+  EXPECT_LE(optimized.num_ops(), c.num_ops());
+  expect_same_unitary(c, optimized);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimizePropertySweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+TEST(Optimize, RedundancyHeavyCircuitShrinksALot) {
+  // A circuit padded with do-nothing patterns must collapse to its core.
+  Circuit c(3);
+  c.h(0);
+  for (int i = 0; i < 10; ++i) {
+    c.i(1).x(2).x(2).s(1).sdg(1);
+  }
+  c.cx(0, 1);
+  OptimizeStats stats;
+  const Circuit optimized = optimize(c, &stats);
+  EXPECT_EQ(optimized.num_ops(), 2u);
+  EXPECT_EQ(stats.total_removed(), 50u);
+  expect_same_unitary(c, optimized);
+}
+
+}  // namespace
+}  // namespace qcut::circuit

@@ -1,0 +1,70 @@
+#include "circuit/pauli_string.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "linalg/ops.hpp"
+
+namespace qcut::circuit {
+namespace {
+
+using linalg::Pauli;
+
+TEST(PauliString, DefaultIsIdentity) {
+  const PauliString p(4);
+  EXPECT_EQ(p.num_qubits(), 4);
+  EXPECT_EQ(p.weight(), 0);
+  EXPECT_EQ(p.to_string(), "IIII");
+  EXPECT_TRUE(p.support().empty());
+}
+
+TEST(PauliString, ParseRoundTrip) {
+  const PauliString p = PauliString::parse("XIZY");
+  EXPECT_EQ(p.num_qubits(), 4);
+  // First character = highest qubit.
+  EXPECT_EQ(p.label(3), Pauli::X);
+  EXPECT_EQ(p.label(2), Pauli::I);
+  EXPECT_EQ(p.label(1), Pauli::Z);
+  EXPECT_EQ(p.label(0), Pauli::Y);
+  EXPECT_EQ(p.to_string(), "XIZY");
+  EXPECT_EQ(p.weight(), 3);
+  EXPECT_EQ(p.support(), (std::vector<int>{0, 1, 3}));
+  EXPECT_EQ(p.y_count(), 1);
+}
+
+TEST(PauliString, ParseRejectsInvalid) {
+  EXPECT_THROW((void)PauliString::parse(""), Error);
+  EXPECT_THROW((void)PauliString::parse("XA"), Error);
+}
+
+TEST(PauliString, SetLabel) {
+  PauliString p(3);
+  p.set_label(1, Pauli::Y);
+  EXPECT_EQ(p.to_string(), "IYI");
+  EXPECT_THROW(p.set_label(3, Pauli::X), Error);
+  EXPECT_THROW((void)p.label(-1), Error);
+}
+
+TEST(PauliString, MatrixMatchesKroneckerConvention) {
+  // "XZ" means X on qubit 1, Z on qubit 0: matrix = kron(X, Z).
+  const PauliString p = PauliString::parse("XZ");
+  const linalg::CMat expected =
+      linalg::kron(linalg::pauli_matrix(Pauli::X), linalg::pauli_matrix(Pauli::Z));
+  EXPECT_TRUE(p.to_matrix().approx_equal(expected, 1e-12));
+}
+
+TEST(PauliString, MatrixIsHermitianAndUnitary) {
+  const PauliString p = PauliString::parse("YXZ");
+  const linalg::CMat m = p.to_matrix();
+  EXPECT_TRUE(linalg::is_hermitian(m));
+  EXPECT_TRUE(linalg::is_unitary(m));
+  EXPECT_EQ(m.rows(), 8u);
+}
+
+TEST(PauliString, Equality) {
+  EXPECT_EQ(PauliString::parse("XY"), PauliString::parse("XY"));
+  EXPECT_FALSE(PauliString::parse("XY") == PauliString::parse("YX"));
+}
+
+}  // namespace
+}  // namespace qcut::circuit

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "circuit/qasm.hpp"
+#include "circuit/random.hpp"
+#include "common/error.hpp"
+#include "linalg/ops.hpp"
+#include "sim/statevector.hpp"
+
+namespace qcut::circuit {
+namespace {
+
+bool equal_up_to_phase(const CMat& a, const CMat& b, double tol = 1e-9) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  std::size_t ri = 0, ci = 0;
+  double best = 0.0;
+  for (std::size_t r = 0; r < b.rows(); ++r) {
+    for (std::size_t c = 0; c < b.cols(); ++c) {
+      if (std::abs(b(r, c)) > best) {
+        best = std::abs(b(r, c));
+        ri = r;
+        ci = c;
+      }
+    }
+  }
+  if (best < tol || std::abs(a(ri, ci)) < tol) return false;
+  const cx phase = a(ri, ci) / b(ri, ci);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      if (std::abs(a(r, c) - phase * b(r, c)) > tol) return false;
+    }
+  }
+  return true;
+}
+
+TEST(QasmImport, BasicProgram) {
+  const std::string source = R"(
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+creg c[2];
+h q[0];
+cx q[0],q[1];
+measure q[0] -> c[0];
+measure q[1] -> c[1];
+)";
+  const Circuit c = from_qasm(source);
+  EXPECT_EQ(c.num_qubits(), 2);
+  ASSERT_EQ(c.num_ops(), 2u);
+  EXPECT_EQ(c.op(0).kind, GateKind::H);
+  EXPECT_EQ(c.op(1).kind, GateKind::CX);
+  EXPECT_EQ(c.op(1).qubits, (std::vector<int>{0, 1}));
+}
+
+TEST(QasmImport, ParameterExpressions) {
+  const std::string source = R"(
+OPENQASM 2.0;
+qreg r[1];
+rx(pi/2) r[0];
+rz(-pi) r[0];
+ry(2*pi/3) r[0];
+u1(0.25 + 0.5) r[0];
+rx(1.5e-1) r[0];
+ry((pi)) r[0];
+)";
+  const Circuit c = from_qasm(source);
+  ASSERT_EQ(c.num_ops(), 6u);
+  EXPECT_NEAR(c.op(0).params[0], std::numbers::pi / 2, 1e-12);
+  EXPECT_NEAR(c.op(1).params[0], -std::numbers::pi, 1e-12);
+  EXPECT_NEAR(c.op(2).params[0], 2 * std::numbers::pi / 3, 1e-12);
+  EXPECT_NEAR(c.op(3).params[0], 0.75, 1e-12);
+  EXPECT_NEAR(c.op(4).params[0], 0.15, 1e-12);
+  EXPECT_NEAR(c.op(5).params[0], std::numbers::pi, 1e-12);
+}
+
+TEST(QasmImport, AliasesAndSpecialGates) {
+  const std::string source = R"(
+OPENQASM 2.0;
+qreg q[3];
+u2(0.1,0.2) q[0];
+u(0.1,0.2,0.3) q[1];
+cu1(0.5) q[0],q[1];
+cu3(0.4,0.5,0.6) q[1],q[2];
+barrier q[0],q[1];
+rzz(0.7) q[0],q[2];
+)";
+  const Circuit c = from_qasm(source);
+  ASSERT_EQ(c.num_ops(), 5u);
+  EXPECT_EQ(c.op(0).kind, GateKind::U);
+  EXPECT_NEAR(c.op(0).params[0], std::numbers::pi / 2, 1e-12);
+  EXPECT_EQ(c.op(1).kind, GateKind::U);
+  EXPECT_EQ(c.op(2).kind, GateKind::CP);
+  EXPECT_EQ(c.op(3).kind, GateKind::Custom);
+  EXPECT_EQ(c.op(3).label, "cu3");
+  EXPECT_EQ(c.op(4).kind, GateKind::RZZ);
+}
+
+TEST(QasmImport, MultipleStatementsPerLineAndComments) {
+  const std::string source =
+      "OPENQASM 2.0; qreg q[1]; h q[0]; x q[0]; // trailing comment\n"
+      "z q[0]; // another\n";
+  const Circuit c = from_qasm(source);
+  EXPECT_EQ(c.num_ops(), 3u);
+}
+
+TEST(QasmImport, Diagnostics) {
+  EXPECT_THROW((void)from_qasm("qreg q[2];\nh q[0];"), Error);          // no header
+  EXPECT_THROW((void)from_qasm("OPENQASM 2.0;\nh q[0];"), Error);       // no qreg
+  EXPECT_THROW((void)from_qasm("OPENQASM 2.0;\nqreg q[2];\nfoo q[0];"), Error);
+  EXPECT_THROW((void)from_qasm("OPENQASM 2.0;\nqreg q[2];\nh r[0];"), Error);
+  EXPECT_THROW((void)from_qasm("OPENQASM 2.0;\nqreg q[2];\nrx() q[0];"), Error);
+  EXPECT_THROW((void)from_qasm("OPENQASM 2.0;\nqreg q[2];\nh q[5];"), Error);
+  EXPECT_THROW((void)from_qasm("OPENQASM 2.0;\nqreg q[2];\nrx(1/0) q[0];"), Error);
+  EXPECT_THROW((void)from_qasm("OPENQASM 2.0;\nqreg q[0];"), Error);
+}
+
+class QasmRoundTripSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QasmRoundTripSweep, ExportImportPreservesUnitary) {
+  Rng rng(GetParam());
+  RandomCircuitOptions options;
+  options.num_qubits = 4;
+  options.depth = 4;
+  const Circuit original = random_circuit(options, rng);
+  const Circuit round_trip = from_qasm(to_qasm(original));
+  EXPECT_EQ(round_trip.num_qubits(), original.num_qubits());
+  EXPECT_TRUE(equal_up_to_phase(sim::circuit_unitary(round_trip),
+                                sim::circuit_unitary(original)))
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QasmRoundTripSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(QasmRoundTrip, GoldenAnsatzSurvives) {
+  Rng rng(9);
+  GoldenAnsatzOptions options;
+  options.num_qubits = 5;
+  const GoldenAnsatz ansatz = make_golden_ansatz(options, rng);
+  const Circuit round_trip = from_qasm(to_qasm(ansatz.circuit));
+  EXPECT_TRUE(equal_up_to_phase(sim::circuit_unitary(round_trip),
+                                sim::circuit_unitary(ansatz.circuit)));
+}
+
+}  // namespace
+}  // namespace qcut::circuit

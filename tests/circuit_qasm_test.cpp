@@ -1,0 +1,164 @@
+#include "circuit/qasm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/random.hpp"
+#include "common/error.hpp"
+#include "linalg/ops.hpp"
+#include "sim/statevector.hpp"
+
+namespace qcut::circuit {
+namespace {
+
+/// Checks that two unitaries are equal up to a global phase.
+bool equal_up_to_phase(const CMat& a, const CMat& b, double tol = 1e-9) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  // Find the largest entry of b to fix the phase.
+  std::size_t ri = 0, ci = 0;
+  double best = 0.0;
+  for (std::size_t r = 0; r < b.rows(); ++r) {
+    for (std::size_t c = 0; c < b.cols(); ++c) {
+      if (std::abs(b(r, c)) > best) {
+        best = std::abs(b(r, c));
+        ri = r;
+        ci = c;
+      }
+    }
+  }
+  if (best < tol || std::abs(a(ri, ci)) < tol) return false;
+  const cx phase = a(ri, ci) / b(ri, ci);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      if (std::abs(a(r, c) - phase * b(r, c)) > tol) return false;
+    }
+  }
+  return true;
+}
+
+TEST(QasmDecompose, EveryDecompositionMatchesTheGate) {
+  struct Case {
+    GateKind kind;
+    std::vector<int> qubits;
+    std::vector<double> params;
+  };
+  const std::vector<Case> cases = {
+      {GateKind::SX, {0}, {}},
+      {GateKind::SXdg, {0}, {}},
+      {GateKind::ISwap, {0, 1}, {}},
+      {GateKind::RZZ, {0, 1}, {0.77}},
+      {GateKind::RXX, {0, 1}, {1.21}},
+      {GateKind::RYY, {0, 1}, {2.05}},
+      {GateKind::CSWAP, {0, 1, 2}, {}},
+      // Reversed / permuted qubit orders must decompose correctly too.
+      {GateKind::ISwap, {2, 0}, {}},
+      {GateKind::RYY, {2, 1}, {0.4}},
+      {GateKind::CSWAP, {2, 0, 1}, {}},
+  };
+  for (const Case& test_case : cases) {
+    const int width = 3;
+    Circuit direct(width);
+    direct.append(test_case.kind, test_case.qubits, test_case.params);
+
+    Operation op;
+    op.kind = test_case.kind;
+    op.qubits = test_case.qubits;
+    op.params = test_case.params;
+    Circuit decomposed(width);
+    for (const Operation& piece : decompose_for_qasm(op)) {
+      decomposed.append(piece.kind, piece.qubits, piece.params);
+    }
+
+    EXPECT_TRUE(equal_up_to_phase(sim::circuit_unitary(decomposed),
+                                  sim::circuit_unitary(direct)))
+        << gate_name(test_case.kind);
+  }
+}
+
+TEST(QasmDecompose, DirectGatesPassThrough) {
+  Operation op;
+  op.kind = GateKind::H;
+  op.qubits = {1};
+  const auto pieces = decompose_for_qasm(op);
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0].kind, GateKind::H);
+}
+
+TEST(QasmDecompose, CustomGateRejected) {
+  Operation op;
+  op.kind = GateKind::Custom;
+  op.qubits = {0};
+  op.custom = CMat::identity(2);
+  EXPECT_THROW((void)decompose_for_qasm(op), Error);
+}
+
+TEST(QasmExport, HeaderAndRegisters) {
+  Circuit c(3);
+  c.h(0).cx(0, 1);
+  const std::string qasm = to_qasm(c);
+  EXPECT_NE(qasm.find("OPENQASM 2.0;"), std::string::npos);
+  EXPECT_NE(qasm.find("include \"qelib1.inc\";"), std::string::npos);
+  EXPECT_NE(qasm.find("qreg q[3];"), std::string::npos);
+  EXPECT_NE(qasm.find("creg c[3];"), std::string::npos);
+  EXPECT_NE(qasm.find("h q[0];"), std::string::npos);
+  EXPECT_NE(qasm.find("cx q[0],q[1];"), std::string::npos);
+  EXPECT_NE(qasm.find("measure q[2] -> c[2];"), std::string::npos);
+}
+
+TEST(QasmExport, NoMeasurementOption) {
+  Circuit c(1);
+  c.x(0);
+  const std::string qasm = to_qasm(c, /*measure_all=*/false);
+  EXPECT_EQ(qasm.find("measure"), std::string::npos);
+  EXPECT_EQ(qasm.find("creg"), std::string::npos);
+}
+
+TEST(QasmExport, ParameterizedGates) {
+  Circuit c(2);
+  c.rx(0.5, 0).u(0.1, 0.2, 0.3, 1).p(1.5, 0).crz(0.25, 0, 1);
+  const std::string qasm = to_qasm(c);
+  EXPECT_NE(qasm.find("rx(0.5) q[0];"), std::string::npos);
+  EXPECT_NE(qasm.find("u3(0.1"), std::string::npos);
+  EXPECT_NE(qasm.find("u1(1.5) q[0];"), std::string::npos);
+  EXPECT_NE(qasm.find("crz(0.25) q[0],q[1];"), std::string::npos);
+}
+
+TEST(QasmExport, ControlledRotationsViaCU3) {
+  Circuit c(2);
+  c.append(GateKind::CRX, {0, 1}, {0.7});
+  c.append(GateKind::CRY, {0, 1}, {0.9});
+  const std::string qasm = to_qasm(c);
+  EXPECT_NE(qasm.find("cu3(0.7"), std::string::npos);
+  EXPECT_NE(qasm.find("cu3(0.9"), std::string::npos);
+}
+
+TEST(QasmExport, DecomposedGatesAppearAsPrimitives) {
+  Circuit c(2);
+  c.append(GateKind::RZZ, {0, 1}, {0.33});
+  const std::string qasm = to_qasm(c);
+  EXPECT_NE(qasm.find("cx q[0],q[1];"), std::string::npos);
+  EXPECT_NE(qasm.find("rz(0.33) q[1];"), std::string::npos);
+  EXPECT_EQ(qasm.find("rzz"), std::string::npos);
+}
+
+TEST(QasmExport, CustomGateRejected) {
+  Circuit c(1);
+  c.append_custom(CMat::identity(2), {0});
+  EXPECT_THROW((void)to_qasm(c), Error);
+}
+
+TEST(QasmExport, RandomCircuitsExportWithoutError) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    Rng rng(seed);
+    RandomCircuitOptions options;
+    options.num_qubits = 5;
+    options.depth = 4;
+    const Circuit c = random_circuit(options, rng);
+    const std::string qasm = to_qasm(c);
+    EXPECT_GT(qasm.size(), 100u);
+  }
+}
+
+}  // namespace
+}  // namespace qcut::circuit

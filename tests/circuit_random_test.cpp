@@ -1,0 +1,189 @@
+#include "circuit/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuit/dag.hpp"
+#include "common/error.hpp"
+#include "linalg/ops.hpp"
+#include "sim/statevector.hpp"
+
+namespace qcut::circuit {
+namespace {
+
+TEST(RandomCircuit, DeterministicForSameSeed) {
+  RandomCircuitOptions options;
+  options.num_qubits = 4;
+  options.depth = 3;
+  Rng rng1(5), rng2(5);
+  const Circuit a = random_circuit(options, rng1);
+  const Circuit b = random_circuit(options, rng2);
+  ASSERT_EQ(a.num_ops(), b.num_ops());
+  for (std::size_t i = 0; i < a.num_ops(); ++i) {
+    EXPECT_EQ(a.op(i).kind, b.op(i).kind);
+    EXPECT_EQ(a.op(i).qubits, b.op(i).qubits);
+    EXPECT_EQ(a.op(i).params, b.op(i).params);
+  }
+}
+
+TEST(RandomCircuit, DepthZeroIsEmpty) {
+  RandomCircuitOptions options;
+  options.num_qubits = 3;
+  options.depth = 0;
+  Rng rng(1);
+  EXPECT_EQ(random_circuit(options, rng).num_ops(), 0u);
+}
+
+TEST(RandomCircuit, EveryLayerTouchesEveryQubit) {
+  RandomCircuitOptions options;
+  options.num_qubits = 5;
+  options.depth = 4;
+  Rng rng(2);
+  const Circuit c = random_circuit(options, rng);
+  for (int q = 0; q < 5; ++q) {
+    EXPECT_GE(c.ops_on_qubit(q).size(), static_cast<std::size_t>(options.depth)) << q;
+  }
+}
+
+TEST(RandomCircuit, RestrictedToListedQubits) {
+  RandomCircuitOptions options;
+  options.num_qubits = 6;
+  options.depth = 3;
+  const std::array<int, 2> listed = {1, 4};
+  Rng rng(3);
+  const Circuit c = random_circuit_on(options, listed, 6, rng);
+  for (const Operation& op : c.ops()) {
+    for (int q : op.qubits) {
+      EXPECT_TRUE(q == 1 || q == 4);
+    }
+  }
+}
+
+TEST(RandomCircuit, RealAmplitudeGateSetKeepsStateReal) {
+  RandomCircuitOptions options;
+  options.num_qubits = 4;
+  options.depth = 5;
+  options.gate_set = GateSet::RealAmplitude;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    Rng rng(seed);
+    const Circuit c = random_circuit(options, rng);
+    sim::StateVector sv(4);
+    sv.apply_circuit(c);
+    for (const auto& amp : sv.amplitudes()) {
+      EXPECT_NEAR(amp.imag(), 0.0, 1e-10);
+    }
+  }
+}
+
+TEST(RandomCircuit, IXClassKeepsAmplitudesInClass) {
+  // amp(b) must lie in i^{popcount(b)} * R for IXClass circuits.
+  RandomCircuitOptions options;
+  options.num_qubits = 4;
+  options.depth = 5;
+  options.gate_set = GateSet::IXClass;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    Rng rng(seed);
+    const Circuit c = random_circuit(options, rng);
+    sim::StateVector sv(4);
+    sv.apply_circuit(c);
+    // Fix the global phase using the largest amplitude.
+    const auto& amps = sv.amplitudes();
+    std::size_t ref = 0;
+    for (std::size_t i = 1; i < amps.size(); ++i) {
+      if (std::abs(amps[i]) > std::abs(amps[ref])) ref = i;
+    }
+    const linalg::cx phase =
+        std::pow(linalg::cx{0, 1}, static_cast<int>(popcount(ref))) *
+        (amps[ref] / std::abs(amps[ref]));
+    for (std::size_t b = 0; b < amps.size(); ++b) {
+      const linalg::cx normalized =
+          amps[b] / phase * std::pow(linalg::cx{0, 1}, -static_cast<int>(popcount(b)));
+      EXPECT_NEAR(normalized.imag(), 0.0, 1e-9) << "b=" << b << " seed=" << seed;
+    }
+  }
+}
+
+TEST(RandomCircuit, RotationCollections) {
+  Rng rng(4);
+  const std::array<int, 3> qubits = {0, 2, 3};
+  const Circuit rx = rx_collection(5, qubits, rng);
+  ASSERT_EQ(rx.num_ops(), 3u);
+  for (const Operation& op : rx.ops()) {
+    EXPECT_EQ(op.kind, GateKind::RX);
+    EXPECT_GE(op.params[0], 0.0);
+    EXPECT_LE(op.params[0], 6.28);
+  }
+  const Circuit ry = ry_collection(5, qubits, rng);
+  for (const Operation& op : ry.ops()) {
+    EXPECT_EQ(op.kind, GateKind::RY);
+  }
+}
+
+TEST(GoldenAnsatz, ProducesValidCut) {
+  for (int n : {3, 5, 7}) {
+    Rng rng(n);
+    GoldenAnsatzOptions options;
+    options.num_qubits = n;
+    const GoldenAnsatz ansatz = make_golden_ansatz(options, rng);
+    EXPECT_EQ(ansatz.cut.qubit, n / 2);
+    const std::array<WirePoint, 1> cuts = {ansatz.cut};
+    std::string why;
+    EXPECT_TRUE(try_analyze_cuts(ansatz.circuit, cuts, &why).has_value()) << why;
+  }
+}
+
+TEST(GoldenAnsatz, UpstreamIsRealForGoldenY) {
+  Rng rng(10);
+  GoldenAnsatzOptions options;
+  options.num_qubits = 5;
+  const GoldenAnsatz ansatz = make_golden_ansatz(options, rng);
+  // Every op at or before the cut must have a real matrix.
+  for (std::size_t i = 0; i <= ansatz.cut.after_op; ++i) {
+    const Operation& op = ansatz.circuit.op(i);
+    EXPECT_TRUE(linalg::is_real(op.matrix())) << "op " << i;
+  }
+}
+
+TEST(GoldenAnsatz, DownstreamUsesPaperRXCollection) {
+  Rng rng(11);
+  GoldenAnsatzOptions options;
+  options.num_qubits = 5;
+  const GoldenAnsatz ansatz = make_golden_ansatz(options, rng);
+  // The ops right after the cut start with the downstream RX collection.
+  bool found_rx = false;
+  for (std::size_t i = ansatz.cut.after_op + 1; i < ansatz.circuit.num_ops(); ++i) {
+    if (ansatz.circuit.op(i).kind == GateKind::RX) {
+      found_rx = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(found_rx);
+}
+
+TEST(GoldenAnsatz, RejectsDegenerateOptions) {
+  Rng rng(1);
+  GoldenAnsatzOptions options;
+  options.num_qubits = 2;
+  EXPECT_THROW((void)make_golden_ansatz(options, rng), Error);
+  options.num_qubits = 5;
+  options.cut_qubit = 0;  // no upstream side
+  EXPECT_THROW((void)make_golden_ansatz(options, rng), Error);
+  options.cut_qubit = 4;  // no downstream side
+  EXPECT_THROW((void)make_golden_ansatz(options, rng), Error);
+  options.golden_basis = linalg::Pauli::Z;
+  options.cut_qubit = 2;
+  EXPECT_THROW((void)make_golden_ansatz(options, rng), Error);
+}
+
+TEST(RandomCircuit, OptionValidation) {
+  Rng rng(1);
+  RandomCircuitOptions options;
+  options.num_qubits = 3;
+  options.two_qubit_fraction = 1.5;
+  EXPECT_THROW((void)random_circuit(options, rng), Error);
+  options.two_qubit_fraction = 0.5;
+  options.depth = -1;
+  EXPECT_THROW((void)random_circuit(options, rng), Error);
+}
+
+}  // namespace
+}  // namespace qcut::circuit

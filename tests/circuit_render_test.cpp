@@ -1,0 +1,76 @@
+#include "circuit/render.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace qcut::circuit {
+namespace {
+
+TEST(Render, SingleQubitGates) {
+  Circuit c(2);
+  c.h(0).x(1);
+  const std::string art = render_ascii(c);
+  EXPECT_NE(art.find("q0:"), std::string::npos);
+  EXPECT_NE(art.find("q1:"), std::string::npos);
+  EXPECT_NE(art.find('H'), std::string::npos);
+  EXPECT_NE(art.find('X'), std::string::npos);
+}
+
+TEST(Render, ControlledGateShowsControlDot) {
+  Circuit c(2);
+  c.cx(0, 1);
+  const std::string art = render_ascii(c);
+  EXPECT_NE(art.find('*'), std::string::npos);
+  EXPECT_NE(art.find('X'), std::string::npos);
+}
+
+TEST(Render, VerticalConnectorSpansMiddleWires) {
+  Circuit c(3);
+  c.cx(0, 2);
+  const std::string art = render_ascii(c);
+  // The middle wire must carry a connector in the gate's column.
+  EXPECT_NE(art.find('|'), std::string::npos);
+}
+
+TEST(Render, ParametersAreShown) {
+  Circuit c(1);
+  c.rx(1.5, 0);
+  const std::string art = render_ascii(c);
+  EXPECT_NE(art.find("RX(1.50)"), std::string::npos);
+}
+
+TEST(Render, CutMarker) {
+  Circuit c(2);
+  c.h(0).cx(0, 1).h(0);
+  const std::array<WirePoint, 1> cuts = {WirePoint{0, 1}};
+  const std::string art = render_ascii(c, cuts);
+  EXPECT_NE(art.find("-//-"), std::string::npos);
+}
+
+TEST(Render, CustomGateUsesLabel) {
+  Circuit c(2);
+  c.append_custom(linalg::CMat::identity(4), {0, 1}, "U1");
+  const std::string art = render_ascii(c);
+  EXPECT_NE(art.find("U1"), std::string::npos);
+}
+
+TEST(Render, MomentsPackParallelGates) {
+  Circuit c(2);
+  c.h(0).h(1);  // both fit in one column
+  const std::string art = render_ascii(c);
+  // Both rows have the same length and exactly one H each.
+  const auto newline = art.find('\n');
+  const std::string row0 = art.substr(0, newline);
+  EXPECT_EQ(std::count(row0.begin(), row0.end(), 'H'), 1);
+}
+
+TEST(Render, SwapUsesCrosses) {
+  Circuit c(2);
+  c.swap(0, 1);
+  const std::string art = render_ascii(c);
+  EXPECT_GE(std::count(art.begin(), art.end(), 'x'), 2);
+}
+
+}  // namespace
+}  // namespace qcut::circuit

@@ -1,0 +1,99 @@
+#include "common/bits.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qcut {
+namespace {
+
+TEST(Bits, BitExtraction) {
+  EXPECT_EQ(bit(0b1010, 0), 0);
+  EXPECT_EQ(bit(0b1010, 1), 1);
+  EXPECT_EQ(bit(0b1010, 2), 0);
+  EXPECT_EQ(bit(0b1010, 3), 1);
+  EXPECT_EQ(bit(0b1010, 40), 0);
+}
+
+TEST(Bits, SetClearFlipAssign) {
+  EXPECT_EQ(set_bit(0b1000, 1), 0b1010u);
+  EXPECT_EQ(clear_bit(0b1010, 1), 0b1000u);
+  EXPECT_EQ(flip_bit(0b1010, 0), 0b1011u);
+  EXPECT_EQ(flip_bit(0b1010, 1), 0b1000u);
+  EXPECT_EQ(assign_bit(0b1010, 0, 1), 0b1011u);
+  EXPECT_EQ(assign_bit(0b1010, 1, 0), 0b1000u);
+  EXPECT_EQ(assign_bit(0b1010, 1, 1), 0b1010u);
+}
+
+TEST(Bits, InsertZeroBit) {
+  EXPECT_EQ(insert_zero_bit(0b101, 1), 0b1001u);
+  EXPECT_EQ(insert_zero_bit(0b101, 0), 0b1010u);
+  EXPECT_EQ(insert_zero_bit(0b111, 3), 0b0111u);
+  EXPECT_EQ(insert_zero_bit(0b111, 2), 0b1011u);
+  EXPECT_EQ(insert_zero_bit(0, 5), 0u);
+}
+
+TEST(Bits, InsertZeroBitsEnumeratesGroupBases) {
+  // Inserting zeros at positions {1, 3} of consecutive integers enumerates
+  // exactly the indices whose bits 1 and 3 are clear.
+  const std::vector<int> positions = {1, 3};
+  std::vector<index_t> bases;
+  for (index_t g = 0; g < 4; ++g) {
+    bases.push_back(insert_zero_bits(g, positions));
+  }
+  EXPECT_EQ(bases, (std::vector<index_t>{0b0000, 0b0001, 0b0100, 0b0101}));
+}
+
+TEST(Bits, GatherScatterRoundTrip) {
+  const std::vector<int> positions = {0, 2, 5};
+  for (index_t compact = 0; compact < 8; ++compact) {
+    const index_t spread = scatter_bits(compact, positions);
+    EXPECT_EQ(gather_bits(spread, positions), compact);
+  }
+}
+
+TEST(Bits, GatherBitsOrderMatters) {
+  const std::vector<int> forward = {1, 3};
+  const std::vector<int> backward = {3, 1};
+  EXPECT_EQ(gather_bits(0b1000, forward), 0b10u);
+  EXPECT_EQ(gather_bits(0b1000, backward), 0b01u);
+}
+
+TEST(Bits, ScatterDisjointPositionsCompose) {
+  const std::vector<int> a = {0, 2};
+  const std::vector<int> b = {1, 3};
+  for (index_t x = 0; x < 4; ++x) {
+    for (index_t y = 0; y < 4; ++y) {
+      const index_t combined = scatter_bits(x, a) | scatter_bits(y, b);
+      EXPECT_EQ(gather_bits(combined, a), x);
+      EXPECT_EQ(gather_bits(combined, b), y);
+    }
+  }
+}
+
+TEST(Bits, PopcountParity) {
+  EXPECT_EQ(popcount(0), 0);
+  EXPECT_EQ(popcount(0b1011), 3);
+  EXPECT_EQ(parity(0b1011), 1);
+  EXPECT_EQ(parity(0b1001), 0);
+}
+
+TEST(Bits, Pow2AndLog2) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(48));
+  EXPECT_EQ(pow2(0), 1u);
+  EXPECT_EQ(pow2(10), 1024u);
+  EXPECT_EQ(log2_exact(1), 0);
+  EXPECT_EQ(log2_exact(1024), 10);
+}
+
+TEST(Bits, BitsToString) {
+  EXPECT_EQ(bits_to_string(0b0110, 4), "0110");
+  EXPECT_EQ(bits_to_string(0b0110, 4, /*msb_first=*/false), "0110");
+  EXPECT_EQ(bits_to_string(0b0011, 4), "0011");
+  EXPECT_EQ(bits_to_string(0b0011, 4, /*msb_first=*/false), "1100");
+  EXPECT_EQ(bits_to_string(5, 3), "101");
+}
+
+}  // namespace
+}  // namespace qcut

@@ -1,0 +1,102 @@
+#include "cutting/basis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "linalg/ops.hpp"
+#include "sim/statevector.hpp"
+
+namespace qcut::cutting {
+namespace {
+
+TEST(Basis, SettingForPauli) {
+  EXPECT_EQ(setting_for(Pauli::I), MeasSetting::Z);
+  EXPECT_EQ(setting_for(Pauli::Z), MeasSetting::Z);
+  EXPECT_EQ(setting_for(Pauli::X), MeasSetting::X);
+  EXPECT_EQ(setting_for(Pauli::Y), MeasSetting::Y);
+}
+
+TEST(Basis, RotationMapsEigenbasisToComputational) {
+  // For each setting, preparing eigenstate slot k and applying the rotation
+  // must yield computational state |k> exactly.
+  struct Case {
+    MeasSetting setting;
+    Pauli pauli;
+  };
+  for (const Case c : {Case{MeasSetting::X, Pauli::X}, Case{MeasSetting::Y, Pauli::Y},
+                       Case{MeasSetting::Z, Pauli::Z}}) {
+    for (int slot : {0, 1}) {
+      sim::StateVector sv = sim::StateVector::from_amplitudes(
+          linalg::pauli_eigenstate(c.pauli, slot));
+      Circuit rotation(1);
+      append_basis_rotation(rotation, 0, c.setting);
+      sv.apply_circuit(rotation);
+      EXPECT_NEAR(sv.probability_of(static_cast<index_t>(slot)), 1.0, 1e-12)
+          << setting_name(c.setting) << " slot " << slot;
+    }
+  }
+}
+
+TEST(Basis, PreparationProducesExactStates) {
+  for (linalg::PrepState s : linalg::kAllPrepStates) {
+    Circuit prep(1);
+    append_preparation(prep, 0, s);
+    sim::StateVector sv(1);
+    sv.apply_circuit(prep);
+    const linalg::CVec& target = linalg::prep_state_vector(s);
+    // Compare up to global phase via |<target|psi>| == 1.
+    const linalg::cx overlap = linalg::inner(target, sv.amplitudes());
+    EXPECT_NEAR(std::abs(overlap), 1.0, 1e-12) << linalg::prep_state_name(s);
+  }
+}
+
+TEST(Basis, EigenvalueWeights) {
+  EXPECT_EQ(eigenvalue_weight(Pauli::I, 0), 1.0);
+  EXPECT_EQ(eigenvalue_weight(Pauli::I, 1), 1.0);
+  for (Pauli p : {Pauli::X, Pauli::Y, Pauli::Z}) {
+    EXPECT_EQ(eigenvalue_weight(p, 0), 1.0);
+    EXPECT_EQ(eigenvalue_weight(p, 1), -1.0);
+  }
+  EXPECT_THROW((void)eigenvalue_weight(Pauli::X, 2), Error);
+}
+
+TEST(Basis, SettingsEncodingRoundTrip) {
+  for (std::uint32_t index = 0; index < 27; ++index) {
+    const std::vector<MeasSetting> settings = decode_settings(index, 3);
+    EXPECT_EQ(encode_settings(settings), index);
+  }
+  EXPECT_THROW((void)decode_settings(27, 3), Error);
+}
+
+TEST(Basis, PrepsEncodingRoundTrip) {
+  for (std::uint32_t index = 0; index < 36; ++index) {
+    const std::vector<PrepState> preps = decode_preps(index, 2);
+    EXPECT_EQ(encode_preps(preps), index);
+  }
+  EXPECT_THROW((void)decode_preps(36, 2), Error);
+}
+
+TEST(Basis, SettingsIndexForBasisString) {
+  // Basis (X, I): cut 0 measures X, cut 1 measures Z (for I).
+  const std::vector<Pauli> basis = {Pauli::X, Pauli::I};
+  const std::vector<MeasSetting> settings = decode_settings(settings_index_for_basis(basis), 2);
+  EXPECT_EQ(settings[0], MeasSetting::X);
+  EXPECT_EQ(settings[1], MeasSetting::Z);
+}
+
+TEST(Basis, PrepsIndexForBasisString) {
+  const std::vector<Pauli> basis = {Pauli::Y, Pauli::Z};
+  // slots = 0b10: cut 0 slot 0 (|+i>), cut 1 slot 1 (|1>).
+  const std::vector<PrepState> preps = decode_preps(preps_index_for_basis(basis, 0b10), 2);
+  EXPECT_EQ(preps[0], PrepState::YPlus);
+  EXPECT_EQ(preps[1], PrepState::ZMinus);
+}
+
+TEST(Basis, SettingNames) {
+  EXPECT_EQ(setting_name(MeasSetting::X), "X");
+  EXPECT_EQ(setting_name(MeasSetting::Y), "Y");
+  EXPECT_EQ(setting_name(MeasSetting::Z), "Z");
+}
+
+}  // namespace
+}  // namespace qcut::cutting

@@ -1,0 +1,198 @@
+// End-to-end pipeline tests across backends, including the execution-count
+// bookkeeping the paper's runtime claims rest on (9 vs 6 jobs per trial,
+// 4.5e5 vs 3.0e5 total shots at 50 trials x 1000 shots).
+
+#include "cutting/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "backend/presets.hpp"
+#include "backend/statevector_backend.hpp"
+#include "circuit/random.hpp"
+#include "common/error.hpp"
+#include "metrics/distance.hpp"
+#include "sim/statevector.hpp"
+
+namespace qcut::cutting {
+namespace {
+
+using circuit::WirePoint;
+
+circuit::GoldenAnsatz make_ansatz(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  circuit::GoldenAnsatzOptions options;
+  options.num_qubits = n;
+  return circuit::make_golden_ansatz(options, rng);
+}
+
+TEST(Pipeline, BackendStatsDeltaIsTracked) {
+  const auto ansatz = make_ansatz(5, 1);
+  backend::StatevectorBackend backend(10);
+  const std::array<WirePoint, 1> cuts = {ansatz.cut};
+
+  CutRunOptions run;
+  run.shots_per_variant = 500;
+  const CutRunReport report = cut_and_run(ansatz.circuit, cuts, backend, run);
+  EXPECT_EQ(report.backend_delta.jobs, 9u);
+  EXPECT_EQ(report.backend_delta.shots, 9u * 500u);
+  EXPECT_EQ(report.data.total_jobs, 9u);
+  EXPECT_EQ(report.data.total_shots, 4500u);
+}
+
+TEST(Pipeline, GoldenProvidedUsesFewerJobsAndShots) {
+  const auto ansatz = make_ansatz(5, 2);
+  backend::StatevectorBackend backend(11);
+  const std::array<WirePoint, 1> cuts = {ansatz.cut};
+
+  CutRunOptions run;
+  run.shots_per_variant = 1000;
+  run.golden_mode = GoldenMode::Provided;
+  run.provided_spec = NeglectSpec(1);
+  run.provided_spec->neglect(0, ansatz.golden_basis);
+  const CutRunReport report = cut_and_run(ansatz.circuit, cuts, backend, run);
+  EXPECT_EQ(report.backend_delta.jobs, 6u);
+  EXPECT_EQ(report.backend_delta.shots, 6000u);
+}
+
+TEST(Pipeline, PaperShotBookkeepingOverFiftyTrials) {
+  // The paper: 50 trials x 1000 shots -> 4.5e5 shots standard, 3.0e5 golden.
+  const auto ansatz = make_ansatz(5, 3);
+  const std::array<WirePoint, 1> cuts = {ansatz.cut};
+
+  backend::StatevectorBackend standard_backend(12);
+  backend::StatevectorBackend golden_backend(12);
+  for (int trial = 0; trial < 50; ++trial) {
+    CutRunOptions standard;
+    standard.shots_per_variant = 1000;
+    standard.seed_stream_base = static_cast<std::uint64_t>(trial) << 32;
+    (void)cut_and_run(ansatz.circuit, cuts, standard_backend, standard);
+
+    CutRunOptions golden = standard;
+    golden.golden_mode = GoldenMode::Provided;
+    golden.provided_spec = NeglectSpec(1);
+    golden.provided_spec->neglect(0, ansatz.golden_basis);
+    (void)cut_and_run(ansatz.circuit, cuts, golden_backend, golden);
+  }
+  EXPECT_EQ(standard_backend.stats().shots, 450000u);
+  EXPECT_EQ(golden_backend.stats().shots, 300000u);
+}
+
+TEST(Pipeline, DetectExactModeFindsGoldenAutomatically) {
+  const auto ansatz = make_ansatz(5, 4);
+  backend::StatevectorBackend backend(13);
+  const std::array<WirePoint, 1> cuts = {ansatz.cut};
+
+  CutRunOptions run;
+  run.exact = true;
+  run.golden_mode = GoldenMode::DetectExact;
+  const CutRunReport report = cut_and_run(ansatz.circuit, cuts, backend, run);
+  EXPECT_TRUE(report.spec.is_neglected(0, ansatz.golden_basis));
+  EXPECT_EQ(report.data.total_jobs, 6u);
+
+  sim::StateVector sv(5);
+  sv.apply_circuit(ansatz.circuit);
+  const std::vector<double> truth = sv.probabilities();
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_NEAR(report.reconstruction.raw_probabilities[i], truth[i], 1e-9);
+  }
+}
+
+TEST(Pipeline, WorksOnFakeHardware) {
+  const auto ansatz = make_ansatz(5, 5);
+  auto device = backend::make_fake_5q(21);
+  const std::array<WirePoint, 1> cuts = {ansatz.cut};
+
+  CutRunOptions run;
+  run.shots_per_variant = 2000;
+  run.golden_mode = GoldenMode::Provided;
+  run.provided_spec = NeglectSpec(1);
+  run.provided_spec->neglect(0, ansatz.golden_basis);
+  const CutRunReport report = cut_and_run(ansatz.circuit, cuts, *device, run);
+
+  // Simulated device time accrued for 6 jobs (~2 s each).
+  EXPECT_GT(report.backend_delta.simulated_device_seconds, 6.0);
+  EXPECT_LT(report.backend_delta.simulated_device_seconds, 20.0);
+
+  // Reconstructed distribution is a sane probability distribution close-ish
+  // to the ideal one despite hardware noise.
+  const std::vector<double> probs = report.probabilities();
+  double total = 0.0;
+  for (double p : probs) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+
+  sim::StateVector sv(5);
+  sv.apply_circuit(ansatz.circuit);
+  EXPECT_LT(metrics::total_variation_distance(probs, sv.probabilities()), 0.35);
+}
+
+TEST(Pipeline, RunUncutHelper) {
+  const auto ansatz = make_ansatz(5, 6);
+  backend::StatevectorBackend backend(14);
+  const std::vector<double> probs = run_uncut(ansatz.circuit, backend, 20000, 1);
+  sim::StateVector sv(5);
+  sv.apply_circuit(ansatz.circuit);
+  EXPECT_LT(metrics::total_variation_distance(probs, sv.probabilities()), 0.05);
+}
+
+TEST(Pipeline, ProvidedModeRequiresSpec) {
+  const auto ansatz = make_ansatz(5, 7);
+  backend::StatevectorBackend backend(15);
+  const std::array<WirePoint, 1> cuts = {ansatz.cut};
+  CutRunOptions run;
+  run.golden_mode = GoldenMode::Provided;
+  EXPECT_THROW((void)cut_and_run(ansatz.circuit, cuts, backend, run), Error);
+
+  run.provided_spec = NeglectSpec(2);  // wrong cut count
+  EXPECT_THROW((void)cut_and_run(ansatz.circuit, cuts, backend, run), Error);
+}
+
+TEST(Pipeline, SevenQubitConfigurationMatchesPaperWidths) {
+  // 7-qubit circuit split into 4 + 4 (the cut qubit appears in both).
+  const auto ansatz = make_ansatz(7, 8);
+  backend::StatevectorBackend backend(16);
+  const std::array<WirePoint, 1> cuts = {ansatz.cut};
+  CutRunOptions run;
+  run.exact = true;
+  const CutRunReport report = cut_and_run(ansatz.circuit, cuts, backend, run);
+  EXPECT_EQ(report.bipartition.f1_width(), 4);
+  EXPECT_EQ(report.bipartition.f2_width(), 4);
+
+  sim::StateVector sv(7);
+  sv.apply_circuit(ansatz.circuit);
+  const std::vector<double> truth = sv.probabilities();
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_NEAR(report.reconstruction.raw_probabilities[i], truth[i], 1e-9);
+  }
+}
+
+TEST(Pipeline, DeterministicAcrossRuns) {
+  const auto ansatz = make_ansatz(5, 9);
+  const std::array<WirePoint, 1> cuts = {ansatz.cut};
+
+  CutRunOptions run;
+  run.shots_per_variant = 1000;
+
+  backend::StatevectorBackend b1(99), b2(99);
+  const auto r1 = cut_and_run(ansatz.circuit, cuts, b1, run);
+  const auto r2 = cut_and_run(ansatz.circuit, cuts, b2, run);
+  EXPECT_EQ(r1.reconstruction.raw_probabilities, r2.reconstruction.raw_probabilities);
+}
+
+TEST(Pipeline, ClippedProbabilitiesAreNormalized) {
+  const auto ansatz = make_ansatz(5, 10);
+  backend::StatevectorBackend backend(17);
+  const std::array<WirePoint, 1> cuts = {ansatz.cut};
+  CutRunOptions run;
+  run.shots_per_variant = 200;  // coarse: negatives are likely in the raw output
+  const CutRunReport report = cut_and_run(ansatz.circuit, cuts, backend, run);
+  const std::vector<double> probs = report.probabilities();
+  double total = 0.0;
+  for (double p : probs) {
+    EXPECT_GE(p, 0.0);
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace qcut::cutting

@@ -1,0 +1,99 @@
+#include "cutting/planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuit/random.hpp"
+
+namespace qcut::cutting {
+namespace {
+
+using circuit::Circuit;
+
+TEST(Planner, FindsTheDesignedGoldenCut) {
+  Rng rng(3);
+  circuit::GoldenAnsatzOptions options;
+  options.num_qubits = 5;
+  const circuit::GoldenAnsatz ansatz = circuit::make_golden_ansatz(options, rng);
+
+  const auto candidates = enumerate_single_cuts(ansatz.circuit, 1e-9);
+  ASSERT_FALSE(candidates.empty());
+
+  bool found_designed = false;
+  for (const CutCandidate& c : candidates) {
+    if (c.point == ansatz.cut) {
+      found_designed = true;
+      ASSERT_EQ(c.golden_bases.size(), 1u);
+      EXPECT_EQ(c.golden_bases.front(), ansatz.golden_basis);
+      EXPECT_EQ(c.terms, 3u);
+      EXPECT_EQ(c.evaluations, 6u);
+    }
+  }
+  EXPECT_TRUE(found_designed);
+}
+
+TEST(Planner, BestCutPrefersGoldenAndBalanced) {
+  Rng rng(4);
+  circuit::GoldenAnsatzOptions options;
+  options.num_qubits = 5;
+  const circuit::GoldenAnsatz ansatz = circuit::make_golden_ansatz(options, rng);
+
+  const auto best = plan_best_single_cut(ansatz.circuit);
+  ASSERT_TRUE(best.has_value());
+  // A golden cut costs at most 6 evaluations; any regular cut costs 9. The
+  // planner must pick a golden one. (Cuts on a freshly-|0> wire can even be
+  // doubly golden - X and Y both negligible - costing only 3 evaluations.)
+  EXPECT_FALSE(best->golden_bases.empty());
+  EXPECT_LE(best->evaluations, 6u);
+}
+
+TEST(Planner, ChainCircuitHasValidCandidates) {
+  Circuit c(3);
+  c.cx(0, 1).ry(0.3, 1).cx(1, 2).h(2);
+  const auto candidates = enumerate_single_cuts(c, 1e-9);
+  // The cut after ry(0.3, 1) on wire 1 is valid.
+  bool found = false;
+  for (const CutCandidate& cand : candidates) {
+    if (cand.point == circuit::WirePoint{1, 1}) {
+      found = true;
+      EXPECT_EQ(cand.f1_width, 2);
+      EXPECT_EQ(cand.f2_width, 2);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Planner, FullyEntangledCircuitMayHaveNoValidSingleCut) {
+  // All-to-all interactions in every layer: no single wire segment
+  // disconnects the op graph.
+  Circuit c(3);
+  c.cx(0, 1).cx(1, 2).cx(0, 2);
+  c.cx(0, 1).cx(1, 2).cx(0, 2);
+  const auto best = plan_best_single_cut(c);
+  EXPECT_FALSE(best.has_value());
+}
+
+TEST(Planner, ReportsViolationsForRegularCuts) {
+  // A genuinely generic (non-golden) chain: the candidate at the generic
+  // cut carries all 4 terms and 9 evaluations.
+  Circuit c(3);
+  c.h(0).t(0).cx(0, 1).h(1).t(1).rx(0.5, 1).ry(0.3, 1).rz(0.7, 1).cx(1, 2).h(2);
+  const auto candidates = enumerate_single_cuts(c, 1e-9);
+  ASSERT_FALSE(candidates.empty());
+  bool found = false;
+  for (const CutCandidate& cand : candidates) {
+    if (cand.point == circuit::WirePoint{1, 7}) {  // after rz(0.7, 1)
+      found = true;
+      EXPECT_TRUE(cand.golden_bases.empty());
+      EXPECT_EQ(cand.terms, 4u);
+      EXPECT_EQ(cand.evaluations, 9u);
+      // Every non-identity basis has a substantial violation.
+      EXPECT_GT(cand.violation[1], 0.05);
+      EXPECT_GT(cand.violation[2], 0.05);
+      EXPECT_GT(cand.violation[3], 0.05);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace qcut::cutting

@@ -1,0 +1,200 @@
+// Numerical verification of Section II-A of the paper: the three-qubit
+// example rho = U23 U12 |000><000| U12^dag U23^dag, the cut identity
+// (Eq. 3/6), the expectation decomposition (Eq. 7/8), and the two ways a
+// golden cutting point can arise (cases (i) and (ii)).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "backend/statevector_backend.hpp"
+#include "cutting/golden.hpp"
+#include "cutting/pipeline.hpp"
+#include "linalg/ops.hpp"
+#include "sim/density_matrix.hpp"
+#include "sim/statevector.hpp"
+
+namespace qcut::cutting {
+namespace {
+
+using circuit::Circuit;
+using linalg::CMat;
+using linalg::cx;
+
+/// rho_f1(M^r) = tr_2( (I x |m_r><m_r|) U12 |00><00| U12^dag ) as a 1-qubit
+/// operator (keeps qubit 1 = the first qubit), Eq. 4 of the paper.
+CMat fragment1_state(const Circuit& u12, Pauli m, int slot) {
+  sim::StateVector sv(2);
+  sv.apply_circuit(u12);
+  sim::StateVector projected = sv;
+  const std::array<int, 1> cut_qubit = {1};
+  projected.apply_matrix(linalg::pauli_eigenprojector(m, slot), cut_qubit);
+  // Unnormalized reduced state on qubit 0.
+  sim::DensityMatrix dm = sim::DensityMatrix::from_matrix(
+      linalg::outer(projected.amplitudes(), projected.amplitudes()), false);
+  const std::array<int, 1> keep = {0};
+  return dm.partial_trace(keep).matrix();
+}
+
+/// rho_f2(M^s) = U23 (|m_s><m_s| x |0><0|) U23^dag, Eq. 5 of the paper.
+CMat fragment2_state(const Circuit& u23, Pauli m, int slot) {
+  const linalg::CVec& prep = linalg::pauli_eigenstate(m, slot);
+  const linalg::CVec zero = {cx{1, 0}, cx{0, 0}};
+  sim::StateVector sv = sim::StateVector::product_state({prep, zero});
+  sv.apply_circuit(u23);
+  return linalg::outer(sv.amplitudes(), sv.amplitudes());
+}
+
+Circuit example_u12() {
+  Circuit c(2);
+  c.h(0).cx(0, 1).ry(0.35, 0).rz(0.9, 1);
+  return c;
+}
+
+Circuit example_u23() {
+  Circuit c(2);
+  c.rx(1.2, 0).cx(0, 1).t(1).h(0);
+  return c;
+}
+
+TEST(ThreeQubit, CutIdentityEquation6) {
+  // rho == (1/2) sum_{M, r, s} r s rho_f1(M^r) (x) rho_f2(M^s)
+  const Circuit u12 = example_u12();
+  const Circuit u23 = example_u23();
+
+  // Full state: U12 on (0,1), U23 on (1,2).
+  Circuit full(3);
+  const std::array<int, 2> low = {0, 1};
+  const std::array<int, 2> high = {1, 2};
+  full.compose(u12, low);
+  full.compose(u23, high);
+  sim::StateVector sv(3);
+  sv.apply_circuit(full);
+  const CMat rho = linalg::outer(sv.amplitudes(), sv.amplitudes());
+
+  // Reconstruction: kron ordering puts fragment 2 (qubits 1,2) in the high
+  // bits: rho = sum kron(rho_f2, rho_f1).
+  CMat rebuilt(8, 8);
+  int terms = 0;
+  for (Pauli m : linalg::kAllPaulis) {
+    for (int r : {0, 1}) {
+      for (int s : {0, 1}) {
+        const double weight =
+            0.5 * linalg::pauli_eigenvalue(m, r) * linalg::pauli_eigenvalue(m, s);
+        rebuilt += cx{weight, 0} *
+                   linalg::kron(fragment2_state(u23, m, s), fragment1_state(u12, m, r));
+        ++terms;
+      }
+    }
+  }
+  EXPECT_EQ(terms, 16);
+  EXPECT_TRUE(rebuilt.approx_equal(rho, 1e-9));
+}
+
+TEST(ThreeQubit, ExpectationEquation7) {
+  // tr(O rho) decomposes with O = O1 (x) O23.
+  const Circuit u12 = example_u12();
+  const Circuit u23 = example_u23();
+
+  const CMat o1 = linalg::pauli_matrix(Pauli::Z);
+  const CMat o23 = linalg::kron(linalg::pauli_matrix(Pauli::X),
+                                linalg::pauli_matrix(Pauli::Z));  // X on q2, Z on q1
+
+  Circuit full(3);
+  const std::array<int, 2> low = {0, 1};
+  const std::array<int, 2> high = {1, 2};
+  full.compose(u12, low);
+  full.compose(u23, high);
+  sim::StateVector sv(3);
+  sv.apply_circuit(full);
+  const CMat big_o = linalg::kron(o23, o1);
+  const double direct = linalg::expectation(big_o, sv.amplitudes()).real();
+
+  double via_fragments = 0.0;
+  for (Pauli m : linalg::kAllPaulis) {
+    double up = 0.0, down = 0.0;
+    for (int r : {0, 1}) {
+      up += linalg::pauli_eigenvalue(m, r) *
+            linalg::trace_of_product(o1, fragment1_state(u12, m, r)).real();
+    }
+    for (int s : {0, 1}) {
+      down += linalg::pauli_eigenvalue(m, s) *
+              linalg::trace_of_product(o23, fragment2_state(u23, m, s)).real();
+    }
+    via_fragments += 0.5 * up * down;
+  }
+  EXPECT_NEAR(via_fragments, direct, 1e-9);
+}
+
+TEST(ThreeQubit, CaseOneOrthogonalObservable) {
+  // Paper case (i): O1 = X, U12|00> = Bell state. tr(X rho_f1(M^r)) = 0 for
+  // the Y basis (and in fact each conditional trace vanishes for Z too).
+  Circuit bell(2);
+  bell.h(0).cx(0, 1);
+  const CMat o1 = linalg::pauli_matrix(Pauli::X);
+  for (int r : {0, 1}) {
+    EXPECT_NEAR(linalg::trace_of_product(o1, fragment1_state(bell, Pauli::Y, r)).real(), 0.0,
+                1e-12);
+  }
+}
+
+TEST(ThreeQubit, CaseTwoSystematicCancellation) {
+  // Paper case (ii): O1 = |+><+|, Bell state. The conditional traces are
+  // each nonzero (1/4) but cancel once weighted by the eigenvalues.
+  Circuit bell(2);
+  bell.h(0).cx(0, 1);
+  const linalg::CVec plus = {cx{1.0 / std::sqrt(2.0), 0}, cx{1.0 / std::sqrt(2.0), 0}};
+  const CMat o1 = linalg::outer(plus, plus);
+
+  double weighted = 0.0;
+  for (int r : {0, 1}) {
+    const double term = linalg::trace_of_product(o1, fragment1_state(bell, Pauli::Y, r)).real();
+    EXPECT_NEAR(term, 0.25, 1e-12);  // equal magnitudes, per the paper
+    weighted += linalg::pauli_eigenvalue(Pauli::Y, r) * term;
+  }
+  EXPECT_NEAR(weighted, 0.0, 1e-12);  // systematic cancellation
+}
+
+TEST(ThreeQubit, GoldenReductionSixteenToTwelveTerms) {
+  // With the Y element neglected the reconstruction uses 12 of 16 terms and
+  // still reproduces every bitstring probability of the uncut circuit.
+  Circuit full(3);
+  full.h(0).cx(0, 1).ry(0.35, 0);       // real upstream (golden Y), ends on wire 1...
+  // ensure last upstream op on wire 1:
+  full.ry(0.8, 1);                       // op 3: last upstream op on qubit 1
+  full.rx(1.2, 1).cx(1, 2).t(2).h(1);    // downstream
+
+  const std::array<circuit::WirePoint, 1> cuts = {circuit::WirePoint{1, 3}};
+  backend::StatevectorBackend backend(3);
+
+  CutRunOptions standard;
+  standard.exact = true;
+  const auto full_report = cut_and_run(full, cuts, backend, standard);
+
+  CutRunOptions golden;
+  golden.exact = true;
+  golden.golden_mode = GoldenMode::Provided;
+  golden.provided_spec = NeglectSpec(1);
+  golden.provided_spec->neglect(0, Pauli::Y);
+  const auto golden_report = cut_and_run(full, cuts, backend, golden);
+
+  // 16 -> 12 terms in the paper's (M, r, s) counting is 4 -> 3 basis strings
+  // here (each string carries the 2x2 eigenvalue sums internally).
+  EXPECT_EQ(full_report.reconstruction.terms, 4u);
+  EXPECT_EQ(golden_report.reconstruction.terms, 3u);
+
+  sim::StateVector sv(3);
+  sv.apply_circuit(full);
+  const std::vector<double> truth = sv.probabilities();
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_NEAR(full_report.reconstruction.raw_probabilities[i], truth[i], 1e-9);
+    EXPECT_NEAR(golden_report.reconstruction.raw_probabilities[i], truth[i], 1e-9);
+  }
+
+  // And the paper's circuit-evaluation count: 9 standard vs 6 golden.
+  EXPECT_EQ(full_report.data.total_jobs, 9u);
+  EXPECT_EQ(golden_report.data.total_jobs, 6u);
+}
+
+}  // namespace
+}  // namespace qcut::cutting

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/ops.hpp"
+
+namespace qcut::linalg {
+namespace {
+
+TEST(CMat, ConstructionAndAccess) {
+  CMat m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m(1, 2), (cx{0, 0}));
+  m(1, 2) = cx{2, -1};
+  EXPECT_EQ(m(1, 2), (cx{2, -1}));
+  EXPECT_THROW((void)m.at(2, 0), Error);
+  EXPECT_THROW((void)m.at(0, 3), Error);
+}
+
+TEST(CMat, InitializerList) {
+  CMat m = {{cx{1, 0}, cx{2, 0}}, {cx{3, 0}, cx{4, 0}}};
+  EXPECT_EQ(m(0, 1), (cx{2, 0}));
+  EXPECT_EQ(m(1, 0), (cx{3, 0}));
+  EXPECT_THROW((CMat{{cx{1, 0}}, {cx{1, 0}, cx{2, 0}}}), Error);
+}
+
+TEST(CMat, IdentityAndDiagonal) {
+  const CMat id = CMat::identity(3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_EQ(id(r, c), (cx{r == c ? 1.0 : 0.0, 0.0}));
+    }
+  }
+  const CMat d = CMat::diagonal({cx{1, 0}, cx{0, 2}});
+  EXPECT_EQ(d(1, 1), (cx{0, 2}));
+  EXPECT_EQ(d(0, 1), (cx{0, 0}));
+}
+
+TEST(CMat, ArithmeticOperators) {
+  const CMat a = {{cx{1, 0}, cx{0, 1}}, {cx{0, 0}, cx{2, 0}}};
+  const CMat b = {{cx{1, 0}, cx{1, 0}}, {cx{1, 0}, cx{1, 0}}};
+  const CMat sum = a + b;
+  EXPECT_EQ(sum(0, 1), (cx{1, 1}));
+  const CMat diff = sum - b;
+  EXPECT_TRUE(diff.approx_equal(a));
+  const CMat scaled = a * cx{2, 0};
+  EXPECT_EQ(scaled(1, 1), (cx{4, 0}));
+}
+
+TEST(CMat, MatrixProduct) {
+  const CMat a = {{cx{1, 0}, cx{2, 0}}, {cx{3, 0}, cx{4, 0}}};
+  const CMat b = {{cx{0, 0}, cx{1, 0}}, {cx{1, 0}, cx{0, 0}}};
+  const CMat ab = a * b;
+  // a * swap = columns swapped
+  EXPECT_EQ(ab(0, 0), (cx{2, 0}));
+  EXPECT_EQ(ab(0, 1), (cx{1, 0}));
+  EXPECT_EQ(ab(1, 0), (cx{4, 0}));
+  EXPECT_EQ(ab(1, 1), (cx{3, 0}));
+}
+
+TEST(CMat, ShapeMismatchThrows) {
+  const CMat a(2, 3);
+  const CMat b(2, 3);
+  EXPECT_THROW((void)(a * b), Error);
+  CMat c(2, 2);
+  EXPECT_THROW(c += a, Error);
+}
+
+TEST(Ops, DaggerTransposeConjugate) {
+  const CMat m = {{cx{1, 2}, cx{3, 4}}, {cx{5, 6}, cx{7, 8}}};
+  const CMat d = dagger(m);
+  EXPECT_EQ(d(0, 1), (cx{5, -6}));
+  EXPECT_EQ(d(1, 0), (cx{3, -4}));
+  const CMat t = transpose(m);
+  EXPECT_EQ(t(0, 1), (cx{5, 6}));
+  const CMat c = conjugate(m);
+  EXPECT_EQ(c(0, 0), (cx{1, -2}));
+  EXPECT_TRUE(dagger(dagger(m)).approx_equal(m));
+}
+
+TEST(Ops, TraceAndNorms) {
+  const CMat m = {{cx{1, 0}, cx{9, 0}}, {cx{0, 0}, cx{2, 5}}};
+  EXPECT_EQ(trace(m), (cx{3, 5}));
+  EXPECT_NEAR(frobenius_norm(CMat::identity(4)), 2.0, 1e-12);
+  EXPECT_THROW((void)trace(CMat(2, 3)), Error);
+}
+
+TEST(Ops, KroneckerProduct) {
+  const CMat a = {{cx{1, 0}, cx{2, 0}}};  // 1x2
+  const CMat b = {{cx{0, 0}}, {cx{3, 0}}};  // 2x1
+  const CMat k = kron(a, b);
+  EXPECT_EQ(k.rows(), 2u);
+  EXPECT_EQ(k.cols(), 2u);
+  EXPECT_EQ(k(1, 0), (cx{3, 0}));
+  EXPECT_EQ(k(1, 1), (cx{6, 0}));
+
+  // kron(I2, I3) == I6
+  EXPECT_TRUE(kron(CMat::identity(2), CMat::identity(3)).approx_equal(CMat::identity(6)));
+}
+
+TEST(Ops, KronMixedProductProperty) {
+  // (A x B)(C x D) == (AC) x (BD)
+  const CMat a = {{cx{1, 0}, cx{2, 0}}, {cx{0, 1}, cx{1, 0}}};
+  const CMat b = {{cx{0, 0}, cx{1, 0}}, {cx{1, 0}, cx{0, 0}}};
+  const CMat c = {{cx{2, 0}, cx{0, 0}}, {cx{0, 0}, cx{3, 0}}};
+  const CMat d = {{cx{1, 0}, cx{1, 0}}, {cx{1, 0}, cx{-1, 0}}};
+  EXPECT_TRUE((kron(a, b) * kron(c, d)).approx_equal(kron(a * c, b * d), 1e-10));
+}
+
+TEST(Ops, MatvecInnerOuter) {
+  const CMat m = {{cx{0, 0}, cx{1, 0}}, {cx{1, 0}, cx{0, 0}}};
+  const CVec v = {cx{1, 0}, cx{2, 0}};
+  const CVec mv = matvec(m, v);
+  EXPECT_EQ(mv[0], (cx{2, 0}));
+  EXPECT_EQ(mv[1], (cx{1, 0}));
+
+  const CVec a = {cx{0, 1}, cx{0, 0}};
+  EXPECT_EQ(inner(a, a), (cx{1, 0}));
+  EXPECT_NEAR(norm(v), std::sqrt(5.0), 1e-12);
+
+  const CMat o = outer(a, v);
+  EXPECT_EQ(o(0, 1), (cx{0, 1}) * std::conj(cx{2, 0}));
+}
+
+TEST(Ops, UnitaryHermitianRealChecks) {
+  const CMat h = {{cx{1, 0}, cx{0, -1}}, {cx{0, 1}, cx{-1, 0}}};
+  EXPECT_TRUE(is_hermitian(h));
+  EXPECT_FALSE(is_real(h));
+  const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+  const CMat had = {{cx{inv_sqrt2, 0}, cx{inv_sqrt2, 0}},
+                    {cx{inv_sqrt2, 0}, cx{-inv_sqrt2, 0}}};
+  EXPECT_TRUE(is_unitary(had));
+  EXPECT_TRUE(is_real(had));
+  const CMat not_unitary = {{cx{1, 0}, cx{1, 0}}, {cx{0, 0}, cx{1, 0}}};
+  EXPECT_FALSE(is_unitary(not_unitary));
+}
+
+TEST(Ops, TraceOfProductAgreesWithExplicitProduct) {
+  const CMat a = {{cx{1, 2}, cx{0, 1}}, {cx{3, 0}, cx{1, 1}}};
+  const CMat b = {{cx{0, 1}, cx{2, 0}}, {cx{1, 0}, cx{0, -1}}};
+  const cx direct = trace(a * b);
+  const cx fast = trace_of_product(a, b);
+  EXPECT_NEAR(std::abs(direct - fast), 0.0, 1e-12);
+}
+
+TEST(Ops, MatrixPower) {
+  const CMat x = {{cx{0, 0}, cx{1, 0}}, {cx{1, 0}, cx{0, 0}}};
+  EXPECT_TRUE(matrix_power(x, 0).approx_equal(CMat::identity(2)));
+  EXPECT_TRUE(matrix_power(x, 1).approx_equal(x));
+  EXPECT_TRUE(matrix_power(x, 2).approx_equal(CMat::identity(2)));
+  EXPECT_TRUE(matrix_power(x, 7).approx_equal(x));
+}
+
+TEST(Ops, ExpectationOfProjector) {
+  const CVec plus = {cx{1.0 / std::sqrt(2.0), 0}, cx{1.0 / std::sqrt(2.0), 0}};
+  const CMat proj0 = {{cx{1, 0}, cx{0, 0}}, {cx{0, 0}, cx{0, 0}}};
+  EXPECT_NEAR(expectation(proj0, plus).real(), 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace qcut::linalg

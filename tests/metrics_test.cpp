@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "metrics/distance.hpp"
+#include "metrics/stats.hpp"
+
+namespace qcut::metrics {
+namespace {
+
+TEST(WeightedDistance, ZeroForIdenticalDistributions) {
+  const std::vector<double> p = {0.25, 0.75};
+  EXPECT_NEAR(weighted_distance(p, p), 0.0, 1e-15);
+}
+
+TEST(WeightedDistance, MatchesHandComputedValue) {
+  const std::vector<double> q = {0.5, 0.5};
+  const std::vector<double> p = {0.6, 0.4};
+  // (0.1)^2/0.5 + (0.1)^2/0.5 = 0.04
+  EXPECT_NEAR(weighted_distance(p, q), 0.04, 1e-12);
+}
+
+TEST(WeightedDistance, IgnoresOutcomesOutsideTruthSupport) {
+  const std::vector<double> q = {1.0, 0.0};
+  const std::vector<double> p = {0.9, 0.1};
+  // Only x=0 contributes: (0.1)^2 / 1.0
+  EXPECT_NEAR(weighted_distance(p, q), 0.01, 1e-12);
+}
+
+TEST(WeightedDistance, PenalizesRelativeDeviation) {
+  // Same absolute error on a small-mass outcome costs more.
+  const std::vector<double> q = {0.9, 0.1};
+  const std::vector<double> p_big = {0.85, 0.15};   // error on both
+  const std::vector<double> q2 = {0.5, 0.5};
+  const std::vector<double> p_even = {0.45, 0.55};
+  EXPECT_GT(weighted_distance(p_big, q), weighted_distance(p_even, q2));
+}
+
+TEST(WeightedDistance, SizeMismatchRejected) {
+  const std::vector<double> a = {1.0};
+  const std::vector<double> b = {0.5, 0.5};
+  EXPECT_THROW((void)weighted_distance(a, b), Error);
+}
+
+TEST(TotalVariation, BasicProperties) {
+  const std::vector<double> p = {1.0, 0.0};
+  const std::vector<double> q = {0.0, 1.0};
+  EXPECT_NEAR(total_variation_distance(p, q), 1.0, 1e-12);
+  EXPECT_NEAR(total_variation_distance(p, p), 0.0, 1e-12);
+  const std::vector<double> r = {0.5, 0.5};
+  EXPECT_NEAR(total_variation_distance(p, r), 0.5, 1e-12);
+  // Symmetry.
+  EXPECT_NEAR(total_variation_distance(p, q), total_variation_distance(q, p), 1e-15);
+}
+
+TEST(HellingerFidelity, BasicProperties) {
+  const std::vector<double> p = {0.5, 0.5};
+  EXPECT_NEAR(hellinger_fidelity(p, p), 1.0, 1e-12);
+  const std::vector<double> q = {1.0, 0.0};
+  const std::vector<double> r = {0.0, 1.0};
+  EXPECT_NEAR(hellinger_fidelity(q, r), 0.0, 1e-12);
+  EXPECT_NEAR(hellinger_fidelity(p, q), 0.5, 1e-12);
+}
+
+TEST(KLDivergence, BasicProperties) {
+  const std::vector<double> p = {0.5, 0.5};
+  EXPECT_NEAR(kl_divergence(p, p), 0.0, 1e-12);
+  const std::vector<double> q = {0.75, 0.25};
+  EXPECT_GT(kl_divergence(p, q), 0.0);
+  // Undominated case rejected.
+  const std::vector<double> r = {1.0, 0.0};
+  EXPECT_THROW((void)kl_divergence(p, r), Error);
+  EXPECT_NO_THROW((void)kl_divergence(r, p));
+}
+
+TEST(ClipAndNormalize, ClampsNegativesAndRenormalizes) {
+  const std::vector<double> raw = {0.6, -0.1, 0.6};
+  const std::vector<double> out = clip_and_normalize(raw);
+  EXPECT_NEAR(out[0], 0.5, 1e-12);
+  EXPECT_NEAR(out[1], 0.0, 1e-12);
+  EXPECT_NEAR(out[2], 0.5, 1e-12);
+  EXPECT_THROW((void)clip_and_normalize(std::vector<double>{-1.0, -2.0}), Error);
+}
+
+TEST(RunningStats, MeanAndVariance) {
+  RunningStats stats;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(v);
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_NEAR(stats.mean(), 5.0, 1e-12);
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_NEAR(stats.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(RunningStats, DegenerateCases) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_NEAR(stats.variance(), 0.0, 1e-15);
+  EXPECT_NEAR(stats.ci95_half_width(), 0.0, 1e-15);
+  stats.add(3.0);
+  EXPECT_NEAR(stats.mean(), 3.0, 1e-15);
+  EXPECT_NEAR(stats.variance(), 0.0, 1e-15);
+}
+
+TEST(RunningStats, CI95ShrinksWithSamples) {
+  RunningStats small, large;
+  Rng rng(1);
+  for (int i = 0; i < 5; ++i) small.add(rng.normal());
+  for (int i = 0; i < 500; ++i) large.add(rng.normal());
+  EXPECT_GT(small.ci95_half_width(), large.ci95_half_width());
+}
+
+TEST(TCritical, KnownValues) {
+  EXPECT_NEAR(t_critical_975(1), 12.706, 1e-3);
+  EXPECT_NEAR(t_critical_975(9), 2.262, 1e-3);
+  EXPECT_NEAR(t_critical_975(30), 2.042, 1e-3);
+  EXPECT_NEAR(t_critical_975(1000), 1.96, 1e-3);
+}
+
+TEST(Summarize, MatchesRunningStats) {
+  const std::vector<double> values = {1.0, 2.0, 3.0, 4.0};
+  const Summary s = summarize(values);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_NEAR(s.mean, 2.5, 1e-12);
+  EXPECT_NEAR(s.stddev, std::sqrt(5.0 / 3.0), 1e-12);
+  EXPECT_GT(s.ci95, 0.0);
+}
+
+TEST(Bootstrap, CoversTrueMeanForWellBehavedSample) {
+  Rng rng(2);
+  std::vector<double> values;
+  for (int i = 0; i < 200; ++i) values.push_back(rng.normal(10.0, 2.0));
+  const BootstrapInterval ci = bootstrap_mean_ci(values, 0.95, 1000, 3);
+  EXPECT_LT(ci.lower, 10.0 + 0.5);
+  EXPECT_GT(ci.upper, 10.0 - 0.5);
+  EXPECT_LT(ci.lower, ci.upper);
+  EXPECT_THROW((void)bootstrap_mean_ci(std::vector<double>{}, 0.95), Error);
+  EXPECT_THROW((void)bootstrap_mean_ci(values, 1.5), Error);
+}
+
+TEST(NormalQuantile, KnownValues) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(normal_quantile(0.975), 1.959964, 1e-5);
+  EXPECT_NEAR(normal_quantile(0.025), -1.959964, 1e-5);
+  EXPECT_NEAR(normal_quantile(0.999), 3.090232, 1e-5);
+  EXPECT_NEAR(normal_quantile(0.84134), 1.0, 1e-3);
+  EXPECT_THROW((void)normal_quantile(0.0), Error);
+  EXPECT_THROW((void)normal_quantile(1.0), Error);
+}
+
+TEST(NormalQuantile, IsSymmetricAndMonotone) {
+  for (double p : {0.01, 0.1, 0.3, 0.45}) {
+    EXPECT_NEAR(normal_quantile(p), -normal_quantile(1.0 - p), 1e-8);
+  }
+  double prev = normal_quantile(0.001);
+  for (double p = 0.01; p < 1.0; p += 0.01) {
+    const double q = normal_quantile(p);
+    EXPECT_GT(q, prev);
+    prev = q;
+  }
+}
+
+}  // namespace
+}  // namespace qcut::metrics

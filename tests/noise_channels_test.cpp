@@ -1,0 +1,120 @@
+#include "noise/standard_channels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/ops.hpp"
+#include "sim/density_matrix.hpp"
+
+namespace qcut::noise {
+namespace {
+
+TEST(Channel, ValidatesCompleteness) {
+  // Kraus set that does not sum to identity must be rejected.
+  CMat half = CMat::identity(2) * cx{0.5, 0};
+  EXPECT_THROW(Channel({half}), Error);
+  EXPECT_THROW(Channel(std::vector<CMat>{}), Error);
+  // Mixed dimensions rejected.
+  EXPECT_THROW(Channel({CMat::identity(2), CMat::identity(4)}), Error);
+  // Non-power-of-two dimension rejected.
+  EXPECT_THROW(Channel({CMat::identity(3)}), Error);
+}
+
+TEST(Channel, IdentityChannel) {
+  const Channel id = Channel::identity(2);
+  EXPECT_EQ(id.num_qubits(), 2);
+  EXPECT_EQ(id.num_kraus(), 1u);
+  EXPECT_TRUE(id.is_trace_preserving());
+}
+
+TEST(StandardChannels, AllAreTracePreserving) {
+  EXPECT_TRUE(depolarizing_1q(0.1).is_trace_preserving());
+  EXPECT_TRUE(depolarizing_2q(0.2).is_trace_preserving());
+  EXPECT_TRUE(bit_flip(0.3).is_trace_preserving());
+  EXPECT_TRUE(phase_flip(0.4).is_trace_preserving());
+  EXPECT_TRUE(bit_phase_flip(0.25).is_trace_preserving());
+  EXPECT_TRUE(pauli_channel(0.1, 0.2, 0.3).is_trace_preserving());
+  EXPECT_TRUE(amplitude_damping(0.5).is_trace_preserving());
+  EXPECT_TRUE(phase_damping(0.7).is_trace_preserving());
+}
+
+TEST(StandardChannels, ProbabilityValidation) {
+  EXPECT_THROW((void)depolarizing_1q(-0.1), Error);
+  EXPECT_THROW((void)depolarizing_1q(1.1), Error);
+  EXPECT_THROW((void)amplitude_damping(2.0), Error);
+  EXPECT_THROW((void)pauli_channel(0.5, 0.4, 0.3), Error);
+}
+
+TEST(StandardChannels, ZeroNoiseIsIdentityChannel) {
+  sim::DensityMatrix dm(1);
+  circuit::Circuit c(1);
+  c.h(0).t(0);
+  dm.apply_circuit(c);
+  const CMat before = dm.matrix();
+  const std::array<int, 1> q0 = {0};
+  dm.apply_kraus(depolarizing_1q(0.0).kraus_ops(), q0);
+  EXPECT_TRUE(dm.matrix().approx_equal(before, 1e-12));
+}
+
+TEST(StandardChannels, BitFlipActsAsExpected) {
+  sim::DensityMatrix dm(1);
+  const std::array<int, 1> q0 = {0};
+  dm.apply_kraus(bit_flip(0.25).kraus_ops(), q0);
+  const std::vector<double> probs = dm.probabilities();
+  EXPECT_NEAR(probs[0], 0.75, 1e-12);
+  EXPECT_NEAR(probs[1], 0.25, 1e-12);
+}
+
+TEST(StandardChannels, PhaseFlipKillsCoherence) {
+  sim::DensityMatrix dm(1);
+  circuit::Circuit c(1);
+  c.h(0);
+  dm.apply_circuit(c);
+  const std::array<int, 1> q0 = {0};
+  dm.apply_kraus(phase_flip(0.5).kraus_ops(), q0);
+  // p=0.5 phase flip fully dephases: off-diagonals vanish.
+  EXPECT_NEAR(std::abs(dm.matrix()(0, 1)), 0.0, 1e-12);
+  EXPECT_NEAR(dm.probabilities()[0], 0.5, 1e-12);
+}
+
+TEST(StandardChannels, AmplitudeDampingPartial) {
+  sim::DensityMatrix dm(1);
+  circuit::Circuit c(1);
+  c.x(0);
+  dm.apply_circuit(c);
+  const std::array<int, 1> q0 = {0};
+  dm.apply_kraus(amplitude_damping(0.3).kraus_ops(), q0);
+  EXPECT_NEAR(dm.probabilities()[0], 0.3, 1e-12);
+  EXPECT_NEAR(dm.probabilities()[1], 0.7, 1e-12);
+}
+
+TEST(StandardChannels, DepolarizingContractsBlochVector) {
+  // <Z> after depolarizing(p) on |0> is 1 - p.
+  const double p = 0.4;
+  sim::DensityMatrix dm(1);
+  const std::array<int, 1> q0 = {0};
+  dm.apply_kraus(depolarizing_1q(p).kraus_ops(), q0);
+  const CMat z = linalg::pauli_matrix(linalg::Pauli::Z);
+  EXPECT_NEAR(dm.expectation(z, q0).real(), 1.0 - p, 1e-12);
+}
+
+TEST(Channel, ComposeAfterCombinesEffects) {
+  // Composing two bit-flips with p and q gives total flip probability
+  // p(1-q) + q(1-p).
+  const double p = 0.2, q = 0.3;
+  const Channel combined = bit_flip(p).compose_after(bit_flip(q));
+  sim::DensityMatrix dm(1);
+  const std::array<int, 1> q0 = {0};
+  dm.apply_kraus(combined.kraus_ops(), q0);
+  EXPECT_NEAR(dm.probabilities()[1], p * (1 - q) + q * (1 - p), 1e-12);
+  EXPECT_TRUE(combined.is_trace_preserving());
+}
+
+TEST(Channel, ComposeArityMismatchRejected) {
+  EXPECT_THROW((void)depolarizing_1q(0.1).compose_after(depolarizing_2q(0.1)), Error);
+}
+
+}  // namespace
+}  // namespace qcut::noise

@@ -1,0 +1,126 @@
+#include "noise/readout_error.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "noise/noise_model.hpp"
+#include "noise/standard_channels.hpp"
+
+namespace qcut::noise {
+namespace {
+
+TEST(ReadoutModel, TrivialModel) {
+  const ReadoutModel model(3, ReadoutError{0.0, 0.0});
+  EXPECT_TRUE(model.is_trivial());
+  Rng rng(1);
+  EXPECT_EQ(model.corrupt(0b101, rng), 0b101u);
+}
+
+TEST(ReadoutModel, Validation) {
+  EXPECT_THROW(ReadoutModel(0, ReadoutError{0.1, 0.1}), Error);
+  EXPECT_THROW(ReadoutModel(2, ReadoutError{1.5, 0.1}), Error);
+  EXPECT_THROW(ReadoutModel(std::vector<ReadoutError>{}), Error);
+  const ReadoutModel model(2, ReadoutError{0.1, 0.2});
+  EXPECT_THROW((void)model.error(2), Error);
+  EXPECT_NEAR(model.error(1).p01, 0.1, 1e-15);
+}
+
+TEST(ReadoutModel, CorruptFlipsAtExpectedRate) {
+  const double p01 = 0.1;
+  const ReadoutModel model(1, ReadoutError{p01, 0.0});
+  Rng rng(2);
+  int flips = 0;
+  const int trials = 50000;
+  for (int i = 0; i < trials; ++i) {
+    if (model.corrupt(0b0, rng) == 0b1) ++flips;
+  }
+  EXPECT_NEAR(static_cast<double>(flips) / trials, p01, 0.005);
+}
+
+TEST(ReadoutModel, ApplyToProbabilitiesIsStochastic) {
+  const ReadoutModel model(2, ReadoutError{0.05, 0.1});
+  const std::vector<double> probs = {0.4, 0.1, 0.3, 0.2};
+  const std::vector<double> read = model.apply_to_probabilities(probs);
+  double total = 0.0;
+  for (double p : read) {
+    EXPECT_GE(p, 0.0);
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(ReadoutModel, ApplyToProbabilitiesSingleQubitExact) {
+  const double p01 = 0.2, p10 = 0.3;
+  const ReadoutModel model(1, ReadoutError{p01, p10});
+  const std::vector<double> probs = {1.0, 0.0};
+  const std::vector<double> read = model.apply_to_probabilities(probs);
+  EXPECT_NEAR(read[0], 1.0 - p01, 1e-12);
+  EXPECT_NEAR(read[1], p01, 1e-12);
+
+  const std::vector<double> probs1 = {0.0, 1.0};
+  const std::vector<double> read1 = model.apply_to_probabilities(probs1);
+  EXPECT_NEAR(read1[0], p10, 1e-12);
+  EXPECT_NEAR(read1[1], 1.0 - p10, 1e-12);
+}
+
+TEST(ReadoutModel, CorruptAndMatrixAgreeStatistically) {
+  const ReadoutModel model(2, ReadoutError{0.08, 0.12});
+  const std::vector<double> probs = {0.25, 0.25, 0.25, 0.25};
+  const std::vector<double> expected = model.apply_to_probabilities(probs);
+
+  Rng rng(3);
+  std::vector<int> histogram(4, 0);
+  const int trials = 200000;
+  for (int i = 0; i < trials; ++i) {
+    const index_t true_outcome = rng.uniform_int(0, 3);
+    ++histogram[model.corrupt(true_outcome, rng)];
+  }
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(static_cast<double>(histogram[i]) / trials, expected[i], 0.01);
+  }
+}
+
+TEST(ReadoutModel, PrefixRestriction) {
+  std::vector<ReadoutError> errors = {{0.1, 0.1}, {0.2, 0.2}, {0.3, 0.3}};
+  const ReadoutModel model(errors);
+  const ReadoutModel prefix = model.prefix(2);
+  EXPECT_EQ(prefix.num_qubits(), 2);
+  EXPECT_NEAR(prefix.error(1).p01, 0.2, 1e-15);
+  EXPECT_THROW((void)model.prefix(4), Error);
+  EXPECT_THROW((void)model.prefix(0), Error);
+}
+
+TEST(NoiseModel, EmptyModelIsNoiseless) {
+  const NoiseModel model;
+  EXPECT_TRUE(model.is_noiseless());
+  EXPECT_FALSE(model.after_1q().has_value());
+  EXPECT_FALSE(model.channel_for_arity(1).has_value());
+  EXPECT_FALSE(model.channel_for_arity(3).has_value());
+}
+
+TEST(NoiseModel, ArityRouting) {
+  NoiseModel model;
+  model.set_after_1q(depolarizing_1q(0.01));
+  model.set_after_2q(depolarizing_2q(0.05));
+  EXPECT_FALSE(model.is_noiseless());
+  EXPECT_EQ(model.channel_for_arity(1)->num_qubits(), 1);
+  EXPECT_EQ(model.channel_for_arity(2)->num_qubits(), 2);
+  EXPECT_FALSE(model.channel_for_arity(3).has_value());
+}
+
+TEST(NoiseModel, ArityValidation) {
+  NoiseModel model;
+  EXPECT_THROW(model.set_after_1q(depolarizing_2q(0.1)), Error);
+  EXPECT_THROW(model.set_after_2q(depolarizing_1q(0.1)), Error);
+}
+
+TEST(NoiseModel, TrivialReadoutStillNoiseless) {
+  NoiseModel model;
+  model.set_readout(ReadoutModel(2, ReadoutError{0.0, 0.0}));
+  EXPECT_TRUE(model.is_noiseless());
+  model.set_readout(ReadoutModel(2, ReadoutError{0.01, 0.0}));
+  EXPECT_FALSE(model.is_noiseless());
+}
+
+}  // namespace
+}  // namespace qcut::noise

@@ -1,0 +1,148 @@
+#include "sim/density_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/random.hpp"
+#include "common/error.hpp"
+#include "linalg/ops.hpp"
+#include "noise/standard_channels.hpp"
+
+namespace qcut::sim {
+namespace {
+
+using circuit::Circuit;
+using linalg::CMat;
+
+TEST(DensityMatrix, InitialState) {
+  DensityMatrix dm(2);
+  EXPECT_NEAR(dm.probabilities()[0], 1.0, 1e-12);
+  EXPECT_NEAR(std::abs(dm.trace() - cx{1, 0}), 0.0, 1e-12);
+}
+
+TEST(DensityMatrix, MatchesStatevectorOnUnitaryCircuits) {
+  Rng rng(2);
+  circuit::RandomCircuitOptions options;
+  options.num_qubits = 4;
+  options.depth = 3;
+  const Circuit c = circuit::random_circuit(options, rng);
+
+  StateVector sv(4);
+  sv.apply_circuit(c);
+  DensityMatrix dm(4);
+  dm.apply_circuit(c);
+
+  const std::vector<double> sv_probs = sv.probabilities();
+  const std::vector<double> dm_probs = dm.probabilities();
+  for (std::size_t i = 0; i < sv_probs.size(); ++i) {
+    EXPECT_NEAR(sv_probs[i], dm_probs[i], 1e-10);
+  }
+  EXPECT_TRUE(dm.matrix().approx_equal(sv.density_matrix(), 1e-10));
+}
+
+TEST(DensityMatrix, FromStatevector) {
+  StateVector sv(2);
+  Circuit c(2);
+  c.h(0).cx(0, 1);
+  sv.apply_circuit(c);
+  const DensityMatrix dm = DensityMatrix::from_statevector(sv);
+  EXPECT_TRUE(dm.matrix().approx_equal(sv.density_matrix(), 1e-12));
+}
+
+TEST(DensityMatrix, FromMatrixValidation) {
+  CMat not_hermitian = {{cx{1, 0}, cx{1, 0}}, {cx{0, 0}, cx{0, 0}}};
+  EXPECT_THROW((void)DensityMatrix::from_matrix(not_hermitian), Error);
+  CMat wrong_trace = {{cx{2, 0}, cx{0, 0}}, {cx{0, 0}, cx{0, 0}}};
+  EXPECT_THROW((void)DensityMatrix::from_matrix(wrong_trace), Error);
+  // Unnormalized fragment states are allowed with validate=false.
+  EXPECT_NO_THROW((void)DensityMatrix::from_matrix(wrong_trace, false));
+  EXPECT_THROW((void)DensityMatrix::from_matrix(CMat::identity(3)), Error);
+}
+
+TEST(DensityMatrix, DepolarizingDrivesTowardMaximallyMixed) {
+  DensityMatrix dm(1);
+  Circuit c(1);
+  c.h(0);
+  dm.apply_circuit(c);
+  const noise::Channel channel = noise::depolarizing_1q(1.0);
+  const std::array<int, 1> q0 = {0};
+  dm.apply_kraus(channel.kraus_ops(), q0);
+  EXPECT_TRUE(dm.matrix().approx_equal(CMat::identity(2) * cx{0.5, 0}, 1e-10));
+}
+
+TEST(DensityMatrix, AmplitudeDampingFixedPoint) {
+  // Full damping sends |1> to |0>.
+  DensityMatrix dm(1);
+  Circuit c(1);
+  c.x(0);
+  dm.apply_circuit(c);
+  const noise::Channel channel = noise::amplitude_damping(1.0);
+  const std::array<int, 1> q0 = {0};
+  dm.apply_kraus(channel.kraus_ops(), q0);
+  EXPECT_NEAR(dm.probabilities()[0], 1.0, 1e-12);
+}
+
+TEST(DensityMatrix, KrausPreservesTrace) {
+  Rng rng(5);
+  circuit::RandomCircuitOptions options;
+  options.num_qubits = 3;
+  options.depth = 2;
+  const Circuit c = circuit::random_circuit(options, rng);
+  DensityMatrix dm(3);
+  dm.apply_circuit(c);
+  const noise::Channel channel = noise::depolarizing_2q(0.1);
+  const std::array<int, 2> qubits = {0, 2};
+  dm.apply_kraus(channel.kraus_ops(), qubits);
+  EXPECT_NEAR(std::abs(dm.trace() - cx{1, 0}), 0.0, 1e-10);
+}
+
+TEST(DensityMatrix, PartialTraceOfBellPairIsMixed) {
+  DensityMatrix dm(2);
+  Circuit c(2);
+  c.h(0).cx(0, 1);
+  dm.apply_circuit(c);
+  const std::array<int, 1> keep = {0};
+  const DensityMatrix reduced = dm.partial_trace(keep);
+  EXPECT_TRUE(reduced.matrix().approx_equal(CMat::identity(2) * cx{0.5, 0}, 1e-10));
+}
+
+TEST(DensityMatrix, PartialTraceMatchesStatevectorReduction) {
+  Rng rng(7);
+  circuit::RandomCircuitOptions options;
+  options.num_qubits = 4;
+  options.depth = 3;
+  const Circuit c = circuit::random_circuit(options, rng);
+
+  StateVector sv(4);
+  sv.apply_circuit(c);
+  DensityMatrix dm = DensityMatrix::from_statevector(sv);
+
+  const std::array<int, 2> keep = {1, 3};
+  EXPECT_TRUE(dm.partial_trace(keep).matrix().approx_equal(
+      sv.reduced_density_matrix(keep), 1e-10));
+}
+
+TEST(DensityMatrix, ExpectationMatchesStatevector) {
+  StateVector sv(2);
+  Circuit c(2);
+  c.h(0).cx(0, 1);
+  sv.apply_circuit(c);
+  DensityMatrix dm = DensityMatrix::from_statevector(sv);
+
+  const CMat xx = linalg::kron(linalg::pauli_matrix(linalg::Pauli::X),
+                               linalg::pauli_matrix(linalg::Pauli::X));
+  const std::array<int, 2> both = {0, 1};
+  EXPECT_NEAR(dm.expectation(xx, both).real(), 1.0, 1e-10);
+}
+
+TEST(DensityMatrix, InputValidation) {
+  DensityMatrix dm(2);
+  EXPECT_THROW(dm.apply_matrix(CMat::identity(2), std::array<int, 1>{4}), Error);
+  EXPECT_THROW(dm.apply_kraus(std::span<const CMat>{}, std::array<int, 1>{0}), Error);
+  Circuit wide(3);
+  EXPECT_THROW(dm.apply_circuit(wide), Error);
+}
+
+}  // namespace
+}  // namespace qcut::sim

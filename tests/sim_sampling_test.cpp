@@ -1,0 +1,69 @@
+#include "sim/sampling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qcut::sim {
+namespace {
+
+TEST(Sampling, HistogramHasCorrectTotal) {
+  const std::vector<double> probs = {0.25, 0.25, 0.5};
+  Rng rng(1);
+  const auto histogram = sample_histogram(probs, 1000, rng);
+  std::uint64_t total = 0;
+  for (std::uint64_t c : histogram) total += c;
+  EXPECT_EQ(total, 1000u);
+  EXPECT_EQ(histogram.size(), 3u);
+}
+
+TEST(Sampling, FrequenciesConverge) {
+  const std::vector<double> probs = {0.1, 0.2, 0.3, 0.4};
+  Rng rng(2);
+  const std::size_t shots = 100000;
+  const auto histogram = sample_histogram(probs, shots, rng);
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    const double freq = static_cast<double>(histogram[i]) / static_cast<double>(shots);
+    EXPECT_NEAR(freq, probs[i], 5.0 * std::sqrt(probs[i] / static_cast<double>(shots)));
+  }
+}
+
+TEST(Sampling, ZeroProbabilityNeverSampled) {
+  const std::vector<double> probs = {0.5, 0.0, 0.5};
+  Rng rng(3);
+  const auto histogram = sample_histogram(probs, 10000, rng);
+  EXPECT_EQ(histogram[1], 0u);
+}
+
+TEST(Sampling, TinyNegativesAreClamped) {
+  const std::vector<double> probs = {0.5, -1e-12, 0.5};
+  Rng rng(4);
+  EXPECT_NO_THROW((void)sample_histogram(probs, 100, rng));
+}
+
+TEST(Sampling, LargeNegativeRejected) {
+  const std::vector<double> probs = {0.5, -0.1, 0.6};
+  Rng rng(5);
+  EXPECT_THROW((void)sample_histogram(probs, 100, rng), Error);
+}
+
+TEST(Sampling, DeterministicForSeed) {
+  const std::vector<double> probs = {0.3, 0.7};
+  Rng rng1(6), rng2(6);
+  EXPECT_EQ(sample_histogram(probs, 500, rng1), sample_histogram(probs, 500, rng2));
+}
+
+TEST(Sampling, HistogramToProbabilities) {
+  const std::vector<std::uint64_t> histogram = {1, 3, 0, 4};
+  const std::vector<double> probs = histogram_to_probabilities(histogram);
+  EXPECT_NEAR(probs[0], 0.125, 1e-12);
+  EXPECT_NEAR(probs[1], 0.375, 1e-12);
+  EXPECT_NEAR(probs[2], 0.0, 1e-12);
+  EXPECT_NEAR(probs[3], 0.5, 1e-12);
+  EXPECT_THROW((void)histogram_to_probabilities(std::vector<std::uint64_t>{0, 0}), Error);
+}
+
+}  // namespace
+}  // namespace qcut::sim

@@ -1,0 +1,244 @@
+#include "sim/statevector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/random.hpp"
+#include "common/error.hpp"
+#include "linalg/ops.hpp"
+
+namespace qcut::sim {
+namespace {
+
+using circuit::Circuit;
+using circuit::GateKind;
+using linalg::Pauli;
+
+TEST(StateVector, InitialState) {
+  StateVector sv(3);
+  EXPECT_EQ(sv.dim(), 8u);
+  EXPECT_EQ(sv.amplitude(0), (cx{1, 0}));
+  for (index_t i = 1; i < 8; ++i) {
+    EXPECT_EQ(sv.amplitude(i), (cx{0, 0}));
+  }
+  EXPECT_NEAR(sv.norm(), 1.0, 1e-12);
+}
+
+TEST(StateVector, HadamardCreatesSuperposition) {
+  StateVector sv(1);
+  Circuit c(1);
+  c.h(0);
+  sv.apply_circuit(c);
+  const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+  EXPECT_NEAR(sv.amplitude(0).real(), inv_sqrt2, 1e-12);
+  EXPECT_NEAR(sv.amplitude(1).real(), inv_sqrt2, 1e-12);
+}
+
+TEST(StateVector, BellState) {
+  StateVector sv(2);
+  Circuit c(2);
+  c.h(0).cx(0, 1);
+  sv.apply_circuit(c);
+  EXPECT_NEAR(sv.probability_of(0b00), 0.5, 1e-12);
+  EXPECT_NEAR(sv.probability_of(0b11), 0.5, 1e-12);
+  EXPECT_NEAR(sv.probability_of(0b01), 0.0, 1e-12);
+  EXPECT_NEAR(sv.probability_of(0b10), 0.0, 1e-12);
+}
+
+TEST(StateVector, QubitOrderingConvention) {
+  // X on qubit 2 of 3 must set bit 2 (value 4), not bit 0.
+  StateVector sv(3);
+  Circuit c(3);
+  c.x(2);
+  sv.apply_circuit(c);
+  EXPECT_NEAR(sv.probability_of(0b100), 1.0, 1e-12);
+}
+
+TEST(StateVector, TwoQubitGateOnNonAdjacentQubits) {
+  // CX control 0 target 2 with qubit 1 untouched.
+  StateVector sv(3);
+  Circuit c(3);
+  c.x(0).cx(0, 2);
+  sv.apply_circuit(c);
+  EXPECT_NEAR(sv.probability_of(0b101), 1.0, 1e-12);
+}
+
+TEST(StateVector, TwoQubitGateArgumentOrderMatters) {
+  StateVector sv1(2), sv2(2);
+  Circuit c1(2), c2(2);
+  c1.x(0).cx(0, 1);  // control 0 set -> target 1 flips -> |11>
+  c2.x(0).cx(1, 0);  // control 1 unset -> nothing -> |01>
+  sv1.apply_circuit(c1);
+  sv2.apply_circuit(c2);
+  EXPECT_NEAR(sv1.probability_of(0b11), 1.0, 1e-12);
+  EXPECT_NEAR(sv2.probability_of(0b01), 1.0, 1e-12);
+}
+
+TEST(StateVector, ThreeQubitGateCCX) {
+  StateVector sv(3);
+  Circuit c(3);
+  c.x(0).x(1).ccx(0, 1, 2);
+  sv.apply_circuit(c);
+  EXPECT_NEAR(sv.probability_of(0b111), 1.0, 1e-12);
+}
+
+TEST(StateVector, GeneralKQubitMatrixAgreesWithComposition) {
+  // Applying a random 2-qubit unitary as one 4x4 matrix must equal applying
+  // it via the generic k-qubit path on permuted qubits.
+  Rng rng(3);
+  circuit::RandomCircuitOptions options;
+  options.num_qubits = 2;
+  options.depth = 3;
+  const Circuit block = circuit::random_circuit(options, rng);
+  const linalg::CMat u = circuit_unitary(block);
+
+  // Path A: apply gate matrix on qubits {2, 0} of a 3-qubit register.
+  StateVector a(3);
+  Circuit prep(3);
+  prep.h(0).h(1).h(2).t(0).s(1);
+  a.apply_circuit(prep);
+  StateVector b = a;
+
+  const std::array<int, 2> qubits = {2, 0};
+  a.apply_matrix(u, qubits);
+
+  // Path B: apply the block's ops individually remapped onto {2, 0}.
+  const std::vector<int> map = {2, 0};
+  const Circuit remapped = block.remapped(map, 3);
+  b.apply_circuit(remapped);
+
+  for (index_t i = 0; i < 8; ++i) {
+    EXPECT_NEAR(std::abs(a.amplitude(i) - b.amplitude(i)), 0.0, 1e-10) << i;
+  }
+}
+
+TEST(StateVector, ProbabilitiesSumToOne) {
+  Rng rng(4);
+  circuit::RandomCircuitOptions options;
+  options.num_qubits = 5;
+  options.depth = 4;
+  const Circuit c = circuit::random_circuit(options, rng);
+  StateVector sv(5);
+  sv.apply_circuit(c);
+  const std::vector<double> probs = sv.probabilities();
+  double total = 0.0;
+  for (double p : probs) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-10);
+}
+
+TEST(StateVector, ExpectationPauli) {
+  StateVector sv(2);
+  Circuit c(2);
+  c.h(0);  // |+> on qubit 0
+  sv.apply_circuit(c);
+
+  circuit::PauliString x0(2);
+  x0.set_label(0, Pauli::X);
+  EXPECT_NEAR(sv.expectation_pauli(x0), 1.0, 1e-12);
+
+  circuit::PauliString z0(2);
+  z0.set_label(0, Pauli::Z);
+  EXPECT_NEAR(sv.expectation_pauli(z0), 0.0, 1e-12);
+
+  circuit::PauliString z1(2);
+  z1.set_label(1, Pauli::Z);
+  EXPECT_NEAR(sv.expectation_pauli(z1), 1.0, 1e-12);
+
+  EXPECT_NEAR(sv.expectation_pauli(circuit::PauliString(2)), 1.0, 1e-12);
+}
+
+TEST(StateVector, BellStateCorrelations) {
+  StateVector sv(2);
+  Circuit c(2);
+  c.h(0).cx(0, 1);
+  sv.apply_circuit(c);
+  EXPECT_NEAR(sv.expectation_pauli(circuit::PauliString::parse("XX")), 1.0, 1e-12);
+  EXPECT_NEAR(sv.expectation_pauli(circuit::PauliString::parse("YY")), -1.0, 1e-12);
+  EXPECT_NEAR(sv.expectation_pauli(circuit::PauliString::parse("ZZ")), 1.0, 1e-12);
+  EXPECT_NEAR(sv.expectation_pauli(circuit::PauliString::parse("XY")), 0.0, 1e-12);
+}
+
+TEST(StateVector, ProductState) {
+  const linalg::CVec plus = {cx{1.0 / std::sqrt(2.0), 0}, cx{1.0 / std::sqrt(2.0), 0}};
+  const linalg::CVec one = {cx{0, 0}, cx{1, 0}};
+  const StateVector sv = StateVector::product_state({plus, one});
+  EXPECT_NEAR(sv.probability_of(0b10), 0.5, 1e-12);
+  EXPECT_NEAR(sv.probability_of(0b11), 0.5, 1e-12);
+  EXPECT_NEAR(sv.probability_of(0b00), 0.0, 1e-12);
+}
+
+TEST(StateVector, ReducedDensityMatrixOfBellPair) {
+  StateVector sv(2);
+  Circuit c(2);
+  c.h(0).cx(0, 1);
+  sv.apply_circuit(c);
+  const std::array<int, 1> keep = {0};
+  const linalg::CMat rho = sv.reduced_density_matrix(keep);
+  EXPECT_TRUE(rho.approx_equal(linalg::CMat::identity(2) * cx{0.5, 0}, 1e-12));
+}
+
+TEST(StateVector, ReducedDensityMatrixOfProductState) {
+  StateVector sv(2);
+  Circuit c(2);
+  c.h(0).x(1);
+  sv.apply_circuit(c);
+  const std::array<int, 1> keep = {1};
+  const linalg::CMat rho = sv.reduced_density_matrix(keep);
+  EXPECT_NEAR(rho(1, 1).real(), 1.0, 1e-12);
+  EXPECT_NEAR(std::abs(rho(0, 0)), 0.0, 1e-12);
+}
+
+TEST(StateVector, FromAmplitudesValidation) {
+  EXPECT_THROW((void)StateVector::from_amplitudes({cx{1, 0}, cx{0, 0}, cx{0, 0}}), Error);
+  EXPECT_THROW((void)StateVector::from_amplitudes({cx{1, 0}, cx{1, 0}}), Error);
+  EXPECT_NO_THROW((void)StateVector::from_amplitudes({cx{1, 0}, cx{1, 0}}, false));
+}
+
+TEST(StateVector, NormalizeAfterProjection) {
+  StateVector sv(1);
+  Circuit c(1);
+  c.h(0);
+  sv.apply_circuit(c);
+  // Project onto |0> (non-unitary).
+  const linalg::CMat proj = {{cx{1, 0}, cx{0, 0}}, {cx{0, 0}, cx{0, 0}}};
+  const std::array<int, 1> q0 = {0};
+  sv.apply_matrix(proj, q0);
+  EXPECT_NEAR(sv.norm(), 1.0 / std::sqrt(2.0), 1e-12);
+  sv.normalize();
+  EXPECT_NEAR(sv.norm(), 1.0, 1e-12);
+  EXPECT_NEAR(sv.probability_of(0), 1.0, 1e-12);
+}
+
+TEST(StateVector, InputValidation) {
+  StateVector sv(2);
+  EXPECT_THROW(sv.apply_matrix(linalg::CMat::identity(2), std::array<int, 1>{5}), Error);
+  EXPECT_THROW(sv.apply_matrix(linalg::CMat::identity(4), std::array<int, 1>{0}), Error);
+  EXPECT_THROW((void)sv.amplitude(4), Error);
+  Circuit wide(3);
+  EXPECT_THROW(sv.apply_circuit(wide), Error);
+}
+
+TEST(CircuitUnitary, MatchesKnownGates) {
+  Circuit c(1);
+  c.h(0);
+  EXPECT_TRUE(circuit_unitary(c).approx_equal(
+      circuit::gate_matrix(GateKind::H, {}), 1e-12));
+
+  Circuit c2(2);
+  c2.cx(0, 1);
+  EXPECT_TRUE(circuit_unitary(c2).approx_equal(
+      circuit::gate_matrix(GateKind::CX, {}), 1e-12));
+}
+
+TEST(CircuitUnitary, IsUnitaryForRandomCircuits) {
+  Rng rng(6);
+  circuit::RandomCircuitOptions options;
+  options.num_qubits = 3;
+  options.depth = 4;
+  const Circuit c = circuit::random_circuit(options, rng);
+  EXPECT_TRUE(linalg::is_unitary(circuit_unitary(c), 1e-9));
+}
+
+}  // namespace
+}  // namespace qcut::sim

@@ -5,12 +5,22 @@
 
 namespace qcut::cutting {
 
-namespace {
-// Seed-stream layout: upstream variants use base + setting_index, downstream
-// variants use base + kDownstreamStreamOffset + prep_index. The offset keeps
-// the two blocks disjoint for any realistic cut count.
-constexpr std::uint64_t kDownstreamStreamOffset = 1u << 20;
-}  // namespace
+std::vector<std::size_t> plan_variant_shots(std::size_t shots_per_variant,
+                                            std::size_t total_shot_budget, bool exact,
+                                            std::size_t num_variants) {
+  if (num_variants == 0) return {};
+  std::vector<std::size_t> shots_for(num_variants, shots_per_variant);
+  if (!exact && total_shot_budget > 0) {
+    QCUT_CHECK(total_shot_budget >= num_variants,
+               "execute_fragments: total_shot_budget must cover at least one shot per variant");
+    const std::size_t base = total_shot_budget / num_variants;
+    const std::size_t remainder = total_shot_budget % num_variants;
+    for (std::size_t v = 0; v < num_variants; ++v) {
+      shots_for[v] = base + (v < remainder ? 1 : 0);
+    }
+  }
+  return shots_for;
+}
 
 const std::vector<double>& FragmentData::upstream_distribution(std::uint32_t setting) const {
   const auto it = upstream.find(setting);
@@ -45,19 +55,9 @@ FragmentData execute_impl(const Bipartition& bp, const NeglectSpec& spec,
   const std::vector<std::uint32_t> preps =
       do_downstream ? required_prep_indices(spec) : std::vector<std::uint32_t>{};
 
-  // Per-variant shot plan: fixed per-variant count, or an even split of a
-  // total budget with the remainder going to the earliest variants.
   const std::size_t num_variants_planned = settings.size() + preps.size();
-  std::vector<std::size_t> shots_for(num_variants_planned, options.shots_per_variant);
-  if (!options.exact && options.total_shot_budget > 0) {
-    QCUT_CHECK(options.total_shot_budget >= num_variants_planned,
-               "execute_fragments: total_shot_budget must cover at least one shot per variant");
-    const std::size_t base = options.total_shot_budget / num_variants_planned;
-    const std::size_t remainder = options.total_shot_budget % num_variants_planned;
-    for (std::size_t v = 0; v < num_variants_planned; ++v) {
-      shots_for[v] = base + (v < remainder ? 1 : 0);
-    }
-  }
+  const std::vector<std::size_t> shots_for = plan_variant_shots(
+      options.shots_per_variant, options.total_shot_budget, options.exact, num_variants_planned);
 
   FragmentData data;
   data.num_cuts = bp.num_cuts();
@@ -93,7 +93,7 @@ FragmentData execute_impl(const Bipartition& bp, const NeglectSpec& spec,
       } else {
         const backend::Counts counts =
             backend.run(variant.circuit, shots_for[v],
-                        options.seed_stream_base + kDownstreamStreamOffset + variant.prep_index);
+                        options.seed_stream_base + kDownstreamSeedStreamOffset + variant.prep_index);
         downstream_results[d] = counts.to_probabilities();
       }
     }

@@ -12,6 +12,12 @@
 
 namespace qcut::cutting {
 
+/// Seed-stream layout shared by every execution path (direct and service):
+/// upstream variants use base + setting_index, downstream variants use
+/// base + kDownstreamSeedStreamOffset + prep_index. The offset keeps the two
+/// blocks disjoint for any realistic cut count.
+inline constexpr std::uint64_t kDownstreamSeedStreamOffset = 1u << 20;
+
 struct ExecutionOptions {
   /// Shots per circuit variant (ignored in exact mode and when
   /// total_shot_budget is set).
@@ -54,6 +60,16 @@ struct FragmentData {
   [[nodiscard]] const std::vector<double>& upstream_distribution(std::uint32_t setting) const;
   [[nodiscard]] const std::vector<double>& downstream_distribution(std::uint32_t prep) const;
 };
+
+/// Per-variant shot plan shared by every execution path: a fixed per-variant
+/// count, or an even split of `total_shot_budget` with the remainder going to
+/// the earliest variants. In exact mode the plan is all-`shots_per_variant`
+/// but unused. Throws when a nonzero budget cannot cover one shot per
+/// variant.
+[[nodiscard]] std::vector<std::size_t> plan_variant_shots(std::size_t shots_per_variant,
+                                                          std::size_t total_shot_budget,
+                                                          bool exact,
+                                                          std::size_t num_variants);
 
 /// Runs every variant required by `spec` on `backend` and collects the
 /// distributions. Variants are independent and are fanned out over the

@@ -1,106 +1,24 @@
 #include "cutting/pipeline.hpp"
 
-#include "common/error.hpp"
-#include "common/stopwatch.hpp"
+#include "service/cut_service.hpp"
 
 namespace qcut::cutting {
 
-namespace {
-
-/// Online detection needs all 3^K upstream settings in settings-index order.
-std::vector<std::vector<double>> ordered_upstream(const FragmentData& data) {
-  std::uint64_t num_settings = 1;
-  for (int k = 0; k < data.num_cuts; ++k) num_settings *= kNumMeasSettings;
-  std::vector<std::vector<double>> out(num_settings);
-  for (std::uint32_t s = 0; s < num_settings; ++s) {
-    out[s] = data.upstream_distribution(s);
-  }
-  return out;
-}
-
-}  // namespace
-
+// cut_and_run is a thin synchronous wrapper over the CutService path: one
+// private single-use service (cache disabled - there is nothing to reuse
+// within one call, and a fresh cache would change nothing) serves the
+// request, and backend stats are sampled around it so the report's
+// backend_delta keeps its historical meaning, including simulated device
+// seconds, which the async service cannot attribute per job.
 CutRunReport cut_and_run(const Circuit& circuit, std::span<const WirePoint> cuts,
                          backend::Backend& backend, const CutRunOptions& options) {
-  Stopwatch total_timer;
   const backend::BackendStats stats_before = backend.stats();
 
-  CutRunReport report;
-  report.bipartition = make_bipartition(circuit, cuts);
-  const Bipartition& bp = report.bipartition;
-
-  ExecutionOptions exec;
-  exec.shots_per_variant = options.shots_per_variant;
-  exec.total_shot_budget = options.total_shot_budget;
-  exec.exact = options.exact;
-  exec.pool = options.pool;
-  exec.seed_stream_base = options.seed_stream_base;
-
-  ReconstructionOptions recon;
-  recon.pool = options.pool;
-
-  switch (options.golden_mode) {
-    case GoldenMode::None: {
-      report.spec = NeglectSpec::none(bp.num_cuts());
-      report.data = execute_fragments(bp, report.spec, backend, exec);
-      break;
-    }
-    case GoldenMode::Provided: {
-      QCUT_CHECK(options.provided_spec.has_value(),
-                 "cut_and_run: GoldenMode::Provided requires provided_spec");
-      QCUT_CHECK(options.provided_spec->num_cuts() == bp.num_cuts(),
-                 "cut_and_run: provided spec cut count must match the cuts");
-      report.spec = *options.provided_spec;
-      report.data = execute_fragments(bp, report.spec, backend, exec);
-      break;
-    }
-    case GoldenMode::DetectExact: {
-      report.spec = detect_golden_exact(bp, options.golden_tol).to_spec();
-      report.data = execute_fragments(bp, report.spec, backend, exec);
-      break;
-    }
-    case GoldenMode::DetectOnline: {
-      // Execute the full upstream (all settings are needed to test every
-      // basis), detect, then only execute the downstream variants the
-      // detected spec requires. Golden points only affect the fragments
-      // incident to the cut, so this stays parallel.
-      const NeglectSpec full = NeglectSpec::none(bp.num_cuts());
-
-      // Upstream-only execution: temporarily reconstruct the variant lists
-      // by hand so we can split the two phases.
-      FragmentData upstream_data;
-      {
-        ExecutionOptions upstream_exec = exec;
-        // Run all upstream variants; downstream deferred.
-        // Implemented by executing with a spec that needs all settings and
-        // zero preps - easiest is to execute fully upstream then merge.
-        upstream_data = execute_upstream_only(bp, full, backend, upstream_exec);
-      }
-
-      QCUT_CHECK(!options.exact,
-                 "cut_and_run: online detection is meaningful only when sampling");
-      // Use the smallest per-variant shot count as the test's sample size
-      // (conservative when a total budget splits unevenly).
-      const GoldenDetectionReport detection = detect_golden_from_counts(
-          bp, ordered_upstream(upstream_data), upstream_data.shots_per_variant,
-          options.online);
-      report.spec = detection.to_spec();
-
-      FragmentData downstream_data =
-          execute_downstream_only(bp, report.spec, backend, exec);
-
-      report.data = std::move(upstream_data);
-      report.data.downstream = std::move(downstream_data.downstream);
-      report.data.total_jobs += downstream_data.total_jobs;
-      report.data.total_shots += downstream_data.total_shots;
-      report.data.wall_seconds += downstream_data.wall_seconds;
-      break;
-    }
-  }
-
-  report.fragment_seconds = report.data.wall_seconds;
-  report.reconstruction = reconstruct_distribution(bp, report.data, report.spec, recon);
-  report.total_seconds = total_timer.elapsed_seconds();
+  service::CutServiceOptions service_options;
+  service_options.pool = options.pool;
+  service_options.cache_capacity = 0;
+  service::CutService service(backend, service_options);
+  CutRunReport report = service.run(circuit, cuts, options);
 
   const backend::BackendStats stats_after = backend.stats();
   report.backend_delta.jobs = stats_after.jobs - stats_before.jobs;

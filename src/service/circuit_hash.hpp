@@ -1,0 +1,78 @@
+#pragma once
+// Canonical content hashing for circuits and variant executions.
+//
+// The fragment-result cache and the cross-request variant deduplicator are
+// keyed by a 128-bit content hash of everything that determines a variant's
+// outcome distribution under the backend determinism contract: the variant
+// circuit itself (gate kinds, qubit wiring, parameter bit patterns, custom
+// unitaries), the shot count, exact/sampling mode, the seed stream, and the
+// backend identity. Two requests that arrive at byte-identical executions
+// share one result, no matter which cut-run request produced them.
+//
+// The hash is a double-lane FNV-1a (not cryptographic): collisions are a
+// correctness hazard only past ~2^64 cached entries, far beyond any
+// realistic cache size.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "circuit/circuit.hpp"
+
+namespace qcut::service {
+
+struct Hash128 {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend bool operator==(const Hash128&, const Hash128&) = default;
+
+  /// 32 hex characters, hi then lo.
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct Hash128Hasher {
+  [[nodiscard]] std::size_t operator()(const Hash128& h) const noexcept {
+    return static_cast<std::size_t>(h.hi ^ (h.lo * 0x9E3779B97F4A7C15ull));
+  }
+};
+
+/// Incremental double-lane FNV-1a hasher. Every write is length-prefixed at
+/// the call sites that need framing (strings, vectors), so concatenation
+/// ambiguities cannot alias two different inputs.
+class HashStream {
+ public:
+  HashStream& write_bytes(const void* data, std::size_t size);
+  HashStream& write_u64(std::uint64_t v);
+  HashStream& write_i64(std::int64_t v) { return write_u64(static_cast<std::uint64_t>(v)); }
+  /// Hashes the exact bit pattern (distinguishes -0.0 from 0.0, preserves
+  /// NaN payloads): the cache promises bit-for-bit equal results, so the key
+  /// must be exactly as strict.
+  HashStream& write_double(double v);
+  HashStream& write_string(std::string_view s);
+
+  [[nodiscard]] Hash128 digest() const noexcept { return {hi_, lo_}; }
+
+ private:
+  std::uint64_t hi_ = 0xcbf29ce484222325ull;  // FNV-1a offset basis
+  std::uint64_t lo_ = 0x6c62272e07bb0142ull;  // high half of the FNV-128 basis
+};
+
+/// Appends a canonical encoding of `circuit` to the stream: width, op count,
+/// and per op the gate kind, qubits, parameter bit patterns and (for Custom
+/// ops) the unitary's entries. Display labels are ignored: they do not
+/// affect execution.
+void hash_circuit_into(HashStream& stream, const circuit::Circuit& circuit);
+
+/// Content hash of a circuit alone.
+[[nodiscard]] Hash128 hash_circuit(const circuit::Circuit& circuit);
+
+/// Content hash of one variant execution: the full cache/dedup key.
+/// `exact` executions pass shots = 0.
+[[nodiscard]] Hash128 hash_variant_execution(const circuit::Circuit& variant_circuit,
+                                             std::size_t shots, bool exact,
+                                             std::uint64_t seed_stream,
+                                             std::string_view backend_identity);
+
+}  // namespace qcut::service

@@ -1,0 +1,350 @@
+#include "service/cut_service.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+#include "cutting/fragment_executor.hpp"
+#include "cutting/variants.hpp"
+#include "service/circuit_hash.hpp"
+
+namespace qcut::service {
+
+using cutting::CutRunOptions;
+using cutting::CutRunReport;
+using cutting::GoldenMode;
+using cutting::kDownstreamSeedStreamOffset;
+
+CutService::CutService(backend::Backend& backend, CutServiceOptions options)
+    : backend_(backend),
+      pool_(options.pool != nullptr ? *options.pool : parallel::ThreadPool::global()),
+      backend_identity_(options.backend_identity.empty() ? backend.name()
+                                                         : std::move(options.backend_identity)),
+      cache_(options.cache_capacity),
+      scheduler_(pool_, cache_),
+      scheduler_thread_([this] { scheduler_loop(); }) {}
+
+CutService::~CutService() {
+  wait_idle();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  scheduler_thread_.join();
+}
+
+std::future<CutRunReport> CutService::submit(circuit::Circuit circuit,
+                                             std::vector<circuit::WirePoint> cuts,
+                                             CutRunOptions options) {
+  JobPtr job;
+  std::future<CutRunReport> future;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job = std::make_shared<CutJob>(next_job_id_++, std::move(circuit), std::move(cuts),
+                                   std::move(options));
+    future = job->promise.get_future();
+    ++jobs_submitted_;
+    ++active_jobs_;
+    ready_.push_back(job);
+  }
+  wake_.notify_one();
+  return future;
+}
+
+CutRunReport CutService::run(const circuit::Circuit& circuit,
+                             std::span<const circuit::WirePoint> cuts,
+                             const CutRunOptions& options) {
+  return submit(circuit, std::vector<circuit::WirePoint>(cuts.begin(), cuts.end()), options)
+      .get();
+}
+
+void CutService::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [&] { return active_jobs_ == 0; });
+}
+
+CutServiceStats CutService::stats() const {
+  CutServiceStats out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out.jobs_submitted = jobs_submitted_;
+    out.jobs_completed = jobs_completed_;
+    out.jobs_failed = jobs_failed_;
+  }
+  out.scheduler = scheduler_.stats();
+  out.cache = cache_.stats();
+  return out;
+}
+
+void CutService::scheduler_loop() {
+  for (;;) {
+    JobPtr job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [&] { return stopping_ || !ready_.empty(); });
+      if (ready_.empty()) return;  // stopping, and nothing left to drive
+      job = std::move(ready_.front());
+      ready_.pop_front();
+    }
+    try {
+      advance(job);
+    } catch (...) {
+      fail(job, std::current_exception());
+    }
+  }
+}
+
+void CutService::enqueue_ready(const JobPtr& job) {
+  // Notify while holding the lock: this runs on pool threads, and an
+  // unlocked notify could touch the condition variable after the owner has
+  // observed completion (via wait_idle or the job future) and destroyed the
+  // service. Holding the mutex pins the service until the notify returns.
+  std::lock_guard<std::mutex> lock(mutex_);
+  ready_.push_back(job);
+  wake_.notify_one();
+}
+
+void CutService::advance(const JobPtr& job) {
+  if (job->phase == JobPhase::Done || job->phase == JobPhase::Failed) return;
+  if (job->phase != JobPhase::Queued && job->failed.load()) {
+    fail(job, job->error);
+    return;
+  }
+  switch (job->phase) {
+    case JobPhase::Queued:
+      admit(job);
+      break;
+    case JobPhase::ExecutingFragments:
+      absorb_wave(job);
+      reconstruct_and_finish(job);
+      break;
+    case JobPhase::ExecutingUpstream:
+      absorb_wave(job);
+      handle_upstream_complete(job);
+      break;
+    case JobPhase::ExecutingDownstream:
+      absorb_wave(job);
+      reconstruct_and_finish(job);
+      break;
+    case JobPhase::Reconstructing:
+    case JobPhase::Done:
+    case JobPhase::Failed:
+      break;
+  }
+}
+
+void CutService::admit(const JobPtr& job) {
+  CutJob& j = *job;
+  j.total_timer.reset();
+  j.report.bipartition = cutting::make_bipartition(j.circuit, j.cuts);
+  const cutting::Bipartition& bp = j.report.bipartition;
+
+  cutting::FragmentData& data = j.report.data;
+  data.num_cuts = bp.num_cuts();
+  data.f1_width = bp.f1_width();
+  data.f2_width = bp.f2_width();
+
+  switch (j.options.golden_mode) {
+    case GoldenMode::None:
+      j.report.spec = cutting::NeglectSpec::none(bp.num_cuts());
+      break;
+    case GoldenMode::Provided:
+      QCUT_CHECK(j.options.provided_spec.has_value(),
+                 "cut_and_run: GoldenMode::Provided requires provided_spec");
+      QCUT_CHECK(j.options.provided_spec->num_cuts() == bp.num_cuts(),
+                 "cut_and_run: provided spec cut count must match the cuts");
+      j.report.spec = *j.options.provided_spec;
+      break;
+    case GoldenMode::DetectExact:
+      j.report.spec = cutting::detect_golden_exact(bp, j.options.golden_tol).to_spec();
+      break;
+    case GoldenMode::DetectOnline: {
+      QCUT_CHECK(!j.options.exact,
+                 "cut_and_run: online detection is meaningful only when sampling");
+      // Wave 1: every upstream setting (the detector needs all of them);
+      // downstream is deferred until the detected spec prunes it.
+      const cutting::NeglectSpec full = cutting::NeglectSpec::none(bp.num_cuts());
+      j.phase = JobPhase::ExecutingUpstream;
+      issue_wave(job, cutting::required_setting_indices(full), {});
+      return;
+    }
+  }
+
+  j.phase = JobPhase::ExecutingFragments;
+  issue_wave(job, cutting::required_setting_indices(j.report.spec),
+             cutting::required_prep_indices(j.report.spec));
+}
+
+void CutService::issue_wave(const JobPtr& job, const std::vector<std::uint32_t>& settings,
+                            const std::vector<std::uint32_t>& preps) {
+  CutJob& j = *job;
+  const cutting::Bipartition& bp = j.report.bipartition;
+  const CutRunOptions& opt = j.options;
+  QCUT_CHECK(opt.exact || opt.shots_per_variant > 0 || opt.total_shot_budget > 0,
+             "execute_fragments: need shots_per_variant or total_shot_budget when sampling");
+
+  WavePlan plan =
+      plan_wave(settings, preps, opt.shots_per_variant, opt.total_shot_budget, opt.exact);
+
+  cutting::FragmentData& data = j.report.data;
+  if (j.phase != JobPhase::ExecutingDownstream) {
+    // The post-detection downstream wave keeps the upstream wave's value,
+    // mirroring the direct path's merge.
+    data.shots_per_variant = plan.smallest_share;
+  }
+  data.total_jobs += plan.slots.size();
+  data.total_shots += plan.planned_total_shots;
+
+  j.slots = std::move(plan.slots);
+  j.wave_timer.reset();
+
+  if (j.slots.empty()) {
+    enqueue_ready(job);
+    return;
+  }
+
+  // Prepare every request before issuing any: a throw while issuing would
+  // strand the wave's pending count.
+  struct Prepared {
+    circuit::Circuit circuit{1};
+    Hash128 key;
+    std::size_t shots = 0;
+    std::uint64_t seed_stream = 0;
+  };
+  std::vector<Prepared> prepared;
+  prepared.reserve(j.slots.size());
+  for (const VariantSlot& slot : j.slots) {
+    Prepared p;
+    if (slot.upstream) {
+      p.circuit = cutting::make_upstream_variant(bp, slot.tuple_index).circuit;
+      p.seed_stream = opt.seed_stream_base + slot.tuple_index;
+    } else {
+      p.circuit = cutting::make_downstream_variant(bp, slot.tuple_index).circuit;
+      p.seed_stream = opt.seed_stream_base + kDownstreamSeedStreamOffset + slot.tuple_index;
+    }
+    p.shots = slot.shots;
+    p.key = hash_variant_execution(p.circuit, p.shots, opt.exact, p.seed_stream,
+                                   backend_identity_);
+    prepared.push_back(std::move(p));
+  }
+
+  j.pending.store(j.slots.size());
+  for (std::size_t i = 0; i < prepared.size(); ++i) {
+    Prepared& p = prepared[i];
+    auto execute = [this, circuit = std::move(p.circuit), shots = p.shots,
+                    seed = p.seed_stream, exact = opt.exact]() -> std::vector<double> {
+      if (exact) return backend_.exact_probabilities(circuit);
+      return backend_.run(circuit, shots, seed).to_probabilities();
+    };
+    auto on_ready = [this, job, i](CachedDistribution result, std::exception_ptr error,
+                                   VariantSource source) {
+      CutJob& owner = *job;
+      if (error != nullptr) {
+        if (!owner.failed.exchange(true)) owner.error = error;
+      } else {
+        owner.slots[i].result = std::move(result);
+        switch (source) {
+          case VariantSource::Executed:
+            owner.accounting.variants_executed.fetch_add(1);
+            owner.accounting.shots_executed.fetch_add(owner.slots[i].shots);
+            break;
+          case VariantSource::Cache:
+            owner.accounting.variants_from_cache.fetch_add(1);
+            break;
+          case VariantSource::SharedInFlight:
+            owner.accounting.variants_shared.fetch_add(1);
+            break;
+        }
+      }
+      if (owner.pending.fetch_sub(1) == 1) enqueue_ready(job);
+    };
+    scheduler_.request(p.key, std::move(execute), std::move(on_ready));
+  }
+}
+
+void CutService::absorb_wave(const JobPtr& job) {
+  CutJob& j = *job;
+  cutting::FragmentData& data = j.report.data;
+  data.wall_seconds += j.wave_timer.elapsed_seconds();
+  for (const VariantSlot& slot : j.slots) {
+    auto& side = slot.upstream ? data.upstream : data.downstream;
+    side.emplace(slot.tuple_index, *slot.result);
+  }
+  j.slots.clear();
+  j.slots.shrink_to_fit();
+}
+
+void CutService::handle_upstream_complete(const JobPtr& job) {
+  CutJob& j = *job;
+  const cutting::Bipartition& bp = j.report.bipartition;
+  const cutting::FragmentData& data = j.report.data;
+
+  std::uint64_t num_settings = 1;
+  for (int k = 0; k < data.num_cuts; ++k) num_settings *= cutting::kNumMeasSettings;
+  std::vector<std::vector<double>> ordered(num_settings);
+  for (std::uint32_t s = 0; s < num_settings; ++s) {
+    ordered[s] = data.upstream_distribution(s);
+  }
+
+  // Smallest per-variant shot count as the test's sample size (conservative
+  // when a total budget splits unevenly).
+  const cutting::GoldenDetectionReport detection = cutting::detect_golden_from_counts(
+      bp, ordered, data.shots_per_variant, j.options.online);
+  j.report.spec = detection.to_spec();
+
+  j.phase = JobPhase::ExecutingDownstream;
+  issue_wave(job, {}, cutting::required_prep_indices(j.report.spec));
+}
+
+void CutService::reconstruct_and_finish(const JobPtr& job) {
+  CutJob& j = *job;
+  j.phase = JobPhase::Reconstructing;
+  j.report.fragment_seconds = j.report.data.wall_seconds;
+
+  cutting::ReconstructionOptions recon;
+  // Job-level pool override wins; otherwise reconstruction shares the
+  // service pool, like variant execution. (Reconstruction chunking depends
+  // on pool size, so bit-for-bit equivalence with the direct path holds at
+  // equal pools.)
+  recon.pool = j.options.pool != nullptr ? j.options.pool : &pool_;
+  j.report.reconstruction = cutting::reconstruct_distribution(j.report.bipartition, j.report.data,
+                                                              j.report.spec, recon);
+  j.report.total_seconds = j.total_timer.elapsed_seconds();
+
+  // Physical backend usage attributed to this job: variants served from the
+  // cache or shared with a twin request consumed nothing. Device seconds
+  // cannot be attributed per-job through the Backend stats API; the
+  // synchronous cut_and_run wrapper samples backend stats around its
+  // private service instead.
+  j.report.backend_delta.jobs = j.accounting.variants_executed.load();
+  j.report.backend_delta.shots = j.accounting.shots_executed.load();
+  j.report.backend_delta.simulated_device_seconds = 0.0;
+
+  j.phase = JobPhase::Done;
+  // Bookkeeping precedes the promise: the promise is the caller's sync
+  // point, and stats must already reflect the job when it unblocks.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++jobs_completed_;
+    --active_jobs_;
+  }
+  j.promise.set_value(std::move(j.report));
+  idle_.notify_all();
+}
+
+void CutService::fail(const JobPtr& job, std::exception_ptr error) {
+  CutJob& j = *job;
+  if (j.phase == JobPhase::Done || j.phase == JobPhase::Failed) return;
+  j.phase = JobPhase::Failed;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++jobs_failed_;
+    --active_jobs_;
+  }
+  j.promise.set_exception(error != nullptr ? error
+                                           : std::make_exception_ptr(
+                                                 Error("CutService: job failed without a cause")));
+  idle_.notify_all();
+}
+
+}  // namespace qcut::service

@@ -1,0 +1,124 @@
+#pragma once
+// CutService: an asynchronous cut-execution service.
+//
+// Accepts many concurrent cut-run requests and serves them through a job
+// queue, a phase scheduler that fans fragment variants onto the thread
+// pool, cross-request variant deduplication, and a content-addressed
+// fragment-result cache (see scheduler.hpp / fragment_cache.hpp). The
+// paper's neglect of basis elements shrinks the variant set one request
+// must execute; the service extends the same idea across requests: a
+// variant executed for any request is never executed again while cached,
+// and identical in-flight variants are shared.
+//
+// cut_and_run (cutting/pipeline.hpp) is a thin synchronous wrapper over
+// this service. All four GoldenModes are supported; DetectOnline is served
+// in two waves (upstream, then the post-detection downstream remainder) so
+// detection of one request never blocks execution of another.
+//
+// Determinism: given equal seeds the service produces distributions
+// bit-for-bit identical to the direct execute_fragments +
+// reconstruct_distribution path, regardless of concurrency, caching, or
+// dedup - seed streams are assigned per variant, not per schedule.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "backend/backend.hpp"
+#include "cutting/pipeline.hpp"
+#include "service/fragment_cache.hpp"
+#include "service/job.hpp"
+#include "service/scheduler.hpp"
+
+namespace qcut::service {
+
+struct CutServiceOptions {
+  /// Pool executing fragment variants and reconstruction; nullptr selects
+  /// the global pool.
+  parallel::ThreadPool* pool = nullptr;
+
+  /// Fragment-result cache capacity in entries; 0 disables caching
+  /// (in-flight dedup still applies).
+  std::size_t cache_capacity = 4096;
+
+  /// Cache-key namespace for the backend. Defaults to backend.name();
+  /// override when distinct backends share a name (e.g. two noisy backends
+  /// with different construction seeds).
+  std::string backend_identity;
+};
+
+struct CutServiceStats {
+  std::uint64_t jobs_submitted = 0;
+  std::uint64_t jobs_completed = 0;
+  std::uint64_t jobs_failed = 0;
+  SchedulerStats scheduler;
+  CacheStats cache;
+};
+
+class CutService {
+ public:
+  explicit CutService(backend::Backend& backend, CutServiceOptions options = {});
+
+  /// Waits for every submitted job, then stops the scheduler thread.
+  ~CutService();
+
+  CutService(const CutService&) = delete;
+  CutService& operator=(const CutService&) = delete;
+
+  /// Enqueues one cut-run request. The future yields the report or rethrows
+  /// the failure (invalid cuts, bad options, backend errors).
+  [[nodiscard]] std::future<cutting::CutRunReport> submit(circuit::Circuit circuit,
+                                                          std::vector<circuit::WirePoint> cuts,
+                                                          cutting::CutRunOptions options = {});
+
+  /// Synchronous convenience: submit and wait.
+  [[nodiscard]] cutting::CutRunReport run(const circuit::Circuit& circuit,
+                                          std::span<const circuit::WirePoint> cuts,
+                                          const cutting::CutRunOptions& options = {});
+
+  /// Blocks until every job submitted so far has finished.
+  void wait_idle();
+
+  [[nodiscard]] CutServiceStats stats() const;
+  [[nodiscard]] const FragmentResultCache& cache() const noexcept { return cache_; }
+
+ private:
+  using JobPtr = std::shared_ptr<CutJob>;
+
+  void scheduler_loop();
+  void advance(const JobPtr& job);
+  void admit(const JobPtr& job);
+  void issue_wave(const JobPtr& job, const std::vector<std::uint32_t>& settings,
+                  const std::vector<std::uint32_t>& preps);
+  void absorb_wave(const JobPtr& job);
+  void handle_upstream_complete(const JobPtr& job);
+  void reconstruct_and_finish(const JobPtr& job);
+  void fail(const JobPtr& job, std::exception_ptr error);
+  void enqueue_ready(const JobPtr& job);
+
+  backend::Backend& backend_;
+  parallel::ThreadPool& pool_;
+  std::string backend_identity_;
+  FragmentResultCache cache_;
+  VariantScheduler scheduler_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable idle_;
+  std::deque<JobPtr> ready_;
+  std::size_t active_jobs_ = 0;
+  bool stopping_ = false;
+  std::uint64_t next_job_id_ = 1;
+  std::uint64_t jobs_submitted_ = 0;
+  std::uint64_t jobs_completed_ = 0;
+  std::uint64_t jobs_failed_ = 0;
+
+  std::thread scheduler_thread_;  // last member: starts after state is ready
+};
+
+}  // namespace qcut::service

@@ -1,0 +1,76 @@
+#pragma once
+// Content-addressed fragment-result cache.
+//
+// Maps a variant-execution hash (see circuit_hash.hpp) to the outcome
+// distribution that execution produced. Because backends are deterministic
+// in (circuit, shots, seed_stream) and the key covers all of those plus the
+// backend identity, a cache hit is bit-for-bit identical to re-executing.
+// The paper shrinks the set of variants a single request must execute;
+// under repeated traffic the cache removes re-execution across requests
+// entirely.
+//
+// Thread-safe; results are held as shared_ptr<const vector<double>> so hits
+// are handed out without copying while eviction stays safe.
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "service/circuit_hash.hpp"
+
+namespace qcut::service {
+
+using CachedDistribution = std::shared_ptr<const std::vector<double>>;
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+
+  [[nodiscard]] double hit_rate() const noexcept {
+    const std::uint64_t lookups = hits + misses;
+    return lookups == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(lookups);
+  }
+};
+
+/// LRU cache over variant-execution results. `capacity` counts entries;
+/// capacity 0 disables the cache (every lookup misses, inserts are
+/// dropped).
+class FragmentResultCache {
+ public:
+  explicit FragmentResultCache(std::size_t capacity);
+
+  FragmentResultCache(const FragmentResultCache&) = delete;
+  FragmentResultCache& operator=(const FragmentResultCache&) = delete;
+
+  /// Returns the cached distribution and refreshes its recency, or nullopt.
+  [[nodiscard]] std::optional<CachedDistribution> lookup(const Hash128& key);
+
+  /// Inserts (or refreshes) `value`, evicting least-recently-used entries
+  /// over capacity.
+  void insert(const Hash128& key, CachedDistribution value);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] CacheStats stats() const;
+  void clear();
+
+ private:
+  struct Entry {
+    Hash128 key;
+    CachedDistribution value;
+  };
+
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<Hash128, std::list<Entry>::iterator, Hash128Hasher> index_;
+  CacheStats stats_;
+};
+
+}  // namespace qcut::service

@@ -1,0 +1,43 @@
+#include "service/job.hpp"
+
+#include "cutting/fragment_executor.hpp"
+
+namespace qcut::service {
+
+const char* to_string(JobPhase phase) noexcept {
+  switch (phase) {
+    case JobPhase::Queued: return "queued";
+    case JobPhase::ExecutingFragments: return "executing-fragments";
+    case JobPhase::ExecutingUpstream: return "executing-upstream";
+    case JobPhase::ExecutingDownstream: return "executing-downstream";
+    case JobPhase::Reconstructing: return "reconstructing";
+    case JobPhase::Done: return "done";
+    case JobPhase::Failed: return "failed";
+  }
+  return "unknown";
+}
+
+WavePlan plan_wave(const std::vector<std::uint32_t>& settings,
+                   const std::vector<std::uint32_t>& preps, std::size_t shots_per_variant,
+                   std::size_t total_shot_budget, bool exact) {
+  const std::size_t num_variants = settings.size() + preps.size();
+  const std::vector<std::size_t> shots_for =
+      cutting::plan_variant_shots(shots_per_variant, total_shot_budget, exact, num_variants);
+
+  WavePlan plan;
+  plan.slots.reserve(num_variants);
+  for (std::size_t i = 0; i < settings.size(); ++i) {
+    plan.slots.push_back(VariantSlot{true, settings[i], exact ? 0 : shots_for[i], nullptr});
+  }
+  for (std::size_t i = 0; i < preps.size(); ++i) {
+    plan.slots.push_back(
+        VariantSlot{false, preps[i], exact ? 0 : shots_for[settings.size() + i], nullptr});
+  }
+  if (!exact) {
+    plan.smallest_share = shots_for.empty() ? 0 : shots_for.back();
+    for (std::size_t s : shots_for) plan.planned_total_shots += s;
+  }
+  return plan;
+}
+
+}  // namespace qcut::service

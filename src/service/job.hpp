@@ -1,0 +1,103 @@
+#pragma once
+// Cut-run jobs: the unit of work the CutService queues and drives.
+//
+// A job is one cut-run request (circuit, cuts, options). The service
+// advances it through phases; each executing phase is a "wave" of variant
+// executions fanned out through the VariantScheduler. Online detection
+// (GoldenMode::DetectOnline) needs two waves - upstream first, then the
+// downstream variants the detector did not prune - which is why the phase
+// machine exists at all: requests interleave at wave granularity instead of
+// blocking the service on one request's detector.
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <future>
+#include <vector>
+
+#include "common/stopwatch.hpp"
+#include "cutting/pipeline.hpp"
+#include "service/fragment_cache.hpp"
+
+namespace qcut::service {
+
+enum class JobPhase {
+  Queued,               // submitted, not yet planned
+  ExecutingFragments,   // single wave: upstream + downstream together
+  ExecutingUpstream,    // online detection, wave 1
+  ExecutingDownstream,  // online detection, wave 2 (post-detection)
+  Reconstructing,
+  Done,
+  Failed,
+};
+
+[[nodiscard]] const char* to_string(JobPhase phase) noexcept;
+
+/// One variant execution a job is waiting on. Slots are preallocated before
+/// requests are issued, so completion callbacks (which may run concurrently
+/// on pool threads) write disjoint entries without locking.
+struct VariantSlot {
+  bool upstream = true;
+  std::uint32_t tuple_index = 0;  // setting index (upstream) or prep index
+  std::size_t shots = 0;          // planned shots; 0 in exact mode
+  CachedDistribution result;      // written by the scheduler callback
+};
+
+/// Physical backend work attributed to this job. Variants served from the
+/// cache or shared with another in-flight request consumed no backend time.
+struct JobAccounting {
+  std::atomic<std::uint64_t> variants_executed{0};
+  std::atomic<std::uint64_t> variants_from_cache{0};
+  std::atomic<std::uint64_t> variants_shared{0};
+  std::atomic<std::uint64_t> shots_executed{0};
+};
+
+struct CutJob {
+  CutJob(std::uint64_t job_id, circuit::Circuit job_circuit,
+         std::vector<circuit::WirePoint> job_cuts, cutting::CutRunOptions job_options)
+      : id(job_id),
+        circuit(std::move(job_circuit)),
+        cuts(std::move(job_cuts)),
+        options(std::move(job_options)) {}
+
+  const std::uint64_t id;
+  circuit::Circuit circuit;
+  std::vector<circuit::WirePoint> cuts;
+  cutting::CutRunOptions options;
+
+  std::promise<cutting::CutRunReport> promise;
+
+  // Owned by the service's scheduler thread between waves.
+  JobPhase phase = JobPhase::Queued;
+  cutting::CutRunReport report;
+
+  // Current wave.
+  std::vector<VariantSlot> slots;
+  std::atomic<std::size_t> pending{0};
+  Stopwatch wave_timer;
+  Stopwatch total_timer;
+
+  // First failure wins; read by the scheduler thread once pending hits 0.
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+
+  JobAccounting accounting;
+};
+
+/// A planned wave: slots plus the totals the old direct path would have
+/// recorded in FragmentData for the same variants.
+struct WavePlan {
+  std::vector<VariantSlot> slots;
+  std::size_t smallest_share = 0;        // FragmentData::shots_per_variant; 0 in exact mode
+  std::uint64_t planned_total_shots = 0; // 0 in exact mode
+};
+
+/// Plans one wave over `settings` then `preps`, splitting shots exactly as
+/// the direct execution path does (see plan_variant_shots): the two paths
+/// must agree bit-for-bit.
+[[nodiscard]] WavePlan plan_wave(const std::vector<std::uint32_t>& settings,
+                                 const std::vector<std::uint32_t>& preps,
+                                 std::size_t shots_per_variant, std::size_t total_shot_budget,
+                                 bool exact);
+
+}  // namespace qcut::service

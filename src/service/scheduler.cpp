@@ -1,0 +1,77 @@
+#include "service/scheduler.hpp"
+
+#include <memory>
+#include <utility>
+
+namespace qcut::service {
+
+void VariantScheduler::request(const Hash128& key, ExecuteFn execute, Callback on_ready) {
+  // Cache first (its own lock; never held together with mutex_).
+  if (std::optional<CachedDistribution> hit = cache_.lookup(key)) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.requests;
+      ++stats_.cache_hits;
+    }
+    on_ready(std::move(*hit), nullptr, VariantSource::Cache);
+    return;
+  }
+
+  bool launch = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.requests;
+    auto [it, inserted] = in_flight_.try_emplace(key);
+    if (inserted) {
+      launch = true;
+      ++stats_.executions;
+      it->second.push_back(Waiter{std::move(on_ready), /*launcher=*/true});
+    } else {
+      ++stats_.dedup_joins;
+      it->second.push_back(Waiter{std::move(on_ready), /*launcher=*/false});
+    }
+  }
+  // A twin execution may have completed between the cache miss and taking
+  // mutex_; we then relaunch instead of hitting the fresh cache entry. That
+  // costs one redundant (deterministic, identical) execution and is
+  // harmless; re-checking the cache here would invert the lock order.
+  if (launch) {
+    (void)pool_.submit([this, key, exec = std::move(execute)]() mutable {
+      run_execution(key, std::move(exec));
+    });
+  }
+}
+
+void VariantScheduler::run_execution(Hash128 key, ExecuteFn execute) {
+  CachedDistribution result;
+  std::exception_ptr error;
+  try {
+    result = std::make_shared<const std::vector<double>>(execute());
+  } catch (...) {
+    error = std::current_exception();
+  }
+  if (result != nullptr) cache_.insert(key, result);
+
+  std::vector<Waiter> waiters;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (error != nullptr) ++stats_.failures;
+    const auto it = in_flight_.find(key);
+    waiters = std::move(it->second);
+    in_flight_.erase(it);
+  }
+  // Invoking the callbacks is the task's final act: once the last waiter's
+  // job finishes, the service may be torn down, so no member access after
+  // this point.
+  for (Waiter& w : waiters) {
+    w.callback(result, error,
+               w.launcher ? VariantSource::Executed : VariantSource::SharedInFlight);
+  }
+}
+
+SchedulerStats VariantScheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace qcut::service

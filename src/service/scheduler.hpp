@@ -1,0 +1,74 @@
+#pragma once
+// Variant scheduler: the dedup + cache layer between cut-run jobs and the
+// thread pool.
+//
+// Every variant execution is content-addressed (see circuit_hash.hpp). A
+// request first consults the fragment-result cache; on a miss it either
+// joins an identical in-flight execution launched by another request
+// (cross-request deduplication - two concurrent jobs needing the same
+// upstream setting share one backend run) or launches the execution itself
+// on the pool. Results enter the cache before waiters are notified, so a
+// request arriving one instant later still hits.
+
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+#include "service/fragment_cache.hpp"
+
+namespace qcut::service {
+
+/// How a request's result was obtained; Executed means this request's
+/// execute function ran on the backend (and its job should be billed).
+enum class VariantSource { Executed, Cache, SharedInFlight };
+
+struct SchedulerStats {
+  std::uint64_t requests = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t dedup_joins = 0;   // requests satisfied by joining an in-flight twin
+  std::uint64_t executions = 0;    // backend executions actually launched
+  std::uint64_t failures = 0;      // executions that threw
+};
+
+class VariantScheduler {
+ public:
+  using ExecuteFn = std::function<std::vector<double>()>;
+  /// Exactly one of result / error is set. May be invoked inline from
+  /// request() (cache hit) or later from a pool thread.
+  using Callback =
+      std::function<void(CachedDistribution result, std::exception_ptr error, VariantSource source)>;
+
+  VariantScheduler(parallel::ThreadPool& pool, FragmentResultCache& cache)
+      : pool_(pool), cache_(cache) {}
+
+  VariantScheduler(const VariantScheduler&) = delete;
+  VariantScheduler& operator=(const VariantScheduler&) = delete;
+
+  /// Requests the variant identified by `key`. `execute` runs at most once
+  /// across all concurrent requests with the same key; `on_ready` always
+  /// runs exactly once. The caller must keep this scheduler alive until
+  /// every callback has fired (the CutService waits for all jobs).
+  void request(const Hash128& key, ExecuteFn execute, Callback on_ready);
+
+  [[nodiscard]] SchedulerStats stats() const;
+
+ private:
+  struct Waiter {
+    Callback callback;
+    bool launcher = false;  // this request triggered the execution
+  };
+
+  void run_execution(Hash128 key, ExecuteFn execute);
+
+  parallel::ThreadPool& pool_;
+  FragmentResultCache& cache_;
+  mutable std::mutex mutex_;
+  std::unordered_map<Hash128, std::vector<Waiter>, Hash128Hasher> in_flight_;
+  SchedulerStats stats_;
+};
+
+}  // namespace qcut::service

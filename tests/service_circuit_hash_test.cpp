@@ -1,0 +1,98 @@
+#include "service/circuit_hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuit/circuit.hpp"
+#include "linalg/matrix.hpp"
+
+namespace qcut::service {
+namespace {
+
+using circuit::Circuit;
+
+Circuit small_circuit() {
+  Circuit c(3);
+  c.h(0).cx(0, 1).rz(0.25, 1).cx(1, 2);
+  return c;
+}
+
+TEST(CircuitHash, DeterministicAcrossCalls) {
+  const Circuit a = small_circuit();
+  const Circuit b = small_circuit();
+  EXPECT_EQ(hash_circuit(a), hash_circuit(b));
+  EXPECT_EQ(hash_circuit(a).to_string(), hash_circuit(b).to_string());
+}
+
+TEST(CircuitHash, SensitiveToStructure) {
+  const Hash128 base = hash_circuit(small_circuit());
+
+  Circuit different_kind(3);
+  different_kind.h(0).cx(0, 1).rx(0.25, 1).cx(1, 2);  // rz -> rx
+  EXPECT_NE(hash_circuit(different_kind), base);
+
+  Circuit different_qubit(3);
+  different_qubit.h(0).cx(0, 1).rz(0.25, 2).cx(1, 2);  // rz on another wire
+  EXPECT_NE(hash_circuit(different_qubit), base);
+
+  Circuit different_param(3);
+  different_param.h(0).cx(0, 1).rz(0.2500001, 1).cx(1, 2);
+  EXPECT_NE(hash_circuit(different_param), base);
+
+  Circuit wider(4);
+  wider.h(0).cx(0, 1).rz(0.25, 1).cx(1, 2);  // same ops, wider register
+  EXPECT_NE(hash_circuit(wider), base);
+
+  Circuit reordered(3);
+  reordered.cx(0, 1).h(0).rz(0.25, 1).cx(1, 2);
+  EXPECT_NE(hash_circuit(reordered), base);
+}
+
+TEST(CircuitHash, IgnoresDisplayLabels) {
+  linalg::CMat u{{1.0, 0.0}, {0.0, 1.0}};
+  Circuit a(1);
+  a.append_custom(u, {0}, "alpha");
+  Circuit b(1);
+  b.append_custom(u, {0}, "beta");
+  EXPECT_EQ(hash_circuit(a), hash_circuit(b));
+}
+
+TEST(CircuitHash, CustomMatrixEntriesAreHashed) {
+  linalg::CMat identity{{1.0, 0.0}, {0.0, 1.0}};
+  linalg::CMat phase{{1.0, 0.0}, {0.0, std::complex<double>{0.0, 1.0}}};
+  Circuit a(1);
+  a.append_custom(identity, {0});
+  Circuit b(1);
+  b.append_custom(phase, {0});
+  EXPECT_NE(hash_circuit(a), hash_circuit(b));
+}
+
+TEST(CircuitHash, VariantExecutionKeyCoversAllInputs) {
+  const Circuit c = small_circuit();
+  const Hash128 base = hash_variant_execution(c, 1000, false, 7, "sv");
+
+  EXPECT_EQ(hash_variant_execution(c, 1000, false, 7, "sv"), base);
+  EXPECT_NE(hash_variant_execution(c, 2000, false, 7, "sv"), base);
+  EXPECT_NE(hash_variant_execution(c, 1000, false, 8, "sv"), base);
+  EXPECT_NE(hash_variant_execution(c, 1000, false, 7, "noisy"), base);
+  EXPECT_NE(hash_variant_execution(c, 1000, true, 7, "sv"), base);
+}
+
+TEST(CircuitHash, ExactModeIgnoresShotsAndSeed) {
+  // Exact probabilities do not depend on shots or the seed stream, so the
+  // key must not either: any exact request for the same circuit shares one
+  // cache entry.
+  const Circuit c = small_circuit();
+  EXPECT_EQ(hash_variant_execution(c, 100, true, 1, "sv"),
+            hash_variant_execution(c, 999, true, 42, "sv"));
+}
+
+TEST(CircuitHash, ToStringIs32HexChars) {
+  const std::string s = hash_circuit(small_circuit()).to_string();
+  EXPECT_EQ(s.size(), 32u);
+  for (char ch : s) {
+    EXPECT_TRUE(('0' <= ch && ch <= '9') || ('a' <= ch && ch <= 'f'));
+  }
+}
+
+}  // namespace
+}  // namespace qcut::service

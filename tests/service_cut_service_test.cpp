@@ -1,0 +1,369 @@
+// CutService behavior: job queue, cross-request variant dedup, fragment
+// cache integration, and bit-for-bit equivalence with the direct
+// execute_fragments + reconstruct_distribution path under every GoldenMode.
+
+#include "service/cut_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "backend/statevector_backend.hpp"
+#include "circuit/random.hpp"
+#include "common/error.hpp"
+#include "cutting/fragment_executor.hpp"
+#include "cutting/golden.hpp"
+#include "cutting/reconstructor.hpp"
+#include "cutting/variants.hpp"
+#include "sim/statevector.hpp"
+
+namespace qcut::service {
+namespace {
+
+using circuit::WirePoint;
+using cutting::CutRunOptions;
+using cutting::CutRunReport;
+using cutting::GoldenMode;
+using cutting::NeglectSpec;
+
+circuit::GoldenAnsatz make_ansatz(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  circuit::GoldenAnsatzOptions options;
+  options.num_qubits = n;
+  return circuit::make_golden_ansatz(options, rng);
+}
+
+/// Mirror of the pre-service direct pipeline (execute_fragments +
+/// reconstruct_distribution): the reference the service must match
+/// bit-for-bit at equal seeds.
+std::vector<double> direct_raw_probabilities(const circuit::Circuit& circuit,
+                                             std::span<const WirePoint> cuts,
+                                             backend::Backend& backend,
+                                             const CutRunOptions& options) {
+  const cutting::Bipartition bp = cutting::make_bipartition(circuit, cuts);
+
+  cutting::ExecutionOptions exec;
+  exec.shots_per_variant = options.shots_per_variant;
+  exec.total_shot_budget = options.total_shot_budget;
+  exec.exact = options.exact;
+  exec.pool = options.pool;
+  exec.seed_stream_base = options.seed_stream_base;
+
+  NeglectSpec spec{1};
+  cutting::FragmentData data;
+  switch (options.golden_mode) {
+    case GoldenMode::None:
+      spec = NeglectSpec::none(bp.num_cuts());
+      data = cutting::execute_fragments(bp, spec, backend, exec);
+      break;
+    case GoldenMode::Provided:
+      spec = *options.provided_spec;
+      data = cutting::execute_fragments(bp, spec, backend, exec);
+      break;
+    case GoldenMode::DetectExact:
+      spec = cutting::detect_golden_exact(bp, options.golden_tol).to_spec();
+      data = cutting::execute_fragments(bp, spec, backend, exec);
+      break;
+    case GoldenMode::DetectOnline: {
+      const NeglectSpec full = NeglectSpec::none(bp.num_cuts());
+      cutting::FragmentData upstream = cutting::execute_upstream_only(bp, full, backend, exec);
+      std::uint64_t num_settings = 1;
+      for (int k = 0; k < upstream.num_cuts; ++k) num_settings *= cutting::kNumMeasSettings;
+      std::vector<std::vector<double>> ordered(num_settings);
+      for (std::uint32_t s = 0; s < num_settings; ++s) {
+        ordered[s] = upstream.upstream_distribution(s);
+      }
+      spec = cutting::detect_golden_from_counts(bp, ordered, upstream.shots_per_variant,
+                                                options.online)
+                 .to_spec();
+      cutting::FragmentData downstream =
+          cutting::execute_downstream_only(bp, spec, backend, exec);
+      data = std::move(upstream);
+      data.downstream = std::move(downstream.downstream);
+      break;
+    }
+  }
+
+  cutting::ReconstructionOptions recon;
+  recon.pool = options.pool;
+  return cutting::reconstruct_distribution(bp, data, spec, recon).raw_probabilities;
+}
+
+TEST(CutService, MatchesDirectPathBitForBitUnderAllGoldenModes) {
+  const auto ansatz = make_ansatz(5, 11);
+  const std::array<WirePoint, 1> cuts = {ansatz.cut};
+
+  NeglectSpec provided(1);
+  provided.neglect(0, ansatz.golden_basis);
+
+  struct Case {
+    const char* name;
+    CutRunOptions options;
+  };
+  std::vector<Case> cases;
+  {
+    Case none{"None", {}};
+    none.options.shots_per_variant = 1500;
+    cases.push_back(none);
+
+    Case prov{"Provided", {}};
+    prov.options.shots_per_variant = 1500;
+    prov.options.golden_mode = GoldenMode::Provided;
+    prov.options.provided_spec = provided;
+    cases.push_back(prov);
+
+    Case exact_detect{"DetectExact", {}};
+    exact_detect.options.exact = true;
+    exact_detect.options.golden_mode = GoldenMode::DetectExact;
+    cases.push_back(exact_detect);
+
+    Case online{"DetectOnline", {}};
+    online.options.shots_per_variant = 4000;
+    online.options.golden_mode = GoldenMode::DetectOnline;
+    cases.push_back(online);
+  }
+
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.name);
+
+    backend::StatevectorBackend direct_backend(55);
+    const std::vector<double> expected =
+        direct_raw_probabilities(ansatz.circuit, cuts, direct_backend, c.options);
+
+    // Service path, cache enabled.
+    backend::StatevectorBackend service_backend(55);
+    CutService service(service_backend);
+    const CutRunReport report = service.run(ansatz.circuit, cuts, c.options);
+    EXPECT_EQ(report.reconstruction.raw_probabilities, expected);
+
+    // cut_and_run is the thin synchronous wrapper over the service.
+    backend::StatevectorBackend wrapper_backend(55);
+    const CutRunReport wrapped = cutting::cut_and_run(ansatz.circuit, cuts, wrapper_backend, c.options);
+    EXPECT_EQ(wrapped.reconstruction.raw_probabilities, expected);
+  }
+}
+
+TEST(CutService, RepeatedRequestIsServedFromCache) {
+  const auto ansatz = make_ansatz(5, 12);
+  const std::array<WirePoint, 1> cuts = {ansatz.cut};
+  backend::StatevectorBackend backend(7);
+  CutService service(backend);
+
+  CutRunOptions run;
+  run.shots_per_variant = 800;
+
+  const CutRunReport first = service.run(ansatz.circuit, cuts, run);
+  const CutServiceStats after_first = service.stats();
+  EXPECT_EQ(after_first.scheduler.executions, 9u);
+  EXPECT_EQ(after_first.cache.insertions, 9u);
+
+  const CutRunReport second = service.run(ansatz.circuit, cuts, run);
+  const CutServiceStats after_second = service.stats();
+  EXPECT_EQ(after_second.scheduler.executions, 9u);  // nothing re-executed
+  EXPECT_EQ(after_second.scheduler.cache_hits, 9u);
+  EXPECT_EQ(backend.stats().jobs, 9u);  // the backend saw one request's work
+
+  EXPECT_EQ(first.reconstruction.raw_probabilities, second.reconstruction.raw_probabilities);
+  // Planned (logical) totals are identical; physical usage collapses to 0.
+  EXPECT_EQ(second.data.total_jobs, first.data.total_jobs);
+  EXPECT_EQ(second.backend_delta.jobs, 0u);
+  EXPECT_EQ(second.backend_delta.shots, 0u);
+}
+
+TEST(CutService, DifferentSeedStreamsDoNotShareCacheEntries) {
+  const auto ansatz = make_ansatz(5, 13);
+  const std::array<WirePoint, 1> cuts = {ansatz.cut};
+  backend::StatevectorBackend backend(7);
+  CutService service(backend);
+
+  CutRunOptions a;
+  a.shots_per_variant = 500;
+  CutRunOptions b = a;
+  b.seed_stream_base = 1u << 30;
+
+  (void)service.run(ansatz.circuit, cuts, a);
+  (void)service.run(ansatz.circuit, cuts, b);
+  EXPECT_EQ(service.stats().scheduler.executions, 18u);
+  EXPECT_EQ(service.stats().scheduler.cache_hits, 0u);
+}
+
+/// Backend wrapper that blocks every run() until released, so a test can
+/// guarantee two jobs' identical variants are in flight simultaneously.
+class GatedBackend final : public backend::Backend {
+ public:
+  explicit GatedBackend(backend::Backend& inner) : inner_(inner) {}
+
+  [[nodiscard]] std::string name() const override { return "gated(" + inner_.name() + ")"; }
+
+  [[nodiscard]] backend::Counts run(const circuit::Circuit& circuit, std::size_t shots,
+                                    std::uint64_t seed_stream) override {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      gate_.wait(lock, [&] { return released_; });
+    }
+    return inner_.run(circuit, shots, seed_stream);
+  }
+
+  [[nodiscard]] backend::BackendStats stats() const override { return inner_.stats(); }
+  void reset_stats() override { inner_.reset_stats(); }
+
+  void release() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      released_ = true;
+    }
+    gate_.notify_all();
+  }
+
+ private:
+  backend::Backend& inner_;
+  std::mutex mutex_;
+  std::condition_variable gate_;
+  bool released_ = false;
+};
+
+TEST(CutService, ConcurrentIdenticalRequestsDeduplicateInFlight) {
+  const auto ansatz = make_ansatz(5, 14);
+  const std::array<WirePoint, 1> cuts = {ansatz.cut};
+
+  backend::StatevectorBackend inner(9);
+  GatedBackend gated(inner);
+
+  CutServiceOptions service_options;
+  service_options.cache_capacity = 0;  // cache off: sharing must come from dedup alone
+  CutService service(gated, service_options);
+
+  CutRunOptions run;
+  run.shots_per_variant = 600;
+
+  auto f1 = service.submit(ansatz.circuit, {cuts.begin(), cuts.end()}, run);
+  auto f2 = service.submit(ansatz.circuit, {cuts.begin(), cuts.end()}, run);
+
+  // Wait until both jobs' 9 variants are requested (none can finish: the
+  // backend gate is closed), then open the gate.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (service.stats().scheduler.requests < 18u) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline) << "variant requests never arrived";
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  gated.release();
+
+  const CutRunReport r1 = f1.get();
+  const CutRunReport r2 = f2.get();
+  EXPECT_EQ(r1.reconstruction.raw_probabilities, r2.reconstruction.raw_probabilities);
+
+  const CutServiceStats stats = service.stats();
+  EXPECT_EQ(stats.scheduler.requests, 18u);
+  EXPECT_EQ(stats.scheduler.executions, 9u);   // each variant ran once
+  EXPECT_EQ(stats.scheduler.dedup_joins, 9u);  // the twin joined in flight
+  EXPECT_EQ(inner.stats().jobs, 9u);
+
+  // Physical usage is attributed to whichever job launched each variant.
+  EXPECT_EQ(r1.backend_delta.jobs + r2.backend_delta.jobs, 9u);
+  EXPECT_EQ(r1.backend_delta.shots + r2.backend_delta.shots, 9u * 600u);
+}
+
+TEST(CutService, DeterministicUnderConcurrentMixedLoad) {
+  const auto ansatz = make_ansatz(5, 15);
+  const std::array<WirePoint, 1> cuts = {ansatz.cut};
+
+  NeglectSpec provided(1);
+  provided.neglect(0, ansatz.golden_basis);
+
+  // Four distinct configurations, each submitted three times concurrently.
+  std::vector<CutRunOptions> configs(4);
+  configs[0].shots_per_variant = 700;
+  configs[1].shots_per_variant = 700;
+  configs[1].seed_stream_base = 1u << 24;
+  configs[2].shots_per_variant = 900;
+  configs[2].golden_mode = GoldenMode::Provided;
+  configs[2].provided_spec = provided;
+  configs[3].total_shot_budget = 5000;
+  configs[3].shots_per_variant = 0;
+
+  // Reference: each configuration run alone at the same seeds.
+  std::vector<std::vector<double>> expected;
+  for (const CutRunOptions& config : configs) {
+    backend::StatevectorBackend reference_backend(33);
+    expected.push_back(
+        cutting::cut_and_run(ansatz.circuit, cuts, reference_backend, config)
+            .reconstruction.raw_probabilities);
+  }
+
+  backend::StatevectorBackend backend(33);
+  CutService service(backend);
+  std::vector<std::future<CutRunReport>> futures;
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    for (const CutRunOptions& config : configs) {
+      futures.push_back(service.submit(ansatz.circuit, {cuts.begin(), cuts.end()}, config));
+    }
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const CutRunReport report = futures[i].get();
+    EXPECT_EQ(report.reconstruction.raw_probabilities, expected[i % configs.size()])
+        << "job " << i << " diverged from its sequential reference";
+  }
+}
+
+TEST(CutService, FailuresPropagateAndServiceStaysUsable) {
+  const auto ansatz = make_ansatz(5, 16);
+  backend::StatevectorBackend backend(5);
+  CutService service(backend);
+
+  // Invalid request: Provided mode without a spec.
+  CutRunOptions bad;
+  bad.golden_mode = GoldenMode::Provided;
+  auto failing =
+      service.submit(ansatz.circuit, {ansatz.cut}, bad);
+  EXPECT_THROW((void)failing.get(), Error);
+
+  // Invalid cuts: nonexistent qubit.
+  auto bad_cut = service.submit(ansatz.circuit, {WirePoint{99, 0}}, CutRunOptions{});
+  EXPECT_THROW((void)bad_cut.get(), Error);
+
+  EXPECT_EQ(service.stats().jobs_failed, 2u);
+
+  // The service still serves good requests afterwards.
+  CutRunOptions good;
+  good.shots_per_variant = 300;
+  const std::array<WirePoint, 1> cuts = {ansatz.cut};
+  const CutRunReport report = service.run(ansatz.circuit, cuts, good);
+  EXPECT_EQ(report.data.total_jobs, 9u);
+  EXPECT_EQ(service.stats().jobs_completed, 1u);
+}
+
+TEST(CutService, OnlineDetectionSchedulesDownstreamAfterPruning) {
+  const auto ansatz = make_ansatz(5, 21);
+  const std::array<WirePoint, 1> cuts = {ansatz.cut};
+  backend::StatevectorBackend backend(77);
+  CutService service(backend);
+
+  CutRunOptions run;
+  run.shots_per_variant = 4000;
+  run.golden_mode = GoldenMode::DetectOnline;
+  const CutRunReport report = service.run(ansatz.circuit, cuts, run);
+
+  // All 3 upstream settings execute; the detector prunes downstream to 4.
+  EXPECT_EQ(report.data.total_jobs, 3u + 4u);
+  EXPECT_TRUE(report.spec.is_neglected(0, ansatz.golden_basis));
+  EXPECT_EQ(service.stats().scheduler.executions, 7u);
+}
+
+TEST(CutService, ExactOnlineDetectionIsRejected) {
+  const auto ansatz = make_ansatz(5, 22);
+  backend::StatevectorBackend backend(3);
+  CutService service(backend);
+  CutRunOptions run;
+  run.exact = true;
+  run.golden_mode = GoldenMode::DetectOnline;
+  const std::array<WirePoint, 1> cuts = {ansatz.cut};
+  EXPECT_THROW((void)service.run(ansatz.circuit, cuts, run), Error);
+}
+
+}  // namespace
+}  // namespace qcut::service

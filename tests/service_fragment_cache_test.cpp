@@ -1,0 +1,104 @@
+#include "service/fragment_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace qcut::service {
+namespace {
+
+Hash128 key(std::uint64_t n) { return Hash128{n, n * 31 + 7}; }
+
+CachedDistribution dist(double v) {
+  return std::make_shared<const std::vector<double>>(std::vector<double>{v, 1.0 - v});
+}
+
+TEST(FragmentCache, MissThenHit) {
+  FragmentResultCache cache(4);
+  EXPECT_FALSE(cache.lookup(key(1)).has_value());
+  cache.insert(key(1), dist(0.25));
+  const auto hit = cache.lookup(key(1));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ((**hit)[0], 0.25);
+
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.5);
+}
+
+TEST(FragmentCache, EvictsLeastRecentlyUsed) {
+  FragmentResultCache cache(2);
+  cache.insert(key(1), dist(0.1));
+  cache.insert(key(2), dist(0.2));
+  cache.insert(key(3), dist(0.3));  // evicts key 1 (oldest)
+
+  EXPECT_FALSE(cache.lookup(key(1)).has_value());
+  EXPECT_TRUE(cache.lookup(key(2)).has_value());
+  EXPECT_TRUE(cache.lookup(key(3)).has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(FragmentCache, LookupRefreshesRecency) {
+  FragmentResultCache cache(2);
+  cache.insert(key(1), dist(0.1));
+  cache.insert(key(2), dist(0.2));
+  ASSERT_TRUE(cache.lookup(key(1)).has_value());  // key 1 becomes most recent
+  cache.insert(key(3), dist(0.3));                // evicts key 2
+
+  EXPECT_TRUE(cache.lookup(key(1)).has_value());
+  EXPECT_FALSE(cache.lookup(key(2)).has_value());
+  EXPECT_TRUE(cache.lookup(key(3)).has_value());
+}
+
+TEST(FragmentCache, InsertRefreshesRecencyAndValue) {
+  FragmentResultCache cache(2);
+  cache.insert(key(1), dist(0.1));
+  cache.insert(key(2), dist(0.2));
+  cache.insert(key(1), dist(0.9));  // refresh, not a new entry
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().insertions, 2u);
+
+  cache.insert(key(3), dist(0.3));  // evicts key 2
+  const auto hit = cache.lookup(key(1));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ((**hit)[0], 0.9);
+  EXPECT_FALSE(cache.lookup(key(2)).has_value());
+}
+
+TEST(FragmentCache, ZeroCapacityDisablesCaching) {
+  FragmentResultCache cache(0);
+  cache.insert(key(1), dist(0.1));
+  EXPECT_FALSE(cache.lookup(key(1)).has_value());
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().insertions, 0u);
+}
+
+TEST(FragmentCache, HitKeepsResultAliveThroughEviction) {
+  FragmentResultCache cache(1);
+  cache.insert(key(1), dist(0.7));
+  const auto hit = cache.lookup(key(1));
+  ASSERT_TRUE(hit.has_value());
+  cache.insert(key(2), dist(0.2));  // evicts key 1
+  EXPECT_DOUBLE_EQ((**hit)[0], 0.7);  // shared ownership survives eviction
+}
+
+TEST(FragmentCache, ClearEmptiesTheCache) {
+  FragmentResultCache cache(4);
+  cache.insert(key(1), dist(0.1));
+  cache.insert(key(2), dist(0.2));
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.lookup(key(1)).has_value());
+}
+
+TEST(FragmentCache, HitRateZeroWithNoLookups) {
+  FragmentResultCache cache(4);
+  EXPECT_DOUBLE_EQ(cache.stats().hit_rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace qcut::service

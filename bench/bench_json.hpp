@@ -1,0 +1,33 @@
+#pragma once
+// Machine-readable benchmark results: each benchmark writes a
+// BENCH_<name>.json file into the working directory so the performance
+// trajectory can be tracked across PRs (name, wall seconds, speedup, plus
+// benchmark-specific extras).
+
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace qcut::bench {
+
+/// Writes BENCH_<name>.json with the required keys (name, wall_seconds,
+/// speedup) followed by any extra numeric fields. Returns false when the
+/// file cannot be written (the benchmark should not fail on that).
+inline bool write_bench_json(const std::string& name, double wall_seconds, double speedup,
+                             const std::vector<std::pair<std::string, double>>& extras = {}) {
+  std::ofstream out("BENCH_" + name + ".json");
+  if (!out) return false;
+  out.precision(17);
+  out << "{\n";
+  out << "  \"name\": \"" << name << "\",\n";
+  out << "  \"wall_seconds\": " << wall_seconds << ",\n";
+  out << "  \"speedup\": " << speedup;
+  for (const auto& [key, value] : extras) {
+    out << ",\n  \"" << key << "\": " << value;
+  }
+  out << "\n}\n";
+  return out.good();
+}
+
+}  // namespace qcut::bench

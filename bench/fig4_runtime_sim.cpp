@@ -12,6 +12,8 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_json.hpp"
+
 #include "backend/statevector_backend.hpp"
 #include "circuit/random.hpp"
 #include "common/stopwatch.hpp"
@@ -34,6 +36,7 @@ struct Config {
 int main() {
   using namespace qcut;
 
+  Stopwatch bench_timer;
   std::printf("Figure 4: circuit-cutting runtime on the simulator\n");
   std::printf("(%d trials, %zu shots per (sub)circuit, 95%% CI)\n\n", kTrials, kShots);
 
@@ -94,5 +97,13 @@ int main() {
       standard_mean - standard_summary.ci95 > golden_mean + golden_summary.ci95;
   std::printf("\nGolden cutting reduces runtime by %.1f%% (paper: ~33%%); the gap is %s\n",
               reduction, significant ? "statistically significant at 95%" : "not significant");
+
+  // Speedup of golden over standard cutting, tracked across PRs.
+  if (!qcut::bench::write_bench_json("fig4_runtime_sim", bench_timer.elapsed_seconds(),
+                                     standard_mean / golden_mean,
+                                     {{"standard_trial_ms", standard_mean},
+                                      {"golden_trial_ms", golden_mean}})) {
+    std::fprintf(stderr, "warning: could not write BENCH_fig4_runtime_sim.json\n");
+  }
   return 0;
 }

@@ -14,6 +14,8 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_json.hpp"
+
 #include "backend/statevector_backend.hpp"
 #include "circuit/circuit.hpp"
 #include "common/stopwatch.hpp"
@@ -145,6 +147,14 @@ int main() {
   std::cout << "cache: " << warm_stats.cache.insertions << " entries inserted, hit rate "
             << format_double(100.0 * warm_stats.cache.hit_rate(), 1) << "%\n";
   std::cout << "dedup joins: " << warm_stats.scheduler.dedup_joins << "\n";
+
+  if (!qcut::bench::write_bench_json(
+          "service_throughput", cold_seconds + warm_seconds, speedup,
+          {{"cold_seconds", cold_seconds},
+           {"warm_seconds", warm_seconds},
+           {"requests_per_pass", static_cast<double>(stream.size())}})) {
+    std::cerr << "warning: could not write BENCH_service_throughput.json\n";
+  }
 
   if (speedup < 5.0) {
     std::cerr << "FAIL: warm-cache speedup " << format_double(speedup, 2) << "x below 5x target\n";

@@ -1,11 +1,14 @@
-// Batch service: serving a stream of cut-run requests through CutService.
+// Batch service: serving a stream of CutRequests through CutService.
 //
 // Demonstrates the service layer on top of the paper's golden-cut
 // machinery: a batch of concurrent requests (a QAOA parameter sweep plus
 // repeated evaluations of the best point) is submitted asynchronously; the
 // service fans fragment variants onto the thread pool, deduplicates
 // identical in-flight variants across requests, and serves repeats from the
-// content-addressed fragment-result cache.
+// content-addressed fragment-result cache. The final phase mixes targets:
+// expectation-value requests over the same circuits are served entirely
+// from the fragments the distribution sweep already produced, because the
+// target is never part of the variant cache key.
 //
 // Build and run:
 //   cmake -B build -G Ninja && cmake --build build
@@ -44,6 +47,14 @@ circuit::WirePoint middle_cut(const circuit::Circuit& c) {
   return circuit::WirePoint{wire, cut_after};
 }
 
+CutRequest make_request(double gamma, double beta) {
+  circuit::Circuit ansatz = qaoa_path(gamma, beta);
+  const circuit::WirePoint cut = middle_cut(ansatz);
+  CutRequest request(std::move(ansatz));
+  request.with_cut(cut).with_shots(20000);
+  return request;
+}
+
 }  // namespace
 
 int main() {
@@ -52,19 +63,15 @@ int main() {
   backend::StatevectorBackend backend(7);
   service::CutService service(backend);
 
-  cutting::CutRunOptions options;
-  options.shots_per_variant = 20000;
-
   // Phase 1: sweep a parameter grid - all requests in flight at once.
   std::vector<std::pair<double, double>> grid;
   for (double gamma : {0.3, 0.5, 0.7}) {
     for (double beta : {0.2, 0.4}) grid.emplace_back(gamma, beta);
   }
 
-  std::vector<std::future<cutting::CutRunReport>> futures;
+  std::vector<std::future<CutResponse>> futures;
   for (const auto& [gamma, beta] : grid) {
-    const circuit::Circuit ansatz = qaoa_path(gamma, beta);
-    futures.push_back(service.submit(ansatz, {middle_cut(ansatz)}, options));
+    futures.push_back(service.submit(make_request(gamma, beta)));
   }
 
   // Note the "executed" column: content addressing shares work across
@@ -73,11 +80,11 @@ int main() {
   // gamma), so only their 3 upstream variants touch the backend.
   Table sweep({"gamma", "beta", "variants", "executed", "P(all zeros)"});
   for (std::size_t i = 0; i < futures.size(); ++i) {
-    const cutting::CutRunReport report = futures[i].get();
+    const CutResponse response = futures[i].get();
     sweep.add_row({format_double(grid[i].first, 2), format_double(grid[i].second, 2),
-                   std::to_string(report.data.total_jobs),
-                   std::to_string(report.backend_delta.jobs),
-                   format_double(report.probabilities().front(), 6)});
+                   std::to_string(response.data.total_jobs),
+                   std::to_string(response.backend_delta.jobs),
+                   format_double(response.probabilities().front(), 6)});
   }
   std::cout << sweep << "\n";
 
@@ -86,17 +93,40 @@ int main() {
   const auto before = service.stats();
   futures.clear();
   for (const auto& [gamma, beta] : grid) {
-    const circuit::Circuit ansatz = qaoa_path(gamma, beta);
-    futures.push_back(service.submit(ansatz, {middle_cut(ansatz)}, options));
+    futures.push_back(service.submit(make_request(gamma, beta)));
   }
   for (auto& f : futures) (void)f.get();
   const auto after = service.stats();
 
   std::cout << "re-evaluation pass: " << (after.scheduler.executions - before.scheduler.executions)
             << " backend executions, " << (after.cache.hits - before.cache.hits)
-            << " cache hits\n";
-  std::cout << "service totals: " << after.jobs_completed << " jobs, cache hit rate "
-            << format_double(100.0 * after.cache.hit_rate(), 1) << "%, "
-            << after.scheduler.dedup_joins << " in-flight dedup joins\n";
+            << " cache hits\n\n";
+
+  // Phase 3: mixed targets. The optimizer now asks for the MaxCut cost
+  // expectation <Z Z ... Z parity> at every grid point. Different target,
+  // same fragments: the cache serves everything, zero backend executions.
+  const auto before_mixed = service.stats();
+  futures.clear();
+  for (const auto& [gamma, beta] : grid) {
+    CutRequest request = make_request(gamma, beta);
+    request.with_observable(cutting::DiagonalObservable::parity(kNumQubits));
+    futures.push_back(service.submit(std::move(request)));
+  }
+  Table mixed({"gamma", "beta", "<parity>", "executed"});
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const CutResponse response = futures[i].get();
+    mixed.add_row({format_double(grid[i].first, 2), format_double(grid[i].second, 2),
+                   format_double(*response.expectation, 5),
+                   std::to_string(response.backend_delta.jobs)});
+  }
+  const auto after_mixed = service.stats();
+  std::cout << mixed << "\n";
+  std::cout << "mixed-target pass: "
+            << (after_mixed.scheduler.executions - before_mixed.scheduler.executions)
+            << " backend executions, " << (after_mixed.cache.hits - before_mixed.cache.hits)
+            << " cross-target cache hits\n";
+  std::cout << "service totals: " << after_mixed.jobs_completed << " jobs, cache hit rate "
+            << format_double(100.0 * after_mixed.cache.hit_rate(), 1) << "%, "
+            << after_mixed.scheduler.dedup_joins << " in-flight dedup joins\n";
   return 0;
 }

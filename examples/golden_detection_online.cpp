@@ -54,11 +54,11 @@ int main() {
 
   // Full online pipeline: detect from the upstream data, then execute only
   // the surviving downstream preparations.
-  cutting::CutRunOptions run;
-  run.shots_per_variant = 5000;
-  run.golden_mode = cutting::GoldenMode::DetectOnline;
-  const cutting::CutRunReport report =
-      cutting::cut_and_run(ansatz.circuit, cuts, backend, run);
+  CutRequest request(ansatz.circuit);
+  request.with_cuts({cuts.begin(), cuts.end()})
+      .with_golden(cutting::GoldenMode::DetectOnline)
+      .with_shots(5000);
+  const CutResponse report = run(request, backend);
 
   sim::StateVector sv(5);
   sv.apply_circuit(ansatz.circuit);

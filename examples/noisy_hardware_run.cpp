@@ -34,13 +34,13 @@ int main() {
 
   // Golden-cut execution on the same device.
   device->reset_stats();
-  cutting::CutRunOptions run;
-  run.shots_per_variant = shots;
-  run.golden_mode = cutting::GoldenMode::Provided;
-  run.provided_spec = cutting::NeglectSpec(1);
-  run.provided_spec->neglect(0, ansatz.golden_basis);
-  const cutting::CutRunReport report =
-      cutting::cut_and_run(ansatz.circuit, cuts, *device, run);
+  cutting::NeglectSpec spec(1);
+  spec.neglect(0, ansatz.golden_basis);
+  CutRequest request(ansatz.circuit);
+  request.with_cuts({cuts.begin(), cuts.end()})
+      .with_provided_spec(spec)
+      .with_shots(shots);
+  const CutResponse report = run(request, *device);
 
   Table table({"method", "jobs", "device seconds", "d_w vs noiseless truth"});
   table.add_row({"uncut on device", "1", format_double(uncut_seconds, 2),

@@ -1,6 +1,7 @@
 // Quickstart: cut a 5-qubit circuit with a known golden cutting point, run
-// both fragments on a simulator backend, reconstruct the bitstring
-// distribution, and compare standard vs golden reconstruction.
+// both fragments on a simulator backend through the unified CutRequest API,
+// reconstruct the bitstring distribution, and compare standard vs golden
+// reconstruction.
 //
 // Build and run:
 //   cmake -B build -G Ninja && cmake --build build
@@ -39,17 +40,15 @@ int main() {
   backend::StatevectorBackend backend(42);
   const std::array<circuit::WirePoint, 1> cuts = {ansatz.cut};
 
-  cutting::CutRunOptions standard;
-  standard.shots_per_variant = 10000;
-  const cutting::CutRunReport standard_report =
-      cutting::cut_and_run(ansatz.circuit, cuts, backend, standard);
+  CutRequest standard(ansatz.circuit);
+  standard.with_cuts({cuts.begin(), cuts.end()}).with_shots(10000);
+  const CutResponse standard_report = run(standard, backend);
 
-  cutting::CutRunOptions golden = standard;
-  golden.golden_mode = cutting::GoldenMode::Provided;
-  golden.provided_spec = cutting::NeglectSpec(1);
-  golden.provided_spec->neglect(0, ansatz.golden_basis);
-  const cutting::CutRunReport golden_report =
-      cutting::cut_and_run(ansatz.circuit, cuts, backend, golden);
+  cutting::NeglectSpec spec(1);
+  spec.neglect(0, ansatz.golden_basis);
+  CutRequest golden(ansatz.circuit);
+  golden.with_cuts({cuts.begin(), cuts.end()}).with_shots(10000).with_provided_spec(spec);
+  const CutResponse golden_report = run(golden, backend);
 
   // 4. Compare.
   Table table({"method", "circuit evals", "shots", "recon terms", "weighted dist d_w"});

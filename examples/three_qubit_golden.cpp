@@ -64,15 +64,15 @@ int main() {
   sv.apply_circuit(circuit);
   const std::vector<double> truth = sv.probabilities();
 
-  cutting::CutRunOptions standard;
-  standard.exact = true;
-  const auto standard_report = cutting::cut_and_run(circuit, cuts, backend, standard);
+  CutRequest standard(circuit);
+  standard.with_cuts({cuts.begin(), cuts.end()}).with_exact();
+  const CutResponse standard_report = run(standard, backend);
 
-  cutting::CutRunOptions golden = standard;
-  golden.golden_mode = cutting::GoldenMode::Provided;
-  golden.provided_spec = cutting::NeglectSpec(1);
-  golden.provided_spec->neglect(0, Pauli::Y);
-  const auto golden_report = cutting::cut_and_run(circuit, cuts, backend, golden);
+  cutting::NeglectSpec spec(1);
+  spec.neglect(0, Pauli::Y);
+  CutRequest golden(circuit);
+  golden.with_cuts({cuts.begin(), cuts.end()}).with_exact().with_provided_spec(spec);
+  const CutResponse golden_report = run(golden, backend);
 
   Table result({"outcome", "uncut (exact)", "standard (16 terms)", "golden (12 terms)"});
   for (index_t outcome = 0; outcome < 8; ++outcome) {

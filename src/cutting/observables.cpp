@@ -1,6 +1,7 @@
 #include "cutting/observables.hpp"
 
 #include <cmath>
+#include <utility>
 
 #include "common/error.hpp"
 #include "linalg/ops.hpp"
@@ -147,6 +148,16 @@ const std::vector<linalg::CMat>& context_projectors() {
 GoldenDetectionReport detect_golden_for_observable(const Bipartition& bp,
                                                    const DiagonalObservable& observable,
                                                    double tol) {
+  std::optional<GoldenDetectionReport> report =
+      try_detect_golden_for_observable(bp, observable, tol);
+  QCUT_CHECK(report.has_value(),
+             "detect_golden_for_observable: observable does not factorize across the "
+             "bipartition (O = O_f1 x O_f2 required, as in Eq. 14)");
+  return *std::move(report);
+}
+
+std::optional<GoldenDetectionReport> try_detect_golden_for_observable(
+    const Bipartition& bp, const DiagonalObservable& observable, double tol) {
   QCUT_CHECK(observable.num_qubits() == bp.num_original_qubits,
              "detect_golden_for_observable: observable width must match the circuit");
 
@@ -158,9 +169,9 @@ GoldenDetectionReport detect_golden_for_observable(const Bipartition& bp,
   }
   const std::vector<int>& b_qubits = bp.f2_to_original;
   std::vector<double> o_f1, o_f2;
-  QCUT_CHECK(try_factorize(observable.diagonal(), a_qubits, b_qubits, o_f1, o_f2),
-             "detect_golden_for_observable: observable does not factorize across the "
-             "bipartition (O = O_f1 x O_f2 required, as in Eq. 14)");
+  if (!try_factorize(observable.diagonal(), a_qubits, b_qubits, o_f1, o_f2)) {
+    return std::nullopt;
+  }
 
   const int num_cuts = bp.num_cuts();
   const std::vector<int> cut_qubits = bp.f1_cut_qubits();

@@ -8,6 +8,7 @@
 // observable is weaker, so it can admit golden points the distribution-level
 // test rejects. detect_golden_for_observable implements that refinement.
 
+#include <optional>
 #include <span>
 
 #include "circuit/pauli_string.hpp"
@@ -67,6 +68,13 @@ class DiagonalObservable {
 /// This is weaker than the distribution-level test, so the returned spec
 /// neglects at least as many elements as detect_golden_exact's.
 [[nodiscard]] GoldenDetectionReport detect_golden_for_observable(
+    const Bipartition& bp, const DiagonalObservable& observable, double tol = 1e-9);
+
+/// Non-throwing variant used by the observable-aware planner: returns
+/// nullopt when the observable does not factorize across the bipartition
+/// (instead of throwing), so candidate cuts can fall back to the
+/// distribution-level detector.
+[[nodiscard]] std::optional<GoldenDetectionReport> try_detect_golden_for_observable(
     const Bipartition& bp, const DiagonalObservable& observable, double tol = 1e-9);
 
 /// Expectation of a diagonal observable from fragment data under a spec

@@ -4,28 +4,35 @@
 
 namespace qcut::cutting {
 
-// cut_and_run is a thin synchronous wrapper over the CutService path: one
-// private single-use service (cache disabled - there is nothing to reuse
-// within one call, and a fresh cache would change nothing) serves the
-// request, and backend stats are sampled around it so the report's
-// backend_delta keeps its historical meaning, including simulated device
-// seconds, which the async service cannot attribute per job.
-CutRunReport cut_and_run(const Circuit& circuit, std::span<const WirePoint> cuts,
-                         backend::Backend& backend, const CutRunOptions& options) {
+// run is a thin synchronous wrapper over the CutService path: one private
+// single-use service (cache disabled - there is nothing to reuse within one
+// call, and a fresh cache would change nothing) serves the request, and
+// backend stats are sampled around it so the response's backend_delta keeps
+// its historical meaning, including simulated device seconds, which the
+// async service cannot attribute per job.
+CutResponse run(const CutRequest& request, backend::Backend& backend) {
   const backend::BackendStats stats_before = backend.stats();
 
   service::CutServiceOptions service_options;
-  service_options.pool = options.pool;
+  service_options.pool = request.options.pool;
   service_options.cache_capacity = 0;
   service::CutService service(backend, service_options);
-  CutRunReport report = service.run(circuit, cuts, options);
+  CutResponse response = service.run(request);
 
   const backend::BackendStats stats_after = backend.stats();
-  report.backend_delta.jobs = stats_after.jobs - stats_before.jobs;
-  report.backend_delta.shots = stats_after.shots - stats_before.shots;
-  report.backend_delta.simulated_device_seconds =
+  response.backend_delta.jobs = stats_after.jobs - stats_before.jobs;
+  response.backend_delta.shots = stats_after.shots - stats_before.shots;
+  response.backend_delta.simulated_device_seconds =
       stats_after.simulated_device_seconds - stats_before.simulated_device_seconds;
-  return report;
+  return response;
+}
+
+CutRunReport cut_and_run(const Circuit& circuit, std::span<const WirePoint> cuts,
+                         backend::Backend& backend, const CutRunOptions& options) {
+  CutRequest request(circuit);
+  request.with_cuts({cuts.begin(), cuts.end()});
+  request.options = options;
+  return run(request, backend);
 }
 
 std::vector<double> run_uncut(const Circuit& circuit, backend::Backend& backend,

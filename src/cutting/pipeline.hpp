@@ -1,67 +1,28 @@
 #pragma once
-// High-level cut-execute-reconstruct pipeline: the public entry point a
-// user of the library calls.
+// Synchronous facade over the cut-execution service: the one-call entry
+// point a user of the library reaches for. The full public surface - the
+// CutRequest/CutResponse pair, targets, and auto-planning - lives in
+// cutting/request.hpp; the asynchronous many-request entry point is
+// service::CutService (service/cut_service.hpp), which accepts the same
+// CutRequest.
 
-#include <optional>
-
-#include "cutting/reconstructor.hpp"
+#include "cutting/request.hpp"
 
 namespace qcut::cutting {
 
-/// How the pipeline decides which basis elements to neglect.
-enum class GoldenMode {
-  /// Standard cutting: contract all 4^K basis strings (the baseline method
-  /// of Peng et al. / quantum divide-and-compute).
-  None,
+/// Validates and resolves `request` (auto-planning, Pauli-target rotation),
+/// executes every required fragment variant on `backend`, and reconstructs
+/// the requested estimate. Synchronous; for concurrent request streams use
+/// service::CutService, which shares variants across requests.
+[[nodiscard]] CutResponse run(const CutRequest& request, backend::Backend& backend);
 
-  /// Use a caller-supplied NeglectSpec (the paper's experiments: the golden
-  /// point is known a priori from the circuit design).
-  Provided,
+/// DEPRECATED name for CutResponse, kept for one release. New code should
+/// use CutResponse (cutting/request.hpp).
+using CutRunReport = CutResponse;
 
-  /// Detect golden bases exactly from the upstream fragment's statevector
-  /// before executing anything (possible when fragments are classically
-  /// simulable; used by the planner and tests).
-  DetectExact,
-
-  /// The paper's Section-IV proposal: execute all upstream settings, run the
-  /// statistical detector on the measured data, then skip the downstream
-  /// preparations and reconstruction terms the detected spec rules out.
-  DetectOnline,
-};
-
-struct CutRunOptions {
-  std::size_t shots_per_variant = 1000;
-  std::size_t total_shot_budget = 0;  // nonzero: split a fixed budget across variants
-  bool exact = false;  // exact fragment distributions instead of sampling
-
-  GoldenMode golden_mode = GoldenMode::None;
-  std::optional<NeglectSpec> provided_spec;  // required for GoldenMode::Provided
-  double golden_tol = 1e-9;                  // DetectExact tolerance
-  OnlineDetectionOptions online;             // DetectOnline test parameters
-
-  parallel::ThreadPool* pool = nullptr;
-  std::uint64_t seed_stream_base = 0;
-};
-
-/// Everything a caller (or a benchmark) wants to know about one run.
-struct CutRunReport {
-  Bipartition bipartition;
-  NeglectSpec spec{1};
-  FragmentData data;
-  ReconstructionResult reconstruction;
-
-  double fragment_seconds = 0.0;   // wall time gathering fragment data
-  double total_seconds = 0.0;      // fragment + detection + reconstruction
-  backend::BackendStats backend_delta;  // backend usage consumed by this run
-
-  /// Convenience: clipped, normalized distribution.
-  [[nodiscard]] std::vector<double> probabilities() const {
-    return reconstruction.probabilities();
-  }
-};
-
-/// Cuts `circuit` at `cuts`, runs both fragments on `backend`, reconstructs
-/// the outcome distribution.
+/// DEPRECATED legacy entry point, kept as a thin shim for one release:
+/// distribution target, explicit cuts. Equivalent to
+///   run(CutRequest(circuit).with_cuts({cuts...}).with_options(options), backend).
 [[nodiscard]] CutRunReport cut_and_run(const Circuit& circuit, std::span<const WirePoint> cuts,
                                        backend::Backend& backend,
                                        const CutRunOptions& options = {});
@@ -73,3 +34,7 @@ struct CutRunReport {
                                             std::uint64_t seed_stream = 0);
 
 }  // namespace qcut::cutting
+
+namespace qcut {
+using cutting::run;
+}  // namespace qcut

@@ -2,12 +2,18 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "cutting/variants.hpp"
 
 namespace qcut::cutting {
 
-std::vector<CutCandidate> enumerate_single_cuts(const Circuit& circuit, double golden_tol) {
+namespace {
+
+/// Shared enumeration skeleton; `detect` maps a bipartition to the golden
+/// report that should rank it.
+template <typename Detect>
+std::vector<CutCandidate> enumerate_with(const Circuit& circuit, Detect&& detect) {
   std::vector<CutCandidate> candidates;
   for (int q = 0; q < circuit.num_qubits(); ++q) {
     const std::vector<std::size_t> ops = circuit.ops_on_qubit(q);
@@ -19,7 +25,7 @@ std::vector<CutCandidate> enumerate_single_cuts(const Circuit& circuit, double g
       if (!circuit::try_analyze_cuts(circuit, cuts, &why).has_value()) continue;
 
       const Bipartition bp = make_bipartition(circuit, cuts);
-      const GoldenDetectionReport report = detect_golden_exact(bp, golden_tol);
+      const GoldenDetectionReport report = detect(bp);
       const NeglectSpec spec = report.to_spec();
 
       CutCandidate candidate;
@@ -40,9 +46,8 @@ std::vector<CutCandidate> enumerate_single_cuts(const Circuit& circuit, double g
   return candidates;
 }
 
-std::optional<CutCandidate> plan_best_single_cut(const Circuit& circuit,
-                                                 const PlannerOptions& options) {
-  std::vector<CutCandidate> candidates = enumerate_single_cuts(circuit, options.golden_tol);
+std::optional<CutCandidate> pick_best(std::vector<CutCandidate> candidates,
+                                      const PlannerOptions& options) {
   if (candidates.empty()) return std::nullopt;
 
   // Score: circuit evaluations dominate (that is the paper's wall-time
@@ -56,6 +61,36 @@ std::optional<CutCandidate> plan_best_single_cut(const Circuit& circuit,
       candidates.begin(), candidates.end(),
       [&](const CutCandidate& a, const CutCandidate& b) { return score(a) < score(b); });
   return *best;
+}
+
+}  // namespace
+
+std::vector<CutCandidate> enumerate_single_cuts(const Circuit& circuit, double golden_tol) {
+  return enumerate_with(circuit,
+                        [&](const Bipartition& bp) { return detect_golden_exact(bp, golden_tol); });
+}
+
+std::vector<CutCandidate> enumerate_single_cuts(const Circuit& circuit,
+                                                const DiagonalObservable& observable,
+                                                double golden_tol) {
+  return enumerate_with(circuit, [&](const Bipartition& bp) {
+    std::optional<GoldenDetectionReport> report =
+        try_detect_golden_for_observable(bp, observable, golden_tol);
+    // Non-factorizing candidates keep the distribution-level (stronger,
+    // hence conservative) verdict.
+    return report.has_value() ? std::move(*report) : detect_golden_exact(bp, golden_tol);
+  });
+}
+
+std::optional<CutCandidate> plan_best_single_cut(const Circuit& circuit,
+                                                 const PlannerOptions& options) {
+  return pick_best(enumerate_single_cuts(circuit, options.golden_tol), options);
+}
+
+std::optional<CutCandidate> plan_best_single_cut(const Circuit& circuit,
+                                                 const DiagonalObservable& observable,
+                                                 const PlannerOptions& options) {
+  return pick_best(enumerate_single_cuts(circuit, observable, options.golden_tol), options);
 }
 
 }  // namespace qcut::cutting

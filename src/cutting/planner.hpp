@@ -2,11 +2,17 @@
 // Cut planning: scanning a circuit for valid single-cut bipartitions and
 // ranking them, including whether each cut is golden (the paper's Section IV
 // asks how golden points might be found; this is the offline answer).
+//
+// Two detector flavors: the distribution-level exact detector, and - when
+// the run targets a specific diagonal observable - the observable-specific
+// detector, which is weaker (Definition 1 is observable-dependent) and so
+// can rank a cut golden that the distribution-level detector rejects.
 
 #include <optional>
 #include <vector>
 
 #include "cutting/golden.hpp"
+#include "cutting/observables.hpp"
 
 namespace qcut::cutting {
 
@@ -35,6 +41,14 @@ struct CutCandidate {
 [[nodiscard]] std::vector<CutCandidate> enumerate_single_cuts(const Circuit& circuit,
                                                               double golden_tol = 1e-9);
 
+/// Observable-aware enumeration: candidates are evaluated with the
+/// observable-specific detector (detect_golden_for_observable), which
+/// neglects at least as much as the distribution-level one. Candidates
+/// where the observable does not factorize across the bipartition fall
+/// back to the distribution-level detector.
+[[nodiscard]] std::vector<CutCandidate> enumerate_single_cuts(
+    const Circuit& circuit, const DiagonalObservable& observable, double golden_tol = 1e-9);
+
 /// Ranking preferences for plan_best_single_cut.
 struct PlannerOptions {
   double golden_tol = 1e-9;
@@ -47,5 +61,12 @@ struct PlannerOptions {
 /// exists.
 [[nodiscard]] std::optional<CutCandidate> plan_best_single_cut(
     const Circuit& circuit, const PlannerOptions& options = {});
+
+/// Observable-aware planning: ranks the observable-specific candidate set.
+/// For expectation-value workloads this can pick a cut with fewer variant
+/// executions than any distribution-level golden cut admits.
+[[nodiscard]] std::optional<CutCandidate> plan_best_single_cut(
+    const Circuit& circuit, const DiagonalObservable& observable,
+    const PlannerOptions& options = {});
 
 }  // namespace qcut::cutting

@@ -1,0 +1,149 @@
+#include "cutting/request.hpp"
+
+#include <string>
+
+#include "common/error.hpp"
+#include "common/stopwatch.hpp"
+#include "cutting/variants.hpp"
+
+namespace qcut::cutting {
+
+namespace {
+
+void validate_target(const CutRequest& request) {
+  const int circuit_qubits = request.circuit.num_qubits();
+  if (const auto* observable = std::get_if<ObservableTarget>(&request.target)) {
+    QCUT_CHECK(observable->observable.num_qubits() == circuit_qubits,
+               "CutRequest: observable acts on " +
+                   std::to_string(observable->observable.num_qubits()) +
+                   " qubits but the circuit has " + std::to_string(circuit_qubits));
+  } else if (const auto* pauli = std::get_if<PauliTarget>(&request.target)) {
+    QCUT_CHECK(pauli->pauli.num_qubits() == circuit_qubits,
+               "CutRequest: Pauli target acts on " +
+                   std::to_string(pauli->pauli.num_qubits()) +
+                   " qubits but the circuit has " + std::to_string(circuit_qubits));
+  }
+}
+
+void validate_cut_selection(const CutRequest& request) {
+  const auto* points = std::get_if<std::vector<circuit::WirePoint>>(&request.cut_selection);
+  if (points == nullptr) return;  // AutoPlan: the planner rejects unplannable circuits
+  QCUT_CHECK(!points->empty(),
+             "CutRequest: explicit cut selection must contain at least one cut point");
+  for (const circuit::WirePoint& point : *points) {
+    QCUT_CHECK(point.qubit >= 0 && point.qubit < request.circuit.num_qubits(),
+               "CutRequest: cut point references qubit " + std::to_string(point.qubit) +
+                   " but the circuit has " + std::to_string(request.circuit.num_qubits()) +
+                   " qubits");
+    QCUT_CHECK(point.after_op < request.circuit.num_ops(),
+               "CutRequest: cut point after_op " + std::to_string(point.after_op) +
+                   " is out of range (circuit has " +
+                   std::to_string(request.circuit.num_ops()) + " ops)");
+  }
+}
+
+void validate_options(const CutRequest& request) {
+  const CutRunOptions& options = request.options;
+  QCUT_CHECK(options.golden_mode != GoldenMode::Provided || options.provided_spec.has_value(),
+             "CutRequest: GoldenMode::Provided requires provided_spec");
+  // A provided spec asserts which bases are negligible at *specific* cuts;
+  // letting the planner choose different cuts would silently drop
+  // non-negligible reconstruction terms.
+  QCUT_CHECK(!(options.golden_mode == GoldenMode::Provided && request.wants_auto_plan()),
+             "CutRequest: GoldenMode::Provided requires explicit cut points "
+             "(the provided spec is tied to specific cuts, not to whatever AutoPlan picks)");
+  QCUT_CHECK(!options.provided_spec.has_value() ||
+                 options.golden_mode == GoldenMode::Provided,
+             "CutRequest: provided_spec is set but golden_mode is not GoldenMode::Provided");
+  QCUT_CHECK(!(options.golden_mode == GoldenMode::DetectOnline && options.exact),
+             "CutRequest: GoldenMode::DetectOnline requires sampling (exact = false)");
+  QCUT_CHECK(options.exact || options.shots_per_variant > 0 || options.total_shot_budget > 0,
+             "CutRequest: sampling requires shots_per_variant > 0 or a total_shot_budget "
+             "(or set exact = true)");
+
+  const auto* points = std::get_if<std::vector<circuit::WirePoint>>(&request.cut_selection);
+  if (points != nullptr && options.provided_spec.has_value()) {
+    QCUT_CHECK(options.provided_spec->num_cuts() == static_cast<int>(points->size()),
+               "CutRequest: provided_spec covers " +
+                   std::to_string(options.provided_spec->num_cuts()) + " cuts but " +
+                   std::to_string(points->size()) + " cut points were given");
+  }
+
+  // The variant count is known up front when the cuts are explicit and the
+  // spec is static (None / Provided); check the budget covers it. Detection
+  // modes and AutoPlan are checked at execution time by plan_variant_shots.
+  if (points != nullptr && !options.exact && options.total_shot_budget > 0 &&
+      (options.golden_mode == GoldenMode::None ||
+       options.golden_mode == GoldenMode::Provided)) {
+    const NeglectSpec spec = options.golden_mode == GoldenMode::Provided
+                                 ? *options.provided_spec
+                                 : NeglectSpec::none(static_cast<int>(points->size()));
+    const std::size_t variants = count_variants(spec).total();
+    QCUT_CHECK(options.total_shot_budget >= variants,
+               "CutRequest: total_shot_budget (" + std::to_string(options.total_shot_budget) +
+                   ") is smaller than the " + std::to_string(variants) +
+                   " required variants");
+  }
+}
+
+void validate_bootstrap(const CutRequest& request) {
+  if (!request.bootstrap.has_value()) return;
+  QCUT_CHECK(!request.wants_distribution(),
+             "CutRequest: bootstrap uncertainty requires an observable or Pauli target");
+  QCUT_CHECK(!request.options.exact,
+             "CutRequest: bootstrap uncertainty requires sampled execution (exact = false)");
+  QCUT_CHECK(request.bootstrap->replicas > 0,
+             "CutRequest: bootstrap replicas must be positive");
+}
+
+}  // namespace
+
+void validate(const CutRequest& request) {
+  QCUT_CHECK(request.circuit.num_qubits() >= 2,
+             "CutRequest: circuit must have at least 2 qubits to cut");
+  validate_target(request);
+  validate_cut_selection(request);
+  validate_options(request);
+  validate_bootstrap(request);
+}
+
+ResolvedRequest resolve(const CutRequest& request) {
+  // resolve() is a public entry point, so it validates even though
+  // CutService::submit already did; the re-check is a few comparisons,
+  // negligible next to planning and execution.
+  validate(request);
+  Stopwatch timer;
+  ResolvedRequest resolved;
+
+  if (const auto* observable = std::get_if<ObservableTarget>(&request.target)) {
+    resolved.circuit = request.circuit;
+    resolved.observable = observable->observable;
+  } else if (const auto* pauli = std::get_if<PauliTarget>(&request.target)) {
+    // Basis rotations append after every existing op, so cut points of the
+    // original circuit remain valid in the rotated one.
+    PauliEstimationPlan plan = prepare_pauli_estimation(request.circuit, pauli->pauli);
+    resolved.circuit = std::move(plan.rotated_circuit);
+    resolved.observable = std::move(plan.observable);
+  } else {
+    resolved.circuit = request.circuit;
+  }
+
+  if (const auto* points = std::get_if<std::vector<circuit::WirePoint>>(&request.cut_selection)) {
+    resolved.cuts = *points;
+  } else {
+    const AutoPlan& auto_plan = std::get<AutoPlan>(request.cut_selection);
+    std::optional<CutCandidate> best =
+        resolved.observable.has_value()
+            ? plan_best_single_cut(resolved.circuit, *resolved.observable, auto_plan.planner)
+            : plan_best_single_cut(resolved.circuit, auto_plan.planner);
+    QCUT_CHECK(best.has_value(),
+               "CutRequest: auto-planning found no valid single-cut bipartition");
+    resolved.cuts = {best->point};
+    resolved.plan = std::move(best);
+  }
+
+  resolved.plan_seconds = timer.elapsed_seconds();
+  return resolved;
+}
+
+}  // namespace qcut::cutting

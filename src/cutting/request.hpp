@@ -1,0 +1,257 @@
+#pragma once
+// The unified public API of the library: one request/response pair that
+// every scenario flows through.
+//
+// A CutRequest holds the circuit, a *target* (full outcome distribution, a
+// diagonal observable, or a general Pauli string), a *cut selection*
+// (explicit wire points, or AutoPlan to let the planner choose), and the
+// execution options (golden mode, shots, seeds). Both the synchronous
+// facade qcut::run (cutting/pipeline.hpp) and the asynchronous
+// service::CutService accept it, so auto-planned cuts, observable-specific
+// golden refinement (Definition 1 is observable-dependent: a weaker
+// observable admits more negligible basis elements than the full
+// distribution), and plain distribution runs all share the same scheduler,
+// variant dedup, and fragment cache.
+//
+// Requests are validated eagerly - validate() throws qcut::Error with a
+// specific message before anything executes - and resolved once:
+// resolve() rewrites Pauli targets into a rotated circuit plus a Z-form
+// diagonal observable, and replaces AutoPlan with the planner's choice.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "cutting/observables.hpp"
+#include "cutting/planner.hpp"
+#include "cutting/uncertainty.hpp"
+
+namespace qcut::cutting {
+
+/// How the run decides which basis elements to neglect.
+enum class GoldenMode {
+  /// Standard cutting: contract all 4^K basis strings (the baseline method
+  /// of Peng et al. / quantum divide-and-compute).
+  None,
+
+  /// Use a caller-supplied NeglectSpec (the paper's experiments: the golden
+  /// point is known a priori from the circuit design).
+  Provided,
+
+  /// Detect golden bases exactly from the upstream fragment's statevector
+  /// before executing anything (possible when fragments are classically
+  /// simulable). Observable targets use the observable-specific detector,
+  /// which neglects at least as much as the distribution-level one.
+  DetectExact,
+
+  /// The paper's Section-IV proposal: execute all upstream settings, run the
+  /// statistical detector on the measured data, then skip the downstream
+  /// preparations and reconstruction terms the detected spec rules out.
+  DetectOnline,
+};
+
+/// Execution options shared by every target and cut selection.
+struct CutRunOptions {
+  std::size_t shots_per_variant = 1000;
+  std::size_t total_shot_budget = 0;  // nonzero: split a fixed budget across variants
+  bool exact = false;  // exact fragment distributions instead of sampling
+
+  GoldenMode golden_mode = GoldenMode::None;
+  std::optional<NeglectSpec> provided_spec;  // required for GoldenMode::Provided
+  double golden_tol = 1e-9;                  // DetectExact tolerance
+  OnlineDetectionOptions online;             // DetectOnline test parameters
+
+  parallel::ThreadPool* pool = nullptr;
+  std::uint64_t seed_stream_base = 0;
+};
+
+// ---- Targets ----------------------------------------------------------------
+
+/// Estimate the full outcome distribution of the uncut circuit.
+struct DistributionTarget {};
+
+/// Estimate <O> for a diagonal observable over the circuit's qubits.
+struct ObservableTarget {
+  DiagonalObservable observable;
+};
+
+/// Estimate <P> for a general Pauli string: resolved to a basis-rotated
+/// circuit plus the Z-form diagonal observable (prepare_pauli_estimation).
+struct PauliTarget {
+  circuit::PauliString pauli;
+};
+
+using Target = std::variant<DistributionTarget, ObservableTarget, PauliTarget>;
+
+// ---- Cut selection ----------------------------------------------------------
+
+/// Let the planner pick the cheapest valid single cut. Observable targets
+/// rank candidates with the observable-specific golden detector.
+struct AutoPlan {
+  PlannerOptions planner;
+};
+
+using CutSelection = std::variant<std::vector<circuit::WirePoint>, AutoPlan>;
+
+// ---- Request ----------------------------------------------------------------
+
+/// One cut-execution request. Build with the fluent with_* setters or set
+/// the members directly; both qcut::run and CutService::submit accept it.
+struct CutRequest {
+  circuit::Circuit circuit{1};
+  Target target = DistributionTarget{};
+  CutSelection cut_selection = AutoPlan{};
+  CutRunOptions options;
+
+  /// When set (observable targets only), the response carries a bootstrap
+  /// estimate of the expectation's sampling uncertainty.
+  std::optional<BootstrapOptions> bootstrap;
+
+  explicit CutRequest(circuit::Circuit request_circuit)
+      : circuit(std::move(request_circuit)) {}
+
+  CutRequest& with_cuts(std::vector<circuit::WirePoint> points) {
+    cut_selection = std::move(points);
+    return *this;
+  }
+  CutRequest& with_cut(circuit::WirePoint point) {
+    cut_selection = std::vector<circuit::WirePoint>{point};
+    return *this;
+  }
+  CutRequest& with_auto_plan(PlannerOptions planner = {}) {
+    cut_selection = AutoPlan{planner};
+    return *this;
+  }
+  CutRequest& with_target(Target new_target) {
+    target = std::move(new_target);
+    return *this;
+  }
+  CutRequest& with_observable(DiagonalObservable observable) {
+    target = ObservableTarget{std::move(observable)};
+    return *this;
+  }
+  CutRequest& with_pauli(circuit::PauliString pauli) {
+    target = PauliTarget{std::move(pauli)};
+    return *this;
+  }
+  /// Parses "ZIZ..." (highest qubit first, as PauliString::parse).
+  CutRequest& with_pauli(const std::string& labels) {
+    return with_pauli(circuit::PauliString::parse(labels));
+  }
+  CutRequest& with_golden(GoldenMode mode) {
+    options.golden_mode = mode;
+    return *this;
+  }
+  /// Also switches golden_mode to Provided.
+  CutRequest& with_provided_spec(NeglectSpec spec) {
+    options.golden_mode = GoldenMode::Provided;
+    options.provided_spec = std::move(spec);
+    return *this;
+  }
+  CutRequest& with_shots(std::size_t shots_per_variant) {
+    options.shots_per_variant = shots_per_variant;
+    return *this;
+  }
+  CutRequest& with_shot_budget(std::size_t total_shot_budget) {
+    options.total_shot_budget = total_shot_budget;
+    return *this;
+  }
+  CutRequest& with_exact(bool exact = true) {
+    options.exact = exact;
+    return *this;
+  }
+  CutRequest& with_seed(std::uint64_t seed_stream_base) {
+    options.seed_stream_base = seed_stream_base;
+    return *this;
+  }
+  CutRequest& with_pool(parallel::ThreadPool* pool) {
+    options.pool = pool;
+    return *this;
+  }
+  CutRequest& with_options(CutRunOptions run_options) {
+    options = std::move(run_options);
+    return *this;
+  }
+  CutRequest& with_uncertainty(BootstrapOptions boot = {}) {
+    bootstrap = std::move(boot);
+    return *this;
+  }
+
+  [[nodiscard]] bool wants_distribution() const noexcept {
+    return std::holds_alternative<DistributionTarget>(target);
+  }
+  [[nodiscard]] bool wants_auto_plan() const noexcept {
+    return std::holds_alternative<AutoPlan>(cut_selection);
+  }
+};
+
+// ---- Response ---------------------------------------------------------------
+
+/// Everything a caller (or a benchmark) wants to know about one run.
+struct CutResponse {
+  /// Cut points actually executed (explicit selection, or the planner's).
+  std::vector<circuit::WirePoint> cuts;
+
+  /// Planner's analysis of the chosen cut; engaged only under AutoPlan.
+  std::optional<CutCandidate> plan;
+
+  Bipartition bipartition;
+  NeglectSpec spec{1};
+  FragmentData data;
+
+  /// Distribution targets: the reconstructed outcome distribution. Also
+  /// populated for observable targets (the expectation is read off it).
+  ReconstructionResult reconstruction;
+
+  /// Observable / Pauli targets: <O> over the raw reconstruction.
+  std::optional<double> expectation;
+
+  /// Bootstrap uncertainty of the expectation (CutRequest::bootstrap).
+  std::optional<ExpectationUncertainty> uncertainty;
+
+  double plan_seconds = 0.0;       // auto-planning + target resolution
+  double fragment_seconds = 0.0;   // wall time gathering fragment data
+  double total_seconds = 0.0;      // plan + fragment + detection + reconstruction
+  backend::BackendStats backend_delta;  // backend usage consumed by this run
+
+  /// Convenience: clipped, normalized distribution.
+  [[nodiscard]] std::vector<double> probabilities() const {
+    return reconstruction.probabilities();
+  }
+};
+
+// ---- Validation and resolution ----------------------------------------------
+
+/// Eagerly validates a request, throwing qcut::Error with a specific
+/// message on the first violated precondition. Called by qcut::run and
+/// CutService::submit before anything is queued; callers building requests
+/// programmatically can call it directly.
+void validate(const CutRequest& request);
+
+/// A request with target and cut selection resolved: Pauli targets
+/// rewritten to the rotated circuit plus a Z-form diagonal observable, and
+/// AutoPlan replaced by the planner's chosen cut.
+struct ResolvedRequest {
+  circuit::Circuit circuit{1};                   // rotated for Pauli targets
+  std::optional<DiagonalObservable> observable;  // engaged for observable targets
+  std::vector<circuit::WirePoint> cuts;
+  std::optional<CutCandidate> plan;              // engaged under AutoPlan
+  double plan_seconds = 0.0;
+};
+
+/// Validates and resolves. Throws qcut::Error when validation fails or
+/// auto-planning finds no valid single cut.
+[[nodiscard]] ResolvedRequest resolve(const CutRequest& request);
+
+}  // namespace qcut::cutting
+
+namespace qcut {
+using cutting::AutoPlan;
+using cutting::CutRequest;
+using cutting::CutResponse;
+using cutting::DistributionTarget;
+using cutting::ObservableTarget;
+using cutting::PauliTarget;
+}  // namespace qcut

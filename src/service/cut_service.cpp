@@ -9,8 +9,9 @@
 
 namespace qcut::service {
 
+using cutting::CutRequest;
+using cutting::CutResponse;
 using cutting::CutRunOptions;
-using cutting::CutRunReport;
 using cutting::GoldenMode;
 using cutting::kDownstreamSeedStreamOffset;
 
@@ -33,15 +34,13 @@ CutService::~CutService() {
   scheduler_thread_.join();
 }
 
-std::future<CutRunReport> CutService::submit(circuit::Circuit circuit,
-                                             std::vector<circuit::WirePoint> cuts,
-                                             CutRunOptions options) {
+std::future<CutResponse> CutService::submit(CutRequest request) {
+  cutting::validate(request);  // eager: reject malformed requests before queuing
   JobPtr job;
-  std::future<CutRunReport> future;
+  std::future<CutResponse> future;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    job = std::make_shared<CutJob>(next_job_id_++, std::move(circuit), std::move(cuts),
-                                   std::move(options));
+    job = std::make_shared<CutJob>(next_job_id_++, std::move(request));
     future = job->promise.get_future();
     ++jobs_submitted_;
     ++active_jobs_;
@@ -51,9 +50,20 @@ std::future<CutRunReport> CutService::submit(circuit::Circuit circuit,
   return future;
 }
 
-CutRunReport CutService::run(const circuit::Circuit& circuit,
-                             std::span<const circuit::WirePoint> cuts,
-                             const CutRunOptions& options) {
+CutResponse CutService::run(const CutRequest& request) { return submit(request).get(); }
+
+std::future<CutResponse> CutService::submit(circuit::Circuit circuit,
+                                            std::vector<circuit::WirePoint> cuts,
+                                            CutRunOptions options) {
+  CutRequest request(std::move(circuit));
+  request.with_cuts(std::move(cuts));
+  request.options = std::move(options);
+  return submit(std::move(request));
+}
+
+CutResponse CutService::run(const circuit::Circuit& circuit,
+                            std::span<const circuit::WirePoint> cuts,
+                            const CutRunOptions& options) {
   return submit(circuit, std::vector<circuit::WirePoint>(cuts.begin(), cuts.end()), options)
       .get();
 }
@@ -136,31 +146,58 @@ void CutService::advance(const JobPtr& job) {
 void CutService::admit(const JobPtr& job) {
   CutJob& j = *job;
   j.total_timer.reset();
-  j.report.bipartition = cutting::make_bipartition(j.circuit, j.cuts);
-  const cutting::Bipartition& bp = j.report.bipartition;
 
-  cutting::FragmentData& data = j.report.data;
+  // Resolve target and cut selection: Pauli targets become a rotated
+  // circuit plus a Z-form diagonal observable; AutoPlan runs the planner
+  // (observable-aware for observable targets). Planning runs here on the
+  // scheduler thread deliberately: offloading it to the shared pool lets
+  // blocked backend executions starve another request's planning (priority
+  // inversion - the in-flight-dedup liveness test deadlocks on a 1-worker
+  // pool), while the scheduler thread is always free between waves.
+  j.resolved = cutting::resolve(j.request);
+  CutResponse& r = j.response;
+  r.cuts = j.resolved.cuts;
+  r.plan = j.resolved.plan;
+  r.plan_seconds = j.resolved.plan_seconds;
+  r.bipartition = cutting::make_bipartition(j.resolved.circuit, j.resolved.cuts);
+  const cutting::Bipartition& bp = r.bipartition;
+
+  cutting::FragmentData& data = r.data;
   data.num_cuts = bp.num_cuts();
   data.f1_width = bp.f1_width();
   data.f2_width = bp.f2_width();
 
-  switch (j.options.golden_mode) {
+  const CutRunOptions& opt = j.request.options;
+  switch (opt.golden_mode) {
     case GoldenMode::None:
-      j.report.spec = cutting::NeglectSpec::none(bp.num_cuts());
+      r.spec = cutting::NeglectSpec::none(bp.num_cuts());
       break;
     case GoldenMode::Provided:
-      QCUT_CHECK(j.options.provided_spec.has_value(),
-                 "cut_and_run: GoldenMode::Provided requires provided_spec");
-      QCUT_CHECK(j.options.provided_spec->num_cuts() == bp.num_cuts(),
-                 "cut_and_run: provided spec cut count must match the cuts");
-      j.report.spec = *j.options.provided_spec;
+      QCUT_CHECK(opt.provided_spec->num_cuts() == bp.num_cuts(),
+                 "CutRequest: provided_spec covers " +
+                     std::to_string(opt.provided_spec->num_cuts()) +
+                     " cuts but the bipartition has " + std::to_string(bp.num_cuts()));
+      r.spec = *opt.provided_spec;
       break;
-    case GoldenMode::DetectExact:
-      j.report.spec = cutting::detect_golden_exact(bp, j.options.golden_tol).to_spec();
+    case GoldenMode::DetectExact: {
+      // Observable targets use the observable-specific detector, which is
+      // weaker than the distribution-level test and so neglects at least as
+      // many elements (Definition 1 is observable-dependent). When the
+      // observable does not factorize across this bipartition the
+      // distribution-level spec applies - it is the stronger requirement,
+      // valid for any target - mirroring the observable-aware planner's
+      // fallback so an auto-planned cut never fails here.
+      std::optional<cutting::GoldenDetectionReport> observable_report;
+      if (j.resolved.observable.has_value()) {
+        observable_report = cutting::try_detect_golden_for_observable(
+            bp, *j.resolved.observable, opt.golden_tol);
+      }
+      r.spec = observable_report.has_value()
+                   ? observable_report->to_spec()
+                   : cutting::detect_golden_exact(bp, opt.golden_tol).to_spec();
       break;
+    }
     case GoldenMode::DetectOnline: {
-      QCUT_CHECK(!j.options.exact,
-                 "cut_and_run: online detection is meaningful only when sampling");
       // Wave 1: every upstream setting (the detector needs all of them);
       // downstream is deferred until the detected spec prunes it.
       const cutting::NeglectSpec full = cutting::NeglectSpec::none(bp.num_cuts());
@@ -171,22 +208,22 @@ void CutService::admit(const JobPtr& job) {
   }
 
   j.phase = JobPhase::ExecutingFragments;
-  issue_wave(job, cutting::required_setting_indices(j.report.spec),
-             cutting::required_prep_indices(j.report.spec));
+  issue_wave(job, cutting::required_setting_indices(r.spec),
+             cutting::required_prep_indices(r.spec));
 }
 
 void CutService::issue_wave(const JobPtr& job, const std::vector<std::uint32_t>& settings,
                             const std::vector<std::uint32_t>& preps) {
   CutJob& j = *job;
-  const cutting::Bipartition& bp = j.report.bipartition;
-  const CutRunOptions& opt = j.options;
+  const cutting::Bipartition& bp = j.response.bipartition;
+  const CutRunOptions& opt = j.request.options;
   QCUT_CHECK(opt.exact || opt.shots_per_variant > 0 || opt.total_shot_budget > 0,
              "execute_fragments: need shots_per_variant or total_shot_budget when sampling");
 
   WavePlan plan =
       plan_wave(settings, preps, opt.shots_per_variant, opt.total_shot_budget, opt.exact);
 
-  cutting::FragmentData& data = j.report.data;
+  cutting::FragmentData& data = j.response.data;
   if (j.phase != JobPhase::ExecutingDownstream) {
     // The post-detection downstream wave keeps the upstream wave's value,
     // mirroring the direct path's merge.
@@ -264,7 +301,7 @@ void CutService::issue_wave(const JobPtr& job, const std::vector<std::uint32_t>&
 
 void CutService::absorb_wave(const JobPtr& job) {
   CutJob& j = *job;
-  cutting::FragmentData& data = j.report.data;
+  cutting::FragmentData& data = j.response.data;
   data.wall_seconds += j.wave_timer.elapsed_seconds();
   for (const VariantSlot& slot : j.slots) {
     auto& side = slot.upstream ? data.upstream : data.downstream;
@@ -276,8 +313,8 @@ void CutService::absorb_wave(const JobPtr& job) {
 
 void CutService::handle_upstream_complete(const JobPtr& job) {
   CutJob& j = *job;
-  const cutting::Bipartition& bp = j.report.bipartition;
-  const cutting::FragmentData& data = j.report.data;
+  const cutting::Bipartition& bp = j.response.bipartition;
+  const cutting::FragmentData& data = j.response.data;
 
   std::uint64_t num_settings = 1;
   for (int k = 0; k < data.num_cuts; ++k) num_settings *= cutting::kNumMeasSettings;
@@ -289,36 +326,49 @@ void CutService::handle_upstream_complete(const JobPtr& job) {
   // Smallest per-variant shot count as the test's sample size (conservative
   // when a total budget splits unevenly).
   const cutting::GoldenDetectionReport detection = cutting::detect_golden_from_counts(
-      bp, ordered, data.shots_per_variant, j.options.online);
-  j.report.spec = detection.to_spec();
+      bp, ordered, data.shots_per_variant, j.request.options.online);
+  j.response.spec = detection.to_spec();
 
   j.phase = JobPhase::ExecutingDownstream;
-  issue_wave(job, {}, cutting::required_prep_indices(j.report.spec));
+  issue_wave(job, {}, cutting::required_prep_indices(j.response.spec));
 }
 
 void CutService::reconstruct_and_finish(const JobPtr& job) {
   CutJob& j = *job;
   j.phase = JobPhase::Reconstructing;
-  j.report.fragment_seconds = j.report.data.wall_seconds;
+  j.response.fragment_seconds = j.response.data.wall_seconds;
 
   cutting::ReconstructionOptions recon;
   // Job-level pool override wins; otherwise reconstruction shares the
   // service pool, like variant execution. (Reconstruction chunking depends
   // on pool size, so bit-for-bit equivalence with the direct path holds at
   // equal pools.)
-  recon.pool = j.options.pool != nullptr ? j.options.pool : &pool_;
-  j.report.reconstruction = cutting::reconstruct_distribution(j.report.bipartition, j.report.data,
-                                                              j.report.spec, recon);
-  j.report.total_seconds = j.total_timer.elapsed_seconds();
+  recon.pool = j.request.options.pool != nullptr ? j.request.options.pool : &pool_;
+  j.response.reconstruction = cutting::reconstruct_distribution(
+      j.response.bipartition, j.response.data, j.response.spec, recon);
+
+  if (j.resolved.observable.has_value()) {
+    // Same fold as estimate_expectation over the same raw reconstruction:
+    // bit-for-bit identical to the direct expectation path at equal pools.
+    j.response.expectation =
+        j.resolved.observable->expectation(j.response.reconstruction.raw_probabilities);
+    if (j.request.bootstrap.has_value()) {
+      j.response.uncertainty =
+          cutting::bootstrap_expectation(j.response.bipartition, j.response.data,
+                                         j.response.spec, *j.resolved.observable,
+                                         *j.request.bootstrap);
+    }
+  }
+  j.response.total_seconds = j.total_timer.elapsed_seconds();
 
   // Physical backend usage attributed to this job: variants served from the
   // cache or shared with a twin request consumed nothing. Device seconds
   // cannot be attributed per-job through the Backend stats API; the
-  // synchronous cut_and_run wrapper samples backend stats around its
-  // private service instead.
-  j.report.backend_delta.jobs = j.accounting.variants_executed.load();
-  j.report.backend_delta.shots = j.accounting.shots_executed.load();
-  j.report.backend_delta.simulated_device_seconds = 0.0;
+  // synchronous qcut::run wrapper samples backend stats around its private
+  // service instead.
+  j.response.backend_delta.jobs = j.accounting.variants_executed.load();
+  j.response.backend_delta.shots = j.accounting.shots_executed.load();
+  j.response.backend_delta.simulated_device_seconds = 0.0;
 
   j.phase = JobPhase::Done;
   // Bookkeeping precedes the promise: the promise is the caller's sync
@@ -328,7 +378,7 @@ void CutService::reconstruct_and_finish(const JobPtr& job) {
     ++jobs_completed_;
     --active_jobs_;
   }
-  j.promise.set_value(std::move(j.report));
+  j.promise.set_value(std::move(j.response));
   idle_.notify_all();
 }
 

@@ -10,10 +10,14 @@
 // variant executed for any request is never executed again while cached,
 // and identical in-flight variants are shared.
 //
-// cut_and_run (cutting/pipeline.hpp) is a thin synchronous wrapper over
-// this service. All four GoldenModes are supported; DetectOnline is served
-// in two waves (upstream, then the post-detection downstream remainder) so
-// detection of one request never blocks execution of another.
+// The service accepts the unified cutting::CutRequest (cutting/request.hpp):
+// explicit cuts or AutoPlan, distribution or observable/Pauli targets, all
+// four GoldenModes. qcut::run (cutting/pipeline.hpp) is a thin synchronous
+// wrapper over this service. DetectOnline is served in two waves (upstream,
+// then the post-detection downstream remainder) so detection of one request
+// never blocks execution of another. Targets are job-level state only -
+// they never enter the variant cache key - so a distribution job and an
+// observable job over the same fragments share every variant.
 //
 // Determinism: given equal seeds the service produces distributions
 // bit-for-bit identical to the direct execute_fragments +
@@ -70,16 +74,25 @@ class CutService {
   CutService(const CutService&) = delete;
   CutService& operator=(const CutService&) = delete;
 
-  /// Enqueues one cut-run request. The future yields the report or rethrows
-  /// the failure (invalid cuts, bad options, backend errors).
-  [[nodiscard]] std::future<cutting::CutRunReport> submit(circuit::Circuit circuit,
-                                                          std::vector<circuit::WirePoint> cuts,
-                                                          cutting::CutRunOptions options = {});
+  /// Enqueues one cut request. Validation is eager: malformed requests
+  /// throw qcut::Error here, before anything is queued. Failures discovered
+  /// later (invalid bipartition, no plannable cut, backend errors) are
+  /// rethrown by the future.
+  [[nodiscard]] std::future<cutting::CutResponse> submit(cutting::CutRequest request);
 
   /// Synchronous convenience: submit and wait.
-  [[nodiscard]] cutting::CutRunReport run(const circuit::Circuit& circuit,
-                                          std::span<const circuit::WirePoint> cuts,
-                                          const cutting::CutRunOptions& options = {});
+  [[nodiscard]] cutting::CutResponse run(const cutting::CutRequest& request);
+
+  /// DEPRECATED legacy overload (distribution target, explicit cuts), kept
+  /// as a thin shim for one release.
+  [[nodiscard]] std::future<cutting::CutResponse> submit(circuit::Circuit circuit,
+                                                         std::vector<circuit::WirePoint> cuts,
+                                                         cutting::CutRunOptions options = {});
+
+  /// DEPRECATED legacy overload; see submit.
+  [[nodiscard]] cutting::CutResponse run(const circuit::Circuit& circuit,
+                                         std::span<const circuit::WirePoint> cuts,
+                                         const cutting::CutRunOptions& options = {});
 
   /// Blocks until every job submitted so far has finished.
   void wait_idle();

@@ -1,13 +1,19 @@
 #pragma once
 // Cut-run jobs: the unit of work the CutService queues and drives.
 //
-// A job is one cut-run request (circuit, cuts, options). The service
-// advances it through phases; each executing phase is a "wave" of variant
-// executions fanned out through the VariantScheduler. Online detection
-// (GoldenMode::DetectOnline) needs two waves - upstream first, then the
-// downstream variants the detector did not prune - which is why the phase
-// machine exists at all: requests interleave at wave granularity instead of
-// blocking the service on one request's detector.
+// A job is one CutRequest (circuit, target, cut selection, options). The
+// service resolves it at admission (auto-planning, Pauli-target rotation)
+// and advances it through phases; each executing phase is a "wave" of
+// variant executions fanned out through the VariantScheduler. Online
+// detection (GoldenMode::DetectOnline) needs two waves - upstream first,
+// then the downstream variants the detector did not prune - which is why
+// the phase machine exists at all: requests interleave at wave granularity
+// instead of blocking the service on one request's detector.
+//
+// The target never enters the variant cache key (a variant's outcome
+// distribution does not depend on what is estimated from it), so a
+// distribution job and an observable job over the same fragments share
+// every upstream and downstream variant.
 
 #include <atomic>
 #include <cstdint>
@@ -16,7 +22,7 @@
 #include <vector>
 
 #include "common/stopwatch.hpp"
-#include "cutting/pipeline.hpp"
+#include "cutting/request.hpp"
 #include "service/fragment_cache.hpp"
 
 namespace qcut::service {
@@ -53,23 +59,20 @@ struct JobAccounting {
 };
 
 struct CutJob {
-  CutJob(std::uint64_t job_id, circuit::Circuit job_circuit,
-         std::vector<circuit::WirePoint> job_cuts, cutting::CutRunOptions job_options)
-      : id(job_id),
-        circuit(std::move(job_circuit)),
-        cuts(std::move(job_cuts)),
-        options(std::move(job_options)) {}
+  CutJob(std::uint64_t job_id, cutting::CutRequest job_request)
+      : id(job_id), request(std::move(job_request)) {}
 
   const std::uint64_t id;
-  circuit::Circuit circuit;
-  std::vector<circuit::WirePoint> cuts;
-  cutting::CutRunOptions options;
+  cutting::CutRequest request;
 
-  std::promise<cutting::CutRunReport> promise;
+  /// Filled at admission by cutting::resolve (the planner may run here).
+  cutting::ResolvedRequest resolved;
+
+  std::promise<cutting::CutResponse> promise;
 
   // Owned by the service's scheduler thread between waves.
   JobPhase phase = JobPhase::Queued;
-  cutting::CutRunReport report;
+  cutting::CutResponse response;
 
   // Current wave.
   std::vector<VariantSlot> slots;

@@ -1,0 +1,273 @@
+// CutRequest: builder surface, eager validation (every error message is
+// specific and tested), target/cut-selection resolution, and equivalence of
+// the qcut::run facade with the legacy cut_and_run shim.
+
+#include "cutting/request.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+
+#include "backend/statevector_backend.hpp"
+#include "circuit/random.hpp"
+#include "common/error.hpp"
+#include "cutting/pipeline.hpp"
+
+namespace qcut::cutting {
+namespace {
+
+using circuit::Circuit;
+using circuit::WirePoint;
+
+circuit::GoldenAnsatz make_ansatz(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  circuit::GoldenAnsatzOptions options;
+  options.num_qubits = n;
+  return circuit::make_golden_ansatz(options, rng);
+}
+
+/// Runs `fn`, expecting qcut::Error; returns its message.
+std::string message_of(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const Error& error) {
+    return error.what();
+  }
+  ADD_FAILURE() << "expected qcut::Error";
+  return {};
+}
+
+bool contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+Circuit two_qubit_circuit() {
+  Circuit c(2);
+  c.h(0).cx(0, 1).ry(0.3, 1);
+  return c;
+}
+
+TEST(CutRequestValidation, CircuitMustBeWideEnoughToCut) {
+  CutRequest request{Circuit(1)};
+  EXPECT_TRUE(contains(message_of([&] { validate(request); }),
+                       "circuit must have at least 2 qubits to cut"));
+}
+
+TEST(CutRequestValidation, ExplicitSelectionMustNotBeEmpty) {
+  CutRequest request{two_qubit_circuit()};
+  request.with_cuts({});
+  EXPECT_TRUE(contains(message_of([&] { validate(request); }),
+                       "explicit cut selection must contain at least one cut point"));
+}
+
+TEST(CutRequestValidation, CutQubitMustExist) {
+  CutRequest request{two_qubit_circuit()};
+  request.with_cut(WirePoint{99, 0});
+  EXPECT_TRUE(contains(message_of([&] { validate(request); }),
+                       "cut point references qubit 99 but the circuit has 2 qubits"));
+}
+
+TEST(CutRequestValidation, CutOpIndexMustExist) {
+  CutRequest request{two_qubit_circuit()};
+  request.with_cut(WirePoint{0, 7});
+  EXPECT_TRUE(contains(message_of([&] { validate(request); }),
+                       "cut point after_op 7 is out of range (circuit has 3 ops)"));
+}
+
+TEST(CutRequestValidation, ProvidedModeRequiresSpec) {
+  CutRequest request{two_qubit_circuit()};
+  request.with_cut(WirePoint{0, 0}).with_golden(GoldenMode::Provided);
+  EXPECT_TRUE(contains(message_of([&] { validate(request); }),
+                       "GoldenMode::Provided requires provided_spec"));
+}
+
+TEST(CutRequestValidation, ProvidedModeRequiresExplicitCuts) {
+  NeglectSpec spec(1);
+  spec.neglect(0, Pauli::Y);
+  CutRequest request{two_qubit_circuit()};
+  request.with_auto_plan().with_provided_spec(spec);
+  EXPECT_TRUE(contains(message_of([&] { validate(request); }),
+                       "GoldenMode::Provided requires explicit cut points"));
+}
+
+TEST(CutRequestValidation, SpecWithoutProvidedModeIsRejected) {
+  CutRequest request{two_qubit_circuit()};
+  request.with_cut(WirePoint{0, 0});
+  request.options.provided_spec = NeglectSpec(1);  // golden_mode left at None
+  EXPECT_TRUE(contains(message_of([&] { validate(request); }),
+                       "provided_spec is set but golden_mode is not GoldenMode::Provided"));
+}
+
+TEST(CutRequestValidation, SpecCutCountMustMatchExplicitCuts) {
+  CutRequest request{two_qubit_circuit()};
+  request.with_cut(WirePoint{0, 0}).with_provided_spec(NeglectSpec(2));
+  EXPECT_TRUE(contains(message_of([&] { validate(request); }),
+                       "provided_spec covers 2 cuts but 1 cut points were given"));
+}
+
+TEST(CutRequestValidation, SamplingNeedsShotsOrBudget) {
+  CutRequest request{two_qubit_circuit()};
+  request.with_cut(WirePoint{0, 0}).with_shots(0);
+  EXPECT_TRUE(
+      contains(message_of([&] { validate(request); }),
+               "sampling requires shots_per_variant > 0 or a total_shot_budget"));
+}
+
+TEST(CutRequestValidation, OnlineDetectionRejectsExactMode) {
+  CutRequest request{two_qubit_circuit()};
+  request.with_cut(WirePoint{0, 0}).with_golden(GoldenMode::DetectOnline).with_exact();
+  EXPECT_TRUE(contains(message_of([&] { validate(request); }),
+                       "GoldenMode::DetectOnline requires sampling (exact = false)"));
+}
+
+TEST(CutRequestValidation, BudgetMustCoverStandardVariants) {
+  CutRequest request{two_qubit_circuit()};
+  request.with_cut(WirePoint{0, 0}).with_shots(0).with_shot_budget(5);
+  // One standard cut needs 3 settings + 6 preps = 9 variants.
+  EXPECT_TRUE(contains(message_of([&] { validate(request); }),
+                       "total_shot_budget (5) is smaller than the 9 required variants"));
+}
+
+TEST(CutRequestValidation, BudgetMustCoverProvidedSpecVariants) {
+  NeglectSpec golden(1);
+  golden.neglect(0, Pauli::Y);
+  CutRequest request{two_qubit_circuit()};
+  request.with_cut(WirePoint{0, 0}).with_provided_spec(golden).with_shots(0).with_shot_budget(
+      5);
+  // A single golden basis shrinks the cut to 2 settings + 4 preps.
+  EXPECT_TRUE(contains(message_of([&] { validate(request); }),
+                       "total_shot_budget (5) is smaller than the 6 required variants"));
+}
+
+TEST(CutRequestValidation, ObservableWidthMustMatchCircuit) {
+  Circuit c(3);
+  c.h(0).cx(0, 1).cx(1, 2);
+  CutRequest request{c};
+  request.with_observable(DiagonalObservable::parity(2));
+  EXPECT_TRUE(contains(message_of([&] { validate(request); }),
+                       "observable acts on 2 qubits but the circuit has 3"));
+}
+
+TEST(CutRequestValidation, PauliWidthMustMatchCircuit) {
+  CutRequest request{two_qubit_circuit()};
+  request.with_pauli("ZZZ");
+  EXPECT_TRUE(contains(message_of([&] { validate(request); }),
+                       "Pauli target acts on 3 qubits but the circuit has 2"));
+}
+
+TEST(CutRequestValidation, BootstrapNeedsObservableTarget) {
+  CutRequest request{two_qubit_circuit()};
+  request.with_cut(WirePoint{0, 0}).with_uncertainty();
+  EXPECT_TRUE(contains(message_of([&] { validate(request); }),
+                       "bootstrap uncertainty requires an observable or Pauli target"));
+}
+
+TEST(CutRequestValidation, BootstrapNeedsSampledExecution) {
+  CutRequest request{two_qubit_circuit()};
+  request.with_pauli("ZZ").with_cut(WirePoint{0, 0}).with_exact().with_uncertainty();
+  EXPECT_TRUE(contains(message_of([&] { validate(request); }),
+                       "bootstrap uncertainty requires sampled execution (exact = false)"));
+}
+
+TEST(CutRequestValidation, BootstrapNeedsReplicas) {
+  BootstrapOptions boot;
+  boot.replicas = 0;
+  CutRequest request{two_qubit_circuit()};
+  request.with_pauli("ZZ").with_cut(WirePoint{0, 0}).with_uncertainty(boot);
+  EXPECT_TRUE(contains(message_of([&] { validate(request); }),
+                       "bootstrap replicas must be positive"));
+}
+
+TEST(CutRequestValidation, WellFormedRequestPasses) {
+  const auto ansatz = make_ansatz(5, 41);
+  CutRequest request(ansatz.circuit);
+  request.with_cut(ansatz.cut).with_shots(1000);
+  EXPECT_NO_THROW(validate(request));
+
+  CutRequest auto_planned(ansatz.circuit);
+  auto_planned.with_auto_plan().with_pauli(circuit::PauliString::parse("ZZZZZ"));
+  EXPECT_NO_THROW(validate(auto_planned));
+}
+
+TEST(CutRequestResolve, PauliTargetIsRotatedToZForm) {
+  const auto ansatz = make_ansatz(5, 42);
+  circuit::PauliString pauli(5);
+  pauli.set_label(0, Pauli::X);  // X -> one appended H
+  pauli.set_label(2, Pauli::Z);
+
+  CutRequest request(ansatz.circuit);
+  request.with_pauli(pauli).with_cut(ansatz.cut);
+  const ResolvedRequest resolved = resolve(request);
+
+  ASSERT_TRUE(resolved.observable.has_value());
+  EXPECT_EQ(resolved.circuit.num_ops(), ansatz.circuit.num_ops() + 1);
+  EXPECT_EQ(resolved.observable->num_qubits(), 5);
+  EXPECT_EQ(resolved.cuts.size(), 1u);
+  EXPECT_EQ(resolved.cuts.front(), ansatz.cut);
+  EXPECT_FALSE(resolved.plan.has_value());
+}
+
+TEST(CutRequestResolve, AutoPlanUsesThePlannersChoice) {
+  const auto ansatz = make_ansatz(5, 43);
+  const auto best = plan_best_single_cut(ansatz.circuit);
+  ASSERT_TRUE(best.has_value());
+
+  CutRequest request(ansatz.circuit);
+  request.with_auto_plan();
+  const ResolvedRequest resolved = resolve(request);
+
+  ASSERT_TRUE(resolved.plan.has_value());
+  EXPECT_EQ(resolved.plan->point, best->point);
+  EXPECT_EQ(resolved.cuts.size(), 1u);
+  EXPECT_EQ(resolved.cuts.front(), best->point);
+  EXPECT_FALSE(resolved.observable.has_value());
+}
+
+TEST(CutRequestRun, FacadeMatchesLegacyShimBitForBit) {
+  const auto ansatz = make_ansatz(5, 44);
+  const std::array<WirePoint, 1> cuts = {ansatz.cut};
+
+  CutRunOptions options;
+  options.shots_per_variant = 900;
+
+  backend::StatevectorBackend legacy_backend(77);
+  const CutRunReport legacy = cut_and_run(ansatz.circuit, cuts, legacy_backend, options);
+
+  CutRequest request(ansatz.circuit);
+  request.with_cuts({cuts.begin(), cuts.end()});
+  request.options = options;
+  backend::StatevectorBackend facade_backend(77);
+  const CutResponse response = run(request, facade_backend);
+
+  EXPECT_EQ(response.reconstruction.raw_probabilities,
+            legacy.reconstruction.raw_probabilities);
+  EXPECT_EQ(response.backend_delta.jobs, legacy.backend_delta.jobs);
+  EXPECT_EQ(response.backend_delta.shots, legacy.backend_delta.shots);
+  EXPECT_FALSE(response.expectation.has_value());
+  EXPECT_EQ(response.cuts.size(), 1u);
+  EXPECT_EQ(response.cuts.front(), ansatz.cut);
+}
+
+TEST(CutRequestRun, BootstrapUncertaintyIsAttachedOnRequest) {
+  const auto ansatz = make_ansatz(5, 45);
+  BootstrapOptions boot;
+  boot.replicas = 50;
+
+  CutRequest request(ansatz.circuit);
+  request.with_pauli(circuit::PauliString::parse("ZZZZZ"))
+      .with_cut(ansatz.cut)
+      .with_shots(2000)
+      .with_uncertainty(boot);
+
+  backend::StatevectorBackend backend(11);
+  const CutResponse response = run(request, backend);
+  ASSERT_TRUE(response.expectation.has_value());
+  ASSERT_TRUE(response.uncertainty.has_value());
+  EXPECT_EQ(response.uncertainty->estimate, *response.expectation);
+  EXPECT_GT(response.uncertainty->standard_error, 0.0);
+  EXPECT_LE(response.uncertainty->ci_lower, response.uncertainty->ci_upper);
+}
+
+}  // namespace
+}  // namespace qcut::cutting

@@ -315,17 +315,30 @@ TEST(CutService, FailuresPropagateAndServiceStaysUsable) {
   backend::StatevectorBackend backend(5);
   CutService service(backend);
 
-  // Invalid request: Provided mode without a spec.
+  // Malformed requests are rejected eagerly at submit, before queuing.
   CutRunOptions bad;
   bad.golden_mode = GoldenMode::Provided;
-  auto failing =
-      service.submit(ansatz.circuit, {ansatz.cut}, bad);
-  EXPECT_THROW((void)failing.get(), Error);
+  EXPECT_THROW((void)service.submit(ansatz.circuit, {ansatz.cut}, bad), Error);
 
-  // Invalid cuts: nonexistent qubit.
-  auto bad_cut = service.submit(ansatz.circuit, {WirePoint{99, 0}}, CutRunOptions{});
+  // Out-of-range cut points are also caught eagerly.
+  EXPECT_THROW((void)service.submit(ansatz.circuit, {WirePoint{99, 0}}, CutRunOptions{}),
+               Error);
+  EXPECT_EQ(service.stats().jobs_submitted, 0u);
+
+  // Failures discovered at admission - a structurally valid cut point that
+  // does not induce a valid bipartition - flow through the future.
+  circuit::Circuit entangled(3);
+  entangled.cx(0, 1).cx(1, 2).cx(0, 2);
+  entangled.cx(0, 1).cx(1, 2).cx(0, 2);
+  auto bad_cut = service.submit(entangled, {WirePoint{0, 0}}, CutRunOptions{});
   EXPECT_THROW((void)bad_cut.get(), Error);
+  EXPECT_EQ(service.stats().jobs_failed, 1u);
 
+  // So does an unplannable AutoPlan request.
+  cutting::CutRequest unplannable(entangled);
+  unplannable.with_auto_plan();
+  auto no_plan = service.submit(std::move(unplannable));
+  EXPECT_THROW((void)no_plan.get(), Error);
   EXPECT_EQ(service.stats().jobs_failed, 2u);
 
   // The service still serves good requests afterwards.
@@ -352,6 +365,149 @@ TEST(CutService, OnlineDetectionSchedulesDownstreamAfterPruning) {
   EXPECT_EQ(report.data.total_jobs, 3u + 4u);
   EXPECT_TRUE(report.spec.is_neglected(0, ansatz.golden_basis));
   EXPECT_EQ(service.stats().scheduler.executions, 7u);
+}
+
+/// The circuit behind the observable-target tests: the cut wire's state is
+/// (|0,+> + |1,->)/sqrt(2) entangled with the upstream output qubit, so the
+/// distribution-level detector keeps the X basis, while an observable
+/// supported entirely on f2 (O_f1 = I) sees the maximally mixed cut
+/// marginal and neglects X, Y, and Z.
+circuit::Circuit make_observable_refinement_circuit() {
+  circuit::Circuit c(3);
+  c.h(0).h(1).cz(0, 1);
+  c.ry(0.5, 2).cx(1, 2);
+  return c;
+}
+
+TEST(CutService, ObservableAutoPlanMatchesDirectEstimatePathBitForBit) {
+  const circuit::Circuit circuit = make_observable_refinement_circuit();
+  const cutting::DiagonalObservable obs =
+      cutting::DiagonalObservable::from_pauli(circuit::PauliString::parse("ZZI"));
+
+  // Direct path: observable-aware plan, observable-specific detection,
+  // direct fragment execution, estimate_expectation.
+  const auto plan = cutting::plan_best_single_cut(circuit, obs);
+  ASSERT_TRUE(plan.has_value());
+  const std::array<WirePoint, 1> cuts = {plan->point};
+  const cutting::Bipartition bp = cutting::make_bipartition(circuit, cuts);
+  const NeglectSpec spec = cutting::detect_golden_for_observable(bp, obs).to_spec();
+
+  backend::StatevectorBackend direct_backend(61);
+  cutting::ExecutionOptions exec;
+  exec.shots_per_variant = 2500;
+  const cutting::FragmentData data = cutting::execute_fragments(bp, spec, direct_backend, exec);
+  const double expected = cutting::estimate_expectation(bp, data, spec, obs);
+
+  // Service path: the same request expressed as an auto-planned
+  // observable-target CutRequest.
+  cutting::CutRequest request(circuit);
+  request.with_observable(obs)
+      .with_auto_plan()
+      .with_golden(cutting::GoldenMode::DetectExact)
+      .with_shots(2500);
+
+  backend::StatevectorBackend service_backend(61);
+  CutService service(service_backend);
+  const cutting::CutResponse response = service.run(request);
+
+  ASSERT_TRUE(response.expectation.has_value());
+  EXPECT_EQ(*response.expectation, expected);  // bit-for-bit at equal seeds
+  ASSERT_TRUE(response.plan.has_value());
+  EXPECT_EQ(response.plan->point, plan->point);
+  EXPECT_EQ(response.cuts.size(), 1u);
+  EXPECT_EQ(response.cuts.front(), plan->point);
+
+  // The synchronous facade takes the identical route.
+  backend::StatevectorBackend facade_backend(61);
+  const cutting::CutResponse facade = cutting::run(request, facade_backend);
+  ASSERT_TRUE(facade.expectation.has_value());
+  EXPECT_EQ(*facade.expectation, expected);
+}
+
+TEST(CutService, MixedTargetBatchSharesVariantsAcrossRequests) {
+  // A distribution job and an observable job on the same circuit and cut:
+  // the target is job-level state only, never part of the variant cache
+  // key, so the second request is served entirely from the cache.
+  const auto ansatz = make_ansatz(5, 23);
+  backend::StatevectorBackend backend(19);
+  CutService service(backend);
+
+  cutting::CutRequest distribution(ansatz.circuit);
+  distribution.with_cut(ansatz.cut).with_shots(800);
+  const cutting::CutResponse dist_response = service.run(distribution);
+  EXPECT_FALSE(dist_response.expectation.has_value());
+
+  const cutting::DiagonalObservable parity = cutting::DiagonalObservable::parity(5);
+  cutting::CutRequest observable(ansatz.circuit);
+  observable.with_observable(parity).with_cut(ansatz.cut).with_shots(800);
+  const cutting::CutResponse obs_response = service.run(observable);
+
+  const CutServiceStats stats = service.stats();
+  EXPECT_EQ(stats.scheduler.executions, 9u);  // only the first job executed
+  EXPECT_GE(stats.cache.hits, 9u);            // cross-request, cross-target hits
+  EXPECT_EQ(obs_response.backend_delta.jobs, 0u);
+
+  // Same fragment data, same reconstruction: the observable response's
+  // expectation equals the observable evaluated on the distribution job's
+  // raw reconstruction, exactly.
+  ASSERT_TRUE(obs_response.expectation.has_value());
+  EXPECT_EQ(*obs_response.expectation,
+            parity.expectation(dist_response.reconstruction.raw_probabilities));
+}
+
+TEST(CutService, NonFactorizingObservableFallsBackToDistributionDetection) {
+  // A diagonal observable that correlates an f1 output qubit with an f2
+  // qubit does not factorize across the bipartition; DetectExact then
+  // applies the distribution-level spec (the stronger requirement, valid
+  // for any target) instead of failing the job - mirroring the
+  // observable-aware planner's fallback.
+  const circuit::Circuit circuit = make_observable_refinement_circuit();
+  std::vector<double> diagonal(8, 0.0);
+  for (index_t x = 0; x < 8; ++x) {
+    diagonal[x] = bit(x, 0) == bit(x, 2) ? 1.0 : 0.0;  // q0 == q2 indicator
+  }
+  const cutting::DiagonalObservable obs{diagonal};
+
+  const circuit::WirePoint cut{1, 2};  // qubit 1, after the cz
+  const std::array<WirePoint, 1> cuts = {cut};
+  const cutting::Bipartition bp = cutting::make_bipartition(circuit, cuts);
+  ASSERT_FALSE(cutting::try_detect_golden_for_observable(bp, obs).has_value());
+
+  cutting::CutRequest request(circuit);
+  request.with_observable(obs)
+      .with_cut(cut)
+      .with_golden(cutting::GoldenMode::DetectExact)
+      .with_exact();
+
+  backend::StatevectorBackend backend(29);
+  CutService service(backend);
+  const cutting::CutResponse response = service.run(request);
+
+  // Distribution-level spec at this cut neglects Y and Z: 6 variants.
+  EXPECT_EQ(response.data.total_jobs, 6u);
+  sim::StateVector sv(3);
+  sv.apply_circuit(circuit);
+  ASSERT_TRUE(response.expectation.has_value());
+  EXPECT_NEAR(*response.expectation, obs.expectation(sv.probabilities()), 1e-9);
+}
+
+TEST(CutService, PauliTargetIsRotatedAndEstimated) {
+  const auto ansatz = make_ansatz(5, 24);
+  backend::StatevectorBackend backend(3);
+  CutService service(backend);
+
+  circuit::PauliString pauli(5);
+  pauli.set_label(0, linalg::Pauli::X);
+  pauli.set_label(3, linalg::Pauli::Z);
+
+  cutting::CutRequest request(ansatz.circuit);
+  request.with_pauli(pauli).with_cut(ansatz.cut).with_exact();
+  const cutting::CutResponse response = service.run(request);
+
+  sim::StateVector sv(5);
+  sv.apply_circuit(ansatz.circuit);
+  ASSERT_TRUE(response.expectation.has_value());
+  EXPECT_NEAR(*response.expectation, sv.expectation_pauli(pauli), 1e-9);
 }
 
 TEST(CutService, ExactOnlineDetectionIsRejected) {

@@ -9,6 +9,7 @@
 
 #include <cstdio>
 #include <iostream>
+#include <span>
 
 #include "backend/statevector_backend.hpp"
 #include "circuit/random.hpp"
@@ -17,12 +18,18 @@
 #include "metrics/distance.hpp"
 #include "metrics/stats.hpp"
 #include "sim/statevector.hpp"
+#include "bench_json.hpp"
+#include "common/stopwatch.hpp"
+#include "support/run_cut.hpp"
 
 namespace {
+
 constexpr int kTrials = 50;
 }
 
 int main() {
+  qcut::Stopwatch bench_timer;
+  double last_ratio = 1.0;
   using namespace qcut;
 
   std::printf("Ablation: reconstruction accuracy at a fixed total shot budget\n");
@@ -51,7 +58,7 @@ int main() {
       standard.seed_stream_base =
           (static_cast<std::uint64_t>(trial) << 32) ^ (budget << 1);
       standard_stats.add(metrics::weighted_distance(
-          cutting::cut_and_run(ansatz.circuit, cuts, backend, standard).probabilities(),
+          run_cut(ansatz.circuit, cuts, backend, standard).probabilities(),
           truth));
 
       cutting::CutRunOptions golden = standard;
@@ -59,18 +66,24 @@ int main() {
       golden.provided_spec = cutting::NeglectSpec(1);
       golden.provided_spec->neglect(0, ansatz.golden_basis);
       golden_stats.add(metrics::weighted_distance(
-          cutting::cut_and_run(ansatz.circuit, cuts, backend, golden).probabilities(),
+          run_cut(ansatz.circuit, cuts, backend, golden).probabilities(),
           truth));
     }
     table.add_row({std::to_string(budget),
                    format_pm(standard_stats.mean(), standard_stats.ci95_half_width(), 5),
                    format_pm(golden_stats.mean(), golden_stats.ci95_half_width(), 5),
                    format_double(golden_stats.mean() / standard_stats.mean(), 3)});
+    last_ratio = golden_stats.mean() / standard_stats.mean();
   }
   std::cout << table;
   std::printf(
       "\nAt every budget the golden method is at least as accurate as the\n"
       "standard method while ALSO needing one third fewer circuit executions:\n"
       "neglecting the basis element is a strict resource win.\n");
+  // speedup key: standard/golden accuracy ratio at the largest budget
+  // (>= 1 means golden is at least as accurate at one third fewer variants).
+  (void)qcut::bench::write_bench_json("ablation_budget", bench_timer.elapsed_seconds(),
+                                      1.0 / last_ratio,
+                                      {{"golden_over_standard_dw", last_ratio}});
   return 0;
 }

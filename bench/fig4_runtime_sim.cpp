@@ -11,6 +11,7 @@
 
 #include <cstdio>
 #include <iostream>
+#include <span>
 
 #include "bench_json.hpp"
 
@@ -20,6 +21,7 @@
 #include "common/table.hpp"
 #include "cutting/pipeline.hpp"
 #include "metrics/stats.hpp"
+#include "support/run_cut.hpp"
 
 namespace {
 
@@ -71,8 +73,8 @@ int main() {
         run.provided_spec->neglect(0, ansatz.golden_basis);
       }
       Stopwatch watch;
-      const cutting::CutRunReport report =
-          cutting::cut_and_run(ansatz.circuit, cuts, backend, run);
+      const cutting::CutResponse report =
+          run_cut(ansatz.circuit, cuts, backend, run);
       trial_ms.push_back(watch.elapsed_seconds() * 1e3);
       jobs = report.data.total_jobs;
       shots = report.data.total_shots;

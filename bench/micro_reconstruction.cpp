@@ -3,9 +3,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+#include "common/stopwatch.hpp"
+#include <span>
+
 #include "backend/statevector_backend.hpp"
 #include "circuit/random.hpp"
 #include "cutting/pipeline.hpp"
+#include "support/run_cut.hpp"
 
 namespace {
 
@@ -115,7 +120,7 @@ void BM_EndToEndCutAndRun(benchmark::State& state) {
       run.provided_spec->neglect(0, ansatz.golden_basis);
     }
     benchmark::DoNotOptimize(
-        cutting::cut_and_run(ansatz.circuit, cuts, backend, run).reconstruction.terms);
+        run_cut(ansatz.circuit, cuts, backend, run).reconstruction.terms);
   }
   state.SetLabel(golden ? "golden" : "standard");
 }
@@ -135,3 +140,34 @@ void BM_ExactGoldenDetection(benchmark::State& state) {
 BENCHMARK(BM_ExactGoldenDetection)->Arg(5)->Arg(9)->Arg(13);
 
 }  // namespace
+
+/// Custom main: run the registered google-benchmark suites, then time one
+/// representative standard-vs-golden reconstruction pair for the
+/// BENCH_<name>.json trajectory file.
+int main(int argc, char** argv) {
+  using namespace qcut;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  const Fixture fixture = Fixture::make(9);
+  cutting::NeglectSpec golden(1);
+  golden.neglect(0, fixture.ansatz.golden_basis);
+  constexpr int kRepeats = 10;
+  Stopwatch standard_watch;
+  for (int r = 0; r < kRepeats; ++r) {
+    (void)cutting::reconstruct_distribution(fixture.bp, fixture.data,
+                                            cutting::NeglectSpec::none(1));
+  }
+  const double standard_seconds = standard_watch.elapsed_seconds() / kRepeats;
+  Stopwatch golden_watch;
+  for (int r = 0; r < kRepeats; ++r) {
+    (void)cutting::reconstruct_distribution(fixture.bp, fixture.data, golden);
+  }
+  const double golden_seconds = golden_watch.elapsed_seconds() / kRepeats;
+  (void)qcut::bench::write_bench_json(
+      "micro_reconstruction", golden_seconds, standard_seconds / golden_seconds,
+      {{"standard_seconds", standard_seconds}, {"golden_seconds", golden_seconds}});
+  return 0;
+}

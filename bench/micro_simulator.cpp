@@ -2,6 +2,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+#include "common/stopwatch.hpp"
+
 #include "backend/noisy_backend.hpp"
 #include "backend/statevector_backend.hpp"
 #include "circuit/random.hpp"
@@ -111,3 +114,26 @@ void BM_NoisyBackendRun(benchmark::State& state) {
 BENCHMARK(BM_NoisyBackendRun);
 
 }  // namespace
+
+/// Custom main: run the registered google-benchmark suites, then time one
+/// representative statevector workload for the BENCH_<name>.json file.
+int main(int argc, char** argv) {
+  using namespace qcut;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  const circuit::Circuit c = random_for(14, 10, 1);
+  constexpr int kRepeats = 5;
+  Stopwatch watch;
+  for (int r = 0; r < kRepeats; ++r) {
+    sim::StateVector sv(14);
+    sv.apply_circuit(c);
+  }
+  const double seconds = watch.elapsed_seconds() / kRepeats;
+  const double ops_per_second = static_cast<double>(c.num_ops()) / seconds;
+  (void)qcut::bench::write_bench_json("micro_simulator", seconds, 1.0,
+                                      {{"gate_ops_per_second", ops_per_second}});
+  return 0;
+}

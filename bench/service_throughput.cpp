@@ -82,14 +82,17 @@ std::vector<Request> make_request_stream() {
 double run_pass(service::CutService& service, const std::vector<Request>& stream,
                 std::vector<double>* checksum) {
   Stopwatch timer;
-  std::vector<std::future<cutting::CutRunReport>> futures;
+  std::vector<std::future<cutting::CutResponse>> futures;
   futures.reserve(stream.size());
   for (const Request& r : stream) {
-    futures.push_back(service.submit(r.circuit, {r.cut}, r.options));
+    cutting::CutRequest request(r.circuit);
+    request.with_cut(r.cut);
+    request.options = r.options;
+    futures.push_back(service.submit(std::move(request)));
   }
   double total_mass = 0.0;
   for (auto& f : futures) {
-    const cutting::CutRunReport report = f.get();
+    const cutting::CutResponse report = f.get();
     for (double p : report.reconstruction.raw_probabilities) total_mass += p;
     if (checksum != nullptr) {
       checksum->push_back(report.reconstruction.raw_probabilities.front());

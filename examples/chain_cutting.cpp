@@ -1,0 +1,91 @@
+// Chain cutting: serving a circuit wider than any single bipartition
+// allows. The 7-qubit three-block circuit below has no single-cut split
+// whose fragments both fit a 3-qubit device (the best is 4|4), so the chain
+// planner cuts it twice into a 3|3|3 three-fragment chain. Per-boundary
+// golden detection then neglects basis elements independently at each
+// boundary, multiplying the paper's savings along the chain, and exact-mode
+// reconstruction still reproduces the uncut distribution to numerical
+// precision.
+
+#include <algorithm>
+#include <iostream>
+
+#include "backend/statevector_backend.hpp"
+#include "circuit/render.hpp"
+#include "common/table.hpp"
+#include "cutting/pipeline.hpp"
+#include "cutting/variants.hpp"
+#include "metrics/distance.hpp"
+#include "sim/statevector.hpp"
+
+int main() {
+  using namespace qcut;
+
+  // Three width-3 blocks chained through q2 and q4; every gate is real, so
+  // Pauli-Y is golden at any boundary the planner picks.
+  circuit::Circuit c(7);
+  c.h(0).cx(0, 1).cx(1, 2).ry(0.3, 2);
+  c.cx(2, 3).cx(3, 4).ry(0.5, 4);
+  c.cx(4, 5).cx(5, 6).ry(0.7, 6);
+  std::cout << "Circuit:\n" << circuit::render_ascii(c) << '\n';
+
+  // No single cut fits a 3-qubit device.
+  int best_single = c.num_qubits();
+  for (const cutting::CutCandidate& candidate : cutting::enumerate_single_cuts(c)) {
+    best_single = std::min(best_single, std::max(candidate.f1_width, candidate.f2_width));
+  }
+  std::cout << "Widest fragment of the best single cut: " << best_single
+            << " qubits (device cap: 3)\n\n";
+
+  // The chain planner finds a boundary sequence whose fragments all fit.
+  cutting::ChainPlannerOptions planner;
+  planner.max_fragment_width = 3;
+
+  CutRequest request(c);
+  request.with_chain_plan(planner).with_golden(cutting::GoldenMode::DetectExact).with_exact();
+
+  backend::StatevectorBackend backend(7);
+  const CutResponse response = run(request, backend);
+
+  const cutting::ChainPlan& plan = *response.chain_plan;
+  Table table({"boundary", "cut (qubit, after op)", "golden bases", "terms"});
+  for (std::size_t b = 0; b < plan.boundary_plans.size(); ++b) {
+    const cutting::CutCandidate& boundary = plan.boundary_plans[b];
+    std::string golden;
+    for (linalg::Pauli p : boundary.golden_bases) golden += linalg::pauli_name(p);
+    if (golden.empty()) golden = "-";
+    table.add_row({std::to_string(b),
+                   "q" + std::to_string(boundary.point.qubit) + ", op " +
+                       std::to_string(boundary.point.after_op),
+                   golden, std::to_string(boundary.terms)});
+  }
+  std::cout << table << '\n';
+
+  std::string widths;
+  for (std::size_t f = 0; f < plan.fragment_widths.size(); ++f) {
+    widths += (f > 0 ? "|" : "") + std::to_string(plan.fragment_widths[f]);
+  }
+  const cutting::ChainVariantCounts no_neglect =
+      cutting::count_chain_variants(response.graph, cutting::ChainNeglectSpec::none(response.graph));
+  std::cout << "Fragment widths: " << widths << " ("
+            << response.graph.num_fragments() << " fragments)\n";
+  std::cout << "Circuit evaluations: " << response.data.total_jobs
+            << " with per-boundary golden neglection vs " << no_neglect.total()
+            << " for the no-neglect chain\n";
+  std::cout << "Reconstruction terms: " << response.reconstruction.terms << " vs "
+            << cutting::ChainNeglectSpec::none(response.graph).num_active_terms() << "\n";
+
+  sim::StateVector sv(c.num_qubits());
+  sv.apply_circuit(c);
+  const double tvd =
+      metrics::total_variation_distance(response.probabilities(), sv.probabilities());
+  std::cout << "Total variation distance to the uncut distribution (exact mode): "
+            << format_double(tvd, 12) << '\n';
+  if (response.graph.max_fragment_width() > 3 || tvd > 1e-9 ||
+      response.data.total_jobs >= no_neglect.total()) {
+    std::cerr << "FAIL: chain cutting did not satisfy the width cap exactly\n";
+    return 1;
+  }
+  std::cout << "PASS\n";
+  return 0;
+}

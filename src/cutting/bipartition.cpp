@@ -1,13 +1,8 @@
 #include "cutting/bipartition.hpp"
 
-#include <algorithm>
-
-#include "common/error.hpp"
+#include "cutting/fragment_graph.hpp"
 
 namespace qcut::cutting {
-
-using circuit::CutAnalysis;
-using circuit::FragmentId;
 
 std::vector<int> Bipartition::f1_cut_qubits() const {
   std::vector<int> out;
@@ -24,102 +19,7 @@ std::vector<int> Bipartition::f2_cut_qubits() const {
 }
 
 Bipartition make_bipartition(const Circuit& circuit, std::span<const WirePoint> cuts) {
-  const CutAnalysis analysis = circuit::analyze_cuts(circuit, cuts);
-  const int n = circuit.num_qubits();
-
-  // Which original qubits appear in each fragment. Idle qubits (no ops at
-  // all) are assigned upstream: they contribute a deterministic |0> output
-  // bit and must be measured somewhere.
-  std::vector<bool> in_f1(static_cast<std::size_t>(n), false);
-  std::vector<bool> in_f2(static_cast<std::size_t>(n), false);
-  std::vector<bool> touched(static_cast<std::size_t>(n), false);
-  for (std::size_t i = 0; i < circuit.num_ops(); ++i) {
-    for (int q : circuit.op(i).qubits) {
-      touched[static_cast<std::size_t>(q)] = true;
-      if (analysis.op_fragment[i] == FragmentId::Upstream) {
-        in_f1[static_cast<std::size_t>(q)] = true;
-      } else {
-        in_f2[static_cast<std::size_t>(q)] = true;
-      }
-    }
-  }
-  for (int q = 0; q < n; ++q) {
-    if (!touched[static_cast<std::size_t>(q)]) in_f1[static_cast<std::size_t>(q)] = true;
-  }
-
-  Bipartition bp;
-  bp.num_original_qubits = n;
-
-  std::vector<int> f1_local_of(static_cast<std::size_t>(n), -1);
-  std::vector<int> f2_local_of(static_cast<std::size_t>(n), -1);
-  for (int q = 0; q < n; ++q) {
-    if (in_f1[static_cast<std::size_t>(q)]) {
-      f1_local_of[static_cast<std::size_t>(q)] = static_cast<int>(bp.f1_to_original.size());
-      bp.f1_to_original.push_back(q);
-    }
-  }
-  for (int q = 0; q < n; ++q) {
-    if (in_f2[static_cast<std::size_t>(q)]) {
-      f2_local_of[static_cast<std::size_t>(q)] = static_cast<int>(bp.f2_to_original.size());
-      bp.f2_to_original.push_back(q);
-    }
-  }
-
-  QCUT_CHECK(!bp.f1_to_original.empty() && !bp.f2_to_original.empty(),
-             "make_bipartition: both fragments must contain at least one qubit");
-
-  // Cut wires: every cut qubit must live in both fragments.
-  for (int cut_qubit : analysis.cut_qubits) {
-    QCUT_ASSERT(in_f1[static_cast<std::size_t>(cut_qubit)] &&
-                    in_f2[static_cast<std::size_t>(cut_qubit)],
-                "make_bipartition: cut qubit missing from a fragment");
-    bp.cuts.push_back(CutWire{cut_qubit, f1_local_of[static_cast<std::size_t>(cut_qubit)],
-                              f2_local_of[static_cast<std::size_t>(cut_qubit)]});
-  }
-
-  // A non-cut qubit in both fragments would be a second wire crossing;
-  // analyze_cuts already rejects that, but verify the invariant.
-  for (int q = 0; q < n; ++q) {
-    const bool is_cut =
-        std::find(analysis.cut_qubits.begin(), analysis.cut_qubits.end(), q) !=
-        analysis.cut_qubits.end();
-    if (!is_cut) {
-      QCUT_ASSERT(!(in_f1[static_cast<std::size_t>(q)] && in_f2[static_cast<std::size_t>(q)]),
-                  "make_bipartition: uncut qubit appears in both fragments");
-    }
-  }
-
-  // f1 output qubits: f1-local indices that are not cut wires.
-  for (int local = 0; local < static_cast<int>(bp.f1_to_original.size()); ++local) {
-    const int original = bp.f1_to_original[static_cast<std::size_t>(local)];
-    const bool is_cut =
-        std::find(analysis.cut_qubits.begin(), analysis.cut_qubits.end(), original) !=
-        analysis.cut_qubits.end();
-    if (!is_cut) bp.f1_output_qubits.push_back(local);
-  }
-
-  // Build the fragment circuits.
-  Circuit upstream(n);
-  Circuit downstream(n);
-  for (std::size_t i = 0; i < circuit.num_ops(); ++i) {
-    const circuit::Operation& op = circuit.op(i);
-    if (analysis.op_fragment[i] == FragmentId::Upstream) {
-      if (op.kind == circuit::GateKind::Custom) {
-        upstream.append_custom(op.custom, op.qubits, op.label);
-      } else {
-        upstream.append(op.kind, op.qubits, op.params);
-      }
-    } else {
-      if (op.kind == circuit::GateKind::Custom) {
-        downstream.append_custom(op.custom, op.qubits, op.label);
-      } else {
-        downstream.append(op.kind, op.qubits, op.params);
-      }
-    }
-  }
-  bp.f1 = upstream.remapped(f1_local_of, static_cast<int>(bp.f1_to_original.size()));
-  bp.f2 = downstream.remapped(f2_local_of, static_cast<int>(bp.f2_to_original.size()));
-  return bp;
+  return to_bipartition(make_fragment_graph(circuit, cuts));
 }
 
 }  // namespace qcut::cutting

@@ -1,7 +1,10 @@
 #pragma once
-// Fragment construction: splitting a circuit at a set of wire cuts into an
-// upstream fragment f1 and a downstream fragment f2 (Section II-B of the
-// paper, restricted - like the paper - to bipartitions).
+// The legacy two-fragment split (Section II-B of the paper): an upstream
+// fragment f1 and a downstream fragment f2. The general machinery lives in
+// cutting/fragment_graph.hpp — an N-fragment chain with per-boundary
+// NeglectSpecs — and make_bipartition is a thin wrapper over the N=2 chain.
+// The Bipartition view is kept for the per-boundary detectors (golden.hpp,
+// observables.hpp) and the direct execution path (fragment_executor.hpp).
 
 #include <span>
 #include <vector>

@@ -1,6 +1,9 @@
 #pragma once
-// Fragment execution: running every required variant of both fragments on a
-// backend, in parallel, and collecting the outcome distributions.
+// Fragment execution: running every required variant of every fragment on a
+// backend, in parallel, and collecting the outcome distributions. The chain
+// entry points (execute_chain / ChainFragmentData) serve N fragments; the
+// Bipartition entry points are the historical N=2 path and remain the
+// reference the chain must match bit for bit at N=2.
 
 #include <cstdint>
 #include <unordered_map>
@@ -13,10 +16,22 @@
 namespace qcut::cutting {
 
 /// Seed-stream layout shared by every execution path (direct and service):
-/// upstream variants use base + setting_index, downstream variants use
-/// base + kDownstreamSeedStreamOffset + prep_index. The offset keeps the two
-/// blocks disjoint for any realistic cut count.
+/// fragment f draws from the block base + f * kDownstreamSeedStreamOffset,
+/// at sub-index prep_index * 3^Kout + setting_index. For the N=2 chain this
+/// is the historical layout exactly: upstream variants at
+/// base + setting_index, downstream variants at
+/// base + kDownstreamSeedStreamOffset + prep_index. The offset keeps the
+/// blocks disjoint for any realistic per-boundary cut count.
 inline constexpr std::uint64_t kDownstreamSeedStreamOffset = 1u << 20;
+
+/// Base of fragment f's seed-stream block.
+[[nodiscard]] constexpr std::uint64_t fragment_seed_offset(int fragment) noexcept {
+  return static_cast<std::uint64_t>(fragment) * kDownstreamSeedStreamOffset;
+}
+
+/// Sub-index of a variant within its fragment's seed block.
+[[nodiscard]] std::uint64_t variant_seed_index(const FragmentGraph& graph, int fragment,
+                                               FragmentVariantKey key);
 
 struct ExecutionOptions {
   /// Shots per circuit variant (ignored in exact mode and when
@@ -70,6 +85,41 @@ struct FragmentData {
                                                           std::size_t total_shot_budget,
                                                           bool exact,
                                                           std::size_t num_variants);
+
+/// The measured per-fragment data the chain Reconstructor consumes.
+struct ChainFragmentData {
+  struct PerFragment {
+    int width = 0;
+    /// pack_variant_key(key) -> outcome distribution over 2^width.
+    std::unordered_map<std::uint64_t, std::vector<double>> variants;
+  };
+  std::vector<PerFragment> fragments;
+  std::vector<int> boundary_num_cuts;  // K_b per boundary
+
+  std::size_t shots_per_variant = 0;  // 0 in exact mode; smallest count under a budget
+  std::uint64_t total_jobs = 0;
+  std::uint64_t total_shots = 0;
+  double wall_seconds = 0.0;          // wall time spent gathering the data
+
+  [[nodiscard]] int num_fragments() const noexcept {
+    return static_cast<int>(fragments.size());
+  }
+  [[nodiscard]] const std::vector<double>& distribution(int fragment,
+                                                        FragmentVariantKey key) const;
+};
+
+/// Empty ChainFragmentData shaped for `graph`.
+[[nodiscard]] ChainFragmentData make_chain_data(const FragmentGraph& graph);
+
+/// Runs every variant required by the per-boundary specs on `backend` and
+/// collects the distributions. Variants are enumerated fragment by fragment
+/// (fragment 0 first, keys ascending), the shot plan is split across that
+/// order, and seed streams are assigned per variant — so an N=2 chain is
+/// bit-for-bit identical to execute_fragments at equal seeds.
+[[nodiscard]] ChainFragmentData execute_chain(const FragmentGraph& graph,
+                                              const ChainNeglectSpec& spec,
+                                              backend::Backend& backend,
+                                              const ExecutionOptions& options = {});
 
 /// Runs every variant required by `spec` on `backend` and collects the
 /// distributions. Variants are independent and are fanned out over the

@@ -199,37 +199,35 @@ GoldenDetectionReport detect_golden_exact(const Bipartition& bp, double tol) {
   return report;
 }
 
-GoldenDetectionReport detect_golden_from_counts(
-    const Bipartition& bp, const std::vector<std::vector<double>>& upstream_probabilities,
-    std::size_t shots, const OnlineDetectionOptions& options) {
-  const int num_cuts = bp.num_cuts();
-  const int n1 = bp.f1_width();
+GoldenDetectionReport detect_golden_from_counts_core(const FragmentLayout& layout,
+                                                     std::size_t num_contexts,
+                                                     const SettingDistributionFn& distribution,
+                                                     std::size_t shots,
+                                                     const OnlineDetectionOptions& options) {
+  const int num_cuts = layout.num_cuts;
   QCUT_CHECK(shots > 0, "detect_golden_from_counts: shots must be positive");
   QCUT_CHECK(options.alpha > 0.0 && options.alpha < 1.0,
              "detect_golden_from_counts: alpha must be in (0, 1)");
+  QCUT_CHECK(num_contexts > 0, "detect_golden_from_counts: need at least one prep context");
 
   std::uint64_t num_settings = 1;
   for (int k = 0; k < num_cuts; ++k) num_settings *= kNumMeasSettings;
-  QCUT_CHECK(upstream_probabilities.size() == num_settings,
-             "detect_golden_from_counts: need all 3^K upstream settings");
-  const index_t f1_dim = pow2(n1);
-  for (const auto& probs : upstream_probabilities) {
-    QCUT_CHECK(probs.size() == f1_dim,
-               "detect_golden_from_counts: distribution size mismatch");
-  }
+  const index_t dim = pow2(layout.width);
 
-  const std::vector<int> cut_qubits = bp.f1_cut_qubits();
-  const std::vector<int>& out_qubits = bp.f1_output_qubits;
+  const std::vector<int>& cut_qubits = layout.cut_qubits;
+  const std::vector<int>& out_qubits = layout.out_qubits;
   const index_t out_dim = pow2(static_cast<int>(out_qubits.size()));
   const index_t cut_dim = pow2(num_cuts);
 
   // Total number of tested cells for the union bound: for each cut and each
-  // of the 3 Paulis, 3^(K-1) settings x out_dim x 2^(K-1) contexts.
+  // of the 3 Paulis, 3^(K-1) settings x out_dim x 2^(K-1) same-boundary
+  // contexts, times the incoming prep contexts.
   std::uint64_t settings_per_test = 1;
   for (int j = 0; j + 1 < num_cuts; ++j) settings_per_test *= kNumMeasSettings;
   const std::uint64_t contexts = cut_dim / 2;
   const std::uint64_t total_cells = static_cast<std::uint64_t>(num_cuts) * 3 *
-                                    settings_per_test * out_dim * contexts;
+                                    settings_per_test * out_dim * contexts *
+                                    static_cast<std::uint64_t>(num_contexts);
   const double z = metrics::normal_quantile(
       1.0 - options.alpha / (2.0 * static_cast<double>(std::max<std::uint64_t>(1, total_cells))));
 
@@ -243,34 +241,38 @@ GoldenDetectionReport detect_golden_from_counts(
       bool all_pass = true;
       double max_violation = 0.0;
 
-      for (std::uint32_t s = 0; s < num_settings; ++s) {
-        const std::vector<MeasSetting> settings = decode_settings(s, num_cuts);
-        if (settings[static_cast<std::size_t>(k)] != needed) continue;
-        const std::vector<double>& probs = upstream_probabilities[s];
+      for (std::size_t ctx = 0; ctx < num_contexts; ++ctx) {
+        for (std::uint32_t s = 0; s < num_settings; ++s) {
+          const std::vector<MeasSetting> settings = decode_settings(s, num_cuts);
+          if (settings[static_cast<std::size_t>(k)] != needed) continue;
+          const std::vector<double>& probs = distribution(ctx, s);
+          QCUT_CHECK(probs.size() == dim,
+                     "detect_golden_from_counts: distribution size mismatch");
 
-        // Accumulate g_hat and the cell mass per (b1, other-cut bits).
-        // Cell key: b1 * 2^(K-1) + compressed other bits.
-        std::vector<double> g_hat(out_dim * contexts, 0.0);
-        std::vector<double> mass(out_dim * contexts, 0.0);
-        for (index_t o = 0; o < f1_dim; ++o) {
-          const double pr = probs[o];
-          if (pr == 0.0) continue;
-          const index_t b1 = gather_bits(o, out_qubits);
-          const index_t cut_bits = gather_bits(o, cut_qubits);
-          const int a_k = bit(cut_bits, k);
-          // Remove bit k from the cut bits to form the context key.
-          const index_t low = cut_bits & (pow2(k) - 1);
-          const index_t high = (cut_bits >> (k + 1)) << k;
-          const index_t cell = b1 * contexts + (low | high);
-          g_hat[cell] += eigenvalue_weight(p, a_k) * pr;
-          mass[cell] += pr;
-        }
-        for (std::size_t cell = 0; cell < g_hat.size(); ++cell) {
-          const double violation = std::abs(g_hat[cell]);
-          max_violation = std::max(max_violation, violation);
-          const double sigma = std::sqrt(mass[cell] / static_cast<double>(shots));
-          if (violation > z * sigma + options.min_threshold) {
-            all_pass = false;
+          // Accumulate g_hat and the cell mass per (b1, other-cut bits).
+          // Cell key: b1 * 2^(K-1) + compressed other bits.
+          std::vector<double> g_hat(out_dim * contexts, 0.0);
+          std::vector<double> mass(out_dim * contexts, 0.0);
+          for (index_t o = 0; o < dim; ++o) {
+            const double pr = probs[o];
+            if (pr == 0.0) continue;
+            const index_t b1 = gather_bits(o, out_qubits);
+            const index_t cut_bits = gather_bits(o, cut_qubits);
+            const int a_k = bit(cut_bits, k);
+            // Remove bit k from the cut bits to form the context key.
+            const index_t low = cut_bits & (pow2(k) - 1);
+            const index_t high = (cut_bits >> (k + 1)) << k;
+            const index_t cell = b1 * contexts + (low | high);
+            g_hat[cell] += eigenvalue_weight(p, a_k) * pr;
+            mass[cell] += pr;
+          }
+          for (std::size_t cell = 0; cell < g_hat.size(); ++cell) {
+            const double violation = std::abs(g_hat[cell]);
+            max_violation = std::max(max_violation, violation);
+            const double sigma = std::sqrt(mass[cell] / static_cast<double>(shots));
+            if (violation > z * sigma + options.min_threshold) {
+              all_pass = false;
+            }
           }
         }
       }
@@ -279,13 +281,57 @@ GoldenDetectionReport detect_golden_from_counts(
     }
     // Identity: report the largest conditional mass for context, never golden.
     double identity_mass = 0.0;
-    for (const auto& probs : upstream_probabilities) {
-      for (double pr : probs) identity_mass = std::max(identity_mass, pr);
+    for (std::size_t ctx = 0; ctx < num_contexts; ++ctx) {
+      for (std::uint32_t s = 0; s < num_settings; ++s) {
+        for (double pr : distribution(ctx, s)) identity_mass = std::max(identity_mass, pr);
+      }
     }
     report.violation[static_cast<std::size_t>(k)][static_cast<std::size_t>(Pauli::I)] =
         identity_mass;
   }
   return report;
+}
+
+GoldenDetectionReport detect_golden_from_counts(
+    const Bipartition& bp, const std::vector<std::vector<double>>& upstream_probabilities,
+    std::size_t shots, const OnlineDetectionOptions& options) {
+  std::uint64_t num_settings = 1;
+  for (int k = 0; k < bp.num_cuts(); ++k) num_settings *= kNumMeasSettings;
+  QCUT_CHECK(upstream_probabilities.size() == num_settings,
+             "detect_golden_from_counts: need all 3^K upstream settings");
+
+  FragmentLayout layout;
+  layout.num_cuts = bp.num_cuts();
+  layout.width = bp.f1_width();
+  layout.cut_qubits = bp.f1_cut_qubits();
+  layout.out_qubits = bp.f1_output_qubits;
+  return detect_golden_from_counts_core(
+      layout, 1,
+      [&](std::size_t, std::uint32_t s) -> const std::vector<double>& {
+        return upstream_probabilities[s];
+      },
+      shots, options);
+}
+
+std::vector<GoldenDetectionReport> detect_chain_golden_exact(
+    const Circuit& circuit, std::span<const std::vector<WirePoint>> boundaries, double tol) {
+  std::vector<GoldenDetectionReport> reports;
+  reports.reserve(boundaries.size());
+  for (const std::vector<WirePoint>& boundary : boundaries) {
+    reports.push_back(detect_golden_exact(make_bipartition(circuit, boundary), tol));
+  }
+  return reports;
+}
+
+std::vector<NeglectSpec> detect_chain_golden_specs(
+    const Circuit& circuit, std::span<const std::vector<WirePoint>> boundaries, double tol) {
+  std::vector<NeglectSpec> specs;
+  specs.reserve(boundaries.size());
+  for (const GoldenDetectionReport& report :
+       detect_chain_golden_exact(circuit, boundaries, tol)) {
+    specs.push_back(report.to_spec());
+  }
+  return specs;
 }
 
 NeglectSpec neglect_odd_y_strings(int num_cuts) {

@@ -24,6 +24,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <set>
 #include <vector>
 
@@ -116,5 +117,52 @@ struct OnlineDetectionOptions {
 /// string with an odd number of Y components (exactly the vanishing set;
 /// see DESIGN.md). Single-cut case reduces to neglect(cut0, Y).
 [[nodiscard]] NeglectSpec neglect_odd_y_strings(int num_cuts);
+
+// ---- Per-boundary detection for fragment chains -----------------------------
+//
+// Definition 1 at boundary b of a chain is a property of the *prefix*
+// (fragments 0..b composed): removing boundary b's cut segments alone
+// bipartitions the circuit into that prefix and the remaining suffix, so
+// the existing detectors apply per boundary. Skipping every global term
+// whose boundary-b string contains a neglected element removes a group of
+// terms whose summed contribution is exactly the prefix-level Definition-1
+// trace — zero — so exact-mode chain reconstruction stays exact.
+
+/// Exact detection at every boundary (one report per boundary), each from
+/// the boundary's own prefix/suffix bipartition.
+[[nodiscard]] std::vector<GoldenDetectionReport> detect_chain_golden_exact(
+    const Circuit& circuit, std::span<const std::vector<WirePoint>> boundaries,
+    double tol = 1e-9);
+
+/// Convenience: the per-boundary specs of detect_chain_golden_exact.
+[[nodiscard]] std::vector<NeglectSpec> detect_chain_golden_specs(
+    const Circuit& circuit, std::span<const std::vector<WirePoint>> boundaries,
+    double tol = 1e-9);
+
+/// Statistical (online) detection at one fragment's outgoing boundary,
+/// from its measured distributions.
+///
+/// `distribution(c, s)` must return the outcome distribution (length
+/// 2^width) of the variant with incoming prep context c (any fixed
+/// enumeration of the executed incoming prep tuples; fragment 0 has exactly
+/// one, empty, context) and outgoing setting tuple s; all 3^Kout settings
+/// must be served for every context. An element is golden only when the
+/// test passes in *every* incoming context, and the union bound covers all
+/// contexts. With one context this is exactly detect_golden_from_counts on
+/// the upstream fragment of a bipartition.
+struct FragmentLayout {
+  int num_cuts = 0;              // outgoing cut count of the tested boundary
+  int width = 0;                 // fragment width in qubits
+  std::vector<int> cut_qubits;   // tomography locals, boundary cut order
+  std::vector<int> out_qubits;   // remaining locals (conditioning bits)
+};
+
+using SettingDistributionFn =
+    std::function<const std::vector<double>&(std::size_t context, std::uint32_t setting)>;
+
+[[nodiscard]] GoldenDetectionReport detect_golden_from_counts_core(
+    const FragmentLayout& layout, std::size_t num_contexts,
+    const SettingDistributionFn& distribution, std::size_t shots,
+    const OnlineDetectionOptions& options = {});
 
 }  // namespace qcut::cutting

@@ -27,14 +27,6 @@ CutResponse run(const CutRequest& request, backend::Backend& backend) {
   return response;
 }
 
-CutRunReport cut_and_run(const Circuit& circuit, std::span<const WirePoint> cuts,
-                         backend::Backend& backend, const CutRunOptions& options) {
-  CutRequest request(circuit);
-  request.with_cuts({cuts.begin(), cuts.end()});
-  request.options = options;
-  return run(request, backend);
-}
-
 std::vector<double> run_uncut(const Circuit& circuit, backend::Backend& backend,
                               std::size_t shots, std::uint64_t seed_stream) {
   return backend.run(circuit, shots, seed_stream).to_probabilities();

@@ -1,10 +1,10 @@
 #pragma once
 // Synchronous facade over the cut-execution service: the one-call entry
 // point a user of the library reaches for. The full public surface - the
-// CutRequest/CutResponse pair, targets, and auto-planning - lives in
-// cutting/request.hpp; the asynchronous many-request entry point is
-// service::CutService (service/cut_service.hpp), which accepts the same
-// CutRequest.
+// CutRequest/CutResponse pair, targets, single-boundary and chain cut
+// selection, and auto-planning - lives in cutting/request.hpp; the
+// asynchronous many-request entry point is service::CutService
+// (service/cut_service.hpp), which accepts the same CutRequest.
 
 #include "cutting/request.hpp"
 
@@ -15,17 +15,6 @@ namespace qcut::cutting {
 /// the requested estimate. Synchronous; for concurrent request streams use
 /// service::CutService, which shares variants across requests.
 [[nodiscard]] CutResponse run(const CutRequest& request, backend::Backend& backend);
-
-/// DEPRECATED name for CutResponse, kept for one release. New code should
-/// use CutResponse (cutting/request.hpp).
-using CutRunReport = CutResponse;
-
-/// DEPRECATED legacy entry point, kept as a thin shim for one release:
-/// distribution target, explicit cuts. Equivalent to
-///   run(CutRequest(circuit).with_cuts({cuts...}).with_options(options), backend).
-[[nodiscard]] CutRunReport cut_and_run(const Circuit& circuit, std::span<const WirePoint> cuts,
-                                       backend::Backend& backend,
-                                       const CutRunOptions& options = {});
 
 /// Runs the uncut circuit on the backend and returns the empirical
 /// distribution (convenience for baselines and ground truth).

@@ -69,4 +69,41 @@ struct PlannerOptions {
     const Circuit& circuit, const DiagonalObservable& observable,
     const PlannerOptions& options = {});
 
+// ---- Chain planning ---------------------------------------------------------
+//
+// When a device (or simulator budget) caps the fragment width, one cut
+// boundary may not exist that satisfies the cap — the regime where
+// CutQC-style chains pay off. plan_chain_cuts picks an ordered sequence of
+// single-cut boundaries whose fragments all fit, minimizing total circuit
+// evaluations with each boundary's golden neglection (detected exactly,
+// per boundary) priced in.
+
+struct ChainPlannerOptions {
+  PlannerOptions base;
+  /// Hard cap on every fragment's qubit count; 0 = unconstrained.
+  int max_fragment_width = 0;
+  /// Largest number of boundaries to consider (fragments - 1).
+  int max_boundaries = 3;
+};
+
+/// A planned chain of single-cut boundaries.
+struct ChainPlan {
+  std::vector<std::vector<WirePoint>> boundaries;  // one cut point per boundary
+  std::vector<CutCandidate> boundary_plans;        // per-boundary golden analysis
+  std::vector<int> fragment_widths;                // qubits per fragment, chain order
+  std::uint64_t terms = 1;      // reconstruction terms (product over boundaries)
+  std::size_t evaluations = 0;  // total fragment circuit evaluations
+
+  [[nodiscard]] int num_boundaries() const noexcept {
+    return static_cast<int>(boundaries.size());
+  }
+};
+
+/// Picks the cheapest valid chain of at most max_boundaries single-cut
+/// boundaries whose fragments all satisfy max_fragment_width. Returns
+/// nullopt when no such chain exists. With no width cap this degenerates to
+/// the best single boundary (more boundaries never cost fewer evaluations).
+[[nodiscard]] std::optional<ChainPlan> plan_chain_cuts(const Circuit& circuit,
+                                                       const ChainPlannerOptions& options = {});
+
 }  // namespace qcut::cutting

@@ -194,4 +194,246 @@ double reconstruct_diagonal_expectation(const Bipartition& bp, const FragmentDat
   return acc;
 }
 
+// ---- Chain reconstruction ---------------------------------------------------
+
+namespace {
+
+/// Index plumbing for the chain contraction. At N=2 every step below is the
+/// operation the Layout above performs, in the same order, so the results
+/// agree bit for bit.
+struct ChainLayout {
+  const FragmentGraph& graph;
+  std::vector<index_t> full_dims;  // 2^{width} per fragment
+  std::vector<index_t> out_dims;   // 2^{final bits} per fragment
+  std::vector<index_t> cut_dims;   // 2^{K_b} per boundary
+  index_t total_cut_dim = 1;
+
+  explicit ChainLayout(const FragmentGraph& g) : graph(g) {
+    for (const ChainFragment& fragment : g.fragments) {
+      full_dims.push_back(pow2(fragment.width()));
+      out_dims.push_back(pow2(fragment.output_width()));
+    }
+    for (const ChainBoundary& boundary : g.boundaries) {
+      cut_dims.push_back(pow2(boundary.num_cuts()));
+      total_cut_dim *= pow2(boundary.num_cuts());
+    }
+  }
+
+  /// Eigenvalue weight table of boundary b for one basis string.
+  [[nodiscard]] std::vector<double> weights(int b, std::span<const Pauli> basis) const {
+    const index_t dim = cut_dims[static_cast<std::size_t>(b)];
+    const int num_cuts = graph.boundaries[static_cast<std::size_t>(b)].num_cuts();
+    std::vector<double> w(dim);
+    for (index_t a = 0; a < dim; ++a) {
+      double acc = 1.0;
+      for (int k = 0; k < num_cuts; ++k) {
+        acc *= eigenvalue_weight(basis[static_cast<std::size_t>(k)], bit(a, k));
+      }
+      w[a] = acc;
+    }
+    return w;
+  }
+
+  /// Fragment f's tensor over its final bits for one global term: the
+  /// incoming boundary's eigenstate slots are folded with `w_in` (null for
+  /// fragment 0) and the outgoing tomography bits with `w_out` (null for
+  /// the last fragment).
+  [[nodiscard]] std::vector<double> fragment_tensor(int f, const ChainFragmentData& data,
+                                                    const std::vector<Pauli>* basis_in,
+                                                    const std::vector<double>* w_in,
+                                                    const std::vector<Pauli>* basis_out,
+                                                    const std::vector<double>* w_out) const {
+    const ChainFragment& fragment = graph.fragments[static_cast<std::size_t>(f)];
+    const index_t in_dim = basis_in != nullptr ? cut_dims[static_cast<std::size_t>(f - 1)] : 1;
+    const std::uint32_t setting =
+        basis_out != nullptr ? settings_index_for_basis(*basis_out) : 0;
+
+    std::vector<double> tensor(out_dims[static_cast<std::size_t>(f)], 0.0);
+    for (index_t a_in = 0; a_in < in_dim; ++a_in) {
+      const std::uint32_t prep =
+          basis_in != nullptr
+              ? preps_index_for_basis(*basis_in, static_cast<std::uint32_t>(a_in))
+              : 0;
+      const std::vector<double>& probs =
+          data.distribution(f, FragmentVariantKey{prep, setting});
+      const double in_weight = w_in != nullptr ? (*w_in)[a_in] : 1.0;
+      for (index_t o = 0; o < full_dims[static_cast<std::size_t>(f)]; ++o) {
+        const double p = probs[o];
+        if (p == 0.0) continue;
+        const index_t a_out = gather_bits(o, fragment.out_cut_qubits);
+        const index_t b = gather_bits(o, fragment.output_qubits);
+        const double out_weight = w_out != nullptr ? (*w_out)[a_out] : 1.0;
+        tensor[b] += (in_weight * out_weight) * p;
+      }
+    }
+    return tensor;
+  }
+};
+
+void check_chain_inputs(const FragmentGraph& graph, const ChainFragmentData& data,
+                        const ChainNeglectSpec& spec) {
+  QCUT_CHECK(spec.num_boundaries() == graph.num_boundaries(),
+             "reconstruct: spec boundary count must match the graph");
+  QCUT_CHECK(data.num_fragments() == graph.num_fragments(),
+             "reconstruct: chain data does not match the graph");
+  for (int f = 0; f < graph.num_fragments(); ++f) {
+    QCUT_CHECK(data.fragments[static_cast<std::size_t>(f)].width ==
+                   graph.fragments[static_cast<std::size_t>(f)].width(),
+               "reconstruct: fragment " + std::to_string(f) + " width mismatch");
+  }
+}
+
+/// One global term: per-fragment tensors, multiplied out into `local` with
+/// the term coefficient. Zero entries are skipped at every level.
+void accumulate_term(const ChainLayout& layout,
+                     const std::vector<std::vector<double>>& tensors, int f, double acc,
+                     index_t idx, std::vector<double>& local) {
+  if (f == static_cast<int>(tensors.size())) {
+    local[idx] += acc;
+    return;
+  }
+  const std::vector<double>& tensor = tensors[static_cast<std::size_t>(f)];
+  const ChainFragment& fragment = layout.graph.fragments[static_cast<std::size_t>(f)];
+  for (index_t x = 0; x < tensor.size(); ++x) {
+    const double value = tensor[x];
+    if (value == 0.0) continue;
+    accumulate_term(layout, tensors, f + 1, acc * value,
+                    idx | scatter_bits(x, fragment.output_original), local);
+  }
+}
+
+/// Per-boundary active strings plus the mixed-radix decode of a global term
+/// index (boundary 0 fastest).
+struct TermSpace {
+  std::vector<std::vector<std::vector<Pauli>>> per_boundary;
+  std::uint64_t total = 1;
+
+  explicit TermSpace(const ChainNeglectSpec& spec) {
+    for (int b = 0; b < spec.num_boundaries(); ++b) {
+      per_boundary.push_back(spec.boundary(b).active_strings());
+      total *= per_boundary.back().size();
+    }
+  }
+
+  [[nodiscard]] std::vector<const std::vector<Pauli>*> decode(std::uint64_t t) const {
+    std::vector<const std::vector<Pauli>*> strings(per_boundary.size());
+    for (std::size_t b = 0; b < per_boundary.size(); ++b) {
+      const std::uint64_t size = per_boundary[b].size();
+      strings[b] = &per_boundary[b][t % size];
+      t /= size;
+    }
+    return strings;
+  }
+};
+
+/// Tensors of every fragment for one decoded term.
+std::vector<std::vector<double>> term_tensors(
+    const ChainLayout& layout, const ChainFragmentData& data,
+    const std::vector<const std::vector<Pauli>*>& strings) {
+  const int num_fragments = layout.graph.num_fragments();
+  std::vector<std::vector<double>> tensors(static_cast<std::size_t>(num_fragments));
+  for (int f = 0; f < num_fragments; ++f) {
+    const std::vector<Pauli>* basis_in = f > 0 ? strings[static_cast<std::size_t>(f - 1)] : nullptr;
+    const std::vector<Pauli>* basis_out =
+        f < layout.graph.num_boundaries() ? strings[static_cast<std::size_t>(f)] : nullptr;
+    std::vector<double> w_in;
+    std::vector<double> w_out;
+    if (basis_in != nullptr) w_in = layout.weights(f - 1, *basis_in);
+    if (basis_out != nullptr) w_out = layout.weights(f, *basis_out);
+    tensors[static_cast<std::size_t>(f)] =
+        layout.fragment_tensor(f, data, basis_in, basis_in != nullptr ? &w_in : nullptr,
+                               basis_out, basis_out != nullptr ? &w_out : nullptr);
+  }
+  return tensors;
+}
+
+}  // namespace
+
+ReconstructionResult reconstruct_distribution(const FragmentGraph& graph,
+                                              const ChainFragmentData& data,
+                                              const ChainNeglectSpec& spec,
+                                              const ReconstructionOptions& options) {
+  check_chain_inputs(graph, data, spec);
+  Stopwatch timer;
+
+  const ChainLayout layout(graph);
+  const TermSpace terms(spec);
+  const double coefficient = 1.0 / static_cast<double>(layout.total_cut_dim);
+  const index_t full_dim = pow2(graph.num_original_qubits);
+
+  parallel::ThreadPool& pool =
+      options.pool != nullptr ? *options.pool : parallel::ThreadPool::global();
+
+  std::vector<double> joint = parallel::parallel_map_reduce<std::vector<double>>(
+      pool, 0, terms.total, std::vector<double>(full_dim, 0.0),
+      [&](std::size_t t) {
+        const std::vector<const std::vector<Pauli>*> strings = terms.decode(t);
+        const std::vector<std::vector<double>> tensors = term_tensors(layout, data, strings);
+        std::vector<double> local(full_dim, 0.0);
+        accumulate_term(layout, tensors, 0, coefficient, 0, local);
+        return local;
+      },
+      [](std::vector<double> acc, std::vector<double> term) {
+        if (acc.empty()) return term;
+        for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += term[i];
+        return acc;
+      });
+
+  ReconstructionResult result;
+  result.raw_probabilities = std::move(joint);
+  result.terms = terms.total;
+  result.seconds = timer.elapsed_seconds();
+  return result;
+}
+
+double reconstruct_probability_of(const FragmentGraph& graph, const ChainFragmentData& data,
+                                  const ChainNeglectSpec& spec, index_t outcome) {
+  check_chain_inputs(graph, data, spec);
+  QCUT_CHECK(outcome < pow2(graph.num_original_qubits),
+             "reconstruct_probability_of: outcome out of range");
+
+  const ChainLayout layout(graph);
+  const TermSpace terms(spec);
+  const double coefficient = 1.0 / static_cast<double>(layout.total_cut_dim);
+
+  // Original outcome -> per-fragment final-bit pieces.
+  std::vector<index_t> piece(static_cast<std::size_t>(graph.num_fragments()), 0);
+  for (int f = 0; f < graph.num_fragments(); ++f) {
+    const ChainFragment& fragment = graph.fragments[static_cast<std::size_t>(f)];
+    for (std::size_t j = 0; j < fragment.output_original.size(); ++j) {
+      if (bit(outcome, fragment.output_original[j]) != 0) {
+        piece[static_cast<std::size_t>(f)] =
+            set_bit(piece[static_cast<std::size_t>(f)], static_cast<int>(j));
+      }
+    }
+  }
+
+  double total = 0.0;
+  for (std::uint64_t t = 0; t < terms.total; ++t) {
+    const std::vector<const std::vector<Pauli>*> strings = terms.decode(t);
+    const std::vector<std::vector<double>> tensors = term_tensors(layout, data, strings);
+    double acc = coefficient;
+    for (int f = 0; f < graph.num_fragments(); ++f) {
+      acc *= tensors[static_cast<std::size_t>(f)][piece[static_cast<std::size_t>(f)]];
+    }
+    total += acc;
+  }
+  return total;
+}
+
+double reconstruct_diagonal_expectation(const FragmentGraph& graph,
+                                        const ChainFragmentData& data,
+                                        const ChainNeglectSpec& spec,
+                                        std::span<const double> diagonal,
+                                        const ReconstructionOptions& options) {
+  QCUT_CHECK(diagonal.size() == pow2(graph.num_original_qubits),
+             "reconstruct_diagonal_expectation: diagonal length must be 2^n");
+  const ReconstructionResult result = reconstruct_distribution(graph, data, spec, options);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < diagonal.size(); ++i) {
+    acc += diagonal[i] * result.raw_probabilities[i];
+  }
+  return acc;
+}
+
 }  // namespace qcut::cutting

@@ -58,4 +58,36 @@ struct ReconstructionResult {
                                                       std::span<const double> diagonal,
                                                       const ReconstructionOptions& options = {});
 
+// ---- Chain (N-fragment) reconstruction --------------------------------------
+//
+// One global term is a choice of one active basis string per boundary; its
+// contribution is contracted boundary by boundary along the chain: each
+// fragment folds its incoming boundary's eigenstate slots (weighted by the
+// incoming string's eigenvalues) and its outgoing boundary's measured
+// tomography bits (weighted by the outgoing string's) into a tensor over
+// its final bits, and the term is the scattered product of those per-
+// fragment tensors times prod_b 1/2^{K_b}. Terms containing a neglected
+// string at any boundary are skipped, so the paper's 4^K -> 4^Kr 3^Kg
+// saving multiplies across boundaries. At N=2 the arithmetic is the
+// u_M (x) v_M outer product above, operation for operation.
+
+/// Contracts chain fragment data into the distribution of the uncut
+/// circuit. The data must contain every variant the active terms need.
+[[nodiscard]] ReconstructionResult reconstruct_distribution(
+    const FragmentGraph& graph, const ChainFragmentData& data, const ChainNeglectSpec& spec,
+    const ReconstructionOptions& options = {});
+
+/// Reconstructs the probability of a single outcome bitstring without
+/// forming the full distribution.
+[[nodiscard]] double reconstruct_probability_of(const FragmentGraph& graph,
+                                                const ChainFragmentData& data,
+                                                const ChainNeglectSpec& spec, index_t outcome);
+
+/// Expectation of a diagonal observable over the raw chain reconstruction.
+[[nodiscard]] double reconstruct_diagonal_expectation(const FragmentGraph& graph,
+                                                      const ChainFragmentData& data,
+                                                      const ChainNeglectSpec& spec,
+                                                      std::span<const double> diagonal,
+                                                      const ReconstructionOptions& options = {});
+
 }  // namespace qcut::cutting

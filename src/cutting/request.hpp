@@ -4,19 +4,21 @@
 //
 // A CutRequest holds the circuit, a *target* (full outcome distribution, a
 // diagonal observable, or a general Pauli string), a *cut selection*
-// (explicit wire points, or AutoPlan to let the planner choose), and the
-// execution options (golden mode, shots, seeds). Both the synchronous
+// (explicit wire points for one boundary, explicit per-boundary groups for
+// an N-fragment chain, or Auto[Chain]Plan to let the planner choose), and
+// the execution options (golden mode, shots, seeds). Both the synchronous
 // facade qcut::run (cutting/pipeline.hpp) and the asynchronous
 // service::CutService accept it, so auto-planned cuts, observable-specific
 // golden refinement (Definition 1 is observable-dependent: a weaker
 // observable admits more negligible basis elements than the full
-// distribution), and plain distribution runs all share the same scheduler,
-// variant dedup, and fragment cache.
+// distribution), chain cutting, and plain distribution runs all share the
+// same scheduler, variant dedup, and fragment cache.
 //
 // Requests are validated eagerly - validate() throws qcut::Error with a
 // specific message before anything executes - and resolved once:
 // resolve() rewrites Pauli targets into a rotated circuit plus a Z-form
-// diagonal observable, and replaces AutoPlan with the planner's choice.
+// diagonal observable, and replaces Auto[Chain]Plan with the planner's
+// boundaries.
 
 #include <cstdint>
 #include <optional>
@@ -30,36 +32,49 @@
 
 namespace qcut::cutting {
 
+/// Per-boundary cut groups: boundaries[b] separates fragment b from b+1.
+using BoundaryList = std::vector<std::vector<circuit::WirePoint>>;
+
 /// How the run decides which basis elements to neglect.
 enum class GoldenMode {
-  /// Standard cutting: contract all 4^K basis strings (the baseline method
-  /// of Peng et al. / quantum divide-and-compute).
+  /// Standard cutting: contract all basis strings (the baseline method of
+  /// Peng et al. / quantum divide-and-compute).
   None,
 
-  /// Use a caller-supplied NeglectSpec (the paper's experiments: the golden
+  /// Use caller-supplied NeglectSpecs (the paper's experiments: the golden
   /// point is known a priori from the circuit design).
   Provided,
 
-  /// Detect golden bases exactly from the upstream fragment's statevector
-  /// before executing anything (possible when fragments are classically
-  /// simulable). Observable targets use the observable-specific detector,
-  /// which neglects at least as much as the distribution-level one.
+  /// Detect golden bases exactly, per boundary, from each boundary's
+  /// prefix statevector before executing anything (possible when fragments
+  /// are classically simulable). Observable targets use the
+  /// observable-specific detector, which neglects at least as much as the
+  /// distribution-level one.
   DetectExact,
 
-  /// The paper's Section-IV proposal: execute all upstream settings, run the
-  /// statistical detector on the measured data, then skip the downstream
-  /// preparations and reconstruction terms the detected spec rules out.
+  /// The paper's Section-IV proposal, generalized along the chain: execute
+  /// fragment f's variants, run the statistical detector on its measured
+  /// data, prune boundary f's spec, and only then execute fragment f+1.
   DetectOnline,
 };
 
 /// Execution options shared by every target and cut selection.
 struct CutRunOptions {
   std::size_t shots_per_variant = 1000;
-  std::size_t total_shot_budget = 0;  // nonzero: split a fixed budget across variants
+  /// Nonzero: split a fixed budget evenly across the run's variants.
+  /// Static golden modes split it once over every fragment's variants.
+  /// Under DetectOnline the split happens per fragment wave (the historical
+  /// upstream/downstream behavior), so an N-fragment chain may consume up
+  /// to N x this value; a budget allocator that amortizes across waves is a
+  /// ROADMAP open item.
+  std::size_t total_shot_budget = 0;
   bool exact = false;  // exact fragment distributions instead of sampling
 
   GoldenMode golden_mode = GoldenMode::None;
-  std::optional<NeglectSpec> provided_spec;  // required for GoldenMode::Provided
+  /// GoldenMode::Provided with a single-boundary cut selection.
+  std::optional<NeglectSpec> provided_spec;
+  /// GoldenMode::Provided with a multi-boundary selection (one per boundary).
+  std::vector<NeglectSpec> provided_boundary_specs;
   double golden_tol = 1e-9;                  // DetectExact tolerance
   OnlineDetectionOptions online;             // DetectOnline test parameters
 
@@ -93,7 +108,14 @@ struct AutoPlan {
   PlannerOptions planner;
 };
 
-using CutSelection = std::variant<std::vector<circuit::WirePoint>, AutoPlan>;
+/// Let the chain planner pick a sequence of boundaries (plan_chain_cuts),
+/// e.g. under a max-fragment-width constraint no single cut satisfies.
+struct AutoChainPlan {
+  ChainPlannerOptions planner;
+};
+
+using CutSelection =
+    std::variant<std::vector<circuit::WirePoint>, BoundaryList, AutoPlan, AutoChainPlan>;
 
 // ---- Request ----------------------------------------------------------------
 
@@ -120,8 +142,17 @@ struct CutRequest {
     cut_selection = std::vector<circuit::WirePoint>{point};
     return *this;
   }
+  /// Explicit chain: one cut group per boundary, front to back.
+  CutRequest& with_boundaries(BoundaryList boundaries) {
+    cut_selection = std::move(boundaries);
+    return *this;
+  }
   CutRequest& with_auto_plan(PlannerOptions planner = {}) {
     cut_selection = AutoPlan{planner};
+    return *this;
+  }
+  CutRequest& with_chain_plan(ChainPlannerOptions planner = {}) {
+    cut_selection = AutoChainPlan{planner};
     return *this;
   }
   CutRequest& with_target(Target new_target) {
@@ -144,10 +175,16 @@ struct CutRequest {
     options.golden_mode = mode;
     return *this;
   }
-  /// Also switches golden_mode to Provided.
+  /// Also switches golden_mode to Provided (single-boundary selections).
   CutRequest& with_provided_spec(NeglectSpec spec) {
     options.golden_mode = GoldenMode::Provided;
     options.provided_spec = std::move(spec);
+    return *this;
+  }
+  /// Also switches golden_mode to Provided (one spec per boundary).
+  CutRequest& with_provided_specs(std::vector<NeglectSpec> specs) {
+    options.golden_mode = GoldenMode::Provided;
+    options.provided_boundary_specs = std::move(specs);
     return *this;
   }
   CutRequest& with_shots(std::size_t shots_per_variant) {
@@ -183,7 +220,8 @@ struct CutRequest {
     return std::holds_alternative<DistributionTarget>(target);
   }
   [[nodiscard]] bool wants_auto_plan() const noexcept {
-    return std::holds_alternative<AutoPlan>(cut_selection);
+    return std::holds_alternative<AutoPlan>(cut_selection) ||
+           std::holds_alternative<AutoChainPlan>(cut_selection);
   }
 };
 
@@ -191,15 +229,22 @@ struct CutRequest {
 
 /// Everything a caller (or a benchmark) wants to know about one run.
 struct CutResponse {
-  /// Cut points actually executed (explicit selection, or the planner's).
+  /// Cut points actually executed, flattened in boundary order.
   std::vector<circuit::WirePoint> cuts;
+
+  /// The same points grouped per boundary (size = fragments - 1).
+  BoundaryList boundaries;
 
   /// Planner's analysis of the chosen cut; engaged only under AutoPlan.
   std::optional<CutCandidate> plan;
 
-  Bipartition bipartition;
-  NeglectSpec spec{1};
-  FragmentData data;
+  /// Chain planner's analysis (per-boundary golden detection, fragment
+  /// widths, total evaluations); engaged only under AutoChainPlan.
+  std::optional<ChainPlan> chain_plan;
+
+  FragmentGraph graph;
+  ChainNeglectSpec specs;  // one NeglectSpec per boundary
+  ChainFragmentData data;
 
   /// Distribution targets: the reconstructed outcome distribution. Also
   /// populated for observable targets (the expectation is read off it).
@@ -232,23 +277,29 @@ void validate(const CutRequest& request);
 
 /// A request with target and cut selection resolved: Pauli targets
 /// rewritten to the rotated circuit plus a Z-form diagonal observable, and
-/// AutoPlan replaced by the planner's chosen cut.
+/// Auto[Chain]Plan replaced by the planner's boundaries.
 struct ResolvedRequest {
   circuit::Circuit circuit{1};                   // rotated for Pauli targets
   std::optional<DiagonalObservable> observable;  // engaged for observable targets
-  std::vector<circuit::WirePoint> cuts;
+  BoundaryList boundaries;                       // per-boundary cut groups
   std::optional<CutCandidate> plan;              // engaged under AutoPlan
+  std::optional<ChainPlan> chain_plan;           // engaged under AutoChainPlan
   double plan_seconds = 0.0;
+
+  /// Flattened cut points, boundary order.
+  [[nodiscard]] std::vector<circuit::WirePoint> flat_cuts() const;
 };
 
 /// Validates and resolves. Throws qcut::Error when validation fails or
-/// auto-planning finds no valid single cut.
+/// auto-planning finds no valid cut (chain).
 [[nodiscard]] ResolvedRequest resolve(const CutRequest& request);
 
 }  // namespace qcut::cutting
 
 namespace qcut {
+using cutting::AutoChainPlan;
 using cutting::AutoPlan;
+using cutting::BoundaryList;
 using cutting::CutRequest;
 using cutting::CutResponse;
 using cutting::DistributionTarget;

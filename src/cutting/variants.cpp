@@ -57,4 +57,64 @@ VariantCounts count_variants(const NeglectSpec& spec) {
                        required_prep_indices(spec).size()};
 }
 
+std::vector<FragmentVariantKey> required_fragment_variants(const FragmentGraph& graph,
+                                                           int fragment,
+                                                           const ChainNeglectSpec& spec) {
+  QCUT_CHECK(fragment >= 0 && fragment < graph.num_fragments(),
+             "required_fragment_variants: fragment index out of range");
+  QCUT_CHECK(spec.num_boundaries() == graph.num_boundaries(),
+             "required_fragment_variants: spec boundary count must match the graph");
+
+  const std::vector<std::uint32_t> preps =
+      fragment > 0 ? required_prep_indices(spec.boundary(fragment - 1))
+                   : std::vector<std::uint32_t>{0};
+  const std::vector<std::uint32_t> settings =
+      fragment < graph.num_boundaries() ? required_setting_indices(spec.boundary(fragment))
+                                        : std::vector<std::uint32_t>{0};
+
+  std::vector<FragmentVariantKey> keys;
+  keys.reserve(preps.size() * settings.size());
+  for (std::uint32_t prep : preps) {
+    for (std::uint32_t setting : settings) {
+      keys.push_back(FragmentVariantKey{prep, setting});
+    }
+  }
+  return keys;
+}
+
+FragmentVariant make_fragment_variant(const FragmentGraph& graph, int fragment,
+                                      FragmentVariantKey key) {
+  QCUT_CHECK(fragment >= 0 && fragment < graph.num_fragments(),
+             "make_fragment_variant: fragment index out of range");
+  const ChainFragment& frag = graph.fragments[static_cast<std::size_t>(fragment)];
+
+  FragmentVariant variant;
+  variant.key = key;
+  variant.preps = decode_preps(key.prep_index, frag.num_in());
+  variant.settings = decode_settings(key.setting_index, frag.num_out());
+
+  Circuit circuit(frag.width());
+  for (int k = 0; k < frag.num_in(); ++k) {
+    append_preparation(circuit, frag.in_qubits[static_cast<std::size_t>(k)],
+                       variant.preps[static_cast<std::size_t>(k)]);
+  }
+  circuit.compose(frag.circuit);
+  for (int k = 0; k < frag.num_out(); ++k) {
+    append_basis_rotation(circuit, frag.out_cut_qubits[static_cast<std::size_t>(k)],
+                          variant.settings[static_cast<std::size_t>(k)]);
+  }
+  variant.circuit = std::move(circuit);
+  return variant;
+}
+
+ChainVariantCounts count_chain_variants(const FragmentGraph& graph,
+                                        const ChainNeglectSpec& spec) {
+  ChainVariantCounts counts;
+  counts.per_fragment.reserve(static_cast<std::size_t>(graph.num_fragments()));
+  for (int f = 0; f < graph.num_fragments(); ++f) {
+    counts.per_fragment.push_back(required_fragment_variants(graph, f, spec).size());
+  }
+  return counts;
+}
+
 }  // namespace qcut::cutting

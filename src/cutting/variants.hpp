@@ -1,17 +1,21 @@
 #pragma once
 // Enumeration of the circuit variants each fragment must execute.
 //
-// Upstream variants append a basis rotation per cut wire (one of 3^K
-// setting tuples); downstream variants prepend a preparation per cut wire
-// (one of 6^K prep tuples). Given a NeglectSpec, only the tuples some
-// active basis string needs are generated - this is where the golden
-// cutting point saves circuit evaluations (9 -> 6 for one cut).
+// In an N-fragment chain, fragment f prepends a preparation per incoming
+// cut wire (one of 6^Kin prep tuples) and appends a basis rotation per
+// outgoing cut wire (one of 3^Kout setting tuples); its variant set is the
+// cross product of the prep tuples the incoming boundary's active strings
+// need and the setting tuples the outgoing boundary's need. Given
+// per-boundary NeglectSpecs, only those required tuples are generated -
+// this is where golden cutting points save circuit evaluations (9 -> 6 per
+// single-cut boundary), and the savings multiply along the chain. The
+// legacy upstream/downstream variants are the N=2 specialization.
 
 #include <cstdint>
 #include <vector>
 
 #include "cutting/basis.hpp"
-#include "cutting/bipartition.hpp"
+#include "cutting/fragment_graph.hpp"
 #include "cutting/golden.hpp"
 
 namespace qcut::cutting {
@@ -49,5 +53,57 @@ struct VariantCounts {
   [[nodiscard]] std::size_t total() const noexcept { return upstream + downstream; }
 };
 [[nodiscard]] VariantCounts count_variants(const NeglectSpec& spec);
+
+// ---- Chain (N-fragment) variants --------------------------------------------
+
+/// One fragment's variant identity: incoming prep tuple (base 6 over Kin,
+/// 0 for the first fragment) and outgoing setting tuple (base 3 over Kout,
+/// 0 for the last fragment).
+struct FragmentVariantKey {
+  std::uint32_t prep_index = 0;
+  std::uint32_t setting_index = 0;
+
+  friend bool operator==(const FragmentVariantKey&, const FragmentVariantKey&) = default;
+};
+
+/// Packed total order (prep major, setting minor); map key and sort key.
+[[nodiscard]] constexpr std::uint64_t pack_variant_key(FragmentVariantKey key) noexcept {
+  return (static_cast<std::uint64_t>(key.prep_index) << 32) | key.setting_index;
+}
+[[nodiscard]] constexpr FragmentVariantKey unpack_variant_key(std::uint64_t packed) noexcept {
+  return FragmentVariantKey{static_cast<std::uint32_t>(packed >> 32),
+                            static_cast<std::uint32_t>(packed & 0xffffffffu)};
+}
+
+struct FragmentVariant {
+  FragmentVariantKey key;
+  std::vector<PrepState> preps;       // per incoming cut, boundary cut order
+  std::vector<MeasSetting> settings;  // per outgoing cut, boundary cut order
+  Circuit circuit{1};                 // preparations + fragment + rotations
+};
+
+/// Variant keys fragment `fragment` must execute under per-boundary specs:
+/// the cross product of the incoming boundary's required prep tuples and
+/// the outgoing boundary's required setting tuples, ascending in packed
+/// order. For the N=2 chain this reduces to required_setting_indices
+/// (fragment 0) and required_prep_indices (fragment 1).
+[[nodiscard]] std::vector<FragmentVariantKey> required_fragment_variants(
+    const FragmentGraph& graph, int fragment, const ChainNeglectSpec& spec);
+
+/// Builds one variant circuit of one fragment.
+[[nodiscard]] FragmentVariant make_fragment_variant(const FragmentGraph& graph, int fragment,
+                                                    FragmentVariantKey key);
+
+/// Circuit evaluations per fragment under per-boundary specs.
+struct ChainVariantCounts {
+  std::vector<std::size_t> per_fragment;
+  [[nodiscard]] std::size_t total() const noexcept {
+    std::size_t sum = 0;
+    for (std::size_t count : per_fragment) sum += count;
+    return sum;
+  }
+};
+[[nodiscard]] ChainVariantCounts count_chain_variants(const FragmentGraph& graph,
+                                                      const ChainNeglectSpec& spec);
 
 }  // namespace qcut::cutting

@@ -9,11 +9,14 @@
 
 namespace qcut::service {
 
+using cutting::ChainNeglectSpec;
 using cutting::CutRequest;
 using cutting::CutResponse;
 using cutting::CutRunOptions;
+using cutting::FragmentGraph;
+using cutting::FragmentVariantKey;
 using cutting::GoldenMode;
-using cutting::kDownstreamSeedStreamOffset;
+using cutting::NeglectSpec;
 
 CutService::CutService(backend::Backend& backend, CutServiceOptions options)
     : backend_(backend),
@@ -51,22 +54,6 @@ std::future<CutResponse> CutService::submit(CutRequest request) {
 }
 
 CutResponse CutService::run(const CutRequest& request) { return submit(request).get(); }
-
-std::future<CutResponse> CutService::submit(circuit::Circuit circuit,
-                                            std::vector<circuit::WirePoint> cuts,
-                                            CutRunOptions options) {
-  CutRequest request(std::move(circuit));
-  request.with_cuts(std::move(cuts));
-  request.options = std::move(options);
-  return submit(std::move(request));
-}
-
-CutResponse CutService::run(const circuit::Circuit& circuit,
-                            std::span<const circuit::WirePoint> cuts,
-                            const CutRunOptions& options) {
-  return submit(circuit, std::vector<circuit::WirePoint>(cuts.begin(), cuts.end()), options)
-      .get();
-}
 
 void CutService::wait_idle() {
   std::unique_lock<std::mutex> lock(mutex_);
@@ -128,13 +115,13 @@ void CutService::advance(const JobPtr& job) {
       absorb_wave(job);
       reconstruct_and_finish(job);
       break;
-    case JobPhase::ExecutingUpstream:
+    case JobPhase::ExecutingFragmentWave:
       absorb_wave(job);
-      handle_upstream_complete(job);
-      break;
-    case JobPhase::ExecutingDownstream:
-      absorb_wave(job);
-      reconstruct_and_finish(job);
+      if (job->wave_fragment + 1 < job->response.graph.num_fragments()) {
+        handle_fragment_wave_complete(job);
+      } else {
+        reconstruct_and_finish(job);
+      }
       break;
     case JobPhase::Reconstructing:
     case JobPhase::Done:
@@ -143,90 +130,137 @@ void CutService::advance(const JobPtr& job) {
   }
 }
 
+namespace {
+
+/// Wave over one fragment's required variants, in packed-key order.
+std::vector<WaveVariant> fragment_wave(const FragmentGraph& graph, const ChainNeglectSpec& spec,
+                                       int fragment) {
+  std::vector<WaveVariant> wave;
+  for (const FragmentVariantKey& key :
+       cutting::required_fragment_variants(graph, fragment, spec)) {
+    wave.push_back(WaveVariant{fragment, key});
+  }
+  return wave;
+}
+
+/// Wave over every fragment, fragment-major: the direct execute_chain order.
+std::vector<WaveVariant> full_wave(const FragmentGraph& graph, const ChainNeglectSpec& spec) {
+  std::vector<WaveVariant> wave;
+  for (int f = 0; f < graph.num_fragments(); ++f) {
+    const std::vector<WaveVariant> fragment = fragment_wave(graph, spec, f);
+    wave.insert(wave.end(), fragment.begin(), fragment.end());
+  }
+  return wave;
+}
+
+}  // namespace
+
 void CutService::admit(const JobPtr& job) {
   CutJob& j = *job;
   j.total_timer.reset();
 
   // Resolve target and cut selection: Pauli targets become a rotated
-  // circuit plus a Z-form diagonal observable; AutoPlan runs the planner
-  // (observable-aware for observable targets). Planning runs here on the
-  // scheduler thread deliberately: offloading it to the shared pool lets
-  // blocked backend executions starve another request's planning (priority
-  // inversion - the in-flight-dedup liveness test deadlocks on a 1-worker
-  // pool), while the scheduler thread is always free between waves.
+  // circuit plus a Z-form diagonal observable; Auto[Chain]Plan runs the
+  // planner (observable-aware for single-boundary observable targets).
+  // Planning runs here on the scheduler thread deliberately: offloading it
+  // to the shared pool lets blocked backend executions starve another
+  // request's planning (priority inversion - the in-flight-dedup liveness
+  // test deadlocks on a 1-worker pool), while the scheduler thread is
+  // always free between waves.
   j.resolved = cutting::resolve(j.request);
   CutResponse& r = j.response;
-  r.cuts = j.resolved.cuts;
+  r.boundaries = j.resolved.boundaries;
+  r.cuts = j.resolved.flat_cuts();
   r.plan = j.resolved.plan;
+  r.chain_plan = j.resolved.chain_plan;
   r.plan_seconds = j.resolved.plan_seconds;
-  r.bipartition = cutting::make_bipartition(j.resolved.circuit, j.resolved.cuts);
-  const cutting::Bipartition& bp = r.bipartition;
-
-  cutting::FragmentData& data = r.data;
-  data.num_cuts = bp.num_cuts();
-  data.f1_width = bp.f1_width();
-  data.f2_width = bp.f2_width();
+  r.graph = cutting::make_fragment_chain(j.resolved.circuit, r.boundaries);
+  const FragmentGraph& graph = r.graph;
+  r.data = cutting::make_chain_data(graph);
 
   const CutRunOptions& opt = j.request.options;
   switch (opt.golden_mode) {
     case GoldenMode::None:
-      r.spec = cutting::NeglectSpec::none(bp.num_cuts());
+      r.specs = ChainNeglectSpec::none(graph);
       break;
-    case GoldenMode::Provided:
-      QCUT_CHECK(opt.provided_spec->num_cuts() == bp.num_cuts(),
-                 "CutRequest: provided_spec covers " +
-                     std::to_string(opt.provided_spec->num_cuts()) +
-                     " cuts but the bipartition has " + std::to_string(bp.num_cuts()));
-      r.spec = *opt.provided_spec;
+    case GoldenMode::Provided: {
+      std::vector<NeglectSpec> specs = opt.provided_spec.has_value()
+                                           ? std::vector<NeglectSpec>{*opt.provided_spec}
+                                           : opt.provided_boundary_specs;
+      QCUT_CHECK(static_cast<int>(specs.size()) == graph.num_boundaries(),
+                 "CutRequest: provided specs cover " + std::to_string(specs.size()) +
+                     " boundaries but the chain has " +
+                     std::to_string(graph.num_boundaries()));
+      for (int b = 0; b < graph.num_boundaries(); ++b) {
+        QCUT_CHECK(specs[static_cast<std::size_t>(b)].num_cuts() ==
+                       graph.boundaries[static_cast<std::size_t>(b)].num_cuts(),
+                   "CutRequest: provided spec of boundary " + std::to_string(b) +
+                       " covers " +
+                       std::to_string(specs[static_cast<std::size_t>(b)].num_cuts()) +
+                       " cuts but the boundary has " +
+                       std::to_string(
+                           graph.boundaries[static_cast<std::size_t>(b)].num_cuts()));
+      }
+      r.specs = ChainNeglectSpec(std::move(specs));
       break;
+    }
     case GoldenMode::DetectExact: {
-      // Observable targets use the observable-specific detector, which is
+      // Per boundary: observable targets use the observable-specific
+      // detector on the boundary's prefix/suffix bipartition, which is
       // weaker than the distribution-level test and so neglects at least as
       // many elements (Definition 1 is observable-dependent). When the
-      // observable does not factorize across this bipartition the
-      // distribution-level spec applies - it is the stronger requirement,
-      // valid for any target - mirroring the observable-aware planner's
-      // fallback so an auto-planned cut never fails here.
-      std::optional<cutting::GoldenDetectionReport> observable_report;
-      if (j.resolved.observable.has_value()) {
-        observable_report = cutting::try_detect_golden_for_observable(
-            bp, *j.resolved.observable, opt.golden_tol);
+      // observable does not factorize across a boundary the distribution-
+      // level spec applies there - it is the stronger requirement, valid
+      // for any target - mirroring the observable-aware planner's fallback
+      // so an auto-planned cut never fails here.
+      std::vector<NeglectSpec> specs;
+      for (const std::vector<circuit::WirePoint>& boundary : r.boundaries) {
+        const cutting::Bipartition bp =
+            cutting::make_bipartition(j.resolved.circuit, boundary);
+        std::optional<cutting::GoldenDetectionReport> observable_report;
+        if (j.resolved.observable.has_value()) {
+          observable_report = cutting::try_detect_golden_for_observable(
+              bp, *j.resolved.observable, opt.golden_tol);
+        }
+        specs.push_back(observable_report.has_value()
+                            ? observable_report->to_spec()
+                            : cutting::detect_golden_exact(bp, opt.golden_tol).to_spec());
       }
-      r.spec = observable_report.has_value()
-                   ? observable_report->to_spec()
-                   : cutting::detect_golden_exact(bp, opt.golden_tol).to_spec();
+      r.specs = ChainNeglectSpec(std::move(specs));
       break;
     }
     case GoldenMode::DetectOnline: {
-      // Wave 1: every upstream setting (the detector needs all of them);
-      // downstream is deferred until the detected spec prunes it.
-      const cutting::NeglectSpec full = cutting::NeglectSpec::none(bp.num_cuts());
-      j.phase = JobPhase::ExecutingUpstream;
-      issue_wave(job, cutting::required_setting_indices(full), {});
+      // One wave per fragment: fragment f needs all 3^Kout settings of its
+      // outgoing boundary (the detector's input), while its incoming preps
+      // already benefit from the pruning of boundary f-1.
+      r.specs = ChainNeglectSpec::none(graph);
+      j.phase = JobPhase::ExecutingFragmentWave;
+      j.wave_fragment = 0;
+      issue_wave(job, fragment_wave(graph, r.specs, 0));
       return;
     }
   }
 
   j.phase = JobPhase::ExecutingFragments;
-  issue_wave(job, cutting::required_setting_indices(r.spec),
-             cutting::required_prep_indices(r.spec));
+  issue_wave(job, full_wave(graph, r.specs));
 }
 
-void CutService::issue_wave(const JobPtr& job, const std::vector<std::uint32_t>& settings,
-                            const std::vector<std::uint32_t>& preps) {
+void CutService::issue_wave(const JobPtr& job, const std::vector<WaveVariant>& variants) {
   CutJob& j = *job;
-  const cutting::Bipartition& bp = j.response.bipartition;
+  const FragmentGraph& graph = j.response.graph;
   const CutRunOptions& opt = j.request.options;
   QCUT_CHECK(opt.exact || opt.shots_per_variant > 0 || opt.total_shot_budget > 0,
-             "execute_fragments: need shots_per_variant or total_shot_budget when sampling");
+             "execute_chain: need shots_per_variant or total_shot_budget when sampling");
 
-  WavePlan plan =
-      plan_wave(settings, preps, opt.shots_per_variant, opt.total_shot_budget, opt.exact);
+  WavePlan plan = plan_wave(variants, opt.shots_per_variant, opt.total_shot_budget, opt.exact);
 
-  cutting::FragmentData& data = j.response.data;
-  if (j.phase != JobPhase::ExecutingDownstream) {
-    // The post-detection downstream wave keeps the upstream wave's value,
-    // mirroring the direct path's merge.
+  cutting::ChainFragmentData& data = j.response.data;
+  j.wave_smallest_share = plan.smallest_share;
+  const bool first_wave =
+      j.phase == JobPhase::ExecutingFragments || j.wave_fragment == 0;
+  if (first_wave) {
+    // Later online waves keep the first wave's value, mirroring the
+    // historical upstream/downstream merge.
     data.shots_per_variant = plan.smallest_share;
   }
   data.total_jobs += plan.slots.size();
@@ -252,13 +286,9 @@ void CutService::issue_wave(const JobPtr& job, const std::vector<std::uint32_t>&
   prepared.reserve(j.slots.size());
   for (const VariantSlot& slot : j.slots) {
     Prepared p;
-    if (slot.upstream) {
-      p.circuit = cutting::make_upstream_variant(bp, slot.tuple_index).circuit;
-      p.seed_stream = opt.seed_stream_base + slot.tuple_index;
-    } else {
-      p.circuit = cutting::make_downstream_variant(bp, slot.tuple_index).circuit;
-      p.seed_stream = opt.seed_stream_base + kDownstreamSeedStreamOffset + slot.tuple_index;
-    }
+    p.circuit = cutting::make_fragment_variant(graph, slot.fragment, slot.key).circuit;
+    p.seed_stream = opt.seed_stream_base + cutting::fragment_seed_offset(slot.fragment) +
+                    cutting::variant_seed_index(graph, slot.fragment, slot.key);
     p.shots = slot.shots;
     p.key = hash_variant_execution(p.circuit, p.shots, opt.exact, p.seed_stream,
                                    backend_identity_);
@@ -301,37 +331,69 @@ void CutService::issue_wave(const JobPtr& job, const std::vector<std::uint32_t>&
 
 void CutService::absorb_wave(const JobPtr& job) {
   CutJob& j = *job;
-  cutting::FragmentData& data = j.response.data;
+  cutting::ChainFragmentData& data = j.response.data;
   data.wall_seconds += j.wave_timer.elapsed_seconds();
   for (const VariantSlot& slot : j.slots) {
-    auto& side = slot.upstream ? data.upstream : data.downstream;
-    side.emplace(slot.tuple_index, *slot.result);
+    data.fragments[static_cast<std::size_t>(slot.fragment)].variants.emplace(
+        cutting::pack_variant_key(slot.key), *slot.result);
   }
   j.slots.clear();
   j.slots.shrink_to_fit();
 }
 
-void CutService::handle_upstream_complete(const JobPtr& job) {
+void CutService::handle_fragment_wave_complete(const JobPtr& job) {
   CutJob& j = *job;
-  const cutting::Bipartition& bp = j.response.bipartition;
-  const cutting::FragmentData& data = j.response.data;
+  const FragmentGraph& graph = j.response.graph;
+  const int f = j.wave_fragment;
+  const cutting::ChainFragment& fragment = graph.fragments[static_cast<std::size_t>(f)];
 
-  std::uint64_t num_settings = 1;
-  for (int k = 0; k < data.num_cuts; ++k) num_settings *= cutting::kNumMeasSettings;
-  std::vector<std::vector<double>> ordered(num_settings);
-  for (std::uint32_t s = 0; s < num_settings; ++s) {
-    ordered[s] = data.upstream_distribution(s);
-  }
+  // Incoming prep contexts actually executed (pruned by boundary f-1).
+  const std::vector<std::uint32_t> contexts =
+      f > 0 ? cutting::required_prep_indices(j.response.specs.boundary(f - 1))
+            : std::vector<std::uint32_t>{0};
 
-  // Smallest per-variant shot count as the test's sample size (conservative
-  // when a total budget splits unevenly).
-  const cutting::GoldenDetectionReport detection = cutting::detect_golden_from_counts(
-      bp, ordered, data.shots_per_variant, j.request.options.online);
-  j.response.spec = detection.to_spec();
+  cutting::FragmentLayout layout;
+  layout.num_cuts = graph.boundaries[static_cast<std::size_t>(f)].num_cuts();
+  layout.width = fragment.width();
+  layout.cut_qubits = fragment.out_cut_qubits;
+  layout.out_qubits = fragment.output_qubits;
 
-  j.phase = JobPhase::ExecutingDownstream;
-  issue_wave(job, {}, cutting::required_prep_indices(j.response.spec));
+  // Smallest per-variant shot count of this wave as the test's sample size
+  // (conservative when a total budget splits unevenly).
+  const cutting::GoldenDetectionReport detection = cutting::detect_golden_from_counts_core(
+      layout, contexts.size(),
+      [&](std::size_t context, std::uint32_t setting) -> const std::vector<double>& {
+        return j.response.data.distribution(f, FragmentVariantKey{contexts[context], setting});
+      },
+      j.wave_smallest_share, j.request.options.online);
+  j.response.specs.boundary(f) = detection.to_spec();
+
+  ++j.wave_fragment;
+  issue_wave(job, fragment_wave(graph, j.response.specs, j.wave_fragment));
 }
+
+namespace {
+
+/// Two-fragment view of chain data for the (N=2 only) bootstrap path.
+cutting::FragmentData to_fragment_data(const cutting::ChainFragmentData& data) {
+  cutting::FragmentData out;
+  out.num_cuts = data.boundary_num_cuts.front();
+  out.f1_width = data.fragments[0].width;
+  out.f2_width = data.fragments[1].width;
+  out.shots_per_variant = data.shots_per_variant;
+  out.total_jobs = data.total_jobs;
+  out.total_shots = data.total_shots;
+  out.wall_seconds = data.wall_seconds;
+  for (const auto& [packed, dist] : data.fragments[0].variants) {
+    out.upstream.emplace(cutting::unpack_variant_key(packed).setting_index, dist);
+  }
+  for (const auto& [packed, dist] : data.fragments[1].variants) {
+    out.downstream.emplace(cutting::unpack_variant_key(packed).prep_index, dist);
+  }
+  return out;
+}
+
+}  // namespace
 
 void CutService::reconstruct_and_finish(const JobPtr& job) {
   CutJob& j = *job;
@@ -345,7 +407,7 @@ void CutService::reconstruct_and_finish(const JobPtr& job) {
   // equal pools.)
   recon.pool = j.request.options.pool != nullptr ? j.request.options.pool : &pool_;
   j.response.reconstruction = cutting::reconstruct_distribution(
-      j.response.bipartition, j.response.data, j.response.spec, recon);
+      j.response.graph, j.response.data, j.response.specs, recon);
 
   if (j.resolved.observable.has_value()) {
     // Same fold as estimate_expectation over the same raw reconstruction:
@@ -353,10 +415,13 @@ void CutService::reconstruct_and_finish(const JobPtr& job) {
     j.response.expectation =
         j.resolved.observable->expectation(j.response.reconstruction.raw_probabilities);
     if (j.request.bootstrap.has_value()) {
-      j.response.uncertainty =
-          cutting::bootstrap_expectation(j.response.bipartition, j.response.data,
-                                         j.response.spec, *j.resolved.observable,
-                                         *j.request.bootstrap);
+      // Validation restricts bootstrap to two-fragment selections (chain
+      // bootstrap is a ROADMAP open item).
+      QCUT_CHECK(j.response.graph.num_fragments() == 2,
+                 "CutService: bootstrap uncertainty requires a two-fragment cut");
+      j.response.uncertainty = cutting::bootstrap_expectation(
+          cutting::to_bipartition(j.response.graph), to_fragment_data(j.response.data),
+          j.response.specs.boundary(0), *j.resolved.observable, *j.request.bootstrap);
     }
   }
   j.response.total_seconds = j.total_timer.elapsed_seconds();

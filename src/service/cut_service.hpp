@@ -11,13 +11,16 @@
 // and identical in-flight variants are shared.
 //
 // The service accepts the unified cutting::CutRequest (cutting/request.hpp):
-// explicit cuts or AutoPlan, distribution or observable/Pauli targets, all
-// four GoldenModes. qcut::run (cutting/pipeline.hpp) is a thin synchronous
-// wrapper over this service. DetectOnline is served in two waves (upstream,
-// then the post-detection downstream remainder) so detection of one request
-// never blocks execution of another. Targets are job-level state only -
-// they never enter the variant cache key - so a distribution job and an
-// observable job over the same fragments share every variant.
+// explicit single-boundary cuts, explicit chains, AutoPlan or AutoChainPlan,
+// distribution or observable/Pauli targets, all four GoldenModes. qcut::run
+// (cutting/pipeline.hpp) is a thin synchronous wrapper over this service.
+// Every job executes over a FragmentGraph; static golden modes run one wave
+// covering all fragments, DetectOnline runs one wave per fragment (fragment
+// f's measured data prunes boundary f before fragment f+1 is issued) so
+// detection of one request never blocks execution of another. Targets are
+// job-level state only - they never enter the variant cache key - so a
+// distribution job and an observable job over the same fragments share
+// every variant.
 //
 // Determinism: given equal seeds the service produces distributions
 // bit-for-bit identical to the direct execute_fragments +
@@ -83,17 +86,6 @@ class CutService {
   /// Synchronous convenience: submit and wait.
   [[nodiscard]] cutting::CutResponse run(const cutting::CutRequest& request);
 
-  /// DEPRECATED legacy overload (distribution target, explicit cuts), kept
-  /// as a thin shim for one release.
-  [[nodiscard]] std::future<cutting::CutResponse> submit(circuit::Circuit circuit,
-                                                         std::vector<circuit::WirePoint> cuts,
-                                                         cutting::CutRunOptions options = {});
-
-  /// DEPRECATED legacy overload; see submit.
-  [[nodiscard]] cutting::CutResponse run(const circuit::Circuit& circuit,
-                                         std::span<const circuit::WirePoint> cuts,
-                                         const cutting::CutRunOptions& options = {});
-
   /// Blocks until every job submitted so far has finished.
   void wait_idle();
 
@@ -106,10 +98,9 @@ class CutService {
   void scheduler_loop();
   void advance(const JobPtr& job);
   void admit(const JobPtr& job);
-  void issue_wave(const JobPtr& job, const std::vector<std::uint32_t>& settings,
-                  const std::vector<std::uint32_t>& preps);
+  void issue_wave(const JobPtr& job, const std::vector<WaveVariant>& variants);
   void absorb_wave(const JobPtr& job);
-  void handle_upstream_complete(const JobPtr& job);
+  void handle_fragment_wave_complete(const JobPtr& job);
   void reconstruct_and_finish(const JobPtr& job);
   void fail(const JobPtr& job, std::exception_ptr error);
   void enqueue_ready(const JobPtr& job);

@@ -8,8 +8,7 @@ const char* to_string(JobPhase phase) noexcept {
   switch (phase) {
     case JobPhase::Queued: return "queued";
     case JobPhase::ExecutingFragments: return "executing-fragments";
-    case JobPhase::ExecutingUpstream: return "executing-upstream";
-    case JobPhase::ExecutingDownstream: return "executing-downstream";
+    case JobPhase::ExecutingFragmentWave: return "executing-fragment-wave";
     case JobPhase::Reconstructing: return "reconstructing";
     case JobPhase::Done: return "done";
     case JobPhase::Failed: return "failed";
@@ -17,21 +16,16 @@ const char* to_string(JobPhase phase) noexcept {
   return "unknown";
 }
 
-WavePlan plan_wave(const std::vector<std::uint32_t>& settings,
-                   const std::vector<std::uint32_t>& preps, std::size_t shots_per_variant,
+WavePlan plan_wave(const std::vector<WaveVariant>& variants, std::size_t shots_per_variant,
                    std::size_t total_shot_budget, bool exact) {
-  const std::size_t num_variants = settings.size() + preps.size();
   const std::vector<std::size_t> shots_for =
-      cutting::plan_variant_shots(shots_per_variant, total_shot_budget, exact, num_variants);
+      cutting::plan_variant_shots(shots_per_variant, total_shot_budget, exact, variants.size());
 
   WavePlan plan;
-  plan.slots.reserve(num_variants);
-  for (std::size_t i = 0; i < settings.size(); ++i) {
-    plan.slots.push_back(VariantSlot{true, settings[i], exact ? 0 : shots_for[i], nullptr});
-  }
-  for (std::size_t i = 0; i < preps.size(); ++i) {
-    plan.slots.push_back(
-        VariantSlot{false, preps[i], exact ? 0 : shots_for[settings.size() + i], nullptr});
+  plan.slots.reserve(variants.size());
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    plan.slots.push_back(VariantSlot{variants[i].fragment, variants[i].key,
+                                     exact ? 0 : shots_for[i], nullptr});
   }
   if (!exact) {
     plan.smallest_share = shots_for.empty() ? 0 : shots_for.back();

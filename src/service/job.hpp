@@ -4,16 +4,18 @@
 // A job is one CutRequest (circuit, target, cut selection, options). The
 // service resolves it at admission (auto-planning, Pauli-target rotation)
 // and advances it through phases; each executing phase is a "wave" of
-// variant executions fanned out through the VariantScheduler. Online
-// detection (GoldenMode::DetectOnline) needs two waves - upstream first,
-// then the downstream variants the detector did not prune - which is why
-// the phase machine exists at all: requests interleave at wave granularity
-// instead of blocking the service on one request's detector.
+// variant executions fanned out through the VariantScheduler. Static golden
+// modes run a single wave covering every fragment of the chain. Online
+// detection (GoldenMode::DetectOnline) runs one wave per fragment: fragment
+// f's measured data prunes boundary f's spec before fragment f+1 executes —
+// which is why the phase machine exists at all: requests interleave at wave
+// granularity instead of blocking the service on one request's detector.
+// (The historical two waves of the N=2 pipeline are the 2-fragment chain.)
 //
 // The target never enters the variant cache key (a variant's outcome
 // distribution does not depend on what is estimated from it), so a
 // distribution job and an observable job over the same fragments share
-// every upstream and downstream variant.
+// every variant.
 
 #include <atomic>
 #include <cstdint>
@@ -28,10 +30,9 @@
 namespace qcut::service {
 
 enum class JobPhase {
-  Queued,               // submitted, not yet planned
-  ExecutingFragments,   // single wave: upstream + downstream together
-  ExecutingUpstream,    // online detection, wave 1
-  ExecutingDownstream,  // online detection, wave 2 (post-detection)
+  Queued,                 // submitted, not yet planned
+  ExecutingFragments,     // single wave: every fragment together
+  ExecutingFragmentWave,  // online detection: one fragment's wave
   Reconstructing,
   Done,
   Failed,
@@ -43,8 +44,8 @@ enum class JobPhase {
 /// requests are issued, so completion callbacks (which may run concurrently
 /// on pool threads) write disjoint entries without locking.
 struct VariantSlot {
-  bool upstream = true;
-  std::uint32_t tuple_index = 0;  // setting index (upstream) or prep index
+  int fragment = 0;
+  cutting::FragmentVariantKey key;
   std::size_t shots = 0;          // planned shots; 0 in exact mode
   CachedDistribution result;      // written by the scheduler callback
 };
@@ -72,11 +73,13 @@ struct CutJob {
 
   // Owned by the service's scheduler thread between waves.
   JobPhase phase = JobPhase::Queued;
+  int wave_fragment = 0;  // online mode: which fragment the current wave runs
   cutting::CutResponse response;
 
   // Current wave.
   std::vector<VariantSlot> slots;
   std::atomic<std::size_t> pending{0};
+  std::size_t wave_smallest_share = 0;  // the wave's per-variant shot floor
   Stopwatch wave_timer;
   Stopwatch total_timer;
 
@@ -87,19 +90,24 @@ struct CutJob {
   JobAccounting accounting;
 };
 
-/// A planned wave: slots plus the totals the old direct path would have
-/// recorded in FragmentData for the same variants.
+/// One variant of one fragment, before shot planning.
+struct WaveVariant {
+  int fragment = 0;
+  cutting::FragmentVariantKey key;
+};
+
+/// A planned wave: slots plus the totals the direct path would have
+/// recorded in ChainFragmentData for the same variants.
 struct WavePlan {
   std::vector<VariantSlot> slots;
-  std::size_t smallest_share = 0;        // FragmentData::shots_per_variant; 0 in exact mode
+  std::size_t smallest_share = 0;        // shots_per_variant floor; 0 in exact mode
   std::uint64_t planned_total_shots = 0; // 0 in exact mode
 };
 
-/// Plans one wave over `settings` then `preps`, splitting shots exactly as
-/// the direct execution path does (see plan_variant_shots): the two paths
-/// must agree bit-for-bit.
-[[nodiscard]] WavePlan plan_wave(const std::vector<std::uint32_t>& settings,
-                                 const std::vector<std::uint32_t>& preps,
+/// Plans one wave over `variants` in order, splitting shots exactly as the
+/// direct execution path does (see plan_variant_shots): the two paths must
+/// agree bit-for-bit.
+[[nodiscard]] WavePlan plan_wave(const std::vector<WaveVariant>& variants,
                                  std::size_t shots_per_variant, std::size_t total_shot_budget,
                                  bool exact);
 

@@ -3,6 +3,7 @@
 // resource-economics reading of the paper's runtime result.
 
 #include <gtest/gtest.h>
+#include <span>
 
 #include "backend/statevector_backend.hpp"
 #include "circuit/random.hpp"
@@ -10,6 +11,7 @@
 #include "cutting/pipeline.hpp"
 #include "metrics/distance.hpp"
 #include "sim/statevector.hpp"
+#include "support/run_cut.hpp"
 
 namespace qcut::cutting {
 namespace {
@@ -89,14 +91,14 @@ TEST(ShotBudget, GoldenIsMoreAccurateAtEqualBudget) {
     standard.total_shot_budget = 9000;
     standard.seed_stream_base = static_cast<std::uint64_t>(trial) << 24;
     standard_total += metrics::weighted_distance(
-        cut_and_run(ansatz.circuit, cuts, backend, standard).probabilities(), truth);
+        run_cut(ansatz.circuit, cuts, backend, standard).probabilities(), truth);
 
     CutRunOptions golden_run = standard;
     golden_run.golden_mode = GoldenMode::Provided;
     golden_run.provided_spec = NeglectSpec(1);
     golden_run.provided_spec->neglect(0, ansatz.golden_basis);
     golden_total += metrics::weighted_distance(
-        cut_and_run(ansatz.circuit, cuts, backend, golden_run).probabilities(), truth);
+        run_cut(ansatz.circuit, cuts, backend, golden_run).probabilities(), truth);
   }
   // Allow slack for statistical fluctuation; golden must not be clearly worse.
   EXPECT_LT(golden_total, 1.3 * standard_total);
@@ -111,7 +113,7 @@ TEST(ShotBudget, PipelinePlumbing) {
   backend::StatevectorBackend backend(7);
   CutRunOptions run;
   run.total_shot_budget = 4500;
-  const CutRunReport report = cut_and_run(ansatz.circuit, cuts, backend, run);
+  const CutResponse report = run_cut(ansatz.circuit, cuts, backend, run);
   EXPECT_EQ(report.data.total_shots, 4500u);
   EXPECT_EQ(report.backend_delta.shots, 4500u);
 }

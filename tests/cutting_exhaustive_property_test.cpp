@@ -7,12 +7,14 @@
 // positions) far beyond the hand-built cases.
 
 #include <gtest/gtest.h>
+#include <span>
 
 #include "backend/statevector_backend.hpp"
 #include "circuit/random.hpp"
 #include "cutting/pipeline.hpp"
 #include "cutting/planner.hpp"
 #include "sim/statevector.hpp"
+#include "support/run_cut.hpp"
 
 namespace qcut::cutting {
 namespace {
@@ -58,7 +60,7 @@ TEST_P(EveryCutSweep, AllValidSingleCutsReconstructExactly) {
     // Standard reconstruction must be exact.
     CutRunOptions standard;
     standard.exact = true;
-    const CutRunReport report = cut_and_run(c, cuts, backend, standard);
+    const CutResponse report = run_cut(c, cuts, backend, standard);
     for (std::size_t x = 0; x < truth.size(); ++x) {
       ASSERT_NEAR(report.reconstruction.raw_probabilities[x], truth[x], 1e-8)
           << "cut q" << candidate.point.qubit << " after op " << candidate.point.after_op
@@ -71,7 +73,7 @@ TEST_P(EveryCutSweep, AllValidSingleCutsReconstructExactly) {
       CutRunOptions golden;
       golden.exact = true;
       golden.golden_mode = GoldenMode::DetectExact;
-      const CutRunReport golden_report = cut_and_run(c, cuts, backend, golden);
+      const CutResponse golden_report = run_cut(c, cuts, backend, golden);
       for (std::size_t x = 0; x < truth.size(); ++x) {
         ASSERT_NEAR(golden_report.reconstruction.raw_probabilities[x], truth[x], 1e-8)
             << "golden cut q" << candidate.point.qubit << " outcome " << x;
@@ -130,7 +132,7 @@ TEST_P(TwoBlockSweep, ChainOfTwoRandomBlocksReconstructsExactly) {
   CutRunOptions run;
   run.exact = true;
   const std::array<circuit::WirePoint, 1> cuts = {circuit::WirePoint{mid, cut_after}};
-  const CutRunReport report = cut_and_run(c, cuts, backend, run);
+  const CutResponse report = run_cut(c, cuts, backend, run);
   for (std::size_t x = 0; x < truth.size(); ++x) {
     ASSERT_NEAR(report.reconstruction.raw_probabilities[x], truth[x], 1e-8) << x;
   }
@@ -168,7 +170,7 @@ TEST(ExhaustiveSampled, UnbiasednessOverManyResamples) {
     run.golden_mode = GoldenMode::Provided;
     run.provided_spec = NeglectSpec(1);
     run.provided_spec->neglect(0, ansatz.golden_basis);
-    const CutRunReport report = cut_and_run(ansatz.circuit, cuts, backend, run);
+    const CutResponse report = run_cut(ansatz.circuit, cuts, backend, run);
     for (std::size_t x = 0; x < 32; ++x) {
       mean[x] += report.reconstruction.raw_probabilities[x];
     }

@@ -3,11 +3,13 @@
 // exact for K = 1..3.
 
 #include <gtest/gtest.h>
+#include <span>
 
 #include "backend/statevector_backend.hpp"
 #include "circuit/random.hpp"
 #include "cutting/pipeline.hpp"
 #include "sim/statevector.hpp"
+#include "support/run_cut.hpp"
 
 namespace qcut::cutting {
 namespace {
@@ -56,7 +58,7 @@ TEST_P(MultiCutSweep, PerCutGoldenYHoldsAndReconstructsExactly) {
   run.exact = true;
   run.golden_mode = GoldenMode::Provided;
   run.provided_spec = spec;
-  const CutRunReport result = cut_and_run(ansatz.circuit, ansatz.cuts, backend, run);
+  const CutResponse result = run_cut(ansatz.circuit, ansatz.cuts, backend, run);
 
   std::uint64_t expected_terms = 1;
   for (int k = 0; k < param.num_cuts; ++k) expected_terms *= 3;

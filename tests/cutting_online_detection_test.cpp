@@ -2,12 +2,14 @@
 // from the measured upstream data, with a statistical threshold.
 
 #include <gtest/gtest.h>
+#include <span>
 
 #include "backend/statevector_backend.hpp"
 #include "circuit/random.hpp"
 #include "common/error.hpp"
 #include "cutting/pipeline.hpp"
 #include "sim/statevector.hpp"
+#include "support/run_cut.hpp"
 
 namespace qcut::cutting {
 namespace {
@@ -139,11 +141,11 @@ TEST(OnlineDetection, PipelineModeSavesDownstreamEvaluations) {
   CutRunOptions run;
   run.shots_per_variant = 4000;
   run.golden_mode = GoldenMode::DetectOnline;
-  const CutRunReport report = cut_and_run(ansatz.circuit, cuts, backend, run);
+  const CutResponse report = run_cut(ansatz.circuit, cuts, backend, run);
 
   // Upstream needs all 3 settings (detection), downstream only 4 preps.
   EXPECT_EQ(report.data.total_jobs, 3u + 4u);
-  EXPECT_TRUE(report.spec.is_neglected(0, ansatz.golden_basis));
+  EXPECT_TRUE(report.specs.boundary(0).is_neglected(0, ansatz.golden_basis));
   EXPECT_EQ(report.reconstruction.terms, 3u);
 
   // Result still close to the truth.
@@ -166,7 +168,7 @@ TEST(OnlineDetection, ExactModeIsRejected) {
   CutRunOptions run;
   run.exact = true;
   run.golden_mode = GoldenMode::DetectOnline;
-  EXPECT_THROW((void)cut_and_run(ansatz.circuit, cuts, backend, run), Error);
+  EXPECT_THROW((void)run_cut(ansatz.circuit, cuts, backend, run), Error);
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include "cutting/pipeline.hpp"
 
 #include <gtest/gtest.h>
+#include <span>
 
 #include "backend/presets.hpp"
 #include "backend/statevector_backend.hpp"
@@ -12,6 +13,7 @@
 #include "common/error.hpp"
 #include "metrics/distance.hpp"
 #include "sim/statevector.hpp"
+#include "support/run_cut.hpp"
 
 namespace qcut::cutting {
 namespace {
@@ -32,7 +34,7 @@ TEST(Pipeline, BackendStatsDeltaIsTracked) {
 
   CutRunOptions run;
   run.shots_per_variant = 500;
-  const CutRunReport report = cut_and_run(ansatz.circuit, cuts, backend, run);
+  const CutResponse report = run_cut(ansatz.circuit, cuts, backend, run);
   EXPECT_EQ(report.backend_delta.jobs, 9u);
   EXPECT_EQ(report.backend_delta.shots, 9u * 500u);
   EXPECT_EQ(report.data.total_jobs, 9u);
@@ -49,7 +51,7 @@ TEST(Pipeline, GoldenProvidedUsesFewerJobsAndShots) {
   run.golden_mode = GoldenMode::Provided;
   run.provided_spec = NeglectSpec(1);
   run.provided_spec->neglect(0, ansatz.golden_basis);
-  const CutRunReport report = cut_and_run(ansatz.circuit, cuts, backend, run);
+  const CutResponse report = run_cut(ansatz.circuit, cuts, backend, run);
   EXPECT_EQ(report.backend_delta.jobs, 6u);
   EXPECT_EQ(report.backend_delta.shots, 6000u);
 }
@@ -65,13 +67,13 @@ TEST(Pipeline, PaperShotBookkeepingOverFiftyTrials) {
     CutRunOptions standard;
     standard.shots_per_variant = 1000;
     standard.seed_stream_base = static_cast<std::uint64_t>(trial) << 32;
-    (void)cut_and_run(ansatz.circuit, cuts, standard_backend, standard);
+    (void)run_cut(ansatz.circuit, cuts, standard_backend, standard);
 
     CutRunOptions golden = standard;
     golden.golden_mode = GoldenMode::Provided;
     golden.provided_spec = NeglectSpec(1);
     golden.provided_spec->neglect(0, ansatz.golden_basis);
-    (void)cut_and_run(ansatz.circuit, cuts, golden_backend, golden);
+    (void)run_cut(ansatz.circuit, cuts, golden_backend, golden);
   }
   EXPECT_EQ(standard_backend.stats().shots, 450000u);
   EXPECT_EQ(golden_backend.stats().shots, 300000u);
@@ -85,8 +87,8 @@ TEST(Pipeline, DetectExactModeFindsGoldenAutomatically) {
   CutRunOptions run;
   run.exact = true;
   run.golden_mode = GoldenMode::DetectExact;
-  const CutRunReport report = cut_and_run(ansatz.circuit, cuts, backend, run);
-  EXPECT_TRUE(report.spec.is_neglected(0, ansatz.golden_basis));
+  const CutResponse report = run_cut(ansatz.circuit, cuts, backend, run);
+  EXPECT_TRUE(report.specs.boundary(0).is_neglected(0, ansatz.golden_basis));
   EXPECT_EQ(report.data.total_jobs, 6u);
 
   sim::StateVector sv(5);
@@ -107,7 +109,7 @@ TEST(Pipeline, WorksOnFakeHardware) {
   run.golden_mode = GoldenMode::Provided;
   run.provided_spec = NeglectSpec(1);
   run.provided_spec->neglect(0, ansatz.golden_basis);
-  const CutRunReport report = cut_and_run(ansatz.circuit, cuts, *device, run);
+  const CutResponse report = run_cut(ansatz.circuit, cuts, *device, run);
 
   // Simulated device time accrued for 6 jobs (~2 s each).
   EXPECT_GT(report.backend_delta.simulated_device_seconds, 6.0);
@@ -140,10 +142,10 @@ TEST(Pipeline, ProvidedModeRequiresSpec) {
   const std::array<WirePoint, 1> cuts = {ansatz.cut};
   CutRunOptions run;
   run.golden_mode = GoldenMode::Provided;
-  EXPECT_THROW((void)cut_and_run(ansatz.circuit, cuts, backend, run), Error);
+  EXPECT_THROW((void)run_cut(ansatz.circuit, cuts, backend, run), Error);
 
   run.provided_spec = NeglectSpec(2);  // wrong cut count
-  EXPECT_THROW((void)cut_and_run(ansatz.circuit, cuts, backend, run), Error);
+  EXPECT_THROW((void)run_cut(ansatz.circuit, cuts, backend, run), Error);
 }
 
 TEST(Pipeline, SevenQubitConfigurationMatchesPaperWidths) {
@@ -153,9 +155,9 @@ TEST(Pipeline, SevenQubitConfigurationMatchesPaperWidths) {
   const std::array<WirePoint, 1> cuts = {ansatz.cut};
   CutRunOptions run;
   run.exact = true;
-  const CutRunReport report = cut_and_run(ansatz.circuit, cuts, backend, run);
-  EXPECT_EQ(report.bipartition.f1_width(), 4);
-  EXPECT_EQ(report.bipartition.f2_width(), 4);
+  const CutResponse report = run_cut(ansatz.circuit, cuts, backend, run);
+  EXPECT_EQ(report.graph.fragments[0].width(), 4);
+  EXPECT_EQ(report.graph.fragments[1].width(), 4);
 
   sim::StateVector sv(7);
   sv.apply_circuit(ansatz.circuit);
@@ -173,8 +175,8 @@ TEST(Pipeline, DeterministicAcrossRuns) {
   run.shots_per_variant = 1000;
 
   backend::StatevectorBackend b1(99), b2(99);
-  const auto r1 = cut_and_run(ansatz.circuit, cuts, b1, run);
-  const auto r2 = cut_and_run(ansatz.circuit, cuts, b2, run);
+  const auto r1 = run_cut(ansatz.circuit, cuts, b1, run);
+  const auto r2 = run_cut(ansatz.circuit, cuts, b2, run);
   EXPECT_EQ(r1.reconstruction.raw_probabilities, r2.reconstruction.raw_probabilities);
 }
 
@@ -184,7 +186,7 @@ TEST(Pipeline, ClippedProbabilitiesAreNormalized) {
   const std::array<WirePoint, 1> cuts = {ansatz.cut};
   CutRunOptions run;
   run.shots_per_variant = 200;  // coarse: negatives are likely in the raw output
-  const CutRunReport report = cut_and_run(ansatz.circuit, cuts, backend, run);
+  const CutResponse report = run_cut(ansatz.circuit, cuts, backend, run);
   const std::vector<double> probs = report.probabilities();
   double total = 0.0;
   for (double p : probs) {

@@ -4,11 +4,13 @@
 // correctness property of the whole library (Eq. 13 of the paper).
 
 #include <gtest/gtest.h>
+#include <span>
 
 #include "backend/statevector_backend.hpp"
 #include "circuit/random.hpp"
 #include "cutting/pipeline.hpp"
 #include "sim/statevector.hpp"
+#include "support/run_cut.hpp"
 
 namespace qcut {
 namespace {
@@ -77,7 +79,7 @@ TEST(Reconstruction, ThreeQubitChainExactMatchesUncut) {
     CutRunOptions options;
     options.exact = true;
     const std::array<WirePoint, 1> cuts = {cut};
-    const auto report = cutting::cut_and_run(c, cuts, backend, options);
+    const auto report = run_cut(c, cuts, backend, options);
 
     expect_distributions_equal(report.reconstruction.raw_probabilities, uncut_exact(c));
     EXPECT_EQ(report.reconstruction.terms, 4u);
@@ -108,7 +110,7 @@ TEST_P(GoldenAnsatzSweep, ExactReconstructionMatchesUncut) {
   CutRunOptions run;
   run.exact = true;
   const std::array<WirePoint, 1> cuts = {ansatz.cut};
-  const auto report = cutting::cut_and_run(ansatz.circuit, cuts, backend, run);
+  const auto report = run_cut(ansatz.circuit, cuts, backend, run);
 
   expect_distributions_equal(report.reconstruction.raw_probabilities,
                              uncut_exact(ansatz.circuit));
@@ -133,7 +135,7 @@ TEST_P(GoldenAnsatzSweep, GoldenReconstructionAlsoMatchesUncut) {
   run.provided_spec->neglect(0, ansatz.golden_basis);
 
   const std::array<WirePoint, 1> cuts = {ansatz.cut};
-  const auto report = cutting::cut_and_run(ansatz.circuit, cuts, backend, run);
+  const auto report = run_cut(ansatz.circuit, cuts, backend, run);
 
   expect_distributions_equal(report.reconstruction.raw_probabilities,
                              uncut_exact(ansatz.circuit));
@@ -166,7 +168,7 @@ TEST_P(GoldenXSweep, IXClassAnsatzReconstructsExactly) {
   run.provided_spec->neglect(0, linalg::Pauli::X);
 
   const std::array<WirePoint, 1> cuts = {ansatz.cut};
-  const auto report = cutting::cut_and_run(ansatz.circuit, cuts, backend, run);
+  const auto report = run_cut(ansatz.circuit, cuts, backend, run);
   expect_distributions_equal(report.reconstruction.raw_probabilities,
                              uncut_exact(ansatz.circuit));
 }
@@ -194,12 +196,12 @@ TEST(Reconstruction, TwoCutsExactMatchesUncut) {
   CutRunOptions run;
   run.exact = true;
   const std::array<WirePoint, 2> cuts = {WirePoint{1, 2}, WirePoint{2, 5}};
-  const auto report = cutting::cut_and_run(c, cuts, backend, run);
+  const auto report = run_cut(c, cuts, backend, run);
 
   expect_distributions_equal(report.reconstruction.raw_probabilities, uncut_exact(c));
   EXPECT_EQ(report.reconstruction.terms, 16u);
-  EXPECT_EQ(report.bipartition.f1_width(), 4);
-  EXPECT_EQ(report.bipartition.f2_width(), 2);
+  EXPECT_EQ(report.graph.fragments[0].width(), 4);
+  EXPECT_EQ(report.graph.fragments[1].width(), 2);
 }
 
 TEST(Reconstruction, TwoCutsOddYNeglectMatchesUncutForRealUpstream) {
@@ -213,7 +215,7 @@ TEST(Reconstruction, TwoCutsOddYNeglectMatchesUncutForRealUpstream) {
   run.provided_spec = cutting::neglect_odd_y_strings(2);
 
   const std::array<WirePoint, 2> cuts = {WirePoint{1, 2}, WirePoint{2, 5}};
-  const auto report = cutting::cut_and_run(c, cuts, backend, run);
+  const auto report = run_cut(c, cuts, backend, run);
   expect_distributions_equal(report.reconstruction.raw_probabilities, uncut_exact(c));
   EXPECT_EQ(report.reconstruction.terms, 10u);  // (4^2 + 2^2) / 2
 }
@@ -234,7 +236,7 @@ TEST(Reconstruction, TwoCutsPerCutGoldenWithDisjointRealBlocks) {
   run.provided_spec = spec;
 
   const std::array<WirePoint, 2> cuts = {WirePoint{1, 2}, WirePoint{2, 5}};
-  const auto report = cutting::cut_and_run(c, cuts, backend, run);
+  const auto report = run_cut(c, cuts, backend, run);
   expect_distributions_equal(report.reconstruction.raw_probabilities, uncut_exact(c));
   EXPECT_EQ(report.reconstruction.terms, 9u);  // 3 * 3
 }
@@ -253,7 +255,7 @@ TEST(Reconstruction, SampledReconstructionConvergesWithShots) {
   for (std::size_t shots : {2000ull, 200000ull}) {
     CutRunOptions run;
     run.shots_per_variant = shots;
-    const auto report = cutting::cut_and_run(ansatz.circuit, cuts, backend, run);
+    const auto report = run_cut(ansatz.circuit, cuts, backend, run);
     const std::vector<double>& raw = report.reconstruction.raw_probabilities;
     double max_error = 0.0;
     for (std::size_t i = 0; i < raw.size(); ++i) {
@@ -277,12 +279,11 @@ TEST(Reconstruction, ProbabilityOfSingleOutcomeMatchesFullDistribution) {
   const std::array<WirePoint, 1> cuts = {ansatz.cut};
   CutRunOptions run;
   run.exact = true;
-  const auto report = cutting::cut_and_run(ansatz.circuit, cuts, backend, run);
+  const auto report = run_cut(ansatz.circuit, cuts, backend, run);
 
-  const auto spec = cutting::NeglectSpec::none(1);
   for (index_t outcome = 0; outcome < 32; ++outcome) {
-    const double p = cutting::reconstruct_probability_of(report.bipartition, report.data,
-                                                         spec, outcome);
+    const double p =
+        cutting::reconstruct_probability_of(report.graph, report.data, report.specs, outcome);
     EXPECT_NEAR(p, report.reconstruction.raw_probabilities[outcome], 1e-9);
   }
 }
@@ -297,13 +298,13 @@ TEST(Reconstruction, DiagonalExpectationMatchesDistribution) {
   const std::array<WirePoint, 1> cuts = {ansatz.cut};
   CutRunOptions run;
   run.exact = true;
-  const auto report = cutting::cut_and_run(ansatz.circuit, cuts, backend, run);
+  const auto report = run_cut(ansatz.circuit, cuts, backend, run);
 
   // <Z on qubit 0> as a diagonal observable.
   std::vector<double> diag(32);
   for (index_t i = 0; i < 32; ++i) diag[i] = bit(i, 0) == 0 ? 1.0 : -1.0;
   const double via_recon = cutting::reconstruct_diagonal_expectation(
-      report.bipartition, report.data, cutting::NeglectSpec::none(1), diag);
+      report.graph, report.data, report.specs, diag);
 
   sim::StateVector sv(5);
   sv.apply_circuit(ansatz.circuit);

@@ -1,6 +1,6 @@
 // CutRequest: builder surface, eager validation (every error message is
 // specific and tested), target/cut-selection resolution, and equivalence of
-// the qcut::run facade with the legacy cut_and_run shim.
+// the qcut::run facade with explicit-cut requests.
 
 #include "cutting/request.hpp"
 
@@ -8,11 +8,13 @@
 
 #include <functional>
 #include <string>
+#include <span>
 
 #include "backend/statevector_backend.hpp"
 #include "circuit/random.hpp"
 #include "common/error.hpp"
 #include "cutting/pipeline.hpp"
+#include "support/run_cut.hpp"
 
 namespace qcut::cutting {
 namespace {
@@ -96,7 +98,7 @@ TEST(CutRequestValidation, SpecWithoutProvidedModeIsRejected) {
   request.with_cut(WirePoint{0, 0});
   request.options.provided_spec = NeglectSpec(1);  // golden_mode left at None
   EXPECT_TRUE(contains(message_of([&] { validate(request); }),
-                       "provided_spec is set but golden_mode is not GoldenMode::Provided"));
+                       "provided specs are set but golden_mode is not GoldenMode::Provided"));
 }
 
 TEST(CutRequestValidation, SpecCutCountMustMatchExplicitCuts) {
@@ -203,8 +205,8 @@ TEST(CutRequestResolve, PauliTargetIsRotatedToZForm) {
   ASSERT_TRUE(resolved.observable.has_value());
   EXPECT_EQ(resolved.circuit.num_ops(), ansatz.circuit.num_ops() + 1);
   EXPECT_EQ(resolved.observable->num_qubits(), 5);
-  EXPECT_EQ(resolved.cuts.size(), 1u);
-  EXPECT_EQ(resolved.cuts.front(), ansatz.cut);
+  EXPECT_EQ(resolved.flat_cuts().size(), 1u);
+  EXPECT_EQ(resolved.flat_cuts().front(), ansatz.cut);
   EXPECT_FALSE(resolved.plan.has_value());
 }
 
@@ -219,8 +221,8 @@ TEST(CutRequestResolve, AutoPlanUsesThePlannersChoice) {
 
   ASSERT_TRUE(resolved.plan.has_value());
   EXPECT_EQ(resolved.plan->point, best->point);
-  EXPECT_EQ(resolved.cuts.size(), 1u);
-  EXPECT_EQ(resolved.cuts.front(), best->point);
+  EXPECT_EQ(resolved.flat_cuts().size(), 1u);
+  EXPECT_EQ(resolved.flat_cuts().front(), best->point);
   EXPECT_FALSE(resolved.observable.has_value());
 }
 
@@ -232,7 +234,7 @@ TEST(CutRequestRun, FacadeMatchesLegacyShimBitForBit) {
   options.shots_per_variant = 900;
 
   backend::StatevectorBackend legacy_backend(77);
-  const CutRunReport legacy = cut_and_run(ansatz.circuit, cuts, legacy_backend, options);
+  const CutResponse legacy = run_cut(ansatz.circuit, cuts, legacy_backend, options);
 
   CutRequest request(ansatz.circuit);
   request.with_cuts({cuts.begin(), cuts.end()});

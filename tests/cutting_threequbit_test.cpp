@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <span>
 
 #include "backend/statevector_backend.hpp"
 #include "cutting/golden.hpp"
@@ -13,6 +14,7 @@
 #include "linalg/ops.hpp"
 #include "sim/density_matrix.hpp"
 #include "sim/statevector.hpp"
+#include "support/run_cut.hpp"
 
 namespace qcut::cutting {
 namespace {
@@ -169,14 +171,14 @@ TEST(ThreeQubit, GoldenReductionSixteenToTwelveTerms) {
 
   CutRunOptions standard;
   standard.exact = true;
-  const auto full_report = cut_and_run(full, cuts, backend, standard);
+  const auto full_report = run_cut(full, cuts, backend, standard);
 
   CutRunOptions golden;
   golden.exact = true;
   golden.golden_mode = GoldenMode::Provided;
   golden.provided_spec = NeglectSpec(1);
   golden.provided_spec->neglect(0, Pauli::Y);
-  const auto golden_report = cut_and_run(full, cuts, backend, golden);
+  const auto golden_report = run_cut(full, cuts, backend, golden);
 
   // 16 -> 12 terms in the paper's (M, r, s) counting is 4 -> 3 basis strings
   // here (each string carries the 2x2 eigenvalue sums internally).

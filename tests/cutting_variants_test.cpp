@@ -11,11 +11,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 
 #include "backend/statevector_backend.hpp"
 #include "circuit/random.hpp"
 #include "linalg/ops.hpp"
 #include "sim/statevector.hpp"
+#include "support/run_cut.hpp"
 
 namespace qcut::cutting {
 namespace {
@@ -159,10 +161,10 @@ TEST(Variants, OnlineDetectionWorksForTwoCuts) {
   CutRunOptions run;
   run.shots_per_variant = 8000;
   run.golden_mode = GoldenMode::DetectOnline;
-  const CutRunReport report = cut_and_run(c, cuts, backend, run);
+  const CutResponse report = run_cut(c, cuts, backend, run);
 
-  EXPECT_TRUE(report.spec.is_neglected(0, Pauli::Y));
-  EXPECT_TRUE(report.spec.is_neglected(1, Pauli::Y));
+  EXPECT_TRUE(report.specs.boundary(0).is_neglected(0, Pauli::Y));
+  EXPECT_TRUE(report.specs.boundary(0).is_neglected(1, Pauli::Y));
   // Upstream: all 9 settings (needed for detection); downstream: 4 x 4.
   EXPECT_EQ(report.data.total_jobs, 9u + 16u);
   EXPECT_EQ(report.reconstruction.terms, 9u);

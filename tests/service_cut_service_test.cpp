@@ -21,13 +21,14 @@
 #include "cutting/reconstructor.hpp"
 #include "cutting/variants.hpp"
 #include "sim/statevector.hpp"
+#include "support/run_cut.hpp"
 
 namespace qcut::service {
 namespace {
 
 using circuit::WirePoint;
 using cutting::CutRunOptions;
-using cutting::CutRunReport;
+using cutting::CutResponse;
 using cutting::GoldenMode;
 using cutting::NeglectSpec;
 
@@ -138,12 +139,12 @@ TEST(CutService, MatchesDirectPathBitForBitUnderAllGoldenModes) {
     // Service path, cache enabled.
     backend::StatevectorBackend service_backend(55);
     CutService service(service_backend);
-    const CutRunReport report = service.run(ansatz.circuit, cuts, c.options);
+    const CutResponse report = service.run(make_cut_request(ansatz.circuit, cuts, c.options));
     EXPECT_EQ(report.reconstruction.raw_probabilities, expected);
 
-    // cut_and_run is the thin synchronous wrapper over the service.
+    // qcut::run is the thin synchronous wrapper over the service.
     backend::StatevectorBackend wrapper_backend(55);
-    const CutRunReport wrapped = cutting::cut_and_run(ansatz.circuit, cuts, wrapper_backend, c.options);
+    const CutResponse wrapped = cutting::run(make_cut_request(ansatz.circuit, cuts, c.options), wrapper_backend);
     EXPECT_EQ(wrapped.reconstruction.raw_probabilities, expected);
   }
 }
@@ -157,12 +158,12 @@ TEST(CutService, RepeatedRequestIsServedFromCache) {
   CutRunOptions run;
   run.shots_per_variant = 800;
 
-  const CutRunReport first = service.run(ansatz.circuit, cuts, run);
+  const CutResponse first = service.run(make_cut_request(ansatz.circuit, cuts, run));
   const CutServiceStats after_first = service.stats();
   EXPECT_EQ(after_first.scheduler.executions, 9u);
   EXPECT_EQ(after_first.cache.insertions, 9u);
 
-  const CutRunReport second = service.run(ansatz.circuit, cuts, run);
+  const CutResponse second = service.run(make_cut_request(ansatz.circuit, cuts, run));
   const CutServiceStats after_second = service.stats();
   EXPECT_EQ(after_second.scheduler.executions, 9u);  // nothing re-executed
   EXPECT_EQ(after_second.scheduler.cache_hits, 9u);
@@ -186,8 +187,8 @@ TEST(CutService, DifferentSeedStreamsDoNotShareCacheEntries) {
   CutRunOptions b = a;
   b.seed_stream_base = 1u << 30;
 
-  (void)service.run(ansatz.circuit, cuts, a);
-  (void)service.run(ansatz.circuit, cuts, b);
+  (void)service.run(make_cut_request(ansatz.circuit, cuts, a));
+  (void)service.run(make_cut_request(ansatz.circuit, cuts, b));
   EXPECT_EQ(service.stats().scheduler.executions, 18u);
   EXPECT_EQ(service.stats().scheduler.cache_hits, 0u);
 }
@@ -241,8 +242,8 @@ TEST(CutService, ConcurrentIdenticalRequestsDeduplicateInFlight) {
   CutRunOptions run;
   run.shots_per_variant = 600;
 
-  auto f1 = service.submit(ansatz.circuit, {cuts.begin(), cuts.end()}, run);
-  auto f2 = service.submit(ansatz.circuit, {cuts.begin(), cuts.end()}, run);
+  auto f1 = service.submit(make_cut_request(ansatz.circuit, cuts, run));
+  auto f2 = service.submit(make_cut_request(ansatz.circuit, cuts, run));
 
   // Wait until both jobs' 9 variants are requested (none can finish: the
   // backend gate is closed), then open the gate.
@@ -253,8 +254,8 @@ TEST(CutService, ConcurrentIdenticalRequestsDeduplicateInFlight) {
   }
   gated.release();
 
-  const CutRunReport r1 = f1.get();
-  const CutRunReport r2 = f2.get();
+  const CutResponse r1 = f1.get();
+  const CutResponse r2 = f2.get();
   EXPECT_EQ(r1.reconstruction.raw_probabilities, r2.reconstruction.raw_probabilities);
 
   const CutServiceStats stats = service.stats();
@@ -291,20 +292,20 @@ TEST(CutService, DeterministicUnderConcurrentMixedLoad) {
   for (const CutRunOptions& config : configs) {
     backend::StatevectorBackend reference_backend(33);
     expected.push_back(
-        cutting::cut_and_run(ansatz.circuit, cuts, reference_backend, config)
+        cutting::run(make_cut_request(ansatz.circuit, cuts, config), reference_backend)
             .reconstruction.raw_probabilities);
   }
 
   backend::StatevectorBackend backend(33);
   CutService service(backend);
-  std::vector<std::future<CutRunReport>> futures;
+  std::vector<std::future<CutResponse>> futures;
   for (int repeat = 0; repeat < 3; ++repeat) {
     for (const CutRunOptions& config : configs) {
-      futures.push_back(service.submit(ansatz.circuit, {cuts.begin(), cuts.end()}, config));
+      futures.push_back(service.submit(make_cut_request(ansatz.circuit, cuts, config)));
     }
   }
   for (std::size_t i = 0; i < futures.size(); ++i) {
-    const CutRunReport report = futures[i].get();
+    const CutResponse report = futures[i].get();
     EXPECT_EQ(report.reconstruction.raw_probabilities, expected[i % configs.size()])
         << "job " << i << " diverged from its sequential reference";
   }
@@ -318,10 +319,14 @@ TEST(CutService, FailuresPropagateAndServiceStaysUsable) {
   // Malformed requests are rejected eagerly at submit, before queuing.
   CutRunOptions bad;
   bad.golden_mode = GoldenMode::Provided;
-  EXPECT_THROW((void)service.submit(ansatz.circuit, {ansatz.cut}, bad), Error);
+  EXPECT_THROW(
+      (void)service.submit(make_cut_request(ansatz.circuit, std::array{ansatz.cut}, bad)),
+      Error);
 
   // Out-of-range cut points are also caught eagerly.
-  EXPECT_THROW((void)service.submit(ansatz.circuit, {WirePoint{99, 0}}, CutRunOptions{}),
+  EXPECT_THROW((void)service.submit(make_cut_request(ansatz.circuit,
+                                               std::array{WirePoint{99, 0}},
+                                               CutRunOptions{})),
                Error);
   EXPECT_EQ(service.stats().jobs_submitted, 0u);
 
@@ -330,7 +335,8 @@ TEST(CutService, FailuresPropagateAndServiceStaysUsable) {
   circuit::Circuit entangled(3);
   entangled.cx(0, 1).cx(1, 2).cx(0, 2);
   entangled.cx(0, 1).cx(1, 2).cx(0, 2);
-  auto bad_cut = service.submit(entangled, {WirePoint{0, 0}}, CutRunOptions{});
+  auto bad_cut =
+      service.submit(make_cut_request(entangled, std::array{WirePoint{0, 0}}, CutRunOptions{}));
   EXPECT_THROW((void)bad_cut.get(), Error);
   EXPECT_EQ(service.stats().jobs_failed, 1u);
 
@@ -345,7 +351,7 @@ TEST(CutService, FailuresPropagateAndServiceStaysUsable) {
   CutRunOptions good;
   good.shots_per_variant = 300;
   const std::array<WirePoint, 1> cuts = {ansatz.cut};
-  const CutRunReport report = service.run(ansatz.circuit, cuts, good);
+  const CutResponse report = service.run(make_cut_request(ansatz.circuit, cuts, good));
   EXPECT_EQ(report.data.total_jobs, 9u);
   EXPECT_EQ(service.stats().jobs_completed, 1u);
 }
@@ -359,11 +365,11 @@ TEST(CutService, OnlineDetectionSchedulesDownstreamAfterPruning) {
   CutRunOptions run;
   run.shots_per_variant = 4000;
   run.golden_mode = GoldenMode::DetectOnline;
-  const CutRunReport report = service.run(ansatz.circuit, cuts, run);
+  const CutResponse report = service.run(make_cut_request(ansatz.circuit, cuts, run));
 
   // All 3 upstream settings execute; the detector prunes downstream to 4.
   EXPECT_EQ(report.data.total_jobs, 3u + 4u);
-  EXPECT_TRUE(report.spec.is_neglected(0, ansatz.golden_basis));
+  EXPECT_TRUE(report.specs.boundary(0).is_neglected(0, ansatz.golden_basis));
   EXPECT_EQ(service.stats().scheduler.executions, 7u);
 }
 
@@ -518,7 +524,7 @@ TEST(CutService, ExactOnlineDetectionIsRejected) {
   run.exact = true;
   run.golden_mode = GoldenMode::DetectOnline;
   const std::array<WirePoint, 1> cuts = {ansatz.cut};
-  EXPECT_THROW((void)service.run(ansatz.circuit, cuts, run), Error);
+  EXPECT_THROW((void)service.run(make_cut_request(ansatz.circuit, cuts, run)), Error);
 }
 
 }  // namespace

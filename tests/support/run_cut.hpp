@@ -1,0 +1,33 @@
+#pragma once
+// Shared by tests and benches: explicit-cut runs expressed through the
+// unified CutRequest API (the idiom that replaced the removed cut_and_run
+// shim and the legacy (circuit, cuts, options) service overloads).
+
+#include <span>
+
+#include "cutting/pipeline.hpp"
+
+namespace qcut::cutting {
+
+/// Builds a distribution-target request with explicit cut points.
+inline CutRequest make_cut_request(const Circuit& circuit,
+                                   std::span<const circuit::WirePoint> cuts,
+                                   const CutRunOptions& options) {
+  CutRequest request(circuit);
+  request.with_cuts({cuts.begin(), cuts.end()});
+  request.options = options;
+  return request;
+}
+
+/// Builds and synchronously runs an explicit-cut request.
+inline CutResponse run_cut(const Circuit& circuit, std::span<const circuit::WirePoint> cuts,
+                           backend::Backend& backend, const CutRunOptions& options) {
+  return run(make_cut_request(circuit, cuts, options), backend);
+}
+
+}  // namespace qcut::cutting
+
+namespace qcut {
+using cutting::make_cut_request;
+using cutting::run_cut;
+}  // namespace qcut

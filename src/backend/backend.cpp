@@ -1,0 +1,33 @@
+#include "backend/backend.hpp"
+
+namespace qcut::backend {
+
+BatchResult Backend::run_batch(const BatchRequest& request) {
+  BatchResult result;
+  if (request.exact) {
+    result.probabilities.resize(request.jobs.size());
+  } else {
+    result.counts.assign(request.jobs.size(), Counts(1));
+  }
+
+  const auto run_one = [&](std::size_t j) {
+    const BatchJob& job = request.jobs[j];
+    if (request.exact) {
+      result.probabilities[j] = exact_probabilities(job.circuit);
+    } else {
+      result.counts[j] = run(job.circuit, job.shots, job.seed_stream);
+    }
+  };
+
+  // The prefix plan is advisory; the fallback ignores it. Jobs are
+  // independent (per-job seed streams) and write disjoint slots, so the
+  // fan-out preserves the per-job determinism contract.
+  if (request.pool != nullptr) {
+    parallel::parallel_for(*request.pool, 0, request.jobs.size(), run_one);
+  } else {
+    for (std::size_t j = 0; j < request.jobs.size(); ++j) run_one(j);
+  }
+  return result;
+}
+
+}  // namespace qcut::backend

@@ -11,14 +11,59 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "backend/counts.hpp"
 #include "circuit/circuit.hpp"
 #include "common/error.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace qcut::backend {
 
 using circuit::Circuit;
+
+// ---- Batched execution ------------------------------------------------------
+
+/// One circuit execution inside a batch. Semantically identical to a
+/// Backend::run (or exact_probabilities) call with the same arguments.
+struct BatchJob {
+  Circuit circuit{1};
+  std::size_t shots = 0;          // ignored in exact mode
+  std::uint64_t seed_stream = 0;  // ignored in exact mode
+};
+
+/// A set of jobs whose circuits begin with the same `prefix_ops` operations
+/// verbatim (circuit::same_operation, equal widths). Backends that simulate
+/// may run the shared prefix once and fork a state per suffix; the caller
+/// guarantees the prefix property (see cutting::group_by_shared_prefix).
+struct BatchPrefixGroup {
+  std::size_t prefix_ops = 0;
+  std::vector<std::size_t> jobs;  // indices into BatchRequest::jobs
+};
+
+struct BatchRequest {
+  std::vector<BatchJob> jobs;
+
+  /// Optional shared-prefix plan. Groups must be disjoint and in range;
+  /// jobs not covered by any group execute standalone. An empty plan is
+  /// always valid (no sharing known).
+  std::vector<BatchPrefixGroup> groups;
+
+  /// Use exact_probabilities instead of sampling for every job.
+  bool exact = false;
+
+  /// Optional pool for intra-batch parallelism. Pass nullptr when calling
+  /// from a pool worker thread (a nested parallel wait can deadlock a
+  /// saturated pool); implementations must then run the batch serially.
+  parallel::ThreadPool* pool = nullptr;
+};
+
+/// Per-job results, indexed like BatchRequest::jobs. Sampled mode fills
+/// `counts`, exact mode fills `probabilities`; the other vector is empty.
+struct BatchResult {
+  std::vector<Counts> counts;
+  std::vector<std::vector<double>> probabilities;
+};
 
 /// Cumulative execution statistics, used by the runtime experiments.
 struct BackendStats {
@@ -53,6 +98,22 @@ class Backend {
     (void)circuit;
     QCUT_CHECK(false, name() + ": exact probabilities are not available on this backend");
   }
+
+  /// Executes a batch of jobs, optionally exploiting a shared-prefix plan.
+  ///
+  /// Determinism contract: result j is BIT-FOR-BIT IDENTICAL to what
+  /// run(jobs[j].circuit, jobs[j].shots, jobs[j].seed_stream) — or
+  /// exact_probabilities(jobs[j].circuit) in exact mode — would have
+  /// returned on a backend in the same state, regardless of the prefix
+  /// plan, the pool, and the order jobs appear in the batch. Cumulative
+  /// stats() advance exactly as the equivalent per-job calls would.
+  /// Prefix sharing is therefore a pure execution-cost optimization: cache
+  /// keys, counts, and downstream reconstructions cannot observe it.
+  ///
+  /// The default implementation runs each job through run() /
+  /// exact_probabilities() (fanned over `pool` when provided), so backends
+  /// without a native batch path keep working unchanged.
+  [[nodiscard]] virtual BatchResult run_batch(const BatchRequest& request);
 
   /// Cumulative statistics since construction (thread-safe snapshot).
   [[nodiscard]] virtual BackendStats stats() const = 0;

@@ -1,5 +1,7 @@
 #include "backend/statevector_backend.hpp"
 
+#include <utility>
+
 #include "sim/sampling.hpp"
 #include "sim/statevector.hpp"
 
@@ -26,6 +28,99 @@ std::vector<double> StatevectorBackend::exact_probabilities(const Circuit& circu
   sim::StateVector sv(circuit.num_qubits());
   sv.apply_circuit(circuit);
   return sv.probabilities();
+}
+
+namespace {
+
+/// Execution units of a batch: every prefix group, plus a singleton unit
+/// (prefix 0) for each job no group covers.
+struct BatchUnit {
+  std::size_t prefix_ops = 0;
+  std::vector<std::size_t> jobs;
+};
+
+std::vector<BatchUnit> plan_units(const BatchRequest& request) {
+  std::vector<bool> covered(request.jobs.size(), false);
+  std::vector<BatchUnit> units;
+  units.reserve(request.groups.size());
+  for (const BatchPrefixGroup& group : request.groups) {
+    QCUT_CHECK(!group.jobs.empty(), "run_batch: prefix group has no jobs");
+    const Circuit& rep = request.jobs[group.jobs.front()].circuit;
+    for (std::size_t j : group.jobs) {
+      QCUT_CHECK(j < request.jobs.size(), "run_batch: prefix group job index out of range");
+      QCUT_CHECK(!covered[j], "run_batch: job appears in two prefix groups");
+      covered[j] = true;
+      const Circuit& c = request.jobs[j].circuit;
+      QCUT_CHECK(c.num_qubits() == rep.num_qubits() && group.prefix_ops <= c.num_ops() &&
+                     circuit::common_prefix_ops(rep, c) >= group.prefix_ops,
+                 "run_batch: prefix group members do not share the declared prefix");
+    }
+    units.push_back(BatchUnit{group.prefix_ops, group.jobs});
+  }
+  for (std::size_t j = 0; j < request.jobs.size(); ++j) {
+    if (!covered[j]) units.push_back(BatchUnit{0, {j}});
+  }
+  return units;
+}
+
+}  // namespace
+
+BatchResult StatevectorBackend::run_batch(const BatchRequest& request) {
+  BatchResult result;
+  if (request.exact) {
+    result.probabilities.resize(request.jobs.size());
+  } else {
+    result.counts.assign(request.jobs.size(), Counts(1));
+  }
+
+  const std::vector<BatchUnit> units = plan_units(request);
+
+  std::size_t sampled_shots = 0;
+  if (!request.exact) {
+    for (const BatchJob& job : request.jobs) {
+      QCUT_CHECK(job.shots > 0, "StatevectorBackend::run_batch: shots must be positive");
+      sampled_shots += job.shots;
+    }
+  }
+
+  const auto run_unit = [&](std::size_t u) {
+    const BatchUnit& unit = units[u];
+    const Circuit& rep = request.jobs[unit.jobs.front()].circuit;
+    sim::StateVector base(rep.num_qubits());
+    for (std::size_t i = 0; i < unit.prefix_ops; ++i) base.apply_operation(rep.op(i));
+    for (std::size_t m = 0; m < unit.jobs.size(); ++m) {
+      const std::size_t j = unit.jobs[m];
+      const BatchJob& job = request.jobs[j];
+      // Fork the shared prefix state; the last member consumes it.
+      sim::StateVector sv = (m + 1 == unit.jobs.size()) ? std::move(base) : base;
+      for (std::size_t i = unit.prefix_ops; i < job.circuit.num_ops(); ++i) {
+        sv.apply_operation(job.circuit.op(i));
+      }
+      std::vector<double> probs = sv.probabilities();
+      if (request.exact) {
+        result.probabilities[j] = std::move(probs);
+      } else {
+        Rng rng = base_rng_.child(job.seed_stream);
+        result.counts[j] = Counts::from_histogram(
+            sim::sample_histogram(probs, job.shots, rng), job.circuit.num_qubits());
+      }
+    }
+  };
+
+  if (request.pool != nullptr) {
+    parallel::parallel_for(*request.pool, 0, units.size(), run_unit);
+  } else {
+    for (std::size_t u = 0; u < units.size(); ++u) run_unit(u);
+  }
+
+  // Accounting matches the equivalent per-job calls: run() bills each job,
+  // exact_probabilities() bills nothing.
+  if (!request.exact && !request.jobs.empty()) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.jobs += request.jobs.size();
+    stats_.shots += sampled_shots;
+  }
+  return result;
 }
 
 BackendStats StatevectorBackend::stats() const {

@@ -21,6 +21,15 @@ class StatevectorBackend : public Backend {
 
   [[nodiscard]] std::vector<double> exact_probabilities(const Circuit& circuit) override;
 
+  /// Native shared-prefix batch execution: each group's common prefix is
+  /// simulated once, then a copy of the prefix state is forked per member
+  /// and only the member's suffix operations are applied. Because the forked
+  /// state holds exactly the amplitudes a from-scratch simulation would have
+  /// reached after the prefix, every job's probabilities — and the
+  /// multinomial sample drawn from its own seed stream — are bit-for-bit
+  /// identical to a per-job run() (the Backend::run_batch contract).
+  [[nodiscard]] BatchResult run_batch(const BatchRequest& request) override;
+
   [[nodiscard]] BackendStats stats() const override;
   void reset_stats() override;
 

@@ -1,6 +1,8 @@
 #include "circuit/circuit.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cstdint>
 
 #include "common/bits.hpp"
 #include "common/error.hpp"
@@ -166,6 +168,45 @@ std::vector<std::size_t> Circuit::ops_on_qubit(int q) const {
     if (ops_[i].acts_on(q)) out.push_back(i);
   }
   return out;
+}
+
+namespace {
+
+/// Bit-pattern double equality: the strictness the variant cache key uses
+/// (hash_variant_execution hashes exact bit patterns), so "same prefix"
+/// can never alias two executions the cache would distinguish.
+bool same_bits(double a, double b) noexcept {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+}  // namespace
+
+bool same_operation(const Operation& a, const Operation& b) noexcept {
+  if (a.kind != b.kind || a.qubits != b.qubits) return false;
+  if (a.params.size() != b.params.size()) return false;
+  for (std::size_t i = 0; i < a.params.size(); ++i) {
+    if (!same_bits(a.params[i], b.params[i])) return false;
+  }
+  if (a.kind == GateKind::Custom) {
+    if (a.custom.rows() != b.custom.rows() || a.custom.cols() != b.custom.cols()) return false;
+    for (std::size_t r = 0; r < a.custom.rows(); ++r) {
+      for (std::size_t c = 0; c < a.custom.cols(); ++c) {
+        if (!same_bits(a.custom(r, c).real(), b.custom(r, c).real()) ||
+            !same_bits(a.custom(r, c).imag(), b.custom(r, c).imag())) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+std::size_t common_prefix_ops(const Circuit& a, const Circuit& b) noexcept {
+  if (a.num_qubits() != b.num_qubits()) return 0;
+  const std::size_t limit = std::min(a.num_ops(), b.num_ops());
+  std::size_t n = 0;
+  while (n < limit && same_operation(a.ops()[n], b.ops()[n])) ++n;
+  return n;
 }
 
 std::vector<int> Circuit::active_qubits() const {

@@ -37,6 +37,12 @@ struct Operation {
   mutable std::optional<CMat> cached_matrix_;
 };
 
+/// Execution-semantic equality: same gate kind, qubit wiring, exact
+/// parameter bit patterns and (for Custom ops) exact unitary entries.
+/// Display labels are ignored — they do not affect execution. This is the
+/// equality under which two circuit prefixes may share one simulation.
+[[nodiscard]] bool same_operation(const Operation& a, const Operation& b) noexcept;
+
 class Circuit {
  public:
   /// Circuit on `num_qubits` qubits with no operations.
@@ -121,5 +127,10 @@ class Circuit {
   int num_qubits_;
   std::vector<Operation> ops_;
 };
+
+/// Number of leading operations `a` and `b` share under same_operation.
+/// Circuits of different widths share nothing (their basis-state spaces
+/// differ even when the op lists coincide).
+[[nodiscard]] std::size_t common_prefix_ops(const Circuit& a, const Circuit& b) noexcept;
 
 }  // namespace qcut::circuit

@@ -122,30 +122,71 @@ FragmentData execute_impl(const Bipartition& bp, const NeglectSpec& spec,
   std::vector<std::vector<double>> downstream_results(preps.size());
 
   const std::size_t num_variants = settings.size() + preps.size();
-  parallel::parallel_for(pool, 0, num_variants, [&](std::size_t v) {
-    if (v < settings.size()) {
-      const UpstreamVariant variant = make_upstream_variant(bp, settings[v]);
-      if (options.exact) {
-        upstream_results[v] = backend.exact_probabilities(variant.circuit);
-      } else {
-        const backend::Counts counts =
-            backend.run(variant.circuit, shots_for[v],
-                        options.seed_stream_base + variant.setting_index);
-        upstream_results[v] = counts.to_probabilities();
-      }
-    } else {
-      const std::size_t d = v - settings.size();
-      const DownstreamVariant variant = make_downstream_variant(bp, preps[d]);
-      if (options.exact) {
-        downstream_results[d] = backend.exact_probabilities(variant.circuit);
-      } else {
-        const backend::Counts counts =
-            backend.run(variant.circuit, shots_for[v],
-                        options.seed_stream_base + kDownstreamSeedStreamOffset + variant.prep_index);
-        downstream_results[d] = counts.to_probabilities();
-      }
+  if (options.prefix_batching) {
+    // Batched path: all 3^K upstream settings share the entire f1 body (the
+    // rotations are trailing), so an upstream-only execution simulates f1
+    // once. Per-variant shots and seed streams are preserved: results are
+    // bit-for-bit those of the per-variant branch below.
+    backend::BatchRequest batch;
+    batch.exact = options.exact;
+    batch.pool = &pool;
+    batch.jobs.reserve(num_variants);
+    for (std::size_t v = 0; v < settings.size(); ++v) {
+      UpstreamVariant variant = make_upstream_variant(bp, settings[v]);
+      batch.jobs.push_back(backend::BatchJob{
+          std::move(variant.circuit), shots_for[v],
+          options.seed_stream_base + variant.setting_index});
     }
-  });
+    for (std::size_t d = 0; d < preps.size(); ++d) {
+      DownstreamVariant variant = make_downstream_variant(bp, preps[d]);
+      batch.jobs.push_back(backend::BatchJob{
+          std::move(variant.circuit), shots_for[settings.size() + d],
+          options.seed_stream_base + kDownstreamSeedStreamOffset + variant.prep_index});
+    }
+    std::vector<const Circuit*> circuits;
+    circuits.reserve(batch.jobs.size());
+    for (const backend::BatchJob& job : batch.jobs) circuits.push_back(&job.circuit);
+    for (PrefixGroup& group : group_by_shared_prefix(circuits)) {
+      batch.groups.push_back(
+          backend::BatchPrefixGroup{group.prefix_ops, std::move(group.members)});
+    }
+    backend::BatchResult batched = backend.run_batch(batch);
+    parallel::parallel_for(pool, 0, num_variants, [&](std::size_t v) {
+      std::vector<double> probs = options.exact ? std::move(batched.probabilities[v])
+                                                : batched.counts[v].to_probabilities();
+      if (v < settings.size()) {
+        upstream_results[v] = std::move(probs);
+      } else {
+        downstream_results[v - settings.size()] = std::move(probs);
+      }
+    });
+  } else {
+    parallel::parallel_for(pool, 0, num_variants, [&](std::size_t v) {
+      if (v < settings.size()) {
+        const UpstreamVariant variant = make_upstream_variant(bp, settings[v]);
+        if (options.exact) {
+          upstream_results[v] = backend.exact_probabilities(variant.circuit);
+        } else {
+          const backend::Counts counts =
+              backend.run(variant.circuit, shots_for[v],
+                          options.seed_stream_base + variant.setting_index);
+          upstream_results[v] = counts.to_probabilities();
+        }
+      } else {
+        const std::size_t d = v - settings.size();
+        const DownstreamVariant variant = make_downstream_variant(bp, preps[d]);
+        if (options.exact) {
+          downstream_results[d] = backend.exact_probabilities(variant.circuit);
+        } else {
+          const backend::Counts counts =
+              backend.run(variant.circuit, shots_for[v],
+                          options.seed_stream_base + kDownstreamSeedStreamOffset +
+                              variant.prep_index);
+          downstream_results[d] = counts.to_probabilities();
+        }
+      }
+    });
+  }
 
   for (std::size_t i = 0; i < settings.size(); ++i) {
     data.upstream.emplace(settings[i], std::move(upstream_results[i]));
@@ -198,19 +239,50 @@ ChainFragmentData execute_chain_impl(const FragmentGraph& graph, const ChainNegl
 
   // Pre-size the result slots so worker threads write disjoint entries.
   std::vector<std::vector<double>> results(work.size());
-  parallel::parallel_for(pool, 0, work.size(), [&](std::size_t v) {
-    const WorkItem& item = work[v];
-    const FragmentVariant variant = make_fragment_variant(graph, item.fragment, item.key);
-    if (options.exact) {
-      results[v] = backend.exact_probabilities(variant.circuit);
-    } else {
-      const backend::Counts counts =
-          backend.run(variant.circuit, shots_for[v],
-                      options.seed_stream_base + fragment_seed_offset(item.fragment) +
-                          variant_seed_index(graph, item.fragment, item.key));
-      results[v] = counts.to_probabilities();
+  if (options.prefix_batching) {
+    // Batched path: one run_batch call carrying every variant plus the
+    // shared-prefix plan. Per-variant shots and seed streams are preserved,
+    // so the results are bit-for-bit those of the per-variant branch below.
+    backend::BatchRequest batch;
+    batch.exact = options.exact;
+    batch.pool = &pool;
+    batch.jobs.reserve(work.size());
+    for (std::size_t v = 0; v < work.size(); ++v) {
+      const WorkItem& item = work[v];
+      backend::BatchJob job;
+      job.circuit = make_fragment_variant(graph, item.fragment, item.key).circuit;
+      job.shots = shots_for[v];
+      job.seed_stream = options.seed_stream_base + fragment_seed_offset(item.fragment) +
+                        variant_seed_index(graph, item.fragment, item.key);
+      batch.jobs.push_back(std::move(job));
     }
-  });
+    std::vector<const Circuit*> circuits;
+    circuits.reserve(batch.jobs.size());
+    for (const backend::BatchJob& job : batch.jobs) circuits.push_back(&job.circuit);
+    for (PrefixGroup& group : group_by_shared_prefix(circuits)) {
+      batch.groups.push_back(
+          backend::BatchPrefixGroup{group.prefix_ops, std::move(group.members)});
+    }
+    backend::BatchResult batched = backend.run_batch(batch);
+    parallel::parallel_for(pool, 0, work.size(), [&](std::size_t v) {
+      results[v] = options.exact ? std::move(batched.probabilities[v])
+                                 : batched.counts[v].to_probabilities();
+    });
+  } else {
+    parallel::parallel_for(pool, 0, work.size(), [&](std::size_t v) {
+      const WorkItem& item = work[v];
+      const FragmentVariant variant = make_fragment_variant(graph, item.fragment, item.key);
+      if (options.exact) {
+        results[v] = backend.exact_probabilities(variant.circuit);
+      } else {
+        const backend::Counts counts =
+            backend.run(variant.circuit, shots_for[v],
+                        options.seed_stream_base + fragment_seed_offset(item.fragment) +
+                            variant_seed_index(graph, item.fragment, item.key));
+        results[v] = counts.to_probabilities();
+      }
+    });
+  }
 
   for (std::size_t v = 0; v < work.size(); ++v) {
     data.fragments[static_cast<std::size_t>(work[v].fragment)].variants.emplace(

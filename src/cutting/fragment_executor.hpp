@@ -53,6 +53,15 @@ struct ExecutionOptions {
 
   /// Base of the deterministic seed-stream block used for this execution.
   std::uint64_t seed_stream_base = 0;
+
+  /// Group variant circuits by longest common prefix and execute each group
+  /// through Backend::run_batch, so backends with a native batch path (the
+  /// statevector simulator) simulate each shared body once — one full
+  /// simulation per prep tuple instead of per variant — and fork cheap
+  /// suffixes for the 3^Kout trailing-rotation variants. Results are
+  /// bit-for-bit identical either way (the run_batch determinism contract);
+  /// disable only to time or test the per-variant reference path.
+  bool prefix_batching = true;
 };
 
 /// The measured fragment data the Reconstructor consumes.

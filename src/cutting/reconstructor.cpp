@@ -11,6 +11,46 @@ namespace qcut::cutting {
 
 namespace {
 
+/// Deterministic parallel reduction over reconstruction terms. Terms are
+/// split into fixed-size chunks computed from the term count alone (never
+/// from the pool), each chunk accumulates its terms in ascending order into
+/// its own slot, and the slots are summed in chunk order — so the result is
+/// bit-for-bit independent of thread count and scheduling (the service and
+/// direct paths agree even on differently sized pools).
+template <typename AddTerm>
+std::vector<double> accumulate_terms(parallel::ThreadPool& pool, std::uint64_t num_terms,
+                                     index_t full_dim, const AddTerm& add_term) {
+  constexpr std::uint64_t kMaxSlots = 64;  // bounds slot memory at 64 * 2^n doubles
+  if (num_terms == 0) return std::vector<double>(full_dim, 0.0);
+  const std::uint64_t chunk = (num_terms + kMaxSlots - 1) / kMaxSlots;
+  const std::uint64_t num_slots = (num_terms + chunk - 1) / chunk;
+
+  std::vector<std::vector<double>> slots(num_slots);
+  parallel::parallel_for(pool, 0, num_slots, [&](std::size_t s) {
+    std::vector<double>& local = slots[s];
+    local.assign(full_dim, 0.0);
+    const std::uint64_t lo = static_cast<std::uint64_t>(s) * chunk;
+    const std::uint64_t hi = std::min<std::uint64_t>(num_terms, lo + chunk);
+    for (std::uint64_t t = lo; t < hi; ++t) add_term(t, local);
+  });
+
+  // Merge the slots in parallel over disjoint output stripes: every output
+  // element still sums its slots in ascending slot order, so the merge is
+  // as deterministic as the serial loop it replaces.
+  std::vector<double> joint(full_dim, 0.0);
+  constexpr index_t kStripes = 64;
+  const index_t stripe = (full_dim + kStripes - 1) / kStripes;
+  parallel::parallel_for(pool, 0, static_cast<std::size_t>((full_dim + stripe - 1) / stripe),
+                         [&](std::size_t b) {
+                           const index_t lo = static_cast<index_t>(b) * stripe;
+                           const index_t hi = std::min(full_dim, lo + stripe);
+                           for (const std::vector<double>& slot : slots) {
+                             for (index_t i = lo; i < hi; ++i) joint[i] += slot[i];
+                           }
+                         });
+  return joint;
+}
+
 /// Index plumbing shared by all reconstruction entry points.
 struct Layout {
   std::vector<int> f1_cut_qubits;   // f1-local positions of the cut bits
@@ -37,7 +77,9 @@ struct Layout {
     cut_dim = pow2(num_cuts);
   }
 
-  /// Eigenvalue weight table: weight[a] = prod_k w(M_k, bit_k(a)).
+  /// Eigenvalue weight table: weight[a] = prod_k w(M_k, bit_k(a)). Computed
+  /// once per active string and cached by the callers (not per tensor, not
+  /// per term).
   [[nodiscard]] std::vector<double> weights(std::span<const Pauli> basis) const {
     std::vector<double> w(cut_dim);
     for (index_t a = 0; a < cut_dim; ++a) {
@@ -52,10 +94,10 @@ struct Layout {
 
   /// u_M[b1] from the upstream distribution of the string's setting tuple.
   [[nodiscard]] std::vector<double> upstream_tensor(std::span<const Pauli> basis,
-                                                    const FragmentData& data) const {
+                                                    const FragmentData& data,
+                                                    std::span<const double> w) const {
     const std::vector<double>& probs =
         data.upstream_distribution(settings_index_for_basis(basis));
-    const std::vector<double> w = weights(basis);
     std::vector<double> u(out_dim, 0.0);
     for (index_t o = 0; o < f1_dim; ++o) {
       const double p = probs[o];
@@ -69,8 +111,8 @@ struct Layout {
 
   /// v_M[b2] summed over the string's preparation tuples.
   [[nodiscard]] std::vector<double> downstream_tensor(std::span<const Pauli> basis,
-                                                      const FragmentData& data) const {
-    const std::vector<double> w = weights(basis);
+                                                      const FragmentData& data,
+                                                      std::span<const double> w) const {
     std::vector<double> v(f2_dim, 0.0);
     for (index_t a = 0; a < cut_dim; ++a) {
       const std::vector<double>& probs = data.downstream_distribution(
@@ -112,31 +154,31 @@ ReconstructionResult reconstruct_distribution(const Bipartition& bp, const Fragm
   parallel::ThreadPool& pool =
       options.pool != nullptr ? *options.pool : parallel::ThreadPool::global();
 
-  // Each task owns a local accumulator; buffers are summed at the end.
-  std::vector<double> joint = parallel::parallel_map_reduce<std::vector<double>>(
-      pool, 0, strings.size(), std::vector<double>(full_dim, 0.0),
-      [&](std::size_t s) {
-        const std::vector<Pauli>& basis = strings[s];
-        const std::vector<double> u = layout.upstream_tensor(basis, data);
-        const std::vector<double> v = layout.downstream_tensor(basis, data);
-        std::vector<double> local(full_dim, 0.0);
+  // Per-string tensors, precomputed into disjoint slots: each string's
+  // weight table is built once and feeds both of its tensors.
+  std::vector<std::vector<double>> u(strings.size());
+  std::vector<std::vector<double>> v(strings.size());
+  parallel::parallel_for(pool, 0, strings.size(), [&](std::size_t s) {
+    const std::vector<double> w = layout.weights(strings[s]);
+    u[s] = layout.upstream_tensor(strings[s], data, w);
+    v[s] = layout.downstream_tensor(strings[s], data, w);
+  });
+
+  std::vector<double> joint = accumulate_terms(
+      pool, strings.size(), full_dim, [&](std::uint64_t t, std::vector<double>& local) {
+        const std::vector<double>& u_t = u[t];
+        const std::vector<double>& v_t = v[t];
         for (index_t b1 = 0; b1 < layout.out_dim; ++b1) {
-          const double u_val = u[b1];
+          const double u_val = u_t[b1];
           if (u_val == 0.0) continue;
           const index_t base = scatter_bits(b1, layout.f1_out_original);
           for (index_t b2 = 0; b2 < layout.f2_dim; ++b2) {
-            const double v_val = v[b2];
+            const double v_val = v_t[b2];
             if (v_val == 0.0) continue;
             local[base | scatter_bits(b2, layout.f2_original)] +=
                 coefficient * u_val * v_val;
           }
         }
-        return local;
-      },
-      [](std::vector<double> acc, std::vector<double> term) {
-        if (acc.empty()) return term;
-        for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += term[i];
-        return acc;
       });
 
   ReconstructionResult result;
@@ -167,8 +209,8 @@ double reconstruct_probability_of(const Bipartition& bp, const FragmentData& dat
 
   double total = 0.0;
   for (const std::vector<Pauli>& basis : spec.active_strings()) {
-    const std::vector<double> u = layout.upstream_tensor(basis, data);
     const std::vector<double> w = layout.weights(basis);
+    const std::vector<double> u = layout.upstream_tensor(basis, data, w);
     double v = 0.0;
     for (index_t a = 0; a < layout.cut_dim; ++a) {
       const std::vector<double>& probs = data.downstream_distribution(
@@ -234,26 +276,23 @@ struct ChainLayout {
     return w;
   }
 
-  /// Fragment f's tensor over its final bits for one global term: the
-  /// incoming boundary's eigenstate slots are folded with `w_in` (null for
-  /// fragment 0) and the outgoing tomography bits with `w_out` (null for
-  /// the last fragment).
-  [[nodiscard]] std::vector<double> fragment_tensor(int f, const ChainFragmentData& data,
-                                                    const std::vector<Pauli>* basis_in,
-                                                    const std::vector<double>* w_in,
-                                                    const std::vector<Pauli>* basis_out,
-                                                    const std::vector<double>* w_out) const {
+  /// Fragment f's tensor over its final bits for one (incoming string,
+  /// outgoing string) pair: the incoming boundary's eigenstate slots are
+  /// folded with `w_in` (null for fragment 0) and the outgoing tomography
+  /// bits with `w_out` (null for the last fragment). `prep_for_slot` maps
+  /// the incoming eigenstate slot tuple to the prep tuple index.
+  [[nodiscard]] std::vector<double> fragment_tensor(
+      int f, const ChainFragmentData& data, const std::vector<std::uint32_t>* prep_for_slot,
+      const std::vector<double>* w_in, std::uint32_t setting,
+      const std::vector<double>* w_out) const {
     const ChainFragment& fragment = graph.fragments[static_cast<std::size_t>(f)];
-    const index_t in_dim = basis_in != nullptr ? cut_dims[static_cast<std::size_t>(f - 1)] : 1;
-    const std::uint32_t setting =
-        basis_out != nullptr ? settings_index_for_basis(*basis_out) : 0;
+    const index_t in_dim =
+        prep_for_slot != nullptr ? cut_dims[static_cast<std::size_t>(f - 1)] : 1;
 
     std::vector<double> tensor(out_dims[static_cast<std::size_t>(f)], 0.0);
     for (index_t a_in = 0; a_in < in_dim; ++a_in) {
       const std::uint32_t prep =
-          basis_in != nullptr
-              ? preps_index_for_basis(*basis_in, static_cast<std::uint32_t>(a_in))
-              : 0;
+          prep_for_slot != nullptr ? (*prep_for_slot)[static_cast<std::size_t>(a_in)] : 0;
       const std::vector<double>& probs =
           data.distribution(f, FragmentVariantKey{prep, setting});
       const double in_weight = w_in != nullptr ? (*w_in)[a_in] : 1.0;
@@ -286,13 +325,13 @@ void check_chain_inputs(const FragmentGraph& graph, const ChainFragmentData& dat
 /// One global term: per-fragment tensors, multiplied out into `local` with
 /// the term coefficient. Zero entries are skipped at every level.
 void accumulate_term(const ChainLayout& layout,
-                     const std::vector<std::vector<double>>& tensors, int f, double acc,
+                     const std::vector<const std::vector<double>*>& tensors, int f, double acc,
                      index_t idx, std::vector<double>& local) {
   if (f == static_cast<int>(tensors.size())) {
     local[idx] += acc;
     return;
   }
-  const std::vector<double>& tensor = tensors[static_cast<std::size_t>(f)];
+  const std::vector<double>& tensor = *tensors[static_cast<std::size_t>(f)];
   const ChainFragment& fragment = layout.graph.fragments[static_cast<std::size_t>(f)];
   for (index_t x = 0; x < tensor.size(); ++x) {
     const double value = tensor[x];
@@ -302,49 +341,121 @@ void accumulate_term(const ChainLayout& layout,
   }
 }
 
-/// Per-boundary active strings plus the mixed-radix decode of a global term
-/// index (boundary 0 fastest).
-struct TermSpace {
-  std::vector<std::vector<std::vector<Pauli>>> per_boundary;
-  std::uint64_t total = 1;
+/// Everything the per-term hot loop needs, precomputed and index-addressed:
+/// per boundary the active strings with their weight tables, prep-tuple
+/// tables and setting indices (built once — never rebuilt per term), and per
+/// fragment one tensor per (incoming string, outgoing string) pair (the
+/// ChainFragmentData hash map is consulted once per tensor build, never in
+/// the term loop). A term then decodes into per-boundary string indices and
+/// contracts pure array lookups.
+struct ChainTermEngine {
+  struct BoundaryTables {
+    std::vector<std::vector<Pauli>> strings;
+    std::vector<std::vector<double>> weights;             // [string]
+    std::vector<std::uint32_t> setting_index;             // [string]
+    std::vector<std::vector<std::uint32_t>> prep_index;   // [string][eigenstate slots]
+  };
 
-  explicit TermSpace(const ChainNeglectSpec& spec) {
-    for (int b = 0; b < spec.num_boundaries(); ++b) {
-      per_boundary.push_back(spec.boundary(b).active_strings());
-      total *= per_boundary.back().size();
+  std::vector<BoundaryTables> boundaries;
+  /// tensors[f][in_string * num_out_strings(f) + out_string]
+  std::vector<std::vector<std::vector<double>>> tensors;
+  std::uint64_t total_terms = 1;
+
+  [[nodiscard]] std::size_t num_strings(int b) const {
+    return boundaries[static_cast<std::size_t>(b)].strings.size();
+  }
+
+  /// Mixed-radix decode of a term index (boundary 0 fastest) into
+  /// per-boundary string indices — the same enumeration order the previous
+  /// per-term implementation used.
+  void decode(std::uint64_t t, std::vector<std::size_t>& string_of) const {
+    for (std::size_t b = 0; b < boundaries.size(); ++b) {
+      const std::uint64_t size = boundaries[b].strings.size();
+      string_of[b] = static_cast<std::size_t>(t % size);
+      t /= size;
     }
   }
 
-  [[nodiscard]] std::vector<const std::vector<Pauli>*> decode(std::uint64_t t) const {
-    std::vector<const std::vector<Pauli>*> strings(per_boundary.size());
-    for (std::size_t b = 0; b < per_boundary.size(); ++b) {
-      const std::uint64_t size = per_boundary[b].size();
-      strings[b] = &per_boundary[b][t % size];
-      t /= size;
-    }
-    return strings;
+  /// The tensor of fragment f for one decoded term.
+  [[nodiscard]] const std::vector<double>& tensor_for(int f,
+                                                      const std::vector<std::size_t>& string_of,
+                                                      int num_boundaries) const {
+    const std::size_t in_s = f > 0 ? string_of[static_cast<std::size_t>(f - 1)] : 0;
+    const std::size_t out_s = f < num_boundaries ? string_of[static_cast<std::size_t>(f)] : 0;
+    const std::size_t out_count =
+        f < num_boundaries ? boundaries[static_cast<std::size_t>(f)].strings.size() : 1;
+    return tensors[static_cast<std::size_t>(f)][in_s * out_count + out_s];
   }
 };
 
-/// Tensors of every fragment for one decoded term.
-std::vector<std::vector<double>> term_tensors(
-    const ChainLayout& layout, const ChainFragmentData& data,
-    const std::vector<const std::vector<Pauli>*>& strings) {
-  const int num_fragments = layout.graph.num_fragments();
-  std::vector<std::vector<double>> tensors(static_cast<std::size_t>(num_fragments));
-  for (int f = 0; f < num_fragments; ++f) {
-    const std::vector<Pauli>* basis_in = f > 0 ? strings[static_cast<std::size_t>(f - 1)] : nullptr;
-    const std::vector<Pauli>* basis_out =
-        f < layout.graph.num_boundaries() ? strings[static_cast<std::size_t>(f)] : nullptr;
-    std::vector<double> w_in;
-    std::vector<double> w_out;
-    if (basis_in != nullptr) w_in = layout.weights(f - 1, *basis_in);
-    if (basis_out != nullptr) w_out = layout.weights(f, *basis_out);
-    tensors[static_cast<std::size_t>(f)] =
-        layout.fragment_tensor(f, data, basis_in, basis_in != nullptr ? &w_in : nullptr,
-                               basis_out, basis_out != nullptr ? &w_out : nullptr);
+/// Builds the engine; tensor construction fans out over `pool` when given
+/// (disjoint slots, deterministic), otherwise runs serially.
+ChainTermEngine build_term_engine(const ChainLayout& layout, const ChainFragmentData& data,
+                                  const ChainNeglectSpec& spec, parallel::ThreadPool* pool) {
+  const FragmentGraph& graph = layout.graph;
+  ChainTermEngine engine;
+
+  for (int b = 0; b < spec.num_boundaries(); ++b) {
+    ChainTermEngine::BoundaryTables tables;
+    tables.strings = spec.boundary(b).active_strings();
+    const index_t cut_dim = layout.cut_dims[static_cast<std::size_t>(b)];
+    tables.weights.reserve(tables.strings.size());
+    tables.setting_index.reserve(tables.strings.size());
+    tables.prep_index.reserve(tables.strings.size());
+    for (const std::vector<Pauli>& basis : tables.strings) {
+      tables.weights.push_back(layout.weights(b, basis));
+      tables.setting_index.push_back(settings_index_for_basis(basis));
+      std::vector<std::uint32_t> preps(static_cast<std::size_t>(cut_dim));
+      for (index_t a = 0; a < cut_dim; ++a) {
+        preps[static_cast<std::size_t>(a)] =
+            preps_index_for_basis(basis, static_cast<std::uint32_t>(a));
+      }
+      tables.prep_index.push_back(std::move(preps));
+    }
+    engine.total_terms *= tables.strings.size();
+    engine.boundaries.push_back(std::move(tables));
   }
-  return tensors;
+
+  // Flatten the (fragment, in string, out string) tensor jobs.
+  struct TensorJob {
+    int fragment;
+    std::size_t in_s;
+    std::size_t out_s;
+  };
+  std::vector<TensorJob> jobs;
+  engine.tensors.resize(static_cast<std::size_t>(graph.num_fragments()));
+  for (int f = 0; f < graph.num_fragments(); ++f) {
+    const std::size_t in_count = f > 0 ? engine.num_strings(f - 1) : 1;
+    const std::size_t out_count = f < graph.num_boundaries() ? engine.num_strings(f) : 1;
+    engine.tensors[static_cast<std::size_t>(f)].resize(in_count * out_count);
+    for (std::size_t in_s = 0; in_s < in_count; ++in_s) {
+      for (std::size_t out_s = 0; out_s < out_count; ++out_s) {
+        jobs.push_back(TensorJob{f, in_s, out_s});
+      }
+    }
+  }
+
+  const auto build_one = [&](std::size_t j) {
+    const TensorJob& job = jobs[j];
+    const int f = job.fragment;
+    const ChainTermEngine::BoundaryTables* in_tables =
+        f > 0 ? &engine.boundaries[static_cast<std::size_t>(f - 1)] : nullptr;
+    const ChainTermEngine::BoundaryTables* out_tables =
+        f < graph.num_boundaries() ? &engine.boundaries[static_cast<std::size_t>(f)] : nullptr;
+    const std::size_t out_count = out_tables != nullptr ? out_tables->strings.size() : 1;
+    engine.tensors[static_cast<std::size_t>(f)][job.in_s * out_count + job.out_s] =
+        layout.fragment_tensor(
+            f, data, in_tables != nullptr ? &in_tables->prep_index[job.in_s] : nullptr,
+            in_tables != nullptr ? &in_tables->weights[job.in_s] : nullptr,
+            out_tables != nullptr ? out_tables->setting_index[job.out_s] : 0,
+            out_tables != nullptr ? &out_tables->weights[job.out_s] : nullptr);
+  };
+  if (pool != nullptr) {
+    parallel::parallel_for(*pool, 0, jobs.size(), build_one);
+  } else {
+    for (std::size_t j = 0; j < jobs.size(); ++j) build_one(j);
+  }
+  return engine;
 }
 
 }  // namespace
@@ -357,31 +468,31 @@ ReconstructionResult reconstruct_distribution(const FragmentGraph& graph,
   Stopwatch timer;
 
   const ChainLayout layout(graph);
-  const TermSpace terms(spec);
   const double coefficient = 1.0 / static_cast<double>(layout.total_cut_dim);
   const index_t full_dim = pow2(graph.num_original_qubits);
+  const int num_fragments = graph.num_fragments();
+  const int num_boundaries = graph.num_boundaries();
 
   parallel::ThreadPool& pool =
       options.pool != nullptr ? *options.pool : parallel::ThreadPool::global();
 
-  std::vector<double> joint = parallel::parallel_map_reduce<std::vector<double>>(
-      pool, 0, terms.total, std::vector<double>(full_dim, 0.0),
-      [&](std::size_t t) {
-        const std::vector<const std::vector<Pauli>*> strings = terms.decode(t);
-        const std::vector<std::vector<double>> tensors = term_tensors(layout, data, strings);
-        std::vector<double> local(full_dim, 0.0);
+  const ChainTermEngine engine = build_term_engine(layout, data, spec, &pool);
+
+  std::vector<double> joint = accumulate_terms(
+      pool, engine.total_terms, full_dim, [&](std::uint64_t t, std::vector<double>& local) {
+        std::vector<std::size_t> string_of(static_cast<std::size_t>(num_boundaries));
+        engine.decode(t, string_of);
+        std::vector<const std::vector<double>*> tensors(
+            static_cast<std::size_t>(num_fragments));
+        for (int f = 0; f < num_fragments; ++f) {
+          tensors[static_cast<std::size_t>(f)] = &engine.tensor_for(f, string_of, num_boundaries);
+        }
         accumulate_term(layout, tensors, 0, coefficient, 0, local);
-        return local;
-      },
-      [](std::vector<double> acc, std::vector<double> term) {
-        if (acc.empty()) return term;
-        for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += term[i];
-        return acc;
       });
 
   ReconstructionResult result;
   result.raw_probabilities = std::move(joint);
-  result.terms = terms.total;
+  result.terms = engine.total_terms;
   result.seconds = timer.elapsed_seconds();
   return result;
 }
@@ -393,12 +504,14 @@ double reconstruct_probability_of(const FragmentGraph& graph, const ChainFragmen
              "reconstruct_probability_of: outcome out of range");
 
   const ChainLayout layout(graph);
-  const TermSpace terms(spec);
   const double coefficient = 1.0 / static_cast<double>(layout.total_cut_dim);
+  const int num_fragments = graph.num_fragments();
+  const int num_boundaries = graph.num_boundaries();
+  const ChainTermEngine engine = build_term_engine(layout, data, spec, nullptr);
 
   // Original outcome -> per-fragment final-bit pieces.
-  std::vector<index_t> piece(static_cast<std::size_t>(graph.num_fragments()), 0);
-  for (int f = 0; f < graph.num_fragments(); ++f) {
+  std::vector<index_t> piece(static_cast<std::size_t>(num_fragments), 0);
+  for (int f = 0; f < num_fragments; ++f) {
     const ChainFragment& fragment = graph.fragments[static_cast<std::size_t>(f)];
     for (std::size_t j = 0; j < fragment.output_original.size(); ++j) {
       if (bit(outcome, fragment.output_original[j]) != 0) {
@@ -409,12 +522,12 @@ double reconstruct_probability_of(const FragmentGraph& graph, const ChainFragmen
   }
 
   double total = 0.0;
-  for (std::uint64_t t = 0; t < terms.total; ++t) {
-    const std::vector<const std::vector<Pauli>*> strings = terms.decode(t);
-    const std::vector<std::vector<double>> tensors = term_tensors(layout, data, strings);
+  std::vector<std::size_t> string_of(static_cast<std::size_t>(num_boundaries));
+  for (std::uint64_t t = 0; t < engine.total_terms; ++t) {
+    engine.decode(t, string_of);
     double acc = coefficient;
-    for (int f = 0; f < graph.num_fragments(); ++f) {
-      acc *= tensors[static_cast<std::size_t>(f)][piece[static_cast<std::size_t>(f)]];
+    for (int f = 0; f < num_fragments; ++f) {
+      acc *= engine.tensor_for(f, string_of, num_boundaries)[piece[static_cast<std::size_t>(f)]];
     }
     total += acc;
   }

@@ -1,6 +1,8 @@
 #include "cutting/variants.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <numeric>
 #include <set>
 
 #include "common/error.hpp"
@@ -105,6 +107,92 @@ FragmentVariant make_fragment_variant(const FragmentGraph& graph, int fragment,
   }
   variant.circuit = std::move(circuit);
   return variant;
+}
+
+namespace {
+
+using circuit::Operation;
+
+int compare_u64(std::uint64_t a, std::uint64_t b) noexcept {
+  return a < b ? -1 : (a > b ? 1 : 0);
+}
+
+/// Total order over doubles by bit pattern (matches the equality notion of
+/// circuit::same_operation, and stays a strict weak order for any value).
+int compare_double_bits(double a, double b) noexcept {
+  return compare_u64(std::bit_cast<std::uint64_t>(a), std::bit_cast<std::uint64_t>(b));
+}
+
+/// Three-way order consistent with circuit::same_operation equality.
+int compare_operation(const Operation& a, const Operation& b) noexcept {
+  if (a.kind != b.kind) return static_cast<int>(a.kind) < static_cast<int>(b.kind) ? -1 : 1;
+  if (a.qubits != b.qubits) return a.qubits < b.qubits ? -1 : 1;
+  if (int c = compare_u64(a.params.size(), b.params.size()); c != 0) return c;
+  for (std::size_t i = 0; i < a.params.size(); ++i) {
+    if (int c = compare_double_bits(a.params[i], b.params[i]); c != 0) return c;
+  }
+  if (a.kind == circuit::GateKind::Custom) {
+    if (int c = compare_u64(a.custom.rows(), b.custom.rows()); c != 0) return c;
+    if (int c = compare_u64(a.custom.cols(), b.custom.cols()); c != 0) return c;
+    for (std::size_t r = 0; r < a.custom.rows(); ++r) {
+      for (std::size_t col = 0; col < a.custom.cols(); ++col) {
+        if (int c = compare_double_bits(a.custom(r, col).real(), b.custom(r, col).real());
+            c != 0) {
+          return c;
+        }
+        if (int c = compare_double_bits(a.custom(r, col).imag(), b.custom(r, col).imag());
+            c != 0) {
+          return c;
+        }
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::vector<PrefixGroup> group_by_shared_prefix(std::span<const Circuit* const> circuits) {
+  std::vector<std::size_t> order(circuits.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  // Lexicographic op-sequence order puts circuits with long common prefixes
+  // next to each other, so one linear sweep finds the clusters.
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    const Circuit& a = *circuits[x];
+    const Circuit& b = *circuits[y];
+    if (a.num_qubits() != b.num_qubits()) return a.num_qubits() < b.num_qubits();
+    const std::size_t limit = std::min(a.num_ops(), b.num_ops());
+    for (std::size_t i = 0; i < limit; ++i) {
+      if (int c = compare_operation(a.ops()[i], b.ops()[i]); c != 0) return c < 0;
+    }
+    if (a.num_ops() != b.num_ops()) return a.num_ops() < b.num_ops();
+    return x < y;
+  });
+
+  std::vector<PrefixGroup> groups;
+  for (std::size_t idx : order) {
+    const Circuit& c = *circuits[idx];
+    if (!groups.empty()) {
+      PrefixGroup& g = groups.back();
+      const std::size_t common =
+          std::min(circuit::common_prefix_ops(*circuits[g.members.front()], c), g.prefix_ops);
+      // Admit when the group's shared prefix is kept whole, or when the new
+      // member's shared work exceeds the suffix work shrinking the prefix
+      // adds to every existing member. Simulating a shared prefix once
+      // saves ~`common` ops per member, so any common >= 1 can pay for one
+      // state fork, but never let a near-stranger collapse a deep prefix.
+      const bool worthwhile =
+          common >= 1 &&
+          (common == g.prefix_ops || (g.prefix_ops - common) * g.members.size() <= common);
+      if (worthwhile) {
+        g.prefix_ops = common;
+        g.members.push_back(idx);
+        continue;
+      }
+    }
+    groups.push_back(PrefixGroup{c.num_ops(), {idx}});
+  }
+  return groups;
 }
 
 ChainVariantCounts count_chain_variants(const FragmentGraph& graph,

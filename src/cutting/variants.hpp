@@ -12,6 +12,7 @@
 // legacy upstream/downstream variants are the N=2 specialization.
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "cutting/basis.hpp"
@@ -93,6 +94,31 @@ struct FragmentVariant {
 /// Builds one variant circuit of one fragment.
 [[nodiscard]] FragmentVariant make_fragment_variant(const FragmentGraph& graph, int fragment,
                                                     FragmentVariantKey key);
+
+// ---- Shared-prefix grouping -------------------------------------------------
+
+/// A set of circuits sharing their first `prefix_ops` operations verbatim
+/// (circuit::same_operation, equal widths). Mirrors backend::BatchPrefixGroup
+/// but lives here because the grouping is a property of the variant set,
+/// not of any backend.
+struct PrefixGroup {
+  std::size_t prefix_ops = 0;
+  std::vector<std::size_t> members;  // indices into the input span
+};
+
+/// Partitions `circuits` into shared-prefix groups (every index appears in
+/// exactly one group; singletons included). The grouping is a general
+/// longest-common-prefix clustering, not a cut-specific rule: circuits are
+/// ordered lexicographically by operation sequence, then greedily merged
+/// while the saved prefix work outweighs what shrinking the group's shared
+/// prefix costs its existing members. For a cut fragment's variant set this
+/// recovers exactly the prep-tuple structure — all 3^Kout setting variants
+/// of one prep tuple share "preparations + body" and differ only in
+/// trailing basis rotations — but it applies equally to deduped variants of
+/// unrelated jobs batched together by the service. Deterministic in the
+/// input (no pointer-order dependence).
+[[nodiscard]] std::vector<PrefixGroup> group_by_shared_prefix(
+    std::span<const Circuit* const> circuits);
 
 /// Circuit evaluations per fragment under per-boundary specs.
 struct ChainVariantCounts {

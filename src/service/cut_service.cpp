@@ -23,8 +23,9 @@ CutService::CutService(backend::Backend& backend, CutServiceOptions options)
       pool_(options.pool != nullptr ? *options.pool : parallel::ThreadPool::global()),
       backend_identity_(options.backend_identity.empty() ? backend.name()
                                                          : std::move(options.backend_identity)),
+      prefix_batching_(options.prefix_batching),
       cache_(options.cache_capacity),
-      scheduler_(pool_, cache_),
+      scheduler_(cache_),
       scheduler_thread_([this] { scheduler_loop(); }) {}
 
 CutService::~CutService() {
@@ -236,6 +237,7 @@ void CutService::admit(const JobPtr& job) {
       r.specs = ChainNeglectSpec::none(graph);
       j.phase = JobPhase::ExecutingFragmentWave;
       j.wave_fragment = 0;
+      j.online_budget_remaining = opt.total_shot_budget;
       issue_wave(job, fragment_wave(graph, r.specs, 0));
       return;
     }
@@ -252,7 +254,31 @@ void CutService::issue_wave(const JobPtr& job, const std::vector<WaveVariant>& v
   QCUT_CHECK(opt.exact || opt.shots_per_variant > 0 || opt.total_shot_budget > 0,
              "execute_chain: need shots_per_variant or total_shot_budget when sampling");
 
-  WavePlan plan = plan_wave(variants, opt.shots_per_variant, opt.total_shot_budget, opt.exact);
+  // DetectOnline on an N>2 chain amortizes ONE total budget across the
+  // per-fragment waves: each wave draws remaining / waves_left, so the job
+  // never spends more than total_shot_budget overall. N=2 keeps the
+  // historical full-budget-per-wave split (bit-for-bit parity with the
+  // pre-chain upstream/downstream pipeline).
+  std::size_t wave_budget = opt.total_shot_budget;
+  const bool amortized = j.phase == JobPhase::ExecutingFragmentWave &&
+                         graph.num_fragments() > 2 && opt.total_shot_budget > 0;
+  if (amortized) {
+    const int waves_left = graph.num_fragments() - j.wave_fragment;
+    wave_budget = j.online_budget_remaining / static_cast<std::size_t>(waves_left);
+    QCUT_CHECK(wave_budget >= variants.size(),
+               "DetectOnline: total_shot_budget too small to cover one shot per variant of "
+               "each fragment wave (wave " +
+                   std::to_string(j.wave_fragment) + " of " +
+                   std::to_string(graph.num_fragments()) + " gets " +
+                   std::to_string(wave_budget) + " shots for " +
+                   std::to_string(variants.size()) + " variants)");
+  }
+
+  WavePlan plan = plan_wave(variants, opt.shots_per_variant, wave_budget, opt.exact);
+  if (amortized) {
+    j.online_budget_remaining -= std::min<std::size_t>(j.online_budget_remaining,
+                                                       plan.planned_total_shots);
+  }
 
   cutting::ChainFragmentData& data = j.response.data;
   j.wave_smallest_share = plan.smallest_share;
@@ -276,16 +302,10 @@ void CutService::issue_wave(const JobPtr& job, const std::vector<WaveVariant>& v
 
   // Prepare every request before issuing any: a throw while issuing would
   // strand the wave's pending count.
-  struct Prepared {
-    circuit::Circuit circuit{1};
-    Hash128 key;
-    std::size_t shots = 0;
-    std::uint64_t seed_stream = 0;
-  };
-  std::vector<Prepared> prepared;
+  std::vector<PreparedVariant> prepared;
   prepared.reserve(j.slots.size());
   for (const VariantSlot& slot : j.slots) {
-    Prepared p;
+    PreparedVariant p;
     p.circuit = cutting::make_fragment_variant(graph, slot.fragment, slot.key).circuit;
     p.seed_stream = opt.seed_stream_base + cutting::fragment_seed_offset(slot.fragment) +
                     cutting::variant_seed_index(graph, slot.fragment, slot.key);
@@ -296,13 +316,9 @@ void CutService::issue_wave(const JobPtr& job, const std::vector<WaveVariant>& v
   }
 
   j.pending.store(j.slots.size());
+  std::vector<VariantScheduler::BatchItem> items;
+  items.reserve(prepared.size());
   for (std::size_t i = 0; i < prepared.size(); ++i) {
-    Prepared& p = prepared[i];
-    auto execute = [this, circuit = std::move(p.circuit), shots = p.shots,
-                    seed = p.seed_stream, exact = opt.exact]() -> std::vector<double> {
-      if (exact) return backend_.exact_probabilities(circuit);
-      return backend_.run(circuit, shots, seed).to_probabilities();
-    };
     auto on_ready = [this, job, i](CachedDistribution result, std::exception_ptr error,
                                    VariantSource source) {
       CutJob& owner = *job;
@@ -325,7 +341,87 @@ void CutService::issue_wave(const JobPtr& job, const std::vector<WaveVariant>& v
       }
       if (owner.pending.fetch_sub(1) == 1) enqueue_ready(job);
     };
-    scheduler_.request(p.key, std::move(execute), std::move(on_ready));
+    items.push_back(VariantScheduler::BatchItem{prepared[i].key, std::move(on_ready)});
+  }
+
+  // Cache hits and in-flight joins resolve inside request_batch; the
+  // surviving variants come back as `to_launch` and are executed in
+  // shared-prefix groups, one Backend::run_batch per group on the pool.
+  // Per-variant shots, seed streams, and cache keys are untouched, so the
+  // executed results are bit-for-bit those of per-variant backend.run
+  // calls (the run_batch determinism contract).
+  scheduler_.request_batch(std::move(items), [&](const std::vector<std::size_t>& to_launch) {
+    launch_variant_groups(prepared, to_launch, opt.exact);
+  });
+}
+
+void CutService::launch_variant_groups(std::vector<PreparedVariant>& prepared,
+                                       const std::vector<std::size_t>& to_launch, bool exact) {
+  // Group the surviving variants by longest common circuit prefix; each
+  // group becomes one pool task running one backend batch. Without prefix
+  // batching every variant is its own group (the per-variant reference
+  // path, minus the batch plan).
+  std::vector<cutting::PrefixGroup> groups;
+  if (prefix_batching_) {
+    std::vector<const circuit::Circuit*> circuits;
+    circuits.reserve(to_launch.size());
+    for (std::size_t idx : to_launch) circuits.push_back(&prepared[idx].circuit);
+    groups = cutting::group_by_shared_prefix(circuits);
+  } else {
+    groups.reserve(to_launch.size());
+    for (std::size_t i = 0; i < to_launch.size(); ++i) {
+      groups.push_back(cutting::PrefixGroup{prepared[to_launch[i]].circuit.num_ops(), {i}});
+    }
+  }
+
+  for (cutting::PrefixGroup& group : groups) {
+    // Everything the task needs, moved out of the wave-local state: the
+    // task may outlive issue_wave's stack frame.
+    struct GroupTask {
+      backend::BatchRequest batch;
+      std::vector<Hash128> keys;
+    };
+    auto task = std::make_shared<GroupTask>();
+    task->batch.exact = exact;
+    // No intra-task pool: the task itself runs on a pool worker, and a
+    // nested parallel wait could deadlock a saturated pool. Parallelism
+    // comes from running many group tasks concurrently.
+    task->batch.pool = nullptr;
+    task->batch.jobs.reserve(group.members.size());
+    task->keys.reserve(group.members.size());
+    for (std::size_t member : group.members) {
+      PreparedVariant& p = prepared[to_launch[member]];
+      task->batch.jobs.push_back(
+          backend::BatchJob{std::move(p.circuit), p.shots, p.seed_stream});
+      task->keys.push_back(p.key);
+    }
+    if (group.members.size() > 1) {
+      task->batch.groups.push_back(backend::BatchPrefixGroup{group.prefix_ops, {}});
+      auto& all = task->batch.groups.back().jobs;
+      all.resize(task->batch.jobs.size());
+      for (std::size_t m = 0; m < all.size(); ++m) all[m] = m;
+    }
+    (void)pool_.submit([this, task]() {
+      std::vector<CachedDistribution> results(task->keys.size());
+      std::exception_ptr error;
+      try {
+        backend::BatchResult batched = backend_.run_batch(task->batch);
+        for (std::size_t m = 0; m < task->keys.size(); ++m) {
+          std::vector<double> probs = task->batch.exact
+                                          ? std::move(batched.probabilities[m])
+                                          : batched.counts[m].to_probabilities();
+          results[m] = std::make_shared<const std::vector<double>>(std::move(probs));
+        }
+      } catch (...) {
+        error = std::current_exception();
+      }
+      // One complete() per claimed key, success or failure: a group that
+      // throws fails every member, and no key is ever left in flight.
+      for (std::size_t m = 0; m < task->keys.size(); ++m) {
+        scheduler_.complete(task->keys[m], error == nullptr ? std::move(results[m]) : nullptr,
+                            error);
+      }
+    });
   }
 }
 
@@ -402,9 +498,10 @@ void CutService::reconstruct_and_finish(const JobPtr& job) {
 
   cutting::ReconstructionOptions recon;
   // Job-level pool override wins; otherwise reconstruction shares the
-  // service pool, like variant execution. (Reconstruction chunking depends
-  // on pool size, so bit-for-bit equivalence with the direct path holds at
-  // equal pools.)
+  // service pool, like variant execution. (Reconstruction chunking is
+  // computed from the term count alone, so the result is bit-for-bit
+  // identical to the direct path at ANY pool size — the pool only sets the
+  // wall clock.)
   recon.pool = j.request.options.pool != nullptr ? j.request.options.pool : &pool_;
   j.response.reconstruction = cutting::reconstruct_distribution(
       j.response.graph, j.response.data, j.response.specs, recon);

@@ -57,6 +57,14 @@ struct CutServiceOptions {
   /// override when distinct backends share a name (e.g. two noisy backends
   /// with different construction seeds).
   std::string backend_identity;
+
+  /// Group each wave's cache-missed, deduped variants by longest common
+  /// circuit prefix and execute each group through one Backend::run_batch
+  /// call (backends with a native batch path simulate each shared prefix
+  /// once). Per-variant seed streams and cache keys are unchanged, so
+  /// results are bit-for-bit identical either way; disable only to test or
+  /// time the per-variant reference path.
+  bool prefix_batching = true;
 };
 
 struct CutServiceStats {
@@ -95,10 +103,25 @@ class CutService {
  private:
   using JobPtr = std::shared_ptr<CutJob>;
 
+  /// One fully prepared variant execution of the current wave: the built
+  /// variant circuit plus everything that identifies the execution.
+  struct PreparedVariant {
+    circuit::Circuit circuit{1};
+    Hash128 key;
+    std::size_t shots = 0;
+    std::uint64_t seed_stream = 0;
+  };
+
   void scheduler_loop();
   void advance(const JobPtr& job);
   void admit(const JobPtr& job);
   void issue_wave(const JobPtr& job, const std::vector<WaveVariant>& variants);
+
+  /// Executes the cache-missed, deduped variants of a wave: groups them by
+  /// shared circuit prefix and submits one Backend::run_batch pool task per
+  /// group, publishing each variant through VariantScheduler::complete.
+  void launch_variant_groups(std::vector<PreparedVariant>& prepared,
+                             const std::vector<std::size_t>& to_launch, bool exact);
   void absorb_wave(const JobPtr& job);
   void handle_fragment_wave_complete(const JobPtr& job);
   void reconstruct_and_finish(const JobPtr& job);
@@ -108,6 +131,7 @@ class CutService {
   backend::Backend& backend_;
   parallel::ThreadPool& pool_;
   std::string backend_identity_;
+  const bool prefix_batching_;
   FragmentResultCache cache_;
   VariantScheduler scheduler_;
 

@@ -74,6 +74,11 @@ struct CutJob {
   // Owned by the service's scheduler thread between waves.
   JobPhase phase = JobPhase::Queued;
   int wave_fragment = 0;  // online mode: which fragment the current wave runs
+  /// DetectOnline with a total_shot_budget on an N>2 chain: the budget not
+  /// yet committed to earlier waves (one budget amortized across all
+  /// fragment waves). Unused at N=2, which keeps the historical
+  /// full-budget-per-wave split for bit-for-bit parity.
+  std::size_t online_budget_remaining = 0;
   cutting::CutResponse response;
 
   // Current wave.

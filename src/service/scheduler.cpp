@@ -3,53 +3,60 @@
 #include <memory>
 #include <utility>
 
+#include "common/error.hpp"
+
 namespace qcut::service {
 
-void VariantScheduler::request(const Hash128& key, ExecuteFn execute, Callback on_ready) {
-  // Cache first (its own lock; never held together with mutex_).
-  if (std::optional<CachedDistribution> hit = cache_.lookup(key)) {
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      ++stats_.requests;
-      ++stats_.cache_hits;
+void VariantScheduler::request_batch(
+    std::vector<BatchItem> items,
+    const std::function<void(const std::vector<std::size_t>&)>& launch) {
+  // Cache pass first (the cache holds its own lock; never taken together
+  // with mutex_). Hit callbacks fire inline, like request().
+  std::vector<bool> hit(items.size(), false);
+  std::size_t misses = 0;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (std::optional<CachedDistribution> found = cache_.lookup(items[i].key)) {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.requests;
+        ++stats_.cache_hits;
+      }
+      hit[i] = true;
+      items[i].on_ready(std::move(*found), nullptr, VariantSource::Cache);
+    } else {
+      ++misses;
     }
-    on_ready(std::move(*hit), nullptr, VariantSource::Cache);
-    return;
   }
+  if (misses == 0) return;
 
-  bool launch = false;
+  std::vector<std::size_t> to_launch;
+  to_launch.reserve(misses);
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.requests;
-    auto [it, inserted] = in_flight_.try_emplace(key);
-    if (inserted) {
-      launch = true;
-      ++stats_.executions;
-      it->second.push_back(Waiter{std::move(on_ready), /*launcher=*/true});
-    } else {
-      ++stats_.dedup_joins;
-      it->second.push_back(Waiter{std::move(on_ready), /*launcher=*/false});
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      if (hit[i]) continue;
+      ++stats_.requests;
+      auto [it, inserted] = in_flight_.try_emplace(items[i].key);
+      if (inserted) {
+        ++stats_.executions;
+        it->second.push_back(Waiter{std::move(items[i].on_ready), /*launcher=*/true});
+        to_launch.push_back(i);
+      } else {
+        ++stats_.dedup_joins;
+        it->second.push_back(Waiter{std::move(items[i].on_ready), /*launcher=*/false});
+      }
     }
   }
   // A twin execution may have completed between the cache miss and taking
-  // mutex_; we then relaunch instead of hitting the fresh cache entry. That
-  // costs one redundant (deterministic, identical) execution and is
-  // harmless; re-checking the cache here would invert the lock order.
-  if (launch) {
-    (void)pool_.submit([this, key, exec = std::move(execute)]() mutable {
-      run_execution(key, std::move(exec));
-    });
-  }
+  // mutex_; the item is then claimed for a relaunch instead of hitting the
+  // fresh cache entry. That costs one redundant (deterministic, identical)
+  // execution and is harmless; re-checking the cache here would invert the
+  // lock order.
+  if (!to_launch.empty()) launch(to_launch);
 }
 
-void VariantScheduler::run_execution(Hash128 key, ExecuteFn execute) {
-  CachedDistribution result;
-  std::exception_ptr error;
-  try {
-    result = std::make_shared<const std::vector<double>>(execute());
-  } catch (...) {
-    error = std::current_exception();
-  }
+void VariantScheduler::complete(const Hash128& key, CachedDistribution result,
+                                std::exception_ptr error) {
   if (result != nullptr) cache_.insert(key, result);
 
   std::vector<Waiter> waiters;
@@ -57,12 +64,14 @@ void VariantScheduler::run_execution(Hash128 key, ExecuteFn execute) {
     std::lock_guard<std::mutex> lock(mutex_);
     if (error != nullptr) ++stats_.failures;
     const auto it = in_flight_.find(key);
+    QCUT_CHECK(it != in_flight_.end(),
+               "VariantScheduler::complete: key was not claimed in flight");
     waiters = std::move(it->second);
     in_flight_.erase(it);
   }
-  // Invoking the callbacks is the task's final act: once the last waiter's
-  // job finishes, the service may be torn down, so no member access after
-  // this point.
+  // Invoking the callbacks is the execution's final act: once the last
+  // waiter's job finishes, the service may be torn down, so no member
+  // access after this point.
   for (Waiter& w : waiters) {
     w.callback(result, error,
                w.launcher ? VariantSource::Executed : VariantSource::SharedInFlight);

@@ -3,13 +3,17 @@
 // thread pool.
 //
 // Every variant execution is content-addressed (see circuit_hash.hpp). A
-// request first consults the fragment-result cache; on a miss it either
-// joins an identical in-flight execution launched by another request
+// requested item first consults the fragment-result cache; on a miss it
+// either joins an identical in-flight execution claimed by another request
 // (cross-request deduplication - two concurrent jobs needing the same
-// upstream setting share one backend run) or launches the execution itself
-// on the pool. Results enter the cache before waiters are notified, so a
-// request arriving one instant later still hits.
+// upstream setting share one backend run) or is claimed in flight and
+// handed back to the caller's launcher, which executes the surviving items
+// (typically grouped into shared-prefix Backend::run_batch calls) and
+// publishes each through complete(). Results enter the cache before
+// waiters are notified, so a request arriving one instant later still
+// hits.
 
+#include <cstddef>
 #include <cstdint>
 #include <exception>
 #include <functional>
@@ -17,7 +21,6 @@
 #include <unordered_map>
 #include <vector>
 
-#include "parallel/thread_pool.hpp"
 #include "service/fragment_cache.hpp"
 
 namespace qcut::service {
@@ -36,35 +39,51 @@ struct SchedulerStats {
 
 class VariantScheduler {
  public:
-  using ExecuteFn = std::function<std::vector<double>()>;
   /// Exactly one of result / error is set. May be invoked inline from
-  /// request() (cache hit) or later from a pool thread.
+  /// request_batch() (cache hit) or later from whichever thread the
+  /// launcher publishes complete() on. Always runs exactly once per item;
+  /// the caller must keep this scheduler alive until every callback has
+  /// fired (the CutService waits for all jobs).
   using Callback =
       std::function<void(CachedDistribution result, std::exception_ptr error, VariantSource source)>;
 
-  VariantScheduler(parallel::ThreadPool& pool, FragmentResultCache& cache)
-      : pool_(pool), cache_(cache) {}
+  explicit VariantScheduler(FragmentResultCache& cache) : cache_(cache) {}
 
   VariantScheduler(const VariantScheduler&) = delete;
   VariantScheduler& operator=(const VariantScheduler&) = delete;
 
-  /// Requests the variant identified by `key`. `execute` runs at most once
-  /// across all concurrent requests with the same key; `on_ready` always
-  /// runs exactly once. The caller must keep this scheduler alive until
-  /// every callback has fired (the CutService waits for all jobs).
-  void request(const Hash128& key, ExecuteFn execute, Callback on_ready);
+  /// One item of a batched request: dedup/cache identity plus the result
+  /// callback. What to execute is the launcher's business (see below), so
+  /// the launcher can group the surviving items into shared-prefix backend
+  /// batches instead of one execution per item.
+  struct BatchItem {
+    Hash128 key;
+    Callback on_ready;
+  };
+
+  /// Batched request(): each item is served from the cache or joins an
+  /// in-flight twin exactly as request() would; the items that must
+  /// actually execute are claimed in flight and their indices handed to
+  /// `launch` in one call (invoked synchronously, once, only when
+  /// non-empty). For every claimed item the launcher must eventually call
+  /// complete() with its key exactly once — typically from pool tasks
+  /// running grouped Backend::run_batch calls.
+  void request_batch(std::vector<BatchItem> items,
+                     const std::function<void(const std::vector<std::size_t>&)>& launch);
+
+  /// Publishes the result (or failure) of an execution claimed via
+  /// request_batch: inserts into the cache and notifies the launcher and
+  /// every waiter that joined in flight.
+  void complete(const Hash128& key, CachedDistribution result, std::exception_ptr error);
 
   [[nodiscard]] SchedulerStats stats() const;
 
  private:
   struct Waiter {
     Callback callback;
-    bool launcher = false;  // this request triggered the execution
+    bool launcher = false;  // this request claimed the execution
   };
 
-  void run_execution(Hash128 key, ExecuteFn execute);
-
-  parallel::ThreadPool& pool_;
   FragmentResultCache& cache_;
   mutable std::mutex mutex_;
   std::unordered_map<Hash128, std::vector<Waiter>, Hash128Hasher> in_flight_;

@@ -1,6 +1,15 @@
-// Micro benchmarks for the simulation substrate (google-benchmark).
+// Micro benchmarks for the simulation substrate (google-benchmark), plus
+// the gated gate-kernel-engine measurement: the engine (specialized
+// kernels + fusion + threading) must be at least 2x the generic dense path
+// on a 16-qubit depth-64 random circuit, or the bench exits nonzero.
+// BENCH_micro_simulator.json records the headline speedup and per-kernel-
+// class timings.
 
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
 
 #include "bench_json.hpp"
 #include "common/stopwatch.hpp"
@@ -10,6 +19,7 @@
 #include "circuit/random.hpp"
 #include "noise/standard_channels.hpp"
 #include "sim/density_matrix.hpp"
+#include "sim/engine.hpp"
 #include "sim/sampling.hpp"
 #include "sim/statevector.hpp"
 
@@ -113,10 +123,49 @@ void BM_NoisyBackendRun(benchmark::State& state) {
 }
 BENCHMARK(BM_NoisyBackendRun);
 
+void BM_EngineApplyCircuit(benchmark::State& state) {
+  const int num_qubits = static_cast<int>(state.range(0));
+  const circuit::Circuit c = random_for(num_qubits, 10, 1);
+  const sim::CompiledCircuit compiled = sim::compile_circuit(c, sim::EngineOptions{});
+  for (auto _ : state) {
+    sim::StateVector sv(num_qubits);
+    compiled.apply(sv);
+    benchmark::DoNotOptimize(sv.amplitudes().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(c.num_ops()));
+}
+BENCHMARK(BM_EngineApplyCircuit)->DenseRange(4, 16, 4);
+
+/// Median wall seconds of fn() over `repeats` runs.
+template <typename Fn>
+double median_seconds(int repeats, const Fn& fn) {
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(repeats));
+  for (int r = 0; r < repeats; ++r) {
+    Stopwatch watch;
+    fn();
+    times.push_back(watch.elapsed_seconds());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+/// Seconds per application of one compiled gate at `num_qubits` qubits.
+double time_kernel(const circuit::Circuit& gate_circuit, const sim::EngineOptions& options) {
+  const sim::CompiledCircuit compiled = sim::compile_circuit(gate_circuit, options);
+  sim::StateVector sv(gate_circuit.num_qubits());
+  constexpr int kApplications = 200;
+  return median_seconds(3, [&] {
+           for (int i = 0; i < kApplications; ++i) compiled.apply(sv);
+         }) /
+         kApplications;
+}
+
 }  // namespace
 
-/// Custom main: run the registered google-benchmark suites, then time one
-/// representative statevector workload for the BENCH_<name>.json file.
+/// Custom main: run the registered google-benchmark suites, then the gated
+/// engine-vs-generic measurement for BENCH_micro_simulator.json.
 int main(int argc, char** argv) {
   using namespace qcut;
   benchmark::Initialize(&argc, argv);
@@ -124,16 +173,81 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 
-  const circuit::Circuit c = random_for(14, 10, 1);
+  // The acceptance workload: a 16-qubit depth-64 random circuit, engine
+  // (specialized kernels + fusion + threading) vs the generic dense path.
+  constexpr int kWidth = 16;
+  constexpr int kDepth = 64;
+  const circuit::Circuit c = random_for(kWidth, kDepth, 1);
+
+  const sim::CompiledCircuit generic = sim::compile_circuit(c, sim::EngineOptions::generic());
+  const sim::CompiledCircuit engine = sim::compile_circuit(c, sim::EngineOptions{});
+
   constexpr int kRepeats = 5;
-  Stopwatch watch;
-  for (int r = 0; r < kRepeats; ++r) {
-    sim::StateVector sv(14);
-    sv.apply_circuit(c);
+  const double generic_seconds = median_seconds(kRepeats, [&] {
+    sim::StateVector sv(kWidth);
+    generic.apply(sv);
+  });
+  const double engine_seconds = median_seconds(kRepeats, [&] {
+    sim::StateVector sv(kWidth);
+    engine.apply(sv);
+  });
+  const double speedup = generic_seconds / engine_seconds;
+
+  // Per-kernel-class timings: one representative gate per class at the
+  // acceptance width (seconds per gate application).
+  const auto one_gate = [&](circuit::GateKind kind, std::vector<int> qubits,
+                            std::vector<double> params = {}) {
+    circuit::Circuit g(kWidth);
+    g.append(kind, std::move(qubits), std::move(params));
+    return g;
+  };
+  // Specialized, no fusion (single gates), no threading: pure per-kernel
+  // cost, comparable across runners and to the dense references below
+  // (the headline gate above already captures threading).
+  sim::EngineOptions kernel_options;
+  kernel_options.fuse = false;
+  kernel_options.threading_threshold_qubits = 27;
+  const double diagonal_s = time_kernel(one_gate(circuit::GateKind::RZ, {8}, {0.7}),
+                                        kernel_options);
+  const double permutation_s = time_kernel(one_gate(circuit::GateKind::CX, {0, 15}),
+                                           kernel_options);
+  const double controlled_s = time_kernel(one_gate(circuit::GateKind::CRY, {0, 15}, {0.7}),
+                                          kernel_options);
+  const double generic_1q_s = time_kernel(one_gate(circuit::GateKind::H, {8}), kernel_options);
+  const double generic_2q_s = time_kernel(one_gate(circuit::GateKind::RXX, {0, 15}, {0.7}),
+                                          kernel_options);
+  const double dense_1q_s = time_kernel(one_gate(circuit::GateKind::RZ, {8}, {0.7}),
+                                        sim::EngineOptions::generic());
+  const double dense_2q_s = time_kernel(one_gate(circuit::GateKind::CX, {0, 15}),
+                                        sim::EngineOptions::generic());
+
+  const double fused_fraction =
+      c.num_ops() == 0 ? 0.0
+                       : static_cast<double>(engine.fusion_stats().merged_1q_gates +
+                                             engine.fusion_stats().folded_1q_gates) /
+                             static_cast<double>(c.num_ops());
+
+  std::printf("micro_simulator: %d qubits depth %d, generic %.4fs, engine %.4fs -> %.2fx\n",
+              kWidth, kDepth, generic_seconds, engine_seconds, speedup);
+  (void)qcut::bench::write_bench_json(
+      "micro_simulator", engine_seconds, speedup,
+      {{"generic_seconds", generic_seconds},
+       {"engine_seconds", engine_seconds},
+       {"circuit_ops", static_cast<double>(c.num_ops())},
+       {"fused_gate_fraction", fused_fraction},
+       {"kernel_diagonal_seconds_per_gate", diagonal_s},
+       {"kernel_permutation_seconds_per_gate", permutation_s},
+       {"kernel_controlled_1q_seconds_per_gate", controlled_s},
+       {"kernel_generic_1q_seconds_per_gate", generic_1q_s},
+       {"kernel_generic_2q_seconds_per_gate", generic_2q_s},
+       {"dense_diagonal_seconds_per_gate", dense_1q_s},
+       {"dense_permutation_seconds_per_gate", dense_2q_s}});
+
+  constexpr double kTargetSpeedup = 2.0;
+  if (speedup < kTargetSpeedup) {
+    std::printf("micro_simulator: engine speedup %.2fx is below the %.1fx target\n", speedup,
+                kTargetSpeedup);
+    return 1;
   }
-  const double seconds = watch.elapsed_seconds() / kRepeats;
-  const double ops_per_second = static_cast<double>(c.num_ops()) / seconds;
-  (void)qcut::bench::write_bench_json("micro_simulator", seconds, 1.0,
-                                      {{"gate_ops_per_second", ops_per_second}});
   return 0;
 }

@@ -56,6 +56,14 @@ struct BatchRequest {
   /// from a pool worker thread (a nested parallel wait can deadlock a
   /// saturated pool); implementations must then run the batch serially.
   parallel::ThreadPool* pool = nullptr;
+
+  /// Allow the backend's specialized gate-kernel engine (sim/engine.hpp).
+  /// The engine is bit-for-bit identical to the generic path, so this knob
+  /// never affects results or cache keys — it exists to time and test the
+  /// generic reference path. Result-affecting engine options (gate fusion)
+  /// are backend-construction state instead, reflected in
+  /// Backend::identity().
+  bool sim_engine = true;
 };
 
 /// Per-job results, indexed like BatchRequest::jobs. Sampled mode fills
@@ -78,6 +86,16 @@ class Backend {
 
   /// Human-readable backend name.
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Cache-key identity: two backends with equal identity() must return
+  /// bit-for-bit equal results for every (circuit, shots, seed_stream).
+  /// Backends must fold every result-affecting construction parameter in
+  /// — seeds, noise models, engine configuration (the statevector backend
+  /// includes its sampling seed and gate-fusion flags). The default is
+  /// name(), which carries none of that; callers caching across backends
+  /// that keep the default should override the namespace per cache (see
+  /// CutServiceOptions::backend_identity).
+  [[nodiscard]] virtual std::string identity() const { return name(); }
 
   /// Samples `shots` measurements of all qubits after running `circuit`.
   /// `seed_stream` selects a deterministic random substream; callers that

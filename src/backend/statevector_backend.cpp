@@ -1,13 +1,29 @@
 #include "backend/statevector_backend.hpp"
 
+#include <span>
 #include <utility>
 
+#include "circuit/optimize.hpp"
 #include "sim/sampling.hpp"
 #include "sim/statevector.hpp"
 
 namespace qcut::backend {
 
-StatevectorBackend::StatevectorBackend(std::uint64_t seed) : base_rng_(seed) {}
+StatevectorBackend::StatevectorBackend(std::uint64_t seed, sim::EngineOptions engine)
+    : base_rng_(seed), engine_(engine) {}
+
+std::string StatevectorBackend::identity() const {
+  // The construction seed drives every sampled Counts, and gate fusion
+  // perturbs the simulated distributions — both must separate cache
+  // namespaces (the Backend::identity() contract).
+  std::string id = name() + "(seed=" + std::to_string(base_rng_.seed()) + ")";
+  if (engine_.fuse) {
+    id += "+fusion";
+    if (!engine_.fusion.merge_1q_runs) id += "-nomerge";
+    if (!engine_.fusion.fold_1q_into_2q) id += "-nofold";
+  }
+  return id;
+}
 
 Counts StatevectorBackend::run(const Circuit& circuit, std::size_t shots,
                                std::uint64_t seed_stream) {
@@ -26,7 +42,7 @@ Counts StatevectorBackend::run(const Circuit& circuit, std::size_t shots,
 
 std::vector<double> StatevectorBackend::exact_probabilities(const Circuit& circuit) {
   sim::StateVector sv(circuit.num_qubits());
-  sv.apply_circuit(circuit);
+  sim::compile_circuit(circuit, engine_).apply(sv);
   return sv.probabilities();
 }
 
@@ -83,26 +99,69 @@ BatchResult StatevectorBackend::run_batch(const BatchRequest& request) {
     }
   }
 
+  sim::EngineOptions engine = engine_;
+  if (!request.sim_engine) {
+    // Per-request opt-out of the bit-for-bit-neutral engine features only:
+    // fusion affects results and stays fixed at construction (identity()).
+    engine.specialize = false;
+    engine.threading_threshold_qubits = 27;
+  }
+
   const auto run_unit = [&](std::size_t u) {
     const BatchUnit& unit = units[u];
     const Circuit& rep = request.jobs[unit.jobs.front()].circuit;
-    sim::StateVector base(rep.num_qubits());
-    for (std::size_t i = 0; i < unit.prefix_ops; ++i) base.apply_operation(rep.op(i));
+    const int width = rep.num_qubits();
+
+    // Compile (and fusion-scan) the shared prefix ONCE. Under fusion only
+    // the settled operations — those no later push could merge into — are
+    // applied before the fork; the scan state is cloned per member so
+    // settled + member tail is exactly the stream a standalone
+    // full-circuit fusion emits (the GateFusion stream property).
+    circuit::GateFusion prefix_scan(width, engine.fusion);
+    std::vector<circuit::Operation> settled;
+    if (engine.fuse) {
+      for (std::size_t i = 0; i < unit.prefix_ops; ++i) prefix_scan.push(rep.op(i), settled);
+    }
+    const sim::CompiledCircuit prefix_program =
+        engine.fuse
+            ? sim::compile_ops(settled, width, engine)
+            : sim::compile_ops(std::span(rep.ops()).first(unit.prefix_ops), width, engine);
+    sim::StateVector base(width);
+    prefix_program.apply(base);
+
+    // Per-member scratch, allocated once per unit and reused: the forked
+    // state (copy-assignment reuses its buffer), the fused tail op list,
+    // and the sampled-mode probability vector.
+    sim::StateVector fork(width);
+    std::vector<circuit::Operation> tail;
+    std::vector<double> probs_scratch;
     for (std::size_t m = 0; m < unit.jobs.size(); ++m) {
       const std::size_t j = unit.jobs[m];
       const BatchJob& job = request.jobs[j];
-      // Fork the shared prefix state; the last member consumes it.
-      sim::StateVector sv = (m + 1 == unit.jobs.size()) ? std::move(base) : base;
-      for (std::size_t i = unit.prefix_ops; i < job.circuit.num_ops(); ++i) {
-        sv.apply_operation(job.circuit.op(i));
-      }
-      std::vector<double> probs = sv.probabilities();
-      if (request.exact) {
-        result.probabilities[j] = std::move(probs);
+      if (m + 1 == unit.jobs.size()) {
+        fork = std::move(base);  // the last member consumes the prefix state
       } else {
+        fork = base;
+      }
+      if (engine.fuse) {
+        circuit::GateFusion member_scan = prefix_scan;
+        tail.clear();
+        for (std::size_t i = unit.prefix_ops; i < job.circuit.num_ops(); ++i) {
+          member_scan.push(job.circuit.op(i), tail);
+        }
+        member_scan.flush(tail);
+        sim::compile_ops(tail, width, engine).apply(fork);
+      } else {
+        sim::compile_ops(std::span(job.circuit.ops()).subspan(unit.prefix_ops), width, engine)
+            .apply(fork);
+      }
+      if (request.exact) {
+        result.probabilities[j] = fork.probabilities();
+      } else {
+        fork.probabilities_into(probs_scratch);
         Rng rng = base_rng_.child(job.seed_stream);
         result.counts[j] = Counts::from_histogram(
-            sim::sample_histogram(probs, job.shots, rng), job.circuit.num_qubits());
+            sim::sample_histogram(probs_scratch, job.shots, rng), job.circuit.num_qubits());
       }
     }
   };

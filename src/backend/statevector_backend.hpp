@@ -1,19 +1,36 @@
 #pragma once
 // Ideal (noiseless) simulator backend with multinomial shot sampling —
 // the role Qiskit Aer plays in the paper's simulator experiments.
+//
+// Simulation runs through the gate-kernel engine (sim/engine.hpp):
+// operations are classified once into specialized kernels (diagonal,
+// permutation, controlled-1q, generic), adjacent single-qubit gates are
+// fused, and kernel loops thread over amplitude chunks for wide states.
+// Specialized kernels and threading are bit-for-bit identical to the
+// generic path; gate fusion may deviate by floating-point rounding (well
+// under 1e-12) and is therefore part of identity() — the fragment-cache
+// namespace — so content addressing stays sound.
 
 #include <mutex>
 
 #include "backend/backend.hpp"
 #include "common/rng.hpp"
+#include "sim/engine.hpp"
 
 namespace qcut::backend {
 
 class StatevectorBackend : public Backend {
  public:
-  explicit StatevectorBackend(std::uint64_t seed = 7);
+  explicit StatevectorBackend(std::uint64_t seed = 7, sim::EngineOptions engine = {});
 
   [[nodiscard]] std::string name() const override { return "statevector"; }
+
+  /// name() plus every result-affecting construction parameter: the
+  /// sampling seed and the gate-fusion configuration. Backends whose
+  /// identity() strings are equal return bit-for-bit equal results.
+  [[nodiscard]] std::string identity() const override;
+
+  [[nodiscard]] const sim::EngineOptions& engine_options() const noexcept { return engine_; }
 
   using Backend::run;
   [[nodiscard]] Counts run(const Circuit& circuit, std::size_t shots,
@@ -23,11 +40,13 @@ class StatevectorBackend : public Backend {
 
   /// Native shared-prefix batch execution: each group's common prefix is
   /// simulated once, then a copy of the prefix state is forked per member
-  /// and only the member's suffix operations are applied. Because the forked
-  /// state holds exactly the amplitudes a from-scratch simulation would have
-  /// reached after the prefix, every job's probabilities — and the
-  /// multinomial sample drawn from its own seed stream — are bit-for-bit
-  /// identical to a per-job run() (the Backend::run_batch contract).
+  /// and only the member's suffix operations are applied. The prefix is
+  /// compiled (and its gate-fusion scan run) once per group; members clone
+  /// the scan state, so settled-prefix + member-tail emissions are exactly
+  /// the stream a standalone full-circuit fusion emits. Every job's
+  /// probabilities — and the multinomial sample drawn from its own seed
+  /// stream — are therefore bit-for-bit identical to a per-job run()
+  /// (the Backend::run_batch contract), fusion on or off.
   [[nodiscard]] BatchResult run_batch(const BatchRequest& request) override;
 
   [[nodiscard]] BackendStats stats() const override;
@@ -35,6 +54,7 @@ class StatevectorBackend : public Backend {
 
  private:
   Rng base_rng_;
+  sim::EngineOptions engine_;
   mutable std::mutex stats_mutex_;
   BackendStats stats_;
 };

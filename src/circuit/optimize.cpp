@@ -4,6 +4,8 @@
 #include <numbers>
 #include <optional>
 
+#include "linalg/ops.hpp"
+
 namespace qcut::circuit {
 
 namespace {
@@ -179,6 +181,111 @@ Circuit optimize(const Circuit& circuit, OptimizeStats* stats) {
     }
   }
   if (stats != nullptr) *stats = local;
+  return out;
+}
+
+// ---- Gate fusion ------------------------------------------------------------
+
+namespace {
+
+/// 4x4 matrix applying the 2x2 `p` to local bit `pos` (tensored with the
+/// identity on the other bit). kron's second factor is the low bit.
+CMat expand_1q_to_2q(const CMat& p, int pos) {
+  return pos == 0 ? linalg::kron(CMat::identity(2), p) : linalg::kron(p, CMat::identity(2));
+}
+
+}  // namespace
+
+GateFusion::GateFusion(int num_qubits, FusionOptions options)
+    : options_(options), pending_(static_cast<std::size_t>(num_qubits)) {}
+
+void GateFusion::flush_qubit(int q, std::vector<Operation>& out) {
+  Pending& p = pending_[static_cast<std::size_t>(q)];
+  if (p.length == 0) return;
+  if (p.length == 1) {
+    // A run of one is emitted verbatim so it keeps its specialized kernel
+    // class (an RZ stays a diagonal gate instead of becoming a dense 2x2).
+    out.push_back(std::move(p.first));
+  } else {
+    Operation fused;
+    fused.kind = GateKind::Custom;
+    fused.qubits = {q};
+    fused.custom = std::move(p.matrix);
+    fused.label = "fused";
+    stats_.merged_1q_gates += p.length;
+    out.push_back(std::move(fused));
+  }
+  p = Pending{};
+}
+
+void GateFusion::push(const Operation& op, std::vector<Operation>& out) {
+  if (op.num_qubits() == 1) {
+    const int q = op.qubits[0];
+    Pending& p = pending_[static_cast<std::size_t>(q)];
+    if (p.length > 0 && !options_.merge_1q_runs) flush_qubit(q, out);
+    if (p.length == 0) {
+      p.matrix = op.matrix();
+      p.first = op;
+      p.length = 1;
+    } else {
+      p.matrix = op.matrix() * p.matrix;  // later gate applies on the left
+      ++p.length;
+    }
+    return;
+  }
+
+  // Never densify a (phased) permutation or diagonal 2q gate: the
+  // simulator runs those as index shuffles / per-amplitude multiplies
+  // (sim/engine.hpp classifies with the same linalg predicate).
+  if (op.num_qubits() == 2 && options_.fold_1q_into_2q &&
+      !linalg::is_phased_permutation(op.matrix())) {
+    const std::size_t a = static_cast<std::size_t>(op.qubits[0]);
+    const std::size_t b = static_cast<std::size_t>(op.qubits[1]);
+    if (pending_[a].length > 0 || pending_[b].length > 0) {
+      CMat m = op.matrix();
+      for (int pos = 0; pos < 2; ++pos) {
+        Pending& p = pending_[static_cast<std::size_t>(op.qubits[pos])];
+        if (p.length == 0) continue;
+        m = m * expand_1q_to_2q(p.matrix, pos);
+        stats_.folded_1q_gates += p.length;
+        p = Pending{};
+      }
+      Operation fused;
+      fused.kind = GateKind::Custom;
+      fused.qubits = op.qubits;
+      fused.custom = std::move(m);
+      fused.label = "fused";
+      out.push_back(std::move(fused));
+      return;
+    }
+    out.push_back(op);
+    return;
+  }
+
+  for (int q : op.qubits) flush_qubit(q, out);
+  out.push_back(op);
+}
+
+void GateFusion::flush(std::vector<Operation>& out) {
+  for (int q = 0; q < static_cast<int>(pending_.size()); ++q) flush_qubit(q, out);
+}
+
+Circuit fuse_gates(const Circuit& circuit, FusionOptions options, FusionStats* stats) {
+  GateFusion scan(circuit.num_qubits(), options);
+  std::vector<Operation> ops;
+  ops.reserve(circuit.num_ops());
+  for (const Operation& op : circuit.ops()) scan.push(op, ops);
+  scan.flush(ops);
+
+  Circuit out(circuit.num_qubits());
+  for (Operation& op : ops) {
+    if (op.kind == GateKind::Custom) {
+      out.append_custom(std::move(op.custom), op.qubits, op.label);
+    } else {
+      out.append(op.kind, op.qubits, op.params);
+    }
+  }
+  if (stats != nullptr) *stats = scan.stats();
   return out;
 }
 

@@ -28,4 +28,74 @@ struct OptimizeStats {
 /// implements exactly the same unitary (including global phase).
 [[nodiscard]] Circuit optimize(const Circuit& circuit, OptimizeStats* stats = nullptr);
 
+// ---- Gate fusion ------------------------------------------------------------
+//
+// Fusion merges runs of adjacent single-qubit gates into one 2x2 matrix and
+// folds pending single-qubit gates into the next two-qubit gate touching the
+// same wire, shrinking the op stream the simulator walks. Unlike the
+// peephole passes above it is only *numerically* unitary-preserving: the
+// fused matrices are floating-point products of the originals, so a fused
+// circuit may deviate from the original by rounding (well under 1e-12 for
+// realistic depths). Consumers that promise bit-for-bit results must treat
+// fusion as a result-affecting knob (see sim::EngineOptions and the
+// fragment-cache identity).
+
+struct FusionOptions {
+  /// Merge maximal runs of adjacent 1q gates on the same wire into one 2x2.
+  bool merge_1q_runs = true;
+
+  /// Fold pending 1q matrices into the next 2q gate touching the same wire
+  /// (one dense 4x4 instead of 1q + 2q applications). Gates whose matrix
+  /// is a (phased) permutation or diagonal — CX/CZ/CY/SWAP/ISwap/CP/CRZ/
+  /// RZZ — never absorb: the simulator runs those as index shuffles or
+  /// per-amplitude multiplies (sim/engine.hpp), and a dense fused 4x4
+  /// would forfeit far more arithmetic than the saved memory pass regains.
+  bool fold_1q_into_2q = true;
+};
+
+struct FusionStats {
+  std::size_t merged_1q_gates = 0;   // 1q gates absorbed into a fused 2x2
+  std::size_t folded_1q_gates = 0;   // 1q gates folded into a 2q matrix
+};
+
+/// Streaming gate-fusion scan.
+///
+/// push() consumes one operation and appends any operations whose fusion is
+/// *settled* — no operation pushed later could merge into them — to `out`;
+/// flush() emits the still-pending tail. The class is copyable, and the
+/// stream property holds by construction: for any split A|B of an op list,
+///   push(A) -> settled(A);  copy;  push(B); flush() -> tail
+/// emits exactly the sequence push(A+B); flush() would. The statevector
+/// backend's shared-prefix batch path relies on this to fuse a forked
+/// suffix bit-for-bit identically to a standalone full-circuit fusion.
+class GateFusion {
+ public:
+  explicit GateFusion(int num_qubits, FusionOptions options = {});
+
+  /// Consumes `op`; appends settled operations to `out`.
+  void push(const Operation& op, std::vector<Operation>& out);
+
+  /// Emits the pending tail (ascending qubit order) and resets the scan.
+  void flush(std::vector<Operation>& out);
+
+  [[nodiscard]] const FusionStats& stats() const noexcept { return stats_; }
+
+ private:
+  void flush_qubit(int q, std::vector<Operation>& out);
+
+  struct Pending {
+    CMat matrix;          // accumulated 2x2 product (later gates on the left)
+    Operation first;      // the run's first op, emitted verbatim for runs of 1
+    std::size_t length = 0;
+  };
+
+  FusionOptions options_;
+  std::vector<Pending> pending_;  // one slot per qubit; length == 0 means empty
+  FusionStats stats_;
+};
+
+/// Applies gate fusion to a whole circuit (push every op, then flush).
+[[nodiscard]] Circuit fuse_gates(const Circuit& circuit, FusionOptions options = {},
+                                 FusionStats* stats = nullptr);
+
 }  // namespace qcut::circuit

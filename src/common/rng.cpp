@@ -93,13 +93,21 @@ bool Rng::bernoulli(double p) { return uniform() < p; }
 
 std::uint64_t Rng::next_u64() { return engine_(); }
 
-DiscreteSampler::DiscreteSampler(std::span<const double> weights) {
+DiscreteSampler::DiscreteSampler(std::span<const double> weights, double negative_tolerance) {
   QCUT_CHECK(!weights.empty(), "DiscreteSampler: weights must be non-empty");
   cdf_.resize(weights.size());
   double total = 0.0;
   for (std::size_t i = 0; i < weights.size(); ++i) {
-    QCUT_CHECK(weights[i] >= 0.0, "DiscreteSampler: weights must be non-negative");
-    total += weights[i];
+    double w = weights[i];
+    if (w < 0.0) {
+      // Clamping to exactly 0.0 here adds the same 0.0 the caller's
+      // pre-clamped copy would have added: the cumulative table — and
+      // therefore every sample — is bit-for-bit unchanged.
+      QCUT_CHECK(w >= -negative_tolerance,
+                 "DiscreteSampler: weights must be non-negative");
+      w = 0.0;
+    }
+    total += w;
     cdf_[i] = total;
   }
   QCUT_CHECK(total > 0.0, "DiscreteSampler: total weight must be positive");

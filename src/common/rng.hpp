@@ -75,11 +75,13 @@ class Rng {
 /// Samples indices from a fixed discrete distribution in O(log n) per draw.
 ///
 /// Weights need not be normalized; negative weights are rejected. Tiny
-/// negative values caused by floating-point cancellation should be clamped
-/// by the caller before constructing the sampler.
+/// negative values caused by floating-point cancellation (down to
+/// -negative_tolerance) are treated as exact zeros while the cumulative
+/// table is built, so callers need not copy and clamp their distribution
+/// first — construction is a single pass over the weights.
 class DiscreteSampler {
  public:
-  explicit DiscreteSampler(std::span<const double> weights);
+  explicit DiscreteSampler(std::span<const double> weights, double negative_tolerance = 0.0);
 
   /// Number of categories.
   [[nodiscard]] std::size_t size() const noexcept { return cdf_.size(); }

@@ -68,6 +68,21 @@ CMat kron_all(const std::vector<CMat>& factors) {
   return out;
 }
 
+bool is_phased_permutation(const CMat& m) {
+  if (!m.is_square() || m.empty()) return false;
+  std::vector<int> col_uses(m.cols(), 0);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    int row_nonzeros = 0;
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      if (m(r, c) == cx{0.0, 0.0}) continue;
+      if (++row_nonzeros > 1) return false;
+      if (++col_uses[c] > 1) return false;
+    }
+    if (row_nonzeros == 0) return false;
+  }
+  return true;
+}
+
 CVec matvec(const CMat& m, const CVec& v) {
   QCUT_CHECK(m.cols() == v.size(), "matvec: dimension mismatch");
   CVec out(m.rows(), cx{0.0, 0.0});

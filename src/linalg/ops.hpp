@@ -23,6 +23,13 @@ namespace qcut::linalg {
 /// Kronecker product of a list, left to right: kron(kron(m0, m1), m2)...
 [[nodiscard]] CMat kron_all(const std::vector<CMat>& factors);
 
+/// Exactly one entry per row and per column differs from EXACT 0: a
+/// phased permutation matrix (diagonals included). Exact comparison by
+/// design — gate matrices build their zeros exactly, and the consumers
+/// (the simulator's permutation kernel, the fusion pass's don't-densify
+/// rule) promise bit-for-bit behavior only for exactly-placed zeros.
+[[nodiscard]] bool is_phased_permutation(const CMat& m);
+
 /// Matrix-vector product.
 [[nodiscard]] CVec matvec(const CMat& m, const CVec& v);
 

@@ -36,7 +36,14 @@ void ThreadPool::enqueue(std::function<void()> job) {
   wake_.notify_one();
 }
 
+namespace {
+thread_local bool t_in_pool_worker = false;
+}  // namespace
+
+bool in_pool_worker() noexcept { return t_in_pool_worker; }
+
 void ThreadPool::worker_loop() {
+  t_in_pool_worker = true;
   for (;;) {
     std::function<void()> job;
     {

@@ -59,6 +59,12 @@ class ThreadPool {
   std::vector<std::thread> workers_;
 };
 
+/// True when the calling thread is a ThreadPool worker (any pool). Code
+/// that would block on pool futures — e.g. the statevector gate kernels
+/// threading over amplitude chunks — must run inline instead when already
+/// on a worker: a nested parallel wait can deadlock a saturated pool.
+[[nodiscard]] bool in_pool_worker() noexcept;
+
 /// Runs fn(i) for i in [begin, end), distributing chunks over the pool.
 /// Runs inline when the range is small or the pool has a single worker.
 /// The first exception thrown by any invocation is rethrown.

@@ -21,9 +21,10 @@ using cutting::NeglectSpec;
 CutService::CutService(backend::Backend& backend, CutServiceOptions options)
     : backend_(backend),
       pool_(options.pool != nullptr ? *options.pool : parallel::ThreadPool::global()),
-      backend_identity_(options.backend_identity.empty() ? backend.name()
+      backend_identity_(options.backend_identity.empty() ? backend.identity()
                                                          : std::move(options.backend_identity)),
       prefix_batching_(options.prefix_batching),
+      sim_engine_(options.sim_engine),
       cache_(options.cache_capacity),
       scheduler_(cache_),
       scheduler_thread_([this] { scheduler_loop(); }) {}
@@ -383,6 +384,7 @@ void CutService::launch_variant_groups(std::vector<PreparedVariant>& prepared,
     };
     auto task = std::make_shared<GroupTask>();
     task->batch.exact = exact;
+    task->batch.sim_engine = sim_engine_;
     // No intra-task pool: the task itself runs on a pool worker, and a
     // nested parallel wait could deadlock a saturated pool. Parallelism
     // comes from running many group tasks concurrently.

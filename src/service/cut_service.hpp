@@ -53,9 +53,11 @@ struct CutServiceOptions {
   /// (in-flight dedup still applies).
   std::size_t cache_capacity = 4096;
 
-  /// Cache-key namespace for the backend. Defaults to backend.name();
-  /// override when distinct backends share a name (e.g. two noisy backends
-  /// with different construction seeds).
+  /// Cache-key namespace for the backend. Defaults to backend.identity(),
+  /// which folds in result-affecting backend configuration (e.g. the
+  /// statevector engine's gate fusion); override when distinct backends
+  /// still share an identity (e.g. two noisy backends with different
+  /// construction seeds).
   std::string backend_identity;
 
   /// Group each wave's cache-missed, deduped variants by longest common
@@ -65,6 +67,12 @@ struct CutServiceOptions {
   /// results are bit-for-bit identical either way; disable only to test or
   /// time the per-variant reference path.
   bool prefix_batching = true;
+
+  /// Allow the backend's specialized gate-kernel engine on the service's
+  /// batched executions (BatchRequest::sim_engine). Bit-for-bit neutral,
+  /// so it never enters the cache key; gate fusion — the result-affecting
+  /// engine knob — is backend state and arrives via backend_identity.
+  bool sim_engine = true;
 };
 
 struct CutServiceStats {
@@ -132,6 +140,7 @@ class CutService {
   parallel::ThreadPool& pool_;
   std::string backend_identity_;
   const bool prefix_batching_;
+  const bool sim_engine_;
   FragmentResultCache cache_;
   VariantScheduler scheduler_;
 

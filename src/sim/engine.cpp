@@ -1,0 +1,354 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <array>
+#include <future>
+#include <utility>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+#include "linalg/ops.hpp"
+
+namespace qcut::sim {
+
+using circuit::Operation;
+using linalg::CMat;
+
+std::string kernel_class_name(KernelClass cls) {
+  switch (cls) {
+    case KernelClass::Diagonal: return "diagonal";
+    case KernelClass::Permutation: return "permutation";
+    case KernelClass::Controlled1Q: return "controlled_1q";
+    case KernelClass::Generic1Q: return "generic_1q";
+    case KernelClass::Generic2Q: return "generic_2q";
+    case KernelClass::GenericKQ: return "generic_kq";
+  }
+  QCUT_CHECK(false, "kernel_class_name: invalid class");
+}
+
+namespace {
+
+// Exact structural tests. Gate matrices build their zeros and ones exactly
+// (CMat zero-initializes; identity blocks are literal 1.0), so exact
+// comparison recognizes every structured gate in the library while never
+// misclassifying a dense matrix that merely comes close.
+bool is_zero(cx v) noexcept { return v == cx{0.0, 0.0}; }
+bool is_one(cx v) noexcept { return v == cx{1.0, 0.0}; }
+
+/// Diagonal: every off-diagonal entry exactly 0. Dropping a term whose
+/// coefficient is exactly 0 (or skipping a multiply by exactly 1) cannot
+/// change the VALUE of any amplitude, so the kernel matches the generic
+/// dense loop bit for bit.
+bool try_diagonal(const CMat& m, std::span<const int> qubits, CompiledOp& op) {
+  const index_t block = m.rows();
+  for (index_t r = 0; r < block; ++r) {
+    for (index_t c = 0; c < block; ++c) {
+      if (r != c && !is_zero(m(r, c))) return false;
+    }
+  }
+  for (index_t p = 0; p < block; ++p) {
+    const cx d = m(p, p);
+    if (!is_one(d)) op.diag_factors.emplace_back(scatter_bits(p, qubits), d);
+  }
+  op.cls = KernelClass::Diagonal;
+  return true;
+}
+
+/// Permutation (optionally phased): exactly one nonzero per row and per
+/// column (linalg::is_phased_permutation — the same predicate the fusion
+/// pass uses to decide what it must never densify). The kernel records
+/// only the local patterns that move or pick up a phase; fixed points
+/// with phase exactly 1 are untouched.
+bool try_permutation(const CMat& m, std::span<const int> qubits, CompiledOp& op) {
+  const index_t block = m.rows();
+  if (block > 8) return false;  // moves use a fixed 8-slot buffer (k <= 3)
+  if (!linalg::is_phased_permutation(m)) return false;
+  for (index_t r = 0; r < block; ++r) {
+    index_t c = 0;
+    while (is_zero(m(r, c))) ++c;  // the row's single nonzero
+    const cx phase = m(r, c);
+    if (r == c && is_one(phase)) continue;
+    op.perm_dst.push_back(scatter_bits(r, qubits));
+    op.perm_src.push_back(scatter_bits(c, qubits));
+    op.perm_phase.push_back(phase);
+    op.perm_phase_is_one.push_back(is_one(phase) ? 1 : 0);
+  }
+  op.cls = KernelClass::Permutation;
+  return true;
+}
+
+/// Controlled-1q (two-qubit only): identity on the control-0 subspace, an
+/// arbitrary 2x2 on the control-1 subspace. Both orientations (control =
+/// local bit 0 or bit 1) are recognized.
+bool try_controlled_1q(const CMat& m, std::span<const int> qubits, CompiledOp& op) {
+  for (int control_local = 0; control_local < 2; ++control_local) {
+    const index_t cmask_local = control_local == 0 ? 1 : 2;
+    bool matches = true;
+    for (index_t r = 0; r < 4 && matches; ++r) {
+      for (index_t c = 0; c < 4 && matches; ++c) {
+        if ((r & cmask_local) != 0 && (c & cmask_local) != 0) continue;  // the u block
+        const cx want = r == c ? cx{1.0, 0.0} : cx{0.0, 0.0};
+        if (m(r, c) != want) matches = false;
+      }
+    }
+    if (!matches) continue;
+    const index_t t_local = cmask_local == 1 ? 2 : 1;
+    CMat u(2, 2);
+    u(0, 0) = m(cmask_local, cmask_local);
+    u(0, 1) = m(cmask_local, cmask_local | t_local);
+    u(1, 0) = m(cmask_local | t_local, cmask_local);
+    u(1, 1) = m(cmask_local | t_local, cmask_local | t_local);
+    op.cls = KernelClass::Controlled1Q;
+    op.matrix = std::move(u);
+    op.control_mask = pow2(qubits[static_cast<std::size_t>(control_local)]);
+    op.target_mask = pow2(qubits[static_cast<std::size_t>(1 - control_local)]);
+    return true;
+  }
+  return false;
+}
+
+CompiledOp classify(const Operation& source, bool specialize) {
+  CompiledOp op;
+  op.qubits = source.qubits;
+  op.sorted_qubits = source.qubits;
+  std::sort(op.sorted_qubits.begin(), op.sorted_qubits.end());
+  const CMat& m = source.matrix();
+  const int k = source.num_qubits();
+
+  if (specialize) {
+    if (try_diagonal(m, op.qubits, op)) return op;
+    if (try_permutation(m, op.qubits, op)) return op;
+    if (k == 2 && try_controlled_1q(m, op.qubits, op)) return op;
+  }
+
+  op.cls = k == 1 ? KernelClass::Generic1Q
+                  : (k == 2 ? KernelClass::Generic2Q : KernelClass::GenericKQ);
+  op.matrix = m;
+  if (op.cls == KernelClass::GenericKQ) {
+    const index_t block = pow2(k);
+    op.perm_dst.reserve(block);  // scatter offsets of every local pattern
+    for (index_t p = 0; p < block; ++p) op.perm_dst.push_back(scatter_bits(p, op.qubits));
+  }
+  return op;
+}
+
+// ---- Kernel application -----------------------------------------------------
+
+struct ApplyContext {
+  cx* amps = nullptr;
+  index_t dim = 0;
+  parallel::ThreadPool* pool = nullptr;
+  bool threaded = false;
+};
+
+/// Runs fn(lo, hi) over [0, count) either inline or as pool chunks. Chunk
+/// boundaries cannot affect results: every kernel body is element-wise
+/// independent (each iteration reads and writes only its own amplitude
+/// group), so any thread count — and any chunking — is bit-for-bit
+/// identical to the serial loop.
+template <typename Fn>
+void chunked(const ApplyContext& ctx, index_t count, const Fn& fn) {
+  constexpr index_t kMinChunkItems = 1024;
+  if (!ctx.threaded || count < 2 * kMinChunkItems) {
+    fn(index_t{0}, count);
+    return;
+  }
+  const index_t max_chunks = static_cast<index_t>(ctx.pool->size()) * 4;
+  const index_t chunks = std::min(count / kMinChunkItems, std::max<index_t>(max_chunks, 1));
+  const index_t step = (count + chunks - 1) / chunks;
+  std::vector<std::future<void>> futures;
+  futures.reserve(static_cast<std::size_t>(chunks));
+  for (index_t lo = step; lo < count; lo += step) {
+    const index_t hi = std::min(count, lo + step);
+    futures.push_back(ctx.pool->submit([&fn, lo, hi] { fn(lo, hi); }));
+  }
+  fn(index_t{0}, std::min(count, step));  // the caller works too
+  for (auto& f : futures) f.get();
+}
+
+void apply_diagonal(const ApplyContext& ctx, const CompiledOp& op) {
+  if (op.diag_factors.empty()) return;  // identity
+  const int k = static_cast<int>(op.qubits.size());
+  const index_t groups = ctx.dim >> k;
+  if (op.diag_factors.size() == 1) {
+    // Phase-type gate (Z/S/T/P/CZ/CP): one touched pattern, 2^-k of the state.
+    const auto [offset, factor] = op.diag_factors.front();
+    chunked(ctx, groups, [&](index_t lo, index_t hi) {
+      for (index_t g = lo; g < hi; ++g) {
+        ctx.amps[insert_zero_bits(g, op.sorted_qubits) | offset] *= factor;
+      }
+    });
+    return;
+  }
+  chunked(ctx, groups, [&](index_t lo, index_t hi) {
+    for (index_t g = lo; g < hi; ++g) {
+      const index_t base = insert_zero_bits(g, op.sorted_qubits);
+      for (const auto& [offset, factor] : op.diag_factors) {
+        ctx.amps[base | offset] *= factor;
+      }
+    }
+  });
+}
+
+void apply_permutation(const ApplyContext& ctx, const CompiledOp& op) {
+  if (op.perm_dst.empty()) return;  // identity
+  const int k = static_cast<int>(op.qubits.size());
+  const index_t groups = ctx.dim >> k;
+  const std::size_t moves = op.perm_dst.size();
+  chunked(ctx, groups, [&](index_t lo, index_t hi) {
+    std::array<cx, 8> buffer;
+    for (index_t g = lo; g < hi; ++g) {
+      const index_t base = insert_zero_bits(g, op.sorted_qubits);
+      for (std::size_t i = 0; i < moves; ++i) buffer[i] = ctx.amps[base | op.perm_src[i]];
+      for (std::size_t i = 0; i < moves; ++i) {
+        ctx.amps[base | op.perm_dst[i]] =
+            op.perm_phase_is_one[i] != 0 ? buffer[i] : op.perm_phase[i] * buffer[i];
+      }
+    }
+  });
+}
+
+void apply_controlled_1q(const ApplyContext& ctx, const CompiledOp& op) {
+  const cx u00 = op.matrix(0, 0), u01 = op.matrix(0, 1);
+  const cx u10 = op.matrix(1, 0), u11 = op.matrix(1, 1);
+  const index_t groups = ctx.dim >> 2;
+  chunked(ctx, groups, [&](index_t lo, index_t hi) {
+    for (index_t g = lo; g < hi; ++g) {
+      const index_t i0 = insert_zero_bits(g, op.sorted_qubits) | op.control_mask;
+      const index_t i1 = i0 | op.target_mask;
+      const cx a0 = ctx.amps[i0];
+      const cx a1 = ctx.amps[i1];
+      ctx.amps[i0] = u00 * a0 + u01 * a1;
+      ctx.amps[i1] = u10 * a0 + u11 * a1;
+    }
+  });
+}
+
+// The generic kernels mirror StateVector::apply_1q/2q/kq arithmetic exactly
+// (same per-amplitude expressions, independent iterations) so the engine is
+// bit-for-bit identical to the generic path even when it threads.
+
+void apply_generic_1q(const ApplyContext& ctx, const CompiledOp& op) {
+  const int q = op.qubits[0];
+  const index_t qmask = pow2(q);
+  const cx m00 = op.matrix(0, 0), m01 = op.matrix(0, 1);
+  const cx m10 = op.matrix(1, 0), m11 = op.matrix(1, 1);
+  const index_t pairs = ctx.dim >> 1;
+  chunked(ctx, pairs, [&](index_t lo, index_t hi) {
+    for (index_t j = lo; j < hi; ++j) {
+      const index_t i0 = insert_zero_bit(j, q);
+      const index_t i1 = i0 | qmask;
+      const cx a0 = ctx.amps[i0];
+      const cx a1 = ctx.amps[i1];
+      ctx.amps[i0] = m00 * a0 + m01 * a1;
+      ctx.amps[i1] = m10 * a0 + m11 * a1;
+    }
+  });
+}
+
+void apply_generic_2q(const ApplyContext& ctx, const CompiledOp& op) {
+  const index_t mask0 = pow2(op.qubits[0]);
+  const index_t mask1 = pow2(op.qubits[1]);
+  const CMat& m = op.matrix;
+  const index_t groups = ctx.dim >> 2;
+  chunked(ctx, groups, [&](index_t lo, index_t hi) {
+    for (index_t g = lo; g < hi; ++g) {
+      const index_t base = insert_zero_bits(g, op.sorted_qubits);
+      const std::array<index_t, 4> idx = {base, base | mask0, base | mask1,
+                                          base | mask0 | mask1};
+      std::array<cx, 4> in;
+      for (int j = 0; j < 4; ++j) in[static_cast<std::size_t>(j)] = ctx.amps[idx[static_cast<std::size_t>(j)]];
+      for (int r = 0; r < 4; ++r) {
+        cx acc{0.0, 0.0};
+        for (int c = 0; c < 4; ++c) {
+          acc += m(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) *
+                 in[static_cast<std::size_t>(c)];
+        }
+        ctx.amps[idx[static_cast<std::size_t>(r)]] = acc;
+      }
+    }
+  });
+}
+
+void apply_generic_kq(const ApplyContext& ctx, const CompiledOp& op) {
+  const int k = static_cast<int>(op.qubits.size());
+  const index_t block = pow2(k);
+  const CMat& m = op.matrix;
+  const index_t groups = ctx.dim >> k;
+  chunked(ctx, groups, [&](index_t lo, index_t hi) {
+    std::vector<cx> in(block), out(block);
+    for (index_t g = lo; g < hi; ++g) {
+      const index_t base = insert_zero_bits(g, op.sorted_qubits);
+      for (index_t p = 0; p < block; ++p) in[p] = ctx.amps[base | op.perm_dst[p]];
+      for (index_t r = 0; r < block; ++r) {
+        cx acc{0.0, 0.0};
+        for (index_t c = 0; c < block; ++c) acc += m(r, c) * in[c];
+        out[r] = acc;
+      }
+      for (index_t p = 0; p < block; ++p) ctx.amps[base | op.perm_dst[p]] = out[p];
+    }
+  });
+}
+
+void apply_op(const ApplyContext& ctx, const CompiledOp& op) {
+  switch (op.cls) {
+    case KernelClass::Diagonal: apply_diagonal(ctx, op); return;
+    case KernelClass::Permutation: apply_permutation(ctx, op); return;
+    case KernelClass::Controlled1Q: apply_controlled_1q(ctx, op); return;
+    case KernelClass::Generic1Q: apply_generic_1q(ctx, op); return;
+    case KernelClass::Generic2Q: apply_generic_2q(ctx, op); return;
+    case KernelClass::GenericKQ: apply_generic_kq(ctx, op); return;
+  }
+  QCUT_CHECK(false, "CompiledCircuit: invalid kernel class");
+}
+
+}  // namespace
+
+void CompiledCircuit::apply(StateVector& state) const {
+  QCUT_CHECK(state.num_qubits() == num_qubits_,
+             "CompiledCircuit::apply: state width must match the compiled circuit");
+  parallel::ThreadPool* pool =
+      options_.pool != nullptr ? options_.pool : &parallel::ThreadPool::global();
+  ApplyContext ctx;
+  ctx.amps = state.raw_amplitudes().data();
+  ctx.dim = state.dim();
+  ctx.pool = pool;
+  ctx.threaded = num_qubits_ >= options_.threading_threshold_qubits && pool->size() > 1 &&
+                 !parallel::in_pool_worker();
+  for (const CompiledOp& op : ops_) apply_op(ctx, op);
+}
+
+CompiledCircuit compile_ops(std::span<const Operation> ops, int num_qubits,
+                            const EngineOptions& options) {
+  QCUT_CHECK(num_qubits >= 1, "compile_ops: need at least one qubit");
+  CompiledCircuit compiled;
+  compiled.num_qubits_ = num_qubits;
+  compiled.options_ = options;
+  compiled.ops_.reserve(ops.size());
+  for (const Operation& op : ops) {
+    for (int q : op.qubits) {
+      QCUT_CHECK(q >= 0 && q < num_qubits, "compile_ops: qubit out of range");
+    }
+    compiled.ops_.push_back(classify(op, options.specialize));
+  }
+  return compiled;
+}
+
+CompiledCircuit compile_circuit(const circuit::Circuit& circuit, const EngineOptions& options) {
+  if (!options.fuse) return compile_ops(circuit.ops(), circuit.num_qubits(), options);
+  circuit::GateFusion scan(circuit.num_qubits(), options.fusion);
+  std::vector<Operation> fused;
+  fused.reserve(circuit.num_ops());
+  for (const Operation& op : circuit.ops()) scan.push(op, fused);
+  scan.flush(fused);
+  CompiledCircuit compiled = compile_ops(fused, circuit.num_qubits(), options);
+  compiled.fusion_stats_ = scan.stats();
+  return compiled;
+}
+
+void run_circuit(const circuit::Circuit& circuit, StateVector& state,
+                 const EngineOptions& options) {
+  compile_circuit(circuit, options).apply(state);
+}
+
+}  // namespace qcut::sim

@@ -1,0 +1,168 @@
+#pragma once
+// Gate-kernel engine: specialized, fused, threaded statevector simulation.
+//
+// Every fragment variant a cut produces (6^Kin * 3^Kout per fragment)
+// funnels into the statevector simulator, so the innermost gate loop
+// decides end-to-end cutting runtime. The engine classifies each operation
+// ONCE into a kernel class and dispatches to loops that skip the zero-heavy
+// dense arithmetic of the generic apply_matrix path:
+//
+//   * Diagonal     — Z/S/T/P/RZ/CZ/CP/CRZ/RZZ and diagonal Customs: one
+//                    complex multiply per affected amplitude, and entries
+//                    exactly equal to 1 are skipped entirely (a CZ touches a
+//                    quarter of the state, a T gate half);
+//   * Permutation  — X/Y/CX/CY/SWAP/ISwap/CCX/CSWAP and permutation-shaped
+//                    Customs: an index shuffle (optionally phased), no
+//                    matrix arithmetic at all;
+//   * Controlled1Q — CH/CRX/CRY and controlled-shaped Customs that are
+//                    neither diagonal nor permutations: a 2x2 applied to the
+//                    half of the state where the control bit is set;
+//   * Generic1Q/2Q/KQ — dense fallback, arithmetic identical to
+//                    StateVector::apply_matrix.
+//
+// Specialized kernels are BIT-FOR-BIT identical to the generic path: they
+// perform the same multiplications the dense loop performs after dropping
+// terms whose coefficient is exactly 0 (and factors exactly 1), which
+// cannot change the VALUE of any double under IEEE arithmetic — only the
+// sign of a zero can differ (x + 0*a can turn -0.0 into +0.0), which ==
+// comparisons, probabilities (std::norm squares the zero away), counts,
+// and cache keys cannot observe (tests/sim_kernel_test.cpp gates this). Gate fusion (circuit::GateFusion) is the one knob allowed to
+// deviate — fused matrices are floating-point products, deviation well
+// under 1e-12 — so it is a result-affecting option that backends fold into
+// their cache identity (see backend::Backend::identity()).
+//
+// Threading: for states with at least `threading_threshold_qubits` qubits,
+// kernels split their amplitude loops into chunks on a parallel::ThreadPool.
+// Every kernel loop is element-wise independent (no cross-chunk reductions),
+// so results are bit-for-bit identical at ANY thread count, including 1.
+// Threading disengages automatically on pool worker threads (a nested
+// parallel wait could deadlock a saturated pool).
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "circuit/optimize.hpp"
+#include "parallel/thread_pool.hpp"
+#include "sim/statevector.hpp"
+
+namespace qcut::sim {
+
+struct EngineOptions {
+  /// Classify operations and dispatch to specialized kernels. Bit-for-bit
+  /// identical to the generic path; disable only to time or test it.
+  bool specialize = true;
+
+  /// Run circuit::GateFusion before classification. Results may deviate
+  /// from the unfused circuit by floating-point rounding (well under
+  /// 1e-12); backends expose this knob in their cache identity.
+  bool fuse = true;
+
+  /// Fusion pass configuration (used when `fuse` is set).
+  circuit::FusionOptions fusion{};
+
+  /// Thread kernel loops over amplitude chunks for states with at least
+  /// this many qubits. 27 (above the 26-qubit width cap) disables
+  /// threading. Bit-for-bit identical at any thread count.
+  int threading_threshold_qubits = 14;
+
+  /// Pool for kernel-level threading; nullptr selects the global pool.
+  parallel::ThreadPool* pool = nullptr;
+
+  /// The pre-engine reference configuration: dense generic application of
+  /// every gate, no fusion, no threading. The benchmark baseline.
+  [[nodiscard]] static EngineOptions generic() {
+    EngineOptions options;
+    options.specialize = false;
+    options.fuse = false;
+    options.threading_threshold_qubits = 27;
+    return options;
+  }
+};
+
+enum class KernelClass {
+  Diagonal,
+  Permutation,
+  Controlled1Q,
+  Generic1Q,
+  Generic2Q,
+  GenericKQ,
+};
+
+/// Lower-case kernel-class mnemonic ("diagonal", "permutation", ...).
+[[nodiscard]] std::string kernel_class_name(KernelClass cls);
+
+/// One classified operation with its precomputed kernel data.
+struct CompiledOp {
+  KernelClass cls = KernelClass::GenericKQ;
+  std::vector<int> qubits;         // as listed on the source operation
+  std::vector<int> sorted_qubits;  // ascending, for group enumeration
+
+  // Generic classes: the dense matrix. Controlled1Q: the 2x2 target matrix.
+  linalg::CMat matrix;
+
+  // Diagonal: (scattered qubit offset, factor) for every diagonal entry
+  // with factor != 1 exactly; entries equal to 1 are skipped.
+  std::vector<std::pair<index_t, cx>> diag_factors;
+
+  // Permutation: destination/source scattered offsets and phases for every
+  // local pattern that moves or picks up a phase; fixed points with phase
+  // exactly 1 are skipped. phase_is_one[m] marks pure moves (no multiply).
+  // GenericKQ reuses perm_dst as the scatter offsets of all 2^k patterns.
+  std::vector<index_t> perm_dst;
+  std::vector<index_t> perm_src;
+  linalg::CVec perm_phase;
+  std::vector<char> perm_phase_is_one;
+
+  // Controlled1Q masks.
+  index_t control_mask = 0;
+  index_t target_mask = 0;
+};
+
+/// A circuit compiled for the engine: operations classified once, ready to
+/// apply to any StateVector of the same width. Immutable after compilation
+/// and safe to apply concurrently to distinct states.
+class CompiledCircuit {
+ public:
+  [[nodiscard]] int num_qubits() const noexcept { return num_qubits_; }
+  [[nodiscard]] std::size_t num_ops() const noexcept { return ops_.size(); }
+  [[nodiscard]] KernelClass kernel_class(std::size_t i) const { return ops_.at(i).cls; }
+  [[nodiscard]] const EngineOptions& options() const noexcept { return options_; }
+
+  /// Gates absorbed by the fusion pass (zero when compiled without fusion).
+  [[nodiscard]] const circuit::FusionStats& fusion_stats() const noexcept {
+    return fusion_stats_;
+  }
+
+  /// Applies every compiled operation in order.
+  void apply(StateVector& state) const;
+
+ private:
+  friend CompiledCircuit compile_ops(std::span<const circuit::Operation>, int,
+                                     const EngineOptions&);
+  friend CompiledCircuit compile_circuit(const circuit::Circuit&, const EngineOptions&);
+
+  int num_qubits_ = 0;
+  EngineOptions options_{};
+  std::vector<CompiledOp> ops_;
+  circuit::FusionStats fusion_stats_{};
+};
+
+/// Classifies an operation list as-is (no fusion — callers that fuse run
+/// circuit::GateFusion first; the statevector backend's shared-prefix batch
+/// path does exactly that to keep forked suffixes bit-for-bit identical to
+/// standalone runs).
+[[nodiscard]] CompiledCircuit compile_ops(std::span<const circuit::Operation> ops,
+                                          int num_qubits, const EngineOptions& options = {});
+
+/// Fuses (when options.fuse) and classifies a whole circuit.
+[[nodiscard]] CompiledCircuit compile_circuit(const circuit::Circuit& circuit,
+                                              const EngineOptions& options = {});
+
+/// Convenience: compile `circuit` and apply it to `state`.
+void run_circuit(const circuit::Circuit& circuit, StateVector& state,
+                 const EngineOptions& options = {});
+
+}  // namespace qcut::sim

@@ -1,7 +1,5 @@
 #include "sim/sampling.hpp"
 
-#include <algorithm>
-
 #include "common/error.hpp"
 
 namespace qcut::sim {
@@ -9,12 +7,11 @@ namespace qcut::sim {
 std::vector<std::uint64_t> sample_histogram(std::span<const double> probabilities,
                                             std::size_t shots, Rng& rng) {
   QCUT_CHECK(!probabilities.empty(), "sample_histogram: empty distribution");
-  std::vector<double> clamped(probabilities.begin(), probabilities.end());
-  for (double& p : clamped) {
-    QCUT_CHECK(p > -1e-9, "sample_histogram: distribution has a significantly negative entry");
-    p = std::max(p, 0.0);
-  }
-  const DiscreteSampler sampler(clamped);
+  // Validation and clamping happen lazily inside DiscreteSampler while it
+  // builds its cumulative table, so the hot sampled path makes one pass
+  // over the distribution instead of copy + clamp + accumulate. The
+  // cumulative sums are bit-for-bit those of the old clamped copy.
+  const DiscreteSampler sampler(probabilities, /*negative_tolerance=*/1e-9);
   return sampler.sample_histogram(shots, rng);
 }
 

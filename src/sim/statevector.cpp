@@ -35,14 +35,23 @@ StateVector StateVector::product_state(const std::vector<CVec>& single_qubit_sta
   QCUT_CHECK(!single_qubit_states.empty(), "StateVector::product_state: empty state list");
   const int n = static_cast<int>(single_qubit_states.size());
   StateVector sv(n);
-  for (index_t i = 0; i < sv.dim(); ++i) {
-    cx amp{1.0, 0.0};
-    for (int q = 0; q < n; ++q) {
-      const CVec& s = single_qubit_states[static_cast<std::size_t>(q)];
-      QCUT_CHECK(s.size() == 2, "StateVector::product_state: each state must have length 2");
-      amp *= s[static_cast<std::size_t>(bit(i, q))];
+  // Iterative tensor growth: after processing qubit q the leading 2^(q+1)
+  // amplitudes hold the product state of qubits 0..q — O(2^n) multiplies
+  // total instead of O(n * 2^n) per-amplitude bit-walking. The high-to-low
+  // sweep lets the doubling happen in place, and the multiplication order
+  // per amplitude (qubit 0 first) matches the old per-amplitude product
+  // exactly, so the amplitudes are bit-for-bit unchanged.
+  sv.amps_[0] = cx{1.0, 0.0};
+  index_t grown = 1;
+  for (int q = 0; q < n; ++q) {
+    const CVec& s = single_qubit_states[static_cast<std::size_t>(q)];
+    QCUT_CHECK(s.size() == 2, "StateVector::product_state: each state must have length 2");
+    for (index_t i = grown; i-- > 0;) {
+      const cx low = sv.amps_[i];
+      sv.amps_[i + grown] = low * s[1];
+      sv.amps_[i] = low * s[0];
     }
-    sv.amps_[i] = amp;
+    grown <<= 1;
   }
   return sv;
 }
@@ -154,9 +163,14 @@ void StateVector::apply_circuit(const Circuit& circuit) {
 }
 
 std::vector<double> StateVector::probabilities() const {
-  std::vector<double> probs(dim());
-  for (index_t i = 0; i < dim(); ++i) probs[i] = std::norm(amps_[i]);
+  std::vector<double> probs;
+  probabilities_into(probs);
   return probs;
+}
+
+void StateVector::probabilities_into(std::vector<double>& out) const {
+  out.resize(dim());
+  for (index_t i = 0; i < dim(); ++i) out[i] = std::norm(amps_[i]);
 }
 
 double StateVector::probability_of(index_t basis_state) const {
@@ -170,16 +184,59 @@ double StateVector::expectation_pauli(const PauliString& pauli) const {
   const std::vector<int> support = pauli.support();
   if (support.empty()) return 1.0;
 
-  // Apply the non-identity factors to a copy and take the inner product.
-  StateVector transformed = *this;
+  // Single zero-copy pass. A Pauli string maps each basis state to exactly
+  // one other: P|j> = i^{nY} * (-1)^{popcount(j & (ymask|zmask))} |j ^ flip>
+  // with flip = xmask|ymask, so <psi|P|psi> accumulates one product per
+  // amplitude instead of copying the state and applying matrices.
+  index_t flip_mask = 0;
+  index_t sign_mask = 0;
+  int num_y = 0;
   for (int q : support) {
-    const std::array<int, 1> qs = {q};
-    transformed.apply_matrix(linalg::pauli_matrix(pauli.label(q)), qs);
+    switch (pauli.label(q)) {
+      case linalg::Pauli::X:
+        flip_mask |= pow2(q);
+        break;
+      case linalg::Pauli::Y:
+        flip_mask |= pow2(q);
+        sign_mask |= pow2(q);
+        ++num_y;
+        break;
+      case linalg::Pauli::Z:
+        sign_mask |= pow2(q);
+        break;
+      case linalg::Pauli::I:
+        break;
+    }
   }
-  return linalg::inner(amps_, transformed.amps_).real();
+  static constexpr std::array<cx, 4> kIPowers = {cx{1.0, 0.0}, cx{0.0, 1.0}, cx{-1.0, 0.0},
+                                                 cx{0.0, -1.0}};
+  cx acc{0.0, 0.0};
+  for (index_t j = 0; j < dim(); ++j) {
+    const cx term = std::conj(amps_[j ^ flip_mask]) * amps_[j];
+    acc += parity(j & sign_mask) != 0 ? -term : term;
+  }
+  return (kIPowers[static_cast<std::size_t>(num_y & 3)] * acc).real();
 }
 
 cx StateVector::expectation(const CMat& op, std::span<const int> qubits) const {
+  if (qubits.size() == 1) {
+    // Single zero-copy pass over the amplitude pairs of the target qubit.
+    QCUT_CHECK(op.rows() == 2 && op.cols() == 2,
+               "StateVector::expectation: matrix dimension must be 2^(number of qubits)");
+    const int q = qubits[0];
+    QCUT_CHECK(q >= 0 && q < num_qubits_, "StateVector::expectation: qubit out of range");
+    const index_t qmask = pow2(q);
+    const cx o00 = op(0, 0), o01 = op(0, 1), o10 = op(1, 0), o11 = op(1, 1);
+    cx acc{0.0, 0.0};
+    for (index_t j = 0; j < dim() >> 1; ++j) {
+      const index_t i0 = insert_zero_bit(j, q);
+      const index_t i1 = i0 | qmask;
+      const cx a0 = amps_[i0];
+      const cx a1 = amps_[i1];
+      acc += std::conj(a0) * (o00 * a0 + o01 * a1) + std::conj(a1) * (o10 * a0 + o11 * a1);
+    }
+    return acc;
+  }
   StateVector transformed = *this;
   transformed.apply_matrix(op, qubits);
   return linalg::inner(amps_, transformed.amps_);
@@ -211,15 +268,20 @@ CMat StateVector::reduced_density_matrix(std::span<const int> keep_qubits) const
 
   const index_t keep_dim = pow2(k);
   const index_t env_dim = pow2(num_qubits_ - k);
+  // Precompute the scattered-bit tables once: the inner loop previously
+  // recomputed scatter_bits(e, env) for every (i, j) pair — O(keep_dim^2 *
+  // env_dim * n) bit work for what is a fixed env_dim-entry table.
+  std::vector<index_t> keep_bits(keep_dim);
+  for (index_t i = 0; i < keep_dim; ++i) keep_bits[i] = scatter_bits(i, keep_qubits);
+  std::vector<index_t> env_bits(env_dim);
+  for (index_t e = 0; e < env_dim; ++e) env_bits[e] = scatter_bits(e, env);
+
   CMat rho(keep_dim, keep_dim);
   for (index_t i = 0; i < keep_dim; ++i) {
-    const index_t i_bits = scatter_bits(i, keep_qubits);
     for (index_t j = 0; j < keep_dim; ++j) {
-      const index_t j_bits = scatter_bits(j, keep_qubits);
       cx acc{0.0, 0.0};
       for (index_t e = 0; e < env_dim; ++e) {
-        const index_t e_bits = scatter_bits(e, env);
-        acc += amps_[i_bits | e_bits] * std::conj(amps_[j_bits | e_bits]);
+        acc += amps_[keep_bits[i] | env_bits[e]] * std::conj(amps_[keep_bits[j] | env_bits[e]]);
       }
       rho(i, j) = acc;
     }

@@ -1,19 +1,33 @@
 #pragma once
 // Machine-readable benchmark results: each benchmark writes a
 // BENCH_<name>.json file into the working directory so the performance
-// trajectory can be tracked across PRs (name, wall seconds, speedup, plus
-// benchmark-specific extras).
+// trajectory can be tracked across PRs. Unified schema:
+//
+//   {
+//     "name": "<benchmark>",
+//     "wall_seconds": <double>,
+//     "speedup": <double>,
+//     "extras": { "<key>": <double>, ... },
+//     "telemetry": { "counters": {...}, "gauges": {...}, "histograms": {...} }
+//   }
+//
+// "telemetry" is the global metrics-registry snapshot at write time, so the
+// artifact carries the same counter series (sim.ops.*, backend.batches,
+// cache.hits, pool.tasks, ...) the service exposes — one file answers both
+// "how fast" and "what did it do".
 
 #include <fstream>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "telemetry/metrics.hpp"
+
 namespace qcut::bench {
 
-/// Writes BENCH_<name>.json with the required keys (name, wall_seconds,
-/// speedup) followed by any extra numeric fields. Returns false when the
-/// file cannot be written (the benchmark should not fail on that).
+/// Writes BENCH_<name>.json with the unified schema (extras nested under
+/// "extras", the global telemetry snapshot under "telemetry"). Returns false
+/// when the file cannot be written (the benchmark should not fail on that).
 inline bool write_bench_json(const std::string& name, double wall_seconds, double speedup,
                              const std::vector<std::pair<std::string, double>>& extras = {}) {
   std::ofstream out("BENCH_" + name + ".json");
@@ -22,11 +36,16 @@ inline bool write_bench_json(const std::string& name, double wall_seconds, doubl
   out << "{\n";
   out << "  \"name\": \"" << name << "\",\n";
   out << "  \"wall_seconds\": " << wall_seconds << ",\n";
-  out << "  \"speedup\": " << speedup;
+  out << "  \"speedup\": " << speedup << ",\n";
+  out << "  \"extras\": {";
+  bool first = true;
   for (const auto& [key, value] : extras) {
-    out << ",\n  \"" << key << "\": " << value;
+    out << (first ? "\n" : ",\n") << "    \"" << key << "\": " << value;
+    first = false;
   }
-  out << "\n}\n";
+  out << (first ? "},\n" : "\n  },\n");
+  out << "  \"telemetry\": " << telemetry::MetricsRegistry::global().snapshot().to_json(2)
+      << "\n}\n";
   return out.good();
 }
 

@@ -6,11 +6,20 @@
 #include "circuit/optimize.hpp"
 #include "sim/sampling.hpp"
 #include "sim/statevector.hpp"
+#include "telemetry/trace.hpp"
 
 namespace qcut::backend {
 
 StatevectorBackend::StatevectorBackend(std::uint64_t seed, sim::EngineOptions engine)
-    : base_rng_(seed), engine_(engine) {}
+    : base_rng_(seed), engine_(engine) {
+  telemetry::MetricsRegistry& registry = telemetry::MetricsRegistry::global();
+  batches_ = registry.counter("backend.batches");
+  batch_jobs_ = registry.counter("backend.batch_jobs");
+  forks_ = registry.counter("backend.forks");
+  prefix_ops_saved_ = registry.counter("backend.prefix_ops_saved");
+  group_size_ = registry.histogram("backend.group_size",
+                                   telemetry::exponential_bounds(1.0, 2.0, 12));
+}
 
 std::string StatevectorBackend::identity() const {
   // The construction seed drives every sampled Counts, and gate fusion
@@ -82,6 +91,7 @@ std::vector<BatchUnit> plan_units(const BatchRequest& request) {
 }  // namespace
 
 BatchResult StatevectorBackend::run_batch(const BatchRequest& request) {
+  TELEMETRY_SPAN("backend.run_batch");
   BatchResult result;
   if (request.exact) {
     result.probabilities.resize(request.jobs.size());
@@ -90,6 +100,18 @@ BatchResult StatevectorBackend::run_batch(const BatchRequest& request) {
   }
 
   const std::vector<BatchUnit> units = plan_units(request);
+
+  // How much the shared-prefix plan shares: each unit simulates its prefix
+  // once and forks a state copy per extra member, saving prefix_ops
+  // applications for each of them.
+  batches_->add();
+  batch_jobs_->add(request.jobs.size());
+  for (const BatchUnit& unit : units) {
+    group_size_->record(static_cast<double>(unit.jobs.size()));
+    const std::uint64_t extra_members = unit.jobs.size() - 1;
+    forks_->add(extra_members);
+    prefix_ops_saved_->add(extra_members * unit.prefix_ops);
+  }
 
   std::size_t sampled_shots = 0;
   if (!request.exact) {
@@ -108,6 +130,7 @@ BatchResult StatevectorBackend::run_batch(const BatchRequest& request) {
   }
 
   const auto run_unit = [&](std::size_t u) {
+    TELEMETRY_SPAN("backend.unit");
     const BatchUnit& unit = units[u];
     const Circuit& rep = request.jobs[unit.jobs.front()].circuit;
     const int width = rep.num_qubits();

@@ -11,11 +11,13 @@
 // under 1e-12) and is therefore part of identity() — the fragment-cache
 // namespace — so content addressing stays sound.
 
+#include <memory>
 #include <mutex>
 
 #include "backend/backend.hpp"
 #include "common/rng.hpp"
 #include "sim/engine.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace qcut::backend {
 
@@ -57,6 +59,14 @@ class StatevectorBackend : public Backend {
   sim::EngineOptions engine_;
   mutable std::mutex stats_mutex_;
   BackendStats stats_;
+
+  // Batch-execution instruments (global registry): how much the
+  // shared-prefix path actually shares.
+  std::shared_ptr<telemetry::Counter> batches_;
+  std::shared_ptr<telemetry::Counter> batch_jobs_;
+  std::shared_ptr<telemetry::Counter> forks_;
+  std::shared_ptr<telemetry::Counter> prefix_ops_saved_;
+  std::shared_ptr<telemetry::Histogram> group_size_;
 };
 
 }  // namespace qcut::backend

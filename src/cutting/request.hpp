@@ -29,6 +29,7 @@
 #include "cutting/observables.hpp"
 #include "cutting/planner.hpp"
 #include "cutting/uncertainty.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace qcut::cutting {
 
@@ -261,6 +262,16 @@ struct CutResponse {
   double fragment_seconds = 0.0;   // wall time gathering fragment data
   double total_seconds = 0.0;      // plan + fragment + detection + reconstruction
   backend::BackendStats backend_delta;  // backend usage consumed by this run
+
+  /// Per-phase wall seconds recorded by the service's tracer for this job,
+  /// in order of occurrence ("job.plan", "job.wave", "job.detect",
+  /// "job.reconstruct", "job.bootstrap"). Empty when telemetry is disabled.
+  std::vector<std::pair<std::string, double>> phase_seconds;
+
+  /// Snapshot of the serving registry taken as the job finished; engaged
+  /// only when telemetry is enabled. Counter values are process-cumulative
+  /// (they cover every job served so far), not per-job deltas.
+  std::optional<telemetry::MetricsSnapshot> telemetry;
 
   /// Convenience: clipped, normalized distribution.
   [[nodiscard]] std::vector<double> probabilities() const {

@@ -1,6 +1,7 @@
 #include "parallel/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/error.hpp"
 
@@ -10,6 +11,16 @@ ThreadPool::ThreadPool(unsigned num_threads) {
   if (num_threads == 0) {
     num_threads = std::max(1u, std::thread::hardware_concurrency());
   }
+  telemetry::MetricsRegistry& registry = telemetry::MetricsRegistry::global();
+  tasks_ = registry.counter("pool.tasks");
+  busy_ns_ = registry.counter("pool.busy_ns");
+  queue_depth_ = registry.gauge("pool.queue_depth");
+  workers_gauge_ = registry.gauge("pool.workers");
+  // 1us .. ~4s in powers of 4: pool tasks span tiny reconstruction chunks
+  // to whole backend batches.
+  task_seconds_ = registry.histogram("pool.task_seconds",
+                                     telemetry::exponential_bounds(1e-6, 4.0, 12));
+  workers_gauge_->set(static_cast<std::int64_t>(num_threads));
   workers_.reserve(num_threads);
   for (unsigned i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -32,6 +43,7 @@ void ThreadPool::enqueue(std::function<void()> job) {
     std::lock_guard<std::mutex> lock(mutex_);
     QCUT_CHECK(!stopping_, "ThreadPool: submit after shutdown");
     queue_.push_back(std::move(job));
+    queue_depth_->set(static_cast<std::int64_t>(queue_.size()));
   }
   wake_.notify_one();
 }
@@ -55,8 +67,19 @@ void ThreadPool::worker_loop() {
       }
       job = std::move(queue_.front());
       queue_.pop_front();
+      queue_depth_->set(static_cast<std::int64_t>(queue_.size()));
     }
-    job();  // packaged_task captures exceptions into the future
+    tasks_->add();
+    if (telemetry::enabled()) {
+      const auto start = std::chrono::steady_clock::now();
+      job();  // packaged_task captures exceptions into the future
+      const auto elapsed = std::chrono::steady_clock::now() - start;
+      const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count();
+      busy_ns_->add(static_cast<std::uint64_t>(ns));
+      task_seconds_->record(static_cast<double>(ns) * 1e-9);
+    } else {
+      job();  // packaged_task captures exceptions into the future
+    }
   }
 }
 

@@ -17,6 +17,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "telemetry/metrics.hpp"
+
 namespace qcut::parallel {
 
 class ThreadPool {
@@ -57,6 +59,15 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
+
+  // Pool instruments (global registry). Task count and queue depth are
+  // always on; task latency and busy time need clock reads and record only
+  // while telemetry::enabled().
+  std::shared_ptr<telemetry::Counter> tasks_;
+  std::shared_ptr<telemetry::Counter> busy_ns_;
+  std::shared_ptr<telemetry::Gauge> queue_depth_;
+  std::shared_ptr<telemetry::Gauge> workers_gauge_;
+  std::shared_ptr<telemetry::Histogram> task_seconds_;
 };
 
 /// True when the calling thread is a ThreadPool worker (any pool). Code

@@ -6,6 +6,7 @@
 #include "cutting/fragment_executor.hpp"
 #include "cutting/variants.hpp"
 #include "service/circuit_hash.hpp"
+#include "telemetry/trace.hpp"
 
 namespace qcut::service {
 
@@ -25,8 +26,17 @@ CutService::CutService(backend::Backend& backend, CutServiceOptions options)
                                                          : std::move(options.backend_identity)),
       prefix_batching_(options.prefix_batching),
       sim_engine_(options.sim_engine),
-      cache_(options.cache_capacity),
-      scheduler_(cache_),
+      metrics_(options.metrics != nullptr ? *options.metrics
+                                          : telemetry::MetricsRegistry::global()),
+      cache_(options.cache_capacity, &metrics_),
+      scheduler_(cache_, &metrics_),
+      jobs_submitted_(metrics_.counter("service.jobs_submitted")),
+      jobs_completed_(metrics_.counter("service.jobs_completed")),
+      jobs_failed_(metrics_.counter("service.jobs_failed")),
+      waves_(metrics_.counter("service.waves")),
+      active_jobs_gauge_(metrics_.gauge("service.active_jobs")),
+      wave_variants_(metrics_.histogram("service.wave_variants",
+                                        telemetry::exponential_bounds(1.0, 2.0, 12))),
       scheduler_thread_([this] { scheduler_loop(); }) {}
 
 CutService::~CutService() {
@@ -43,12 +53,13 @@ std::future<CutResponse> CutService::submit(CutRequest request) {
   cutting::validate(request);  // eager: reject malformed requests before queuing
   JobPtr job;
   std::future<CutResponse> future;
+  jobs_submitted_->add();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     job = std::make_shared<CutJob>(next_job_id_++, std::move(request));
     future = job->promise.get_future();
-    ++jobs_submitted_;
     ++active_jobs_;
+    active_jobs_gauge_->set(static_cast<std::int64_t>(active_jobs_));
     ready_.push_back(job);
   }
   wake_.notify_one();
@@ -64,15 +75,21 @@ void CutService::wait_idle() {
 
 CutServiceStats CutService::stats() const {
   CutServiceStats out;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    out.jobs_submitted = jobs_submitted_;
-    out.jobs_completed = jobs_completed_;
-    out.jobs_failed = jobs_failed_;
-  }
+  out.jobs_submitted = jobs_submitted_->value();
+  out.jobs_completed = jobs_completed_->value();
+  out.jobs_failed = jobs_failed_->value();
   out.scheduler = scheduler_.stats();
   out.cache = cache_.stats();
+  out.telemetry = metrics_.snapshot();
   return out;
+}
+
+void CutService::record_job_phase(CutJob& job, const char* name, std::uint64_t start_ns,
+                                  std::uint64_t end_ns, std::uint32_t depth) {
+  if (!job.traced) return;
+  const std::uint64_t dur_ns = end_ns - start_ns;
+  telemetry::Tracer::global().record_on(job.trace_track, name, start_ns, dur_ns, depth);
+  job.response.phase_seconds.emplace_back(name, static_cast<double>(dur_ns) * 1e-9);
 }
 
 void CutService::scheduler_loop() {
@@ -161,6 +178,16 @@ void CutService::admit(const JobPtr& job) {
   CutJob& j = *job;
   j.total_timer.reset();
 
+  // A traced job gets its own virtual tracer track ("job <id>"): the job
+  // hops between the scheduler thread and pool workers, so phase spans are
+  // recorded from measured timestamps instead of thread-bound RAII scopes.
+  telemetry::Tracer& tracer = telemetry::Tracer::global();
+  if (telemetry::enabled()) {
+    j.traced = true;
+    j.trace_track = tracer.alloc_track("job " + std::to_string(j.id));
+    j.job_start_ns = tracer.now_ns();
+  }
+
   // Resolve target and cut selection: Pauli targets become a rotated
   // circuit plus a Z-form diagonal observable; Auto[Chain]Plan runs the
   // planner (observable-aware for single-boundary observable targets).
@@ -170,6 +197,7 @@ void CutService::admit(const JobPtr& job) {
   // test deadlocks on a 1-worker pool), while the scheduler thread is
   // always free between waves.
   j.resolved = cutting::resolve(j.request);
+  if (j.traced) record_job_phase(j, "job.plan", j.job_start_ns, tracer.now_ns());
   CutResponse& r = j.response;
   r.boundaries = j.resolved.boundaries;
   r.cuts = j.resolved.flat_cuts();
@@ -215,6 +243,7 @@ void CutService::admit(const JobPtr& job) {
       // level spec applies there - it is the stronger requirement, valid
       // for any target - mirroring the observable-aware planner's fallback
       // so an auto-planned cut never fails here.
+      const std::uint64_t detect_start_ns = j.traced ? tracer.now_ns() : 0;
       std::vector<NeglectSpec> specs;
       for (const std::vector<circuit::WirePoint>& boundary : r.boundaries) {
         const cutting::Bipartition bp =
@@ -229,6 +258,7 @@ void CutService::admit(const JobPtr& job) {
                             : cutting::detect_golden_exact(bp, opt.golden_tol).to_spec());
       }
       r.specs = ChainNeglectSpec(std::move(specs));
+      if (j.traced) record_job_phase(j, "job.detect", detect_start_ns, tracer.now_ns());
       break;
     }
     case GoldenMode::DetectOnline: {
@@ -295,6 +325,9 @@ void CutService::issue_wave(const JobPtr& job, const std::vector<WaveVariant>& v
 
   j.slots = std::move(plan.slots);
   j.wave_timer.reset();
+  waves_->add();
+  wave_variants_->record(static_cast<double>(j.slots.size()));
+  if (j.traced) j.wave_start_ns = telemetry::Tracer::global().now_ns();
 
   if (j.slots.empty()) {
     enqueue_ready(job);
@@ -429,6 +462,9 @@ void CutService::launch_variant_groups(std::vector<PreparedVariant>& prepared,
 
 void CutService::absorb_wave(const JobPtr& job) {
   CutJob& j = *job;
+  if (j.traced) {
+    record_job_phase(j, "job.wave", j.wave_start_ns, telemetry::Tracer::global().now_ns());
+  }
   cutting::ChainFragmentData& data = j.response.data;
   data.wall_seconds += j.wave_timer.elapsed_seconds();
   for (const VariantSlot& slot : j.slots) {
@@ -458,6 +494,8 @@ void CutService::handle_fragment_wave_complete(const JobPtr& job) {
 
   // Smallest per-variant shot count of this wave as the test's sample size
   // (conservative when a total budget splits unevenly).
+  const std::uint64_t detect_start_ns =
+      j.traced ? telemetry::Tracer::global().now_ns() : 0;
   const cutting::GoldenDetectionReport detection = cutting::detect_golden_from_counts_core(
       layout, contexts.size(),
       [&](std::size_t context, std::uint32_t setting) -> const std::vector<double>& {
@@ -465,6 +503,9 @@ void CutService::handle_fragment_wave_complete(const JobPtr& job) {
       },
       j.wave_smallest_share, j.request.options.online);
   j.response.specs.boundary(f) = detection.to_spec();
+  if (j.traced) {
+    record_job_phase(j, "job.detect", detect_start_ns, telemetry::Tracer::global().now_ns());
+  }
 
   ++j.wave_fragment;
   issue_wave(job, fragment_wave(graph, j.response.specs, j.wave_fragment));
@@ -498,6 +539,8 @@ void CutService::reconstruct_and_finish(const JobPtr& job) {
   j.phase = JobPhase::Reconstructing;
   j.response.fragment_seconds = j.response.data.wall_seconds;
 
+  telemetry::Tracer& tracer = telemetry::Tracer::global();
+  const std::uint64_t reconstruct_start_ns = j.traced ? tracer.now_ns() : 0;
   cutting::ReconstructionOptions recon;
   // Job-level pool override wins; otherwise reconstruction shares the
   // service pool, like variant execution. (Reconstruction chunking is
@@ -513,17 +556,27 @@ void CutService::reconstruct_and_finish(const JobPtr& job) {
     // bit-for-bit identical to the direct expectation path at equal pools.
     j.response.expectation =
         j.resolved.observable->expectation(j.response.reconstruction.raw_probabilities);
+    if (j.traced) record_job_phase(j, "job.reconstruct", reconstruct_start_ns, tracer.now_ns());
     if (j.request.bootstrap.has_value()) {
       // Validation restricts bootstrap to two-fragment selections (chain
       // bootstrap is a ROADMAP open item).
       QCUT_CHECK(j.response.graph.num_fragments() == 2,
                  "CutService: bootstrap uncertainty requires a two-fragment cut");
+      const std::uint64_t bootstrap_start_ns = j.traced ? tracer.now_ns() : 0;
       j.response.uncertainty = cutting::bootstrap_expectation(
           cutting::to_bipartition(j.response.graph), to_fragment_data(j.response.data),
           j.response.specs.boundary(0), *j.resolved.observable, *j.request.bootstrap);
+      if (j.traced) record_job_phase(j, "job.bootstrap", bootstrap_start_ns, tracer.now_ns());
     }
+  } else if (j.traced) {
+    record_job_phase(j, "job.reconstruct", reconstruct_start_ns, tracer.now_ns());
   }
   j.response.total_seconds = j.total_timer.elapsed_seconds();
+  if (j.traced) {
+    // The enclosing "job" span last: depth 0, containing every phase above.
+    record_job_phase(j, "job", j.job_start_ns, tracer.now_ns(), /*depth=*/0);
+    j.response.telemetry = metrics_.snapshot();
+  }
 
   // Physical backend usage attributed to this job: variants served from the
   // cache or shared with a twin request consumed nothing. Device seconds
@@ -537,10 +590,11 @@ void CutService::reconstruct_and_finish(const JobPtr& job) {
   j.phase = JobPhase::Done;
   // Bookkeeping precedes the promise: the promise is the caller's sync
   // point, and stats must already reflect the job when it unblocks.
+  jobs_completed_->add();
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    ++jobs_completed_;
     --active_jobs_;
+    active_jobs_gauge_->set(static_cast<std::int64_t>(active_jobs_));
   }
   j.promise.set_value(std::move(j.response));
   idle_.notify_all();
@@ -550,10 +604,15 @@ void CutService::fail(const JobPtr& job, std::exception_ptr error) {
   CutJob& j = *job;
   if (j.phase == JobPhase::Done || j.phase == JobPhase::Failed) return;
   j.phase = JobPhase::Failed;
+  if (j.traced) {
+    record_job_phase(j, "job", j.job_start_ns, telemetry::Tracer::global().now_ns(),
+                     /*depth=*/0);
+  }
+  jobs_failed_->add();
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    ++jobs_failed_;
     --active_jobs_;
+    active_jobs_gauge_->set(static_cast<std::int64_t>(active_jobs_));
   }
   j.promise.set_exception(error != nullptr ? error
                                            : std::make_exception_ptr(

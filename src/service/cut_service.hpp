@@ -73,6 +73,12 @@ struct CutServiceOptions {
   /// so it never enters the cache key; gate fusion — the result-affecting
   /// engine knob — is backend state and arrives via backend_identity.
   bool sim_engine = true;
+
+  /// Registry the service's instruments (job counters, scheduler, cache)
+  /// register on; nullptr selects the global registry. Pass a private
+  /// registry to isolate one service's metrics from the rest of the
+  /// process.
+  telemetry::MetricsRegistry* metrics = nullptr;
 };
 
 struct CutServiceStats {
@@ -81,6 +87,12 @@ struct CutServiceStats {
   std::uint64_t jobs_failed = 0;
   SchedulerStats scheduler;
   CacheStats cache;
+
+  /// Full snapshot of the service's registry: the job/scheduler/cache
+  /// fields above are thin views over the same instruments, so e.g.
+  /// `cache.hits == telemetry.counter_value("cache.hits")` bit-for-bit
+  /// (when the service owns a private registry).
+  telemetry::MetricsSnapshot telemetry;
 };
 
 class CutService {
@@ -136,13 +148,28 @@ class CutService {
   void fail(const JobPtr& job, std::exception_ptr error);
   void enqueue_ready(const JobPtr& job);
 
+  /// Records one finished phase of a traced job: a span on the job's
+  /// virtual tracer track plus a response.phase_seconds entry. No-op for
+  /// untraced jobs.
+  void record_job_phase(CutJob& job, const char* name, std::uint64_t start_ns,
+                        std::uint64_t end_ns, std::uint32_t depth = 1);
+
   backend::Backend& backend_;
   parallel::ThreadPool& pool_;
   std::string backend_identity_;
   const bool prefix_batching_;
   const bool sim_engine_;
+  telemetry::MetricsRegistry& metrics_;  // before cache_/scheduler_: they register on it
   FragmentResultCache cache_;
   VariantScheduler scheduler_;
+
+  // Job-lifecycle instruments; CutServiceStats' integer fields are views.
+  std::shared_ptr<telemetry::Counter> jobs_submitted_;
+  std::shared_ptr<telemetry::Counter> jobs_completed_;
+  std::shared_ptr<telemetry::Counter> jobs_failed_;
+  std::shared_ptr<telemetry::Counter> waves_;
+  std::shared_ptr<telemetry::Gauge> active_jobs_gauge_;
+  std::shared_ptr<telemetry::Histogram> wave_variants_;
 
   mutable std::mutex mutex_;
   std::condition_variable wake_;
@@ -151,9 +178,6 @@ class CutService {
   std::size_t active_jobs_ = 0;
   bool stopping_ = false;
   std::uint64_t next_job_id_ = 1;
-  std::uint64_t jobs_submitted_ = 0;
-  std::uint64_t jobs_completed_ = 0;
-  std::uint64_t jobs_failed_ = 0;
 
   std::thread scheduler_thread_;  // last member: starts after state is ready
 };

@@ -2,17 +2,27 @@
 
 namespace qcut::service {
 
-FragmentResultCache::FragmentResultCache(std::size_t capacity) : capacity_(capacity) {}
+FragmentResultCache::FragmentResultCache(std::size_t capacity,
+                                         telemetry::MetricsRegistry* metrics)
+    : capacity_(capacity) {
+  telemetry::MetricsRegistry& registry =
+      metrics != nullptr ? *metrics : telemetry::MetricsRegistry::global();
+  hits_ = registry.counter("cache.hits");
+  misses_ = registry.counter("cache.misses");
+  insertions_ = registry.counter("cache.insertions");
+  evictions_ = registry.counter("cache.evictions");
+  size_gauge_ = registry.gauge("cache.size");
+}
 
 std::optional<CachedDistribution> FragmentResultCache::lookup(const Hash128& key) {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = index_.find(key);
   if (it == index_.end()) {
-    ++stats_.misses;
+    misses_->add();
     return std::nullopt;
   }
   lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
-  ++stats_.hits;
+  hits_->add();
   return it->second->value;
 }
 
@@ -27,12 +37,13 @@ void FragmentResultCache::insert(const Hash128& key, CachedDistribution value) {
   }
   lru_.push_front(Entry{key, std::move(value)});
   index_.emplace(key, lru_.begin());
-  ++stats_.insertions;
+  insertions_->add();
   while (lru_.size() > capacity_) {
     index_.erase(lru_.back().key);
     lru_.pop_back();
-    ++stats_.evictions;
+    evictions_->add();
   }
+  size_gauge_->set(static_cast<std::int64_t>(lru_.size()));
 }
 
 std::size_t FragmentResultCache::size() const {
@@ -41,14 +52,19 @@ std::size_t FragmentResultCache::size() const {
 }
 
 CacheStats FragmentResultCache::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  CacheStats stats;
+  stats.hits = hits_->value();
+  stats.misses = misses_->value();
+  stats.insertions = insertions_->value();
+  stats.evictions = evictions_->value();
+  return stats;
 }
 
 void FragmentResultCache::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   lru_.clear();
   index_.clear();
+  size_gauge_->set(0);
 }
 
 }  // namespace qcut::service

@@ -11,6 +11,11 @@
 //
 // Thread-safe; results are held as shared_ptr<const vector<double>> so hits
 // are handed out without copying while eviction stays safe.
+//
+// Counters live on the telemetry registry ("cache.hits", "cache.misses",
+// "cache.insertions", "cache.evictions", plus a "cache.size" gauge) as this
+// instance's own instruments; CacheStats is a thin view over them, so the
+// legacy accessor and a MetricsSnapshot report bit-identical values.
 
 #include <cstdint>
 #include <list>
@@ -21,6 +26,7 @@
 #include <vector>
 
 #include "service/circuit_hash.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace qcut::service {
 
@@ -40,10 +46,12 @@ struct CacheStats {
 
 /// LRU cache over variant-execution results. `capacity` counts entries;
 /// capacity 0 disables the cache (every lookup misses, inserts are
-/// dropped).
+/// dropped). Counters register on `metrics` (the global registry when
+/// nullptr).
 class FragmentResultCache {
  public:
-  explicit FragmentResultCache(std::size_t capacity);
+  explicit FragmentResultCache(std::size_t capacity,
+                               telemetry::MetricsRegistry* metrics = nullptr);
 
   FragmentResultCache(const FragmentResultCache&) = delete;
   FragmentResultCache& operator=(const FragmentResultCache&) = delete;
@@ -70,7 +78,13 @@ class FragmentResultCache {
   std::size_t capacity_;
   std::list<Entry> lru_;  // front = most recently used
   std::unordered_map<Hash128, std::list<Entry>::iterator, Hash128Hasher> index_;
-  CacheStats stats_;
+
+  // This instance's registry instruments; stats() is a view over them.
+  std::shared_ptr<telemetry::Counter> hits_;
+  std::shared_ptr<telemetry::Counter> misses_;
+  std::shared_ptr<telemetry::Counter> insertions_;
+  std::shared_ptr<telemetry::Counter> evictions_;
+  std::shared_ptr<telemetry::Gauge> size_gauge_;
 };
 
 }  // namespace qcut::service

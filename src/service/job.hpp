@@ -88,6 +88,15 @@ struct CutJob {
   Stopwatch wave_timer;
   Stopwatch total_timer;
 
+  // Telemetry: engaged at admission when telemetry::enabled(). The job hops
+  // between the scheduler thread and pool workers, so its phase spans are
+  // recorded on a dedicated virtual tracer track ("job <id>") from measured
+  // tracer-clock timestamps rather than RAII scopes.
+  bool traced = false;
+  std::uint32_t trace_track = 0;   // the job's virtual tracer track
+  std::uint64_t job_start_ns = 0;  // tracer-clock admission timestamp
+  std::uint64_t wave_start_ns = 0; // tracer-clock start of the current wave
+
   // First failure wins; read by the scheduler thread once pending hits 0.
   std::atomic<bool> failed{false};
   std::exception_ptr error;

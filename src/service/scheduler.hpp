@@ -29,6 +29,9 @@ namespace qcut::service {
 /// execute function ran on the backend (and its job should be billed).
 enum class VariantSource { Executed, Cache, SharedInFlight };
 
+/// Thin view over the scheduler's telemetry counters ("scheduler.requests",
+/// "scheduler.cache_hits", ...): the legacy accessor and a MetricsSnapshot
+/// report bit-identical values.
 struct SchedulerStats {
   std::uint64_t requests = 0;
   std::uint64_t cache_hits = 0;
@@ -47,7 +50,9 @@ class VariantScheduler {
   using Callback =
       std::function<void(CachedDistribution result, std::exception_ptr error, VariantSource source)>;
 
-  explicit VariantScheduler(FragmentResultCache& cache) : cache_(cache) {}
+  /// Counters register on `metrics` (the global registry when nullptr).
+  explicit VariantScheduler(FragmentResultCache& cache,
+                            telemetry::MetricsRegistry* metrics = nullptr);
 
   VariantScheduler(const VariantScheduler&) = delete;
   VariantScheduler& operator=(const VariantScheduler&) = delete;
@@ -87,7 +92,16 @@ class VariantScheduler {
   FragmentResultCache& cache_;
   mutable std::mutex mutex_;
   std::unordered_map<Hash128, std::vector<Waiter>, Hash128Hasher> in_flight_;
-  SchedulerStats stats_;
+
+  // This instance's registry instruments; stats() is a view over them.
+  std::shared_ptr<telemetry::Counter> requests_;
+  std::shared_ptr<telemetry::Counter> cache_hits_;
+  std::shared_ptr<telemetry::Counter> dedup_joins_;
+  std::shared_ptr<telemetry::Counter> executions_;
+  std::shared_ptr<telemetry::Counter> failures_;
+  std::shared_ptr<telemetry::Gauge> in_flight_gauge_;
+  std::shared_ptr<telemetry::Histogram> batch_size_;
+  std::shared_ptr<telemetry::Histogram> launch_size_;
 };
 
 }  // namespace qcut::service

@@ -2,17 +2,55 @@
 
 #include <algorithm>
 #include <array>
+#include <chrono>
 #include <future>
 #include <utility>
 
 #include "common/bits.hpp"
 #include "common/error.hpp"
 #include "linalg/ops.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace qcut::sim {
 
 using circuit::Operation;
 using linalg::CMat;
+
+namespace {
+
+constexpr std::size_t kNumKernelClasses = 6;
+
+/// Process-wide engine instruments on the global registry, one counter pair
+/// per kernel class. Gate counts are recorded at compile time (once per
+/// circuit); per-class kernel time is recorded by apply() only when
+/// telemetry is enabled (it needs two clock reads per op).
+struct EngineMetrics {
+  std::array<std::shared_ptr<telemetry::Counter>, kNumKernelClasses> ops;
+  std::array<std::shared_ptr<telemetry::Counter>, kNumKernelClasses> kernel_ns;
+  std::shared_ptr<telemetry::Counter> applies;
+  std::shared_ptr<telemetry::Counter> fusion_gates_in;
+  std::shared_ptr<telemetry::Counter> fusion_gates_absorbed;
+
+  static EngineMetrics& get() {
+    static EngineMetrics metrics;
+    return metrics;
+  }
+
+ private:
+  EngineMetrics() {
+    telemetry::MetricsRegistry& registry = telemetry::MetricsRegistry::global();
+    for (std::size_t c = 0; c < kNumKernelClasses; ++c) {
+      const std::string name = kernel_class_name(static_cast<KernelClass>(c));
+      ops[c] = registry.counter("sim.ops." + name);
+      kernel_ns[c] = registry.counter("sim.kernel_ns." + name);
+    }
+    applies = registry.counter("sim.applies");
+    fusion_gates_in = registry.counter("sim.fusion.gates_in");
+    fusion_gates_absorbed = registry.counter("sim.fusion.gates_absorbed");
+  }
+};
+
+}  // namespace
 
 std::string kernel_class_name(KernelClass cls) {
   switch (cls) {
@@ -315,7 +353,21 @@ void CompiledCircuit::apply(StateVector& state) const {
   ctx.pool = pool;
   ctx.threaded = num_qubits_ >= options_.threading_threshold_qubits && pool->size() > 1 &&
                  !parallel::in_pool_worker();
-  for (const CompiledOp& op : ops_) apply_op(ctx, op);
+  EngineMetrics::get().applies->add();
+  if (!telemetry::enabled()) {
+    // The default loop: no clock reads, no per-op overhead beyond this one
+    // branch (the micro_simulator speedup gate runs through here).
+    for (const CompiledOp& op : ops_) apply_op(ctx, op);
+    return;
+  }
+  EngineMetrics& metrics = EngineMetrics::get();
+  for (const CompiledOp& op : ops_) {
+    const auto start = std::chrono::steady_clock::now();
+    apply_op(ctx, op);
+    const auto end = std::chrono::steady_clock::now();
+    metrics.kernel_ns[static_cast<std::size_t>(op.cls)]->add(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(end - start).count()));
+  }
 }
 
 CompiledCircuit compile_ops(std::span<const Operation> ops, int num_qubits,
@@ -325,11 +377,17 @@ CompiledCircuit compile_ops(std::span<const Operation> ops, int num_qubits,
   compiled.num_qubits_ = num_qubits;
   compiled.options_ = options;
   compiled.ops_.reserve(ops.size());
+  std::array<std::uint64_t, kNumKernelClasses> class_counts{};
   for (const Operation& op : ops) {
     for (int q : op.qubits) {
       QCUT_CHECK(q >= 0 && q < num_qubits, "compile_ops: qubit out of range");
     }
     compiled.ops_.push_back(classify(op, options.specialize));
+    ++class_counts[static_cast<std::size_t>(compiled.ops_.back().cls)];
+  }
+  EngineMetrics& metrics = EngineMetrics::get();
+  for (std::size_t c = 0; c < kNumKernelClasses; ++c) {
+    if (class_counts[c] > 0) metrics.ops[c]->add(class_counts[c]);
   }
   return compiled;
 }
@@ -343,6 +401,10 @@ CompiledCircuit compile_circuit(const circuit::Circuit& circuit, const EngineOpt
   scan.flush(fused);
   CompiledCircuit compiled = compile_ops(fused, circuit.num_qubits(), options);
   compiled.fusion_stats_ = scan.stats();
+  EngineMetrics& metrics = EngineMetrics::get();
+  metrics.fusion_gates_in->add(circuit.num_ops());
+  metrics.fusion_gates_absorbed->add(compiled.fusion_stats_.merged_1q_gates +
+                                     compiled.fusion_stats_.folded_1q_gates);
   return compiled;
 }
 

@@ -1,0 +1,27 @@
+#pragma once
+// Deterministic iteration over unordered associative containers.
+//
+// Unordered container iteration order is implementation-defined: it varies
+// across standard libraries and with insertion/rehash history. Any loop whose
+// side effects depend on visit order (RNG draws, accumulation into floating
+// point, cache-key construction) must iterate a sorted view instead — this is
+// the fix qcut-lint's no-unordered-iteration rule points at.
+
+#include <algorithm>
+#include <vector>
+
+namespace qcut {
+
+/// Keys of an associative container in ascending order. The collection loop
+/// itself visits in implementation order, which is immaterial: sorting makes
+/// the result a pure function of the key set.
+template <typename Map>
+[[nodiscard]] std::vector<typename Map::key_type> sorted_keys(const Map& map) {
+  std::vector<typename Map::key_type> keys;
+  keys.reserve(map.size());
+  for (const auto& entry : map) keys.push_back(entry.first);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+}  // namespace qcut

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/ordered.hpp"
 #include "common/rng.hpp"
 #include "metrics/stats.hpp"
 #include "sim/sampling.hpp"
@@ -13,14 +14,21 @@ namespace qcut::cutting {
 namespace {
 
 /// One multinomial resample of every variant distribution in `data`.
+///
+/// Variants are visited in ascending key order so the RNG consumption
+/// sequence — and with it every bootstrap replica — is a pure function of
+/// (data, seed), not of unordered_map iteration order, which differs across
+/// standard library implementations and rehash histories.
 FragmentData resample(const FragmentData& data, Rng& rng) {
   FragmentData replica = data;
   const std::size_t shots = data.shots_per_variant;
-  for (auto& [index, probs] : replica.upstream) {
+  for (std::uint32_t index : sorted_keys(replica.upstream)) {
+    std::vector<double>& probs = replica.upstream.at(index);
     const auto histogram = sim::sample_histogram(probs, shots, rng);
     probs = sim::histogram_to_probabilities(histogram);
   }
-  for (auto& [index, probs] : replica.downstream) {
+  for (std::uint32_t index : sorted_keys(replica.downstream)) {
+    std::vector<double>& probs = replica.downstream.at(index);
     const auto histogram = sim::sample_histogram(probs, shots, rng);
     probs = sim::histogram_to_probabilities(histogram);
   }

@@ -523,9 +523,13 @@ cutting::FragmentData to_fragment_data(const cutting::ChainFragmentData& data) {
   out.total_jobs = data.total_jobs;
   out.total_shots = data.total_shots;
   out.wall_seconds = data.wall_seconds;
+  // qcut-lint: allow(no-unordered-iteration) -- re-keys each variant into a
+  // map keyed by its setting index; no visit-order-dependent state is touched.
   for (const auto& [packed, dist] : data.fragments[0].variants) {
     out.upstream.emplace(cutting::unpack_variant_key(packed).setting_index, dist);
   }
+  // qcut-lint: allow(no-unordered-iteration) -- re-keys each variant into a
+  // map keyed by its prep index; no visit-order-dependent state is touched.
   for (const auto& [packed, dist] : data.fragments[1].variants) {
     out.downstream.emplace(cutting::unpack_variant_key(packed).prep_index, dist);
   }

@@ -1,0 +1,30 @@
+// Known-bad: an allow() without a justification is itself a violation and
+// suppresses nothing — the original rule still fires.
+#include <cstdint>
+#include <unordered_map>
+
+namespace fixture_bad_empty_justification {
+
+struct Weights {
+  std::unordered_map<std::uint32_t, double> table;
+};
+
+double sum(const Weights& w) {
+  double total = 0.0;
+  // qcut-lint: allow(no-unordered-iteration) FIRE(annotation-justification)
+  for (const auto& [key, value] : w.table) {  // FIRE(no-unordered-iteration)
+    total += value;
+  }
+  return total;
+}
+
+double sum_with_empty_text(const Weights& w) {
+  double total = 0.0;
+  // FIRE(annotation-justification) qcut-lint: allow(no-unordered-iteration) --
+  for (const auto& [key, value] : w.table) {  // FIRE(no-unordered-iteration)
+    total += value;
+  }
+  return total;
+}
+
+}  // namespace fixture_bad_empty_justification

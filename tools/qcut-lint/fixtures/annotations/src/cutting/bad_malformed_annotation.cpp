@@ -1,0 +1,21 @@
+// Known-bad: a comment that name-drops qcut-lint without the allow(rule)
+// shape is flagged as unparseable rather than silently ignored.
+#include <cstdint>
+#include <unordered_map>
+
+namespace fixture_bad_malformed_annotation {
+
+struct Weights {
+  std::unordered_map<std::uint32_t, double> lut;
+};
+
+double sum(const Weights& w) {
+  double total = 0.0;
+  // qcut-lint: suppress this please FIRE(annotation-syntax)
+  for (const auto& [key, value] : w.lut) {  // FIRE(no-unordered-iteration)
+    total += value;
+  }
+  return total;
+}
+
+}  // namespace fixture_bad_malformed_annotation

@@ -1,0 +1,31 @@
+// Known-good: a justified allow() suppresses the violation it covers, whether
+// it trails the statement or stands (possibly wrapped) above it.
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture_good_justified_allow {
+
+struct Dedup {
+  std::unordered_map<std::uint64_t, std::uint64_t> remap;
+};
+
+std::uint64_t count_entries(const Dedup& d) {
+  std::uint64_t n = 0;
+  // qcut-lint: allow(no-unordered-iteration) -- pure count; every visit adds
+  // exactly 1 regardless of order, so the result is order-independent.
+  for (const auto& [key, value] : d.remap) {
+    n += 1 + 0 * value;
+  }
+  return n;
+}
+
+std::uint64_t max_key(const Dedup& d) {
+  std::uint64_t best = 0;
+  for (const auto& [key, value] : d.remap) {  // qcut-lint: allow(no-unordered-iteration) -- max is commutative and associative over the visit order.
+    best = key > best ? key : best;
+  }
+  return best;
+}
+
+}  // namespace fixture_good_justified_allow

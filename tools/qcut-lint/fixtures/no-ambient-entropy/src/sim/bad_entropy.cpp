@@ -1,0 +1,25 @@
+// Known-bad: every ambient-entropy source the rule guards against.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture_bad_entropy {
+
+unsigned hardware_seed() {
+  std::random_device dev;  // FIRE(no-ambient-entropy)
+  return dev();
+}
+
+double ambient_noise() {
+  return static_cast<double>(rand()) / RAND_MAX;  // FIRE(no-ambient-entropy)
+}
+
+void reseed_from_wall_time() {
+  srand(static_cast<unsigned>(std::time(nullptr)));  // FIRE(no-ambient-entropy) FIRE(no-ambient-entropy)
+}
+
+const char* config_from_environment() {
+  return std::getenv("QCUT_SHOTS");  // FIRE(no-ambient-entropy)
+}
+
+}  // namespace fixture_bad_entropy

@@ -1,0 +1,24 @@
+// Known-good: seeded Rng streams, mentions of forbidden names in comments and
+// strings, and member functions that merely share a forbidden name.
+#include <cstdint>
+#include <string>
+
+namespace fixture_good_seeded {
+
+struct Rng {
+  std::uint64_t state;
+  // Never call rand() or time() here: all randomness flows from the seed.
+  std::uint64_t next() { return state = state * 6364136223846793005ULL + 1442695040888963407ULL; }
+};
+
+struct Span {
+  double start = 0.0;
+  double time() const { return start; }  // member named `time` is not ::time
+};
+
+double jitter(Rng& rng, const Span& span) {
+  const std::string log = "seeded run, no rand() involved";
+  return static_cast<double>(rng.next() % 1000) + span.time() + static_cast<double>(log.size());
+}
+
+}  // namespace fixture_good_seeded

@@ -1,0 +1,39 @@
+// Known-bad: every reassociation license the rule guards against.
+#include <execution>
+#include <numeric>
+#include <vector>
+
+namespace fixture_bad_reductions {
+
+double parallel_sum(const std::vector<double>& values) {
+  return std::reduce(values.begin(), values.end());  // FIRE(no-fp-reassociation)
+}
+
+double vectorized_sum(const std::vector<double>& values) {
+  return std::reduce(std::execution::par_unseq,  // FIRE(no-fp-reassociation) FIRE(no-fp-reassociation)
+                     values.begin(), values.end());
+}
+
+double fused_dot(const std::vector<double>& a, const std::vector<double>& b) {
+  return std::transform_reduce(a.begin(), a.end(), b.begin(), 0.0);  // FIRE(no-fp-reassociation)
+}
+
+#pragma STDC FP_CONTRACT ON  // FIRE(no-fp-reassociation)
+
+double omp_style_sum(const std::vector<double>& values) {
+  double total = 0.0;
+#pragma omp parallel for reduction(+ : total)  // FIRE(no-fp-reassociation)
+  for (int i = 0; i < static_cast<int>(values.size()); ++i) {
+    total += values[static_cast<std::size_t>(i)];
+  }
+  return total;
+}
+
+__attribute__((optimize("fast-math")))  // FIRE(no-fp-reassociation)
+double fast_sum(const std::vector<double>& values) {
+  double total = 0.0;
+  for (double v : values) total += v;
+  return total;
+}
+
+}  // namespace fixture_bad_reductions

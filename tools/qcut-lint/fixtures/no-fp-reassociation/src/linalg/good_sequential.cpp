@@ -1,0 +1,35 @@
+// Known-good: sequential accumulation, std::accumulate (left fold, defined
+// order), a non-std `reduce`, and FP_CONTRACT explicitly OFF.
+#include <numeric>
+#include <vector>
+
+namespace fixture_good_sequential {
+
+// A project-local reduce (e.g. a tree reduction over fixed chunk boundaries)
+// is not std::reduce; the chunking helpers in src/parallel are exactly this.
+double reduce(const std::vector<double>& chunk_sums) {
+  double total = 0.0;
+  for (double v : chunk_sums) total += v;
+  return total;
+}
+
+#pragma STDC FP_CONTRACT OFF
+
+double sequential_sum(const std::vector<double>& values) {
+  return std::accumulate(values.begin(), values.end(), 0.0);
+}
+
+double chunked_sum(const std::vector<double>& values) {
+  // Comment mentioning std::reduce and -ffast-math must not fire.
+  std::vector<double> partials;
+  const std::size_t chunk = 1024;
+  for (std::size_t start = 0; start < values.size(); start += chunk) {
+    double sum = 0.0;
+    const std::size_t end = std::min(values.size(), start + chunk);
+    for (std::size_t i = start; i < end; ++i) sum += values[i];
+    partials.push_back(sum);
+  }
+  return reduce(partials);
+}
+
+}  // namespace fixture_good_sequential

@@ -1,0 +1,21 @@
+// Known-good: the rule is scoped to result-affecting directories (cutting,
+// sim, linalg, service). A diagnostics loop in backend/ may traverse freely.
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+namespace fixture_out_of_scope {
+
+struct DiagCounters {
+  std::unordered_map<std::string, std::uint64_t> per_gate_counts;
+};
+
+std::uint64_t total_gate_count(const DiagCounters& diag) {
+  std::uint64_t total = 0;
+  for (const auto& [name, count] : diag.per_gate_counts) {  // not a result path
+    total += count;
+  }
+  return total;
+}
+
+}  // namespace fixture_out_of_scope

@@ -1,0 +1,24 @@
+// Known-bad: iterating a container whose unordered type is only visible in
+// the header, plus a declaration through a `using` alias.
+#include "decl.hpp"
+
+namespace fixture_cross_file {
+
+double sum_header_declared_member(const ChainData& data) {
+  double total = 0.0;
+  for (const auto& [key, probs] : data.per_variant_probs) {  // FIRE(no-unordered-iteration)
+    total += probs.empty() ? 0.0 : probs.front();
+  }
+  return total;
+}
+
+double sum_alias_declared_local(const ReplicaMap& incoming) {
+  ReplicaMap replicas = incoming;
+  double total = 0.0;
+  for (const auto& [key, probs] : replicas) {  // FIRE(no-unordered-iteration)
+    total += probs.empty() ? 0.0 : probs.front();
+  }
+  return total;
+}
+
+}  // namespace fixture_cross_file

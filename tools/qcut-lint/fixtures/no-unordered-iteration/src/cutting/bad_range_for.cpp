@@ -1,0 +1,33 @@
+// Known-bad: raw traversal of unordered containers on a result path.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture_bad_range_for {
+
+struct Tensors {
+  std::unordered_map<std::uint64_t, std::vector<double>> slices;
+  std::unordered_set<std::uint32_t> golden_rows;
+};
+
+double accumulate_in_visit_order(const Tensors& t) {
+  double total = 0.0;
+  for (const auto& [key, slice] : t.slices) {  // FIRE(no-unordered-iteration)
+    for (double v : slice) total += v;         // FP accumulation order leaks
+  }
+  for (std::uint32_t row : t.golden_rows) {  // FIRE(no-unordered-iteration)
+    total += static_cast<double>(row);
+  }
+  return total;
+}
+
+double iterator_walk(const Tensors& t) {
+  double total = 0.0;
+  for (auto it = t.slices.begin(); it != t.slices.end(); ++it) {  // FIRE(no-unordered-iteration)
+    total += it->second.empty() ? 0.0 : it->second.front();
+  }
+  return total;
+}
+
+}  // namespace fixture_bad_range_for

@@ -1,0 +1,16 @@
+// Cross-file fixture: the container member is declared here, iterated in
+// bad_cross_file.cpp — the linter's name collection pass is global.
+#pragma once
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture_cross_file {
+
+using ReplicaMap = std::unordered_map<std::uint64_t, std::vector<double>>;
+
+struct ChainData {
+  std::unordered_map<std::uint64_t, std::vector<double>> per_variant_probs;
+};
+
+}  // namespace fixture_cross_file

@@ -1,0 +1,39 @@
+// Known-good: unordered containers used with deterministic access patterns —
+// keyed lookups, sorted views, and ordered containers are all fine.
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ordered.hpp"
+
+namespace fixture_good_sorted_view {
+
+struct Weights {
+  std::unordered_map<std::uint32_t, double> by_setting;
+  std::map<std::uint32_t, double> ordered_by_setting;
+};
+
+double keyed_lookup(const Weights& w, std::uint32_t setting) {
+  const auto it = w.by_setting.find(setting);  // find/at never traverse
+  return it == w.by_setting.end() ? 0.0 : it->second;
+}
+
+double sorted_traversal(const Weights& w) {
+  double total = 0.0;
+  // The sanctioned fix: a wrapping call imposes its own deterministic order.
+  for (std::uint32_t key : qcut::sorted_keys(w.by_setting)) {
+    total += w.by_setting.at(key);
+  }
+  return total;
+}
+
+double ordered_container(const Weights& w) {
+  double total = 0.0;
+  for (const auto& [key, value] : w.ordered_by_setting) {  // std::map: sorted
+    total += value;
+  }
+  return total;
+}
+
+}  // namespace fixture_good_sorted_view

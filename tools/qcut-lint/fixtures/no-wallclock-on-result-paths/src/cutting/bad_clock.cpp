@@ -1,0 +1,22 @@
+// Known-bad: ungated clock reads inside a result-affecting directory.
+#include <chrono>
+#include <vector>
+
+namespace fixture_bad_clock {
+
+double reconstruct_with_deadline(const std::vector<double>& terms) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(1);  // FIRE(no-wallclock-on-result-paths)
+  double total = 0.0;
+  for (double term : terms) {
+    if (std::chrono::steady_clock::now() > deadline) break;  // FIRE(no-wallclock-on-result-paths)
+    total += term;
+  }
+  return total;  // value depends on machine speed: the cardinal sin
+}
+
+long long stamp_cache_entry() {
+  return std::chrono::system_clock::now().time_since_epoch().count();  // FIRE(no-wallclock-on-result-paths)
+}
+
+}  // namespace fixture_bad_clock

@@ -1,0 +1,51 @@
+// Known-good: every recognized telemetry-gating shape, in a result directory.
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+namespace telemetry {
+bool enabled();
+}
+
+namespace fixture_good_gated {
+
+std::uint64_t gated_block() {
+  std::uint64_t ns = 0;
+  if (telemetry::enabled()) {
+    const auto start = std::chrono::steady_clock::now();
+    const auto end = std::chrono::steady_clock::now();
+    ns = static_cast<std::uint64_t>((end - start).count());
+  }
+  return ns;
+}
+
+double early_return_gate(const std::vector<double>& terms) {
+  double total = 0.0;
+  if (!telemetry::enabled()) {
+    for (double term : terms) total += term;
+    return total;
+  }
+  // From here on the function only runs while telemetry is enabled.
+  const auto start = std::chrono::steady_clock::now();
+  for (double term : terms) total += term;
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  return total + (elapsed.count() < 0 ? 1.0 : 0.0) * 0.0;
+}
+
+std::uint64_t else_branch_gate() {
+  if (!telemetry::enabled()) {
+    return 0;
+  } else {
+    return static_cast<std::uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+  }
+}
+
+std::uint64_t unbraced_statement_gate() {
+  std::uint64_t ns = 0;
+  if (telemetry::enabled())
+    ns = static_cast<std::uint64_t>(std::chrono::steady_clock::now().time_since_epoch().count());
+  return ns;
+}
+
+}  // namespace fixture_good_gated

@@ -1,0 +1,14 @@
+// Known-good: src/telemetry owns the clock; no gating required here.
+#include <chrono>
+#include <cstdint>
+
+namespace fixture_exempt_telemetry {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace fixture_exempt_telemetry

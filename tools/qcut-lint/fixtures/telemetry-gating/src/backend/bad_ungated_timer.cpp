@@ -1,0 +1,20 @@
+// Known-bad: a clock read outside the result directories that is not behind
+// telemetry::enabled() — it will not perturb results, but it violates the
+// PR 6 cost model (telemetry-off hot paths make no clock syscalls).
+#include <chrono>
+#include <cstdint>
+
+namespace fixture_bad_ungated_timer {
+
+struct BatchStats {
+  std::uint64_t ns = 0;
+};
+
+void time_batch(BatchStats& stats) {
+  const auto start = std::chrono::steady_clock::now();  // FIRE(telemetry-gating)
+  const auto end = std::chrono::steady_clock::now();    // FIRE(telemetry-gating)
+  stats.ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - start).count());
+}
+
+}  // namespace fixture_bad_ungated_timer

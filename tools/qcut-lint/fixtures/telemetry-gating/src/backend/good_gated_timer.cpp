@@ -1,0 +1,24 @@
+// Known-good: the same timer behind the runtime telemetry switch.
+#include <chrono>
+#include <cstdint>
+
+namespace telemetry {
+bool enabled();
+}
+
+namespace fixture_good_gated_timer {
+
+struct BatchStats {
+  std::uint64_t ns = 0;
+};
+
+void time_batch(BatchStats& stats) {
+  if (telemetry::enabled()) {
+    const auto start = std::chrono::steady_clock::now();
+    const auto end = std::chrono::steady_clock::now();
+    stats.ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(end - start).count());
+  }
+}
+
+}  // namespace fixture_good_gated_timer

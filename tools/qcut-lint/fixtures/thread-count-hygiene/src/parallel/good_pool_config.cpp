@@ -1,0 +1,12 @@
+// Known-good: src/parallel is where the machine's thread count may be read —
+// it only sizes the worker pool, never the work partition.
+#include <algorithm>
+#include <thread>
+
+namespace fixture_good_pool_config {
+
+unsigned default_pool_size() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+}  // namespace fixture_good_pool_config

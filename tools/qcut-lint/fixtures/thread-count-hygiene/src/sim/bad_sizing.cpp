@@ -1,0 +1,15 @@
+// Known-bad: chunking by machine thread count outside src/parallel. Results
+// that depend on hardware_concurrency() differ between machines even at equal
+// seeds — chunk boundaries must be pool-invariant.
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace fixture_bad_sizing {
+
+std::size_t chunk_size(const std::vector<double>& amplitudes) {
+  const unsigned workers = std::thread::hardware_concurrency();  // FIRE(thread-count-hygiene)
+  return amplitudes.size() / (workers == 0 ? 1 : workers);
+}
+
+}  // namespace fixture_bad_sizing

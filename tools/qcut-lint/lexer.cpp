@@ -1,0 +1,230 @@
+// Comment/string-aware tokenizer for qcut-lint.
+//
+// The lexer's one job is making rule matching safe: identifiers inside
+// comments, string literals, raw strings, and char literals must never reach
+// the rule engine (a comment saying "never call rand()" is not a violation),
+// while preprocessor lines are preserved whole so pragma-based rules can
+// inspect them.
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+
+#include "lint.hpp"
+
+namespace qcut_lint {
+
+namespace {
+
+bool ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+/// Parses one comment's text for a qcut-lint annotation. Grammar:
+///   qcut-lint: allow(rule[, rule...]) -- justification
+void parse_annotation(const std::string& comment, int line, std::vector<Allow>& out) {
+  const std::size_t tag = comment.find("qcut-lint:");
+  if (tag == std::string::npos) return;
+
+  Allow allow;
+  allow.line = line;
+
+  std::size_t pos = tag + std::string("qcut-lint:").size();
+  const std::size_t kw = comment.find("allow", pos);
+  const std::size_t open = kw == std::string::npos ? std::string::npos : comment.find('(', kw);
+  const std::size_t close = open == std::string::npos ? std::string::npos : comment.find(')', open);
+  if (kw == std::string::npos || open == std::string::npos || close == std::string::npos ||
+      trim(comment.substr(pos, kw - pos)) != "") {
+    allow.malformed = true;
+    out.push_back(allow);
+    return;
+  }
+
+  std::string rules = comment.substr(open + 1, close - open - 1);
+  std::size_t start = 0;
+  while (start <= rules.size()) {
+    const std::size_t comma = rules.find(',', start);
+    const std::string name =
+        trim(rules.substr(start, comma == std::string::npos ? std::string::npos : comma - start));
+    if (!name.empty()) allow.rules.insert(name);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (allow.rules.empty()) allow.malformed = true;
+
+  const std::size_t dashes = comment.find("--", close);
+  if (dashes != std::string::npos) allow.justification = trim(comment.substr(dashes + 2));
+  out.push_back(allow);
+}
+
+}  // namespace
+
+SourceFile lex(const std::string& path, const std::string& text) {
+  SourceFile file;
+  file.path = path;
+
+  // Raw lines, for the self-test FIRE() markers.
+  std::string current;
+  for (char c : text) {
+    if (c == '\n') {
+      file.raw_lines.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (!current.empty()) file.raw_lines.push_back(current);
+
+  const std::size_t n = text.size();
+  std::size_t i = 0;
+  int line = 1;
+  bool at_line_start = true;  // only whitespace seen since the last newline
+
+  auto advance = [&](std::size_t count) {
+    for (std::size_t k = 0; k < count && i < n; ++k) {
+      if (text[i] == '\n') {
+        ++line;
+        at_line_start = true;
+      }
+      ++i;
+    }
+  };
+
+  while (i < n) {
+    const char c = text[i];
+
+    if (c == '\n' || std::isspace(static_cast<unsigned char>(c))) {
+      advance(1);
+      continue;
+    }
+
+    // Line comment.
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      std::size_t end = text.find('\n', i);
+      if (end == std::string::npos) end = n;
+      parse_annotation(text.substr(i + 2, end - i - 2), line, file.allows);
+      advance(end - i);
+      continue;
+    }
+
+    // Block comment. Annotations are matched against the whole body but
+    // attributed to the line the comment starts on.
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      std::size_t end = text.find("*/", i + 2);
+      if (end == std::string::npos) end = n;
+      parse_annotation(text.substr(i + 2, end - i - 2), line, file.allows);
+      advance(end == n ? n - i : end + 2 - i);
+      continue;
+    }
+
+    // Preprocessor line (with backslash continuations folded in).
+    if (c == '#' && at_line_start) {
+      const int start_line = line;
+      std::string directive;
+      while (i < n) {
+        std::size_t end = text.find('\n', i);
+        if (end == std::string::npos) end = n;
+        std::string piece = text.substr(i, end - i);
+        // Strip a line comment from the directive text.
+        const std::size_t slashes = piece.find("//");
+        if (slashes != std::string::npos) piece = piece.substr(0, slashes);
+        const bool continued = !trim(piece).empty() && trim(piece).back() == '\\';
+        directive += piece;
+        advance(end - i + (end < n ? 1 : 0));
+        if (!continued) break;
+      }
+      file.tokens.push_back({TokKind::Preprocessor, directive, start_line});
+      continue;
+    }
+
+    // Raw string literal: R"tag( ... )tag"
+    if (c == 'R' && i + 1 < n && text[i + 1] == '"') {
+      std::size_t paren = text.find('(', i + 2);
+      if (paren != std::string::npos) {
+        const std::string tag = text.substr(i + 2, paren - i - 2);
+        const std::string terminator = ")" + tag + "\"";
+        std::size_t end = text.find(terminator, paren + 1);
+        if (end == std::string::npos) end = n;
+        const int start_line = line;
+        const std::string body =
+            text.substr(paren + 1, end == n ? n - paren - 1 : end - paren - 1);
+        file.tokens.push_back({TokKind::String, body, start_line});
+        advance((end == n ? n : end + terminator.size()) - i);
+        continue;
+      }
+    }
+
+    // String literal.
+    if (c == '"') {
+      const int start_line = line;
+      std::size_t j = i + 1;
+      std::string body;
+      while (j < n && text[j] != '"') {
+        if (text[j] == '\\' && j + 1 < n) {
+          body += text[j];
+          body += text[j + 1];
+          j += 2;
+        } else {
+          body += text[j];
+          ++j;
+        }
+      }
+      file.tokens.push_back({TokKind::String, body, start_line});
+      advance(j + 1 - i);
+      continue;
+    }
+
+    // Char literal. Only treat ' as a char literal opener when it does not
+    // directly follow an identifier/number character: C++14 digit separators
+    // (1'000'000) would otherwise desynchronize the lexer.
+    if (c == '\'' && (i == 0 || !ident_char(text[i - 1]))) {
+      std::size_t j = i + 1;
+      std::string body;
+      while (j < n && text[j] != '\'') {
+        if (text[j] == '\\' && j + 1 < n) {
+          body += text[j];
+          body += text[j + 1];
+          j += 2;
+        } else {
+          body += text[j];
+          ++j;
+        }
+      }
+      file.tokens.push_back({TokKind::CharLit, body, line});
+      advance(j + 1 - i);
+      continue;
+    }
+
+    if (ident_start(c)) {
+      std::size_t j = i;
+      while (j < n && ident_char(text[j])) ++j;
+      file.tokens.push_back({TokKind::Identifier, text.substr(i, j - i), line});
+      at_line_start = false;
+      advance(j - i);
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      while (j < n && (ident_char(text[j]) || text[j] == '.' || text[j] == '\'')) ++j;
+      file.tokens.push_back({TokKind::Number, text.substr(i, j - i), line});
+      at_line_start = false;
+      advance(j - i);
+      continue;
+    }
+
+    file.tokens.push_back({TokKind::Punct, std::string(1, c), line});
+    at_line_start = false;
+    advance(1);
+  }
+
+  return file;
+}
+
+}  // namespace qcut_lint

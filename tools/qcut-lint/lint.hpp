@@ -1,0 +1,103 @@
+#pragma once
+// qcut-lint: a determinism-contract static analyzer for the qcut source tree.
+//
+// The cutting stack's central promise is bit-for-bit reproducibility: the
+// content-addressed fragment cache, cross-request variant dedup, prefix-batch
+// forking, and the gate-kernel engine all assume that a (circuit, shots, seed,
+// backend-identity) tuple maps to exactly one result, on any machine, at any
+// thread count. qcut-lint encodes the contracts that keep that true as named
+// lexical rules and runs over src/ as a CI gate. It is deliberately a
+// lightweight lexer — comment/string-aware tokenization plus brace tracking,
+// no libclang — so it builds everywhere the library builds and runs in
+// milliseconds.
+//
+// Intentional exceptions are annotated inline:
+//
+//   // qcut-lint: allow(rule-name) -- justification for why this is safe
+//
+// The justification is mandatory; an allow() without one is itself a
+// violation and does not suppress anything.
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace qcut_lint {
+
+// ---- Lexer ------------------------------------------------------------------
+
+enum class TokKind {
+  Identifier,   // [A-Za-z_][A-Za-z0-9_]*
+  Number,       // numeric literal (coarse: digits + trailing alnum/._')
+  String,       // "..." or R"tag(...)tag" (text excludes quotes)
+  CharLit,      // '...'
+  Punct,        // single punctuation character
+  Preprocessor  // a whole logical preprocessor line, continuations folded in
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line = 0;
+};
+
+/// An inline exception annotation: allow(rules...) -- justification.
+struct Allow {
+  int line = 0;                     // line the annotation comment sits on
+  std::set<std::string> rules;      // rule names it covers
+  std::string justification;        // text after "--", trimmed
+  bool malformed = false;           // contained "qcut-lint:" but did not parse
+};
+
+struct SourceFile {
+  std::string path;                 // as given on the command line / walk
+  std::vector<Token> tokens;
+  std::vector<Allow> allows;
+  std::vector<std::string> raw_lines;  // for self-test FIRE() markers
+};
+
+/// Tokenizes `text`. Comments and string bodies never produce Identifier or
+/// Punct tokens, so rules cannot fire on prose; comments are scanned for
+/// qcut-lint annotations instead.
+SourceFile lex(const std::string& path, const std::string& text);
+
+// ---- Rules ------------------------------------------------------------------
+
+struct Violation {
+  std::string path;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct AnalyzeOptions {
+  /// Names of rules to skip entirely (none by default).
+  std::set<std::string> disabled_rules;
+};
+
+/// All rule names the analyzer can emit, in reporting order.
+const std::vector<std::string>& rule_names();
+
+/// Runs every rule over the files. The pass is global: unordered-container
+/// member names collected from any file (e.g. a header) are matched against
+/// iteration sites in every other file.
+std::vector<Violation> analyze(const std::vector<SourceFile>& files,
+                               const AnalyzeOptions& options = {});
+
+// ---- Driver helpers ---------------------------------------------------------
+
+/// Recursively collects .hpp/.cpp/.cc/.h files under each root (a root that is
+/// itself a file is taken as-is), lexes them, and returns them sorted by path
+/// so output and rule evaluation order are stable.
+std::vector<SourceFile> load_tree(const std::vector<std::string>& roots);
+
+/// Fixture self-check: every violation must land on a line whose raw text
+/// carries a `FIRE(rule)` marker, and every marker must be hit. Returns
+/// human-readable failures (empty means the corpus behaves exactly as
+/// annotated).
+std::vector<std::string> self_test(const std::vector<SourceFile>& files,
+                                   const std::vector<Violation>& violations);
+
+}  // namespace qcut_lint

@@ -1,0 +1,125 @@
+// qcut-lint CLI.
+//
+//   qcut-lint <root>...              lint every .hpp/.cpp under the roots;
+//                                    exit 1 if any contract violation remains
+//   qcut-lint --self-test <corpus>   fixture mode: every violation must match
+//                                    a FIRE(rule) marker on its line, and
+//                                    every marker must fire
+//   qcut-lint --list-rules           print the rule names and exit
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace qcut_lint {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc";
+}
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+std::vector<SourceFile> load_tree(const std::vector<std::string>& roots) {
+  std::vector<fs::path> paths;
+  for (const std::string& root : roots) {
+    const fs::path p(root);
+    if (fs::is_regular_file(p)) {
+      paths.push_back(p);
+      continue;
+    }
+    if (!fs::is_directory(p)) {
+      throw std::runtime_error("qcut-lint: no such file or directory: " + root);
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(p)) {
+      if (entry.is_regular_file() && lintable(entry.path())) paths.push_back(entry.path());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+
+  std::vector<SourceFile> files;
+  files.reserve(paths.size());
+  for (const fs::path& p : paths) {
+    files.push_back(lex(p.generic_string(), read_file(p)));
+  }
+  return files;
+}
+
+}  // namespace qcut_lint
+
+int main(int argc, char** argv) {
+  using namespace qcut_lint;
+
+  bool self_test_mode = false;
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--self-test") {
+      self_test_mode = true;
+    } else if (arg == "--list-rules") {
+      for (const std::string& rule : rule_names()) std::cout << rule << "\n";
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: qcut-lint [--self-test] <root>...\n"
+                   "       qcut-lint --list-rules\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "qcut-lint: unknown option: " << arg << "\n";
+      return 2;
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) {
+    std::cerr << "usage: qcut-lint [--self-test] <root>...\n";
+    return 2;
+  }
+
+  std::vector<SourceFile> files;
+  try {
+    files = load_tree(roots);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+
+  const std::vector<Violation> violations = analyze(files);
+
+  if (self_test_mode) {
+    const std::vector<std::string> failures = self_test(files, violations);
+    for (const std::string& failure : failures) std::cerr << "qcut-lint self-test: " << failure
+                                                          << "\n";
+    std::cout << "qcut-lint self-test: " << files.size() << " fixture files, "
+              << violations.size() << " expected firings, " << failures.size() << " mismatches\n";
+    return failures.empty() ? 0 : 1;
+  }
+
+  for (const Violation& v : violations) {
+    std::cerr << v.path << ":" << v.line << ": [" << v.rule << "] " << v.message << "\n";
+  }
+  if (!violations.empty()) {
+    std::cerr << "qcut-lint: " << violations.size() << " violation"
+              << (violations.size() == 1 ? "" : "s") << " in " << files.size() << " files\n";
+    return 1;
+  }
+  std::cout << "qcut-lint: clean (" << files.size() << " files)\n";
+  return 0;
+}

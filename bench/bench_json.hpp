@@ -26,10 +26,13 @@
 namespace qcut::bench {
 
 /// Writes BENCH_<name>.json with the unified schema (extras nested under
-/// "extras", the global telemetry snapshot under "telemetry"). Returns false
-/// when the file cannot be written (the benchmark should not fail on that).
-inline bool write_bench_json(const std::string& name, double wall_seconds, double speedup,
-                             const std::vector<std::pair<std::string, double>>& extras = {}) {
+/// "extras", the global telemetry snapshot under "telemetry"). Numeric and
+/// string extras land in the same "extras" object. Returns false when the
+/// file cannot be written (the benchmark should not fail on that).
+inline bool write_bench_json(
+    const std::string& name, double wall_seconds, double speedup,
+    const std::vector<std::pair<std::string, double>>& extras = {},
+    const std::vector<std::pair<std::string, std::string>>& string_extras = {}) {
   std::ofstream out("BENCH_" + name + ".json");
   if (!out) return false;
   out.precision(17);
@@ -41,6 +44,10 @@ inline bool write_bench_json(const std::string& name, double wall_seconds, doubl
   bool first = true;
   for (const auto& [key, value] : extras) {
     out << (first ? "\n" : ",\n") << "    \"" << key << "\": " << value;
+    first = false;
+  }
+  for (const auto& [key, value] : string_extras) {
+    out << (first ? "\n" : ",\n") << "    \"" << key << "\": \"" << value << '"';
     first = false;
   }
   out << (first ? "},\n" : "\n  },\n");

@@ -21,6 +21,8 @@
 #include "sim/density_matrix.hpp"
 #include "sim/engine.hpp"
 #include "sim/sampling.hpp"
+#include "sim/simd_kernels.hpp"
+#include "sim/soa_state.hpp"
 #include "sim/statevector.hpp"
 
 namespace {
@@ -162,6 +164,17 @@ double time_kernel(const circuit::Circuit& gate_circuit, const sim::EngineOption
          kApplications;
 }
 
+/// Seconds per application through the SIMD path's native SoA layout.
+double time_kernel_soa(const circuit::Circuit& gate_circuit, const sim::EngineOptions& options) {
+  const sim::CompiledCircuit compiled = sim::compile_circuit(gate_circuit, options);
+  sim::SoAState state(gate_circuit.num_qubits());
+  constexpr int kApplications = 200;
+  return median_seconds(3, [&] {
+           for (int i = 0; i < kApplications; ++i) compiled.apply(state);
+         }) /
+         kApplications;
+}
+
 }  // namespace
 
 /// Custom main: run the registered google-benchmark suites, then the gated
@@ -224,8 +237,55 @@ int main(int argc, char** argv) {
   const double fused_fraction =
       c.num_ops() == 0 ? 0.0
                        : static_cast<double>(engine.fusion_stats().merged_1q_gates +
-                                             engine.fusion_stats().folded_1q_gates) /
+                                             engine.fusion_stats().folded_1q_gates +
+                                             engine.fusion_stats().merged_2q_gates) /
                              static_cast<double>(c.num_ops());
+
+  // SIMD series: scalar vs vectorized SoA kernels, per kernel class and
+  // end-to-end on the acceptance workload. When no SIMD tier is available
+  // the series is skipped with a note (simd_available=0) and the SIMD gate
+  // does not apply.
+  const bool simd_available = sim::simd::best_isa() != sim::IsaLevel::Scalar;
+  const std::string isa = sim::isa_level_name(simd_available ? sim::simd::best_isa()
+                                                             : sim::IsaLevel::Scalar);
+  sim::EngineOptions simd_options;
+  simd_options.simd = true;
+  sim::EngineOptions simd_kernel_options = simd_options;
+  simd_kernel_options.fuse = false;
+  simd_kernel_options.threading_threshold_qubits = 27;
+
+  double simd_seconds = 0.0;
+  double simd_speedup = 0.0;
+  double simd_diagonal = 0.0, simd_permutation = 0.0, simd_controlled = 0.0;
+  double simd_generic_1q = 0.0, simd_generic_2q = 0.0;
+  if (simd_available) {
+    const sim::CompiledCircuit vectorized = sim::compile_circuit(c, simd_options);
+    simd_seconds = median_seconds(kRepeats, [&] {
+      sim::SoAState state(kWidth);
+      vectorized.apply(state);
+    });
+    simd_speedup = engine_seconds / simd_seconds;
+    simd_diagonal =
+        diagonal_s / time_kernel_soa(one_gate(circuit::GateKind::RZ, {8}, {0.7}),
+                                     simd_kernel_options);
+    simd_permutation =
+        permutation_s / time_kernel_soa(one_gate(circuit::GateKind::CX, {0, 15}),
+                                        simd_kernel_options);
+    simd_controlled =
+        controlled_s / time_kernel_soa(one_gate(circuit::GateKind::CRY, {0, 15}, {0.7}),
+                                       simd_kernel_options);
+    simd_generic_1q =
+        generic_1q_s / time_kernel_soa(one_gate(circuit::GateKind::H, {8}),
+                                       simd_kernel_options);
+    simd_generic_2q =
+        generic_2q_s / time_kernel_soa(one_gate(circuit::GateKind::RXX, {0, 15}, {0.7}),
+                                       simd_kernel_options);
+    std::printf("micro_simulator: simd (%s) %.4fs -> %.2fx over scalar engine\n", isa.c_str(),
+                simd_seconds, simd_speedup);
+  } else {
+    std::printf("micro_simulator: no SIMD tier available on this CPU; "
+                "simd_speedup series skipped\n");
+  }
 
   std::printf("micro_simulator: %d qubits depth %d, generic %.4fs, engine %.4fs -> %.2fx\n",
               kWidth, kDepth, generic_seconds, engine_seconds, speedup);
@@ -241,12 +301,27 @@ int main(int argc, char** argv) {
        {"kernel_generic_1q_seconds_per_gate", generic_1q_s},
        {"kernel_generic_2q_seconds_per_gate", generic_2q_s},
        {"dense_diagonal_seconds_per_gate", dense_1q_s},
-       {"dense_permutation_seconds_per_gate", dense_2q_s}});
+       {"dense_permutation_seconds_per_gate", dense_2q_s},
+       {"simd_available", simd_available ? 1.0 : 0.0},
+       {"simd_seconds", simd_seconds},
+       {"simd_speedup", simd_speedup},
+       {"simd_speedup_diagonal", simd_diagonal},
+       {"simd_speedup_permutation", simd_permutation},
+       {"simd_speedup_controlled_1q", simd_controlled},
+       {"simd_speedup_generic_1q", simd_generic_1q},
+       {"simd_speedup_generic_2q", simd_generic_2q}},
+      {{"simd_isa", isa}});
 
   constexpr double kTargetSpeedup = 2.0;
   if (speedup < kTargetSpeedup) {
     std::printf("micro_simulator: engine speedup %.2fx is below the %.1fx target\n", speedup,
                 kTargetSpeedup);
+    return 1;
+  }
+  constexpr double kSimdTargetSpeedup = 1.5;
+  if (simd_available && simd_speedup < kSimdTargetSpeedup) {
+    std::printf("micro_simulator: simd speedup %.2fx is below the %.1fx target\n", simd_speedup,
+                kSimdTargetSpeedup);
     return 1;
   }
   return 0;

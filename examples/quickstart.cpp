@@ -38,6 +38,11 @@ int main() {
 
   // 3. Cut and run on a sampling simulator backend.
   backend::StatevectorBackend backend(42);
+
+  // What the simulator turns the circuit into: kernel-class counts, the
+  // fraction of source gates absorbed by fusion, and the dispatched ISA.
+  std::cout << "Compiled program: "
+            << backend.device().compile(ansatz.circuit)->summary().to_string() << "\n\n";
   const std::array<circuit::WirePoint, 1> cuts = {ansatz.cut};
 
   CutRequest standard(ansatz.circuit);

@@ -1,17 +1,14 @@
 #include "backend/statevector_backend.hpp"
 
-#include <span>
 #include <utility>
 
-#include "circuit/optimize.hpp"
 #include "sim/sampling.hpp"
-#include "sim/statevector.hpp"
 #include "telemetry/trace.hpp"
 
 namespace qcut::backend {
 
 StatevectorBackend::StatevectorBackend(std::uint64_t seed, sim::EngineOptions engine)
-    : base_rng_(seed), engine_(engine) {
+    : base_rng_(seed), engine_(engine), device_(sim::make_cpu_device(engine)) {
   telemetry::MetricsRegistry& registry = telemetry::MetricsRegistry::global();
   batches_ = registry.counter("backend.batches");
   batch_jobs_ = registry.counter("backend.batch_jobs");
@@ -22,16 +19,14 @@ StatevectorBackend::StatevectorBackend(std::uint64_t seed, sim::EngineOptions en
 }
 
 std::string StatevectorBackend::identity() const {
-  // The construction seed drives every sampled Counts, and gate fusion
-  // perturbs the simulated distributions — both must separate cache
-  // namespaces (the Backend::identity() contract).
-  std::string id = name() + "(seed=" + std::to_string(base_rng_.seed()) + ")";
-  if (engine_.fuse) {
-    id += "+fusion";
-    if (!engine_.fusion.merge_1q_runs) id += "-nomerge";
-    if (!engine_.fusion.fold_1q_into_2q) id += "-nofold";
-  }
-  return id;
+  // The construction seed drives every sampled Counts; the device token
+  // carries the result-affecting engine configuration (fusion flags, the
+  // dispatched SIMD ISA) — both must separate cache namespaces (the
+  // Backend::identity() contract). Two scalar-vs-SIMD backends therefore
+  // never share a fragment-cache entry, while two equal-flag SIMD backends
+  // do.
+  return name() + "(seed=" + std::to_string(base_rng_.seed()) + ")" +
+         device_->identity_token();
 }
 
 Counts StatevectorBackend::run(const Circuit& circuit, std::size_t shots,
@@ -50,9 +45,12 @@ Counts StatevectorBackend::run(const Circuit& circuit, std::size_t shots,
 }
 
 std::vector<double> StatevectorBackend::exact_probabilities(const Circuit& circuit) {
-  sim::StateVector sv(circuit.num_qubits());
-  sim::compile_circuit(circuit, engine_).apply(sv);
-  return sv.probabilities();
+  const std::unique_ptr<sim::CompiledProgram> program = device_->compile(circuit);
+  const std::unique_ptr<sim::DeviceState> state = device_->create_state(circuit.num_qubits());
+  device_->apply(*program, *state);
+  std::vector<double> probs;
+  device_->probabilities(*state, probs);
+  return probs;
 }
 
 namespace {
@@ -121,12 +119,16 @@ BatchResult StatevectorBackend::run_batch(const BatchRequest& request) {
     }
   }
 
-  sim::EngineOptions engine = engine_;
-  if (!request.sim_engine) {
+  sim::ProgramOptions popts;
+  if (!request.sim_engine && device_->caps().isa == sim::IsaLevel::Scalar) {
     // Per-request opt-out of the bit-for-bit-neutral engine features only:
     // fusion affects results and stays fixed at construction (identity()).
-    engine.specialize = false;
-    engine.threading_threshold_qubits = 27;
+    // When the SIMD path is active the opt-out is ignored outright — the
+    // scalar reference kernels it selects would not be bit-for-bit with the
+    // device's FMA-contracted results, and sim_engine must never affect
+    // results (see backend.hpp).
+    popts.specialize = false;
+    popts.threaded = false;
   }
 
   const auto run_unit = [&](std::size_t u) {
@@ -137,51 +139,33 @@ BatchResult StatevectorBackend::run_batch(const BatchRequest& request) {
 
     // Compile (and fusion-scan) the shared prefix ONCE. Under fusion only
     // the settled operations — those no later push could merge into — are
-    // applied before the fork; the scan state is cloned per member so
-    // settled + member tail is exactly the stream a standalone
-    // full-circuit fusion emits (the GateFusion stream property).
-    circuit::GateFusion prefix_scan(width, engine.fusion);
-    std::vector<circuit::Operation> settled;
-    if (engine.fuse) {
-      for (std::size_t i = 0; i < unit.prefix_ops; ++i) prefix_scan.push(rep.op(i), settled);
-    }
-    const sim::CompiledCircuit prefix_program =
-        engine.fuse
-            ? sim::compile_ops(settled, width, engine)
-            : sim::compile_ops(std::span(rep.ops()).first(unit.prefix_ops), width, engine);
-    sim::StateVector base(width);
-    prefix_program.apply(base);
+    // applied before the fork; compile_suffix clones the prefix program's
+    // scan state per member, so settled + member tail is exactly the stream
+    // a standalone full-circuit compile emits (the GateFusion stream
+    // property).
+    const std::unique_ptr<sim::CompiledProgram> prefix_program =
+        device_->compile_prefix(rep, unit.prefix_ops, popts);
+    const std::unique_ptr<sim::DeviceState> base = device_->create_state(width);
+    device_->apply(*prefix_program, *base);
 
     // Per-member scratch, allocated once per unit and reused: the forked
-    // state (copy-assignment reuses its buffer), the fused tail op list,
-    // and the sampled-mode probability vector.
-    sim::StateVector fork(width);
-    std::vector<circuit::Operation> tail;
+    // state (copy_state reuses its buffers) and the sampled-mode
+    // probability vector. The last member consumes the prefix state itself.
+    const std::unique_ptr<sim::DeviceState> fork = device_->create_state(width);
     std::vector<double> probs_scratch;
     for (std::size_t m = 0; m < unit.jobs.size(); ++m) {
       const std::size_t j = unit.jobs[m];
       const BatchJob& job = request.jobs[j];
-      if (m + 1 == unit.jobs.size()) {
-        fork = std::move(base);  // the last member consumes the prefix state
-      } else {
-        fork = base;
-      }
-      if (engine.fuse) {
-        circuit::GateFusion member_scan = prefix_scan;
-        tail.clear();
-        for (std::size_t i = unit.prefix_ops; i < job.circuit.num_ops(); ++i) {
-          member_scan.push(job.circuit.op(i), tail);
-        }
-        member_scan.flush(tail);
-        sim::compile_ops(tail, width, engine).apply(fork);
-      } else {
-        sim::compile_ops(std::span(job.circuit.ops()).subspan(unit.prefix_ops), width, engine)
-            .apply(fork);
-      }
+      const bool last = m + 1 == unit.jobs.size();
+      sim::DeviceState& member = last ? *base : *fork;
+      if (!last) device_->copy_state(*base, *fork);
+      const std::unique_ptr<sim::CompiledProgram> suffix =
+          device_->compile_suffix(*prefix_program, job.circuit);
+      device_->apply(*suffix, member);
       if (request.exact) {
-        result.probabilities[j] = fork.probabilities();
+        device_->probabilities(member, result.probabilities[j]);
       } else {
-        fork.probabilities_into(probs_scratch);
+        device_->probabilities(member, probs_scratch);
         Rng rng = base_rng_.child(job.seed_stream);
         result.counts[j] = Counts::from_histogram(
             sim::sample_histogram(probs_scratch, job.shots, rng), job.circuit.num_qubits());

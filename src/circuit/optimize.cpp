@@ -1,9 +1,12 @@
 #include "circuit/optimize.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 #include <optional>
+#include <span>
 
+#include "common/bits.hpp"
 #include "linalg/ops.hpp"
 
 namespace qcut::circuit {
@@ -194,6 +197,30 @@ CMat expand_1q_to_2q(const CMat& p, int pos) {
   return pos == 0 ? linalg::kron(CMat::identity(2), p) : linalg::kron(p, CMat::identity(2));
 }
 
+/// Embeds `m` (acting on `op_qubits`, bit j of its index = op_qubits[j]) into
+/// the index space of `block_qubits` (a superset), tensoring with the
+/// identity on the remaining wires.
+CMat embed_in_block(const CMat& m, std::span<const int> op_qubits,
+                    std::span<const int> block_qubits) {
+  std::vector<int> pos(op_qubits.size());
+  index_t inner_mask = 0;
+  for (std::size_t j = 0; j < op_qubits.size(); ++j) {
+    const auto it = std::find(block_qubits.begin(), block_qubits.end(), op_qubits[j]);
+    pos[j] = static_cast<int>(it - block_qubits.begin());
+    inner_mask |= pow2(pos[j]);
+  }
+  const index_t dim = pow2(static_cast<int>(block_qubits.size()));
+  CMat out(dim, dim);
+  for (index_t r = 0; r < dim; ++r) {
+    const index_t outer = r & ~inner_mask;
+    const index_t mr = gather_bits(r, pos);
+    for (index_t mc = 0; mc < m.cols(); ++mc) {
+      out(r, outer | scatter_bits(mc, pos)) = m(mr, mc);
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 GateFusion::GateFusion(int num_qubits, FusionOptions options)
@@ -218,56 +245,204 @@ void GateFusion::flush_qubit(int q, std::vector<Operation>& out) {
   p = Pending{};
 }
 
-void GateFusion::push(const Operation& op, std::vector<Operation>& out) {
-  if (op.num_qubits() == 1) {
-    const int q = op.qubits[0];
-    Pending& p = pending_[static_cast<std::size_t>(q)];
-    if (p.length > 0 && !options_.merge_1q_runs) flush_qubit(q, out);
-    if (p.length == 0) {
-      p.matrix = op.matrix();
-      p.first = op;
-      p.length = 1;
-    } else {
-      p.matrix = op.matrix() * p.matrix;  // later gate applies on the left
-      ++p.length;
-    }
+void GateFusion::flush_block(std::size_t index, std::vector<Operation>& out) {
+  PendingBlock blk = std::move(blocks_[index]);
+  blocks_.erase(blocks_.begin() + static_cast<std::ptrdiff_t>(index));
+  if (!blk.dirty && blk.ops == 1) {
+    // Nothing merged in: emit the original op so it keeps its kind/params.
+    out.push_back(std::move(blk.first));
     return;
   }
+  Operation fused;
+  fused.kind = GateKind::Custom;
+  fused.qubits = blk.qubits;
+  fused.custom = std::move(blk.matrix);
+  fused.label = "fused";
+  out.push_back(std::move(fused));
+}
 
+void GateFusion::flush_wire(int q, std::vector<Operation>& out) {
+  flush_qubit(q, out);
+  if (const int bi = block_on(q); bi >= 0) flush_block(static_cast<std::size_t>(bi), out);
+}
+
+int GateFusion::block_on(int q) const noexcept {
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    if (std::find(blocks_[i].qubits.begin(), blocks_[i].qubits.end(), q) !=
+        blocks_[i].qubits.end()) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+void GateFusion::push_1q(const Operation& op, std::vector<Operation>& out) {
+  const int q = op.qubits[0];
+  if (const int bi = block_on(q); bi >= 0) {
+    if (options_.fold_1q_into_2q) {
+      PendingBlock& blk = blocks_[static_cast<std::size_t>(bi)];
+      blk.matrix = embed_in_block(op.matrix(), op.qubits, blk.qubits) * blk.matrix;
+      blk.dirty = true;
+      ++stats_.folded_1q_gates;
+      return;
+    }
+    flush_block(static_cast<std::size_t>(bi), out);
+  }
+  Pending& p = pending_[static_cast<std::size_t>(q)];
+  if (p.length > 0 && !options_.merge_1q_runs) flush_qubit(q, out);
+  if (p.length == 0) {
+    p.matrix = op.matrix();
+    p.first = op;
+    p.length = 1;
+  } else {
+    p.matrix = op.matrix() * p.matrix;  // later gate applies on the left
+    ++p.length;
+  }
+}
+
+void GateFusion::push_2q(const Operation& op, std::vector<Operation>& out) {
   // Never densify a (phased) permutation or diagonal 2q gate: the
   // simulator runs those as index shuffles / per-amplitude multiplies
   // (sim/engine.hpp classifies with the same linalg predicate).
-  if (op.num_qubits() == 2 && options_.fold_1q_into_2q &&
-      !linalg::is_phased_permutation(op.matrix())) {
-    const std::size_t a = static_cast<std::size_t>(op.qubits[0]);
-    const std::size_t b = static_cast<std::size_t>(op.qubits[1]);
-    if (pending_[a].length > 0 || pending_[b].length > 0) {
-      CMat m = op.matrix();
-      for (int pos = 0; pos < 2; ++pos) {
-        Pending& p = pending_[static_cast<std::size_t>(op.qubits[pos])];
-        if (p.length == 0) continue;
-        m = m * expand_1q_to_2q(p.matrix, pos);
-        stats_.folded_1q_gates += p.length;
-        p = Pending{};
+  const bool dense = !linalg::is_phased_permutation(op.matrix());
+  const int a = op.qubits[0];
+  const int b = op.qubits[1];
+
+  if (dense && options_.merge_2q_chains) {
+    // Resolve pending blocks overlapping this op's wires until the op either
+    // merges into one or no overlap remains. Flushing here preserves order:
+    // the flushed block's gates all precede `op` in the source stream.
+    while (true) {
+      const int bi_a = block_on(a);
+      const int bi_b = block_on(b);
+      if (bi_a >= 0 && bi_a == bi_b) {
+        // Both wires inside one block: fold the 4x4 in.
+        PendingBlock& blk = blocks_[static_cast<std::size_t>(bi_a)];
+        blk.matrix = embed_in_block(op.matrix(), op.qubits, blk.qubits) * blk.matrix;
+        ++blk.ops;
+        blk.dirty = true;
+        ++stats_.merged_2q_gates;
+        return;
       }
-      Operation fused;
-      fused.kind = GateKind::Custom;
-      fused.qubits = op.qubits;
-      fused.custom = std::move(m);
-      fused.label = "fused";
-      out.push_back(std::move(fused));
+      if (bi_a >= 0 && bi_b >= 0) {
+        // Wires split across two blocks; retire one and re-resolve.
+        flush_block(static_cast<std::size_t>(bi_b), out);
+        continue;
+      }
+      const int bi = bi_a >= 0 ? bi_a : bi_b;
+      if (bi < 0) break;
+      PendingBlock& blk = blocks_[static_cast<std::size_t>(bi)];
+      if (options_.fuse_to_3q && blk.qubits.size() == 2) {
+        // Shares one wire with a 2q chain: grow the chain to a 3q block.
+        const int fresh = bi_a >= 0 ? b : a;
+        CMat m = op.matrix();
+        Pending& pf = pending_[static_cast<std::size_t>(fresh)];
+        if (pf.length > 0) {
+          if (options_.fold_1q_into_2q) {
+            m = m * expand_1q_to_2q(pf.matrix, op.qubits[0] == fresh ? 0 : 1);
+            stats_.folded_1q_gates += pf.length;
+            pf = Pending{};
+          } else {
+            flush_qubit(fresh, out);
+          }
+        }
+        const std::vector<int> old_qubits = blk.qubits;
+        blk.qubits.push_back(fresh);
+        blk.matrix = embed_in_block(m, op.qubits, blk.qubits) *
+                     embed_in_block(blk.matrix, old_qubits, blk.qubits);
+        ++blk.ops;
+        blk.dirty = true;
+        ++stats_.merged_2q_gates;
+        ++stats_.fused_3q_blocks;
+        return;
+      }
+      flush_block(static_cast<std::size_t>(bi), out);
+    }
+  } else {
+    for (int q : op.qubits) {
+      if (const int bi = block_on(q); bi >= 0) flush_block(static_cast<std::size_t>(bi), out);
+    }
+  }
+
+  if (!dense || !options_.fold_1q_into_2q) {
+    // Either the op must keep its specialized kernel class, or pending 1q
+    // runs cannot legally fold into it; flush its wires and pass through.
+    for (int q : op.qubits) flush_qubit(q, out);
+    if (dense && options_.merge_2q_chains) {
+      PendingBlock blk;
+      blk.matrix = op.matrix();
+      blk.qubits = op.qubits;
+      blk.first = op;
+      blk.ops = 1;
+      blocks_.push_back(std::move(blk));
       return;
     }
     out.push_back(op);
     return;
   }
 
-  for (int q : op.qubits) flush_qubit(q, out);
+  CMat m = op.matrix();
+  bool folded = false;
+  for (int pos = 0; pos < 2; ++pos) {
+    Pending& p = pending_[static_cast<std::size_t>(op.qubits[pos])];
+    if (p.length == 0) continue;
+    m = m * expand_1q_to_2q(p.matrix, pos);
+    stats_.folded_1q_gates += p.length;
+    p = Pending{};
+    folded = true;
+  }
+  if (options_.merge_2q_chains) {
+    PendingBlock blk;
+    blk.matrix = std::move(m);
+    blk.qubits = op.qubits;
+    blk.first = op;
+    blk.ops = 1;
+    blk.dirty = folded;
+    blocks_.push_back(std::move(blk));
+    return;
+  }
+  if (!folded) {
+    out.push_back(op);
+    return;
+  }
+  Operation fused;
+  fused.kind = GateKind::Custom;
+  fused.qubits = op.qubits;
+  fused.custom = std::move(m);
+  fused.label = "fused";
+  out.push_back(std::move(fused));
+}
+
+void GateFusion::push(const Operation& op, std::vector<Operation>& out) {
+  if (op.num_qubits() == 1) {
+    push_1q(op, out);
+    return;
+  }
+  if (op.num_qubits() == 2) {
+    push_2q(op, out);
+    return;
+  }
+  for (int q : op.qubits) flush_wire(q, out);
   out.push_back(op);
 }
 
 void GateFusion::flush(std::vector<Operation>& out) {
-  for (int q = 0; q < static_cast<int>(pending_.size()); ++q) flush_qubit(q, out);
+  // Deterministic tail order: pending runs and blocks interleaved by their
+  // minimum wire. Runs and blocks never share a wire, so the order is total.
+  for (int q = 0; q < static_cast<int>(pending_.size()); ++q) {
+    flush_qubit(q, out);
+    while (true) {
+      int found = -1;
+      for (std::size_t i = 0; i < blocks_.size(); ++i) {
+        if (*std::min_element(blocks_[i].qubits.begin(), blocks_[i].qubits.end()) == q) {
+          found = static_cast<int>(i);
+          break;
+        }
+      }
+      if (found < 0) break;
+      flush_block(static_cast<std::size_t>(found), out);
+    }
+  }
 }
 
 Circuit fuse_gates(const Circuit& circuit, FusionOptions options, FusionStats* stats) {

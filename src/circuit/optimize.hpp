@@ -30,15 +30,17 @@ struct OptimizeStats {
 
 // ---- Gate fusion ------------------------------------------------------------
 //
-// Fusion merges runs of adjacent single-qubit gates into one 2x2 matrix and
+// Fusion merges runs of adjacent single-qubit gates into one 2x2 matrix,
 // folds pending single-qubit gates into the next two-qubit gate touching the
-// same wire, shrinking the op stream the simulator walks. Unlike the
-// peephole passes above it is only *numerically* unitary-preserving: the
-// fused matrices are floating-point products of the originals, so a fused
-// circuit may deviate from the original by rounding (well under 1e-12 for
-// realistic depths). Consumers that promise bit-for-bit results must treat
-// fusion as a result-affecting knob (see sim::EngineOptions and the
-// fragment-cache identity).
+// same wire, and chains dense two-qubit gates on the same wire pair into one
+// 4x4 (optionally growing to an 8x8 when a chain picks up a third wire),
+// shrinking the op stream the simulator walks. Unlike the peephole passes
+// above it is only *numerically* unitary-preserving: the fused matrices are
+// floating-point products of the originals, so a fused circuit may deviate
+// from the original by rounding (well under 1e-12 for realistic depths).
+// Consumers that promise bit-for-bit results must treat fusion as a
+// result-affecting knob (see sim::EngineOptions and the fragment-cache
+// identity).
 
 struct FusionOptions {
   /// Merge maximal runs of adjacent 1q gates on the same wire into one 2x2.
@@ -51,11 +53,26 @@ struct FusionOptions {
   /// per-amplitude multiplies (sim/engine.hpp), and a dense fused 4x4
   /// would forfeit far more arithmetic than the saved memory pass regains.
   bool fold_1q_into_2q = true;
+
+  /// Chain adjacent dense 2q gates on the same wire pair (in either order)
+  /// into a single 4x4. The never-densify rule above still applies: a CX in
+  /// the middle of a chain flushes it and is emitted verbatim, keeping its
+  /// specialized permutation kernel.
+  bool merge_2q_chains = true;
+
+  /// When a dense 2q gate shares exactly one wire with a pending 2q chain,
+  /// grow the chain to a 3-qubit 8x8 block instead of flushing it. Off by
+  /// default: the engine's GenericKQ fallback applies k>=3 matrices by
+  /// gather/scatter, which only pays off for deep chains on few wires.
+  /// Requires merge_2q_chains.
+  bool fuse_to_3q = false;
 };
 
 struct FusionStats {
   std::size_t merged_1q_gates = 0;   // 1q gates absorbed into a fused 2x2
-  std::size_t folded_1q_gates = 0;   // 1q gates folded into a 2q matrix
+  std::size_t folded_1q_gates = 0;   // 1q gates folded into a 2q/3q matrix
+  std::size_t merged_2q_gates = 0;   // 2q gates absorbed into a pending block
+  std::size_t fused_3q_blocks = 0;   // chains that grew to a 3-qubit 8x8
 };
 
 /// Streaming gate-fusion scan.
@@ -75,22 +92,40 @@ class GateFusion {
   /// Consumes `op`; appends settled operations to `out`.
   void push(const Operation& op, std::vector<Operation>& out);
 
-  /// Emits the pending tail (ascending qubit order) and resets the scan.
+  /// Emits the pending tail (ascending minimum-wire order) and resets the scan.
   void flush(std::vector<Operation>& out);
 
   [[nodiscard]] const FusionStats& stats() const noexcept { return stats_; }
 
  private:
-  void flush_qubit(int q, std::vector<Operation>& out);
-
   struct Pending {
     CMat matrix;          // accumulated 2x2 product (later gates on the left)
     Operation first;      // the run's first op, emitted verbatim for runs of 1
     std::size_t length = 0;
   };
 
+  /// A pending multi-qubit chain. Matrix bit j (LSB = bit 0 of the row and
+  /// column index) corresponds to wire qubits[j]. Invariant: no wire in
+  /// `qubits` has a nonempty Pending slot — 1q gates on a chained wire fold
+  /// into the block (or flush it when fold_1q_into_2q is off).
+  struct PendingBlock {
+    CMat matrix;          // 4x4 or 8x8 product (later gates on the left)
+    std::vector<int> qubits;
+    Operation first;      // emitted verbatim when the block absorbed nothing
+    std::size_t ops = 0;  // source 2q gates absorbed
+    bool dirty = false;   // true once the matrix differs from first.matrix()
+  };
+
+  void flush_qubit(int q, std::vector<Operation>& out);
+  void flush_block(std::size_t index, std::vector<Operation>& out);
+  void flush_wire(int q, std::vector<Operation>& out);
+  void push_1q(const Operation& op, std::vector<Operation>& out);
+  void push_2q(const Operation& op, std::vector<Operation>& out);
+  [[nodiscard]] int block_on(int q) const noexcept;
+
   FusionOptions options_;
   std::vector<Pending> pending_;  // one slot per qubit; length == 0 means empty
+  std::vector<PendingBlock> blocks_;  // pairwise wire-disjoint
   FusionStats stats_;
 };
 

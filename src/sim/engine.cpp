@@ -9,6 +9,8 @@
 #include "common/bits.hpp"
 #include "common/error.hpp"
 #include "linalg/ops.hpp"
+#include "sim/simd_kernels.hpp"
+#include "sim/soa_state.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace qcut::sim {
@@ -30,6 +32,10 @@ struct EngineMetrics {
   std::shared_ptr<telemetry::Counter> applies;
   std::shared_ptr<telemetry::Counter> fusion_gates_in;
   std::shared_ptr<telemetry::Counter> fusion_gates_absorbed;
+  // Cache-blocked segments interleave ops per amplitude block, so their
+  // time cannot be attributed to a single kernel class; it lands here.
+  std::shared_ptr<telemetry::Counter> blocked_segments;
+  std::shared_ptr<telemetry::Counter> blocked_segment_ns;
 
   static EngineMetrics& get() {
     static EngineMetrics metrics;
@@ -47,6 +53,8 @@ struct EngineMetrics {
     applies = registry.counter("sim.applies");
     fusion_gates_in = registry.counter("sim.fusion.gates_in");
     fusion_gates_absorbed = registry.counter("sim.fusion.gates_absorbed");
+    blocked_segments = registry.counter("sim.blocked_segments");
+    blocked_segment_ns = registry.counter("sim.blocked_segment_ns");
   }
 };
 
@@ -62,6 +70,15 @@ std::string kernel_class_name(KernelClass cls) {
     case KernelClass::GenericKQ: return "generic_kq";
   }
   QCUT_CHECK(false, "kernel_class_name: invalid class");
+}
+
+std::string isa_level_name(IsaLevel isa) {
+  switch (isa) {
+    case IsaLevel::Scalar: return "scalar";
+    case IsaLevel::Avx2: return "avx2";
+    case IsaLevel::Avx512: return "avx512";
+  }
+  QCUT_CHECK(false, "isa_level_name: invalid level");
 }
 
 namespace {
@@ -179,29 +196,34 @@ struct ApplyContext {
   bool threaded = false;
 };
 
-/// Runs fn(lo, hi) over [0, count) either inline or as pool chunks. Chunk
-/// boundaries cannot affect results: every kernel body is element-wise
-/// independent (each iteration reads and writes only its own amplitude
-/// group), so any thread count — and any chunking — is bit-for-bit
-/// identical to the serial loop.
+/// Runs fn(lo, hi) over [0, count) either inline or as pool chunks of at
+/// least `min_chunk_items`. Chunk boundaries cannot affect results: every
+/// kernel body is element-wise independent (each iteration reads and writes
+/// only its own amplitude group), so any thread count — and any chunking —
+/// is bit-for-bit identical to the serial loop.
 template <typename Fn>
-void chunked(const ApplyContext& ctx, index_t count, const Fn& fn) {
-  constexpr index_t kMinChunkItems = 1024;
-  if (!ctx.threaded || count < 2 * kMinChunkItems) {
+void chunked_over(parallel::ThreadPool* pool, bool threaded, index_t count,
+                  index_t min_chunk_items, const Fn& fn) {
+  if (!threaded || count < 2 * min_chunk_items) {
     fn(index_t{0}, count);
     return;
   }
-  const index_t max_chunks = static_cast<index_t>(ctx.pool->size()) * 4;
-  const index_t chunks = std::min(count / kMinChunkItems, std::max<index_t>(max_chunks, 1));
+  const index_t max_chunks = static_cast<index_t>(pool->size()) * 4;
+  const index_t chunks = std::min(count / min_chunk_items, std::max<index_t>(max_chunks, 1));
   const index_t step = (count + chunks - 1) / chunks;
   std::vector<std::future<void>> futures;
   futures.reserve(static_cast<std::size_t>(chunks));
   for (index_t lo = step; lo < count; lo += step) {
     const index_t hi = std::min(count, lo + step);
-    futures.push_back(ctx.pool->submit([&fn, lo, hi] { fn(lo, hi); }));
+    futures.push_back(pool->submit([&fn, lo, hi] { fn(lo, hi); }));
   }
   fn(index_t{0}, std::min(count, step));  // the caller works too
   for (auto& f : futures) f.get();
+}
+
+template <typename Fn>
+void chunked(const ApplyContext& ctx, index_t count, const Fn& fn) {
+  chunked_over(ctx.pool, ctx.threaded, count, index_t{1024}, fn);
 }
 
 void apply_diagonal(const ApplyContext& ctx, const CompiledOp& op) {
@@ -340,11 +362,42 @@ void apply_op(const ApplyContext& ctx, const CompiledOp& op) {
   QCUT_CHECK(false, "CompiledCircuit: invalid kernel class");
 }
 
+// ---- SoA (SIMD) kernel application ------------------------------------------
+
+struct SoaApplyContext {
+  double* re = nullptr;
+  double* im = nullptr;
+  index_t dim = 0;
+  parallel::ThreadPool* pool = nullptr;
+  bool threaded = false;
+  const simd::KernelTable* table = nullptr;
+};
+
+void apply_op_soa(const SoaApplyContext& ctx, const CompiledOp& op) {
+  const simd::SoaSpan span{ctx.re, ctx.im, ctx.dim};
+  const simd::KernelFn fn = ctx.table->fns[static_cast<std::size_t>(op.cls)];
+  chunked_over(ctx.pool, ctx.threaded, simd::group_count(op, ctx.dim), index_t{1024},
+               [&](index_t lo, index_t hi) { fn(span, op, lo, hi); });
+}
+
+/// Timing wrapper shared by the scalar and SoA walks: runs `body` and, when
+/// telemetry is on, attributes the elapsed nanoseconds via `record`.
+template <typename Body, typename Record>
+void timed_if_enabled(const Body& body, const Record& record) {
+  if (!telemetry::enabled()) {
+    body();
+    return;
+  }
+  const auto start = std::chrono::steady_clock::now();
+  body();
+  const auto end = std::chrono::steady_clock::now();
+  record(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - start).count()));
+}
+
 }  // namespace
 
-void CompiledCircuit::apply(StateVector& state) const {
-  QCUT_CHECK(state.num_qubits() == num_qubits_,
-             "CompiledCircuit::apply: state width must match the compiled circuit");
+void CompiledCircuit::apply_scalar(StateVector& state) const {
   parallel::ThreadPool* pool =
       options_.pool != nullptr ? options_.pool : &parallel::ThreadPool::global();
   ApplyContext ctx;
@@ -353,20 +406,110 @@ void CompiledCircuit::apply(StateVector& state) const {
   ctx.pool = pool;
   ctx.threaded = num_qubits_ >= options_.threading_threshold_qubits && pool->size() > 1 &&
                  !parallel::in_pool_worker();
-  EngineMetrics::get().applies->add();
-  if (!telemetry::enabled()) {
-    // The default loop: no clock reads, no per-op overhead beyond this one
-    // branch (the micro_simulator speedup gate runs through here).
-    for (const CompiledOp& op : ops_) apply_op(ctx, op);
+  EngineMetrics& metrics = EngineMetrics::get();
+  metrics.applies->add();
+  // The pool engages only when a segment's work estimate (ops x amplitudes)
+  // clears min_parallel_work: small-state/many-gate circuits would pay a
+  // pool dispatch per op for kernels that finish faster than the submit.
+  // Bit-for-bit neutral — threading never affects results at any grain.
+  const bool op_threaded = ctx.threaded && ctx.dim >= options_.min_parallel_work;
+  for (const Segment& seg : segments_) {
+    if (seg.blocked) {
+      const std::span<const CompiledOp> run{ops_.data() + seg.begin, seg.end - seg.begin};
+      const int bq = options_.cache_block_qubits;
+      const index_t sub = pow2(bq);
+      const std::uint64_t work = static_cast<std::uint64_t>(run.size()) * ctx.dim;
+      const bool seg_threaded = ctx.threaded && work >= options_.min_parallel_work;
+      metrics.blocked_segments->add();
+      timed_if_enabled(
+          [&] {
+            chunked_over(ctx.pool, seg_threaded, ctx.dim >> bq, index_t{1},
+                         [&](index_t t_lo, index_t t_hi) {
+                           for (index_t t = t_lo; t < t_hi; ++t) {
+                             ApplyContext subctx;
+                             subctx.amps = ctx.amps + (t << bq);
+                             subctx.dim = sub;
+                             for (const CompiledOp& op : run) apply_op(subctx, op);
+                           }
+                         });
+          },
+          [&](std::uint64_t ns) { metrics.blocked_segment_ns->add(ns); });
+    } else {
+      const CompiledOp& op = ops_[seg.begin];
+      ApplyContext opctx = ctx;
+      opctx.threaded = op_threaded;
+      timed_if_enabled(
+          [&] { apply_op(opctx, op); },
+          [&](std::uint64_t ns) {
+            metrics.kernel_ns[static_cast<std::size_t>(op.cls)]->add(ns);
+          });
+    }
+  }
+}
+
+void CompiledCircuit::apply(StateVector& state) const {
+  QCUT_CHECK(state.num_qubits() == num_qubits_,
+             "CompiledCircuit::apply: state width must match the compiled circuit");
+  if (isa_ == IsaLevel::Scalar) {
+    apply_scalar(state);
     return;
   }
+  // SIMD path: round-trip through a split re/im scratch state. The copies
+  // are exact; only the kernels themselves deviate (FMA contraction).
+  SoAState soa = SoAState::from_statevector(state);
+  apply(soa);
+  soa.extract_to(state);
+}
+
+void CompiledCircuit::apply(SoAState& state) const {
+  QCUT_CHECK(state.num_qubits() == num_qubits_,
+             "CompiledCircuit::apply: state width must match the compiled circuit");
+  parallel::ThreadPool* pool =
+      options_.pool != nullptr ? options_.pool : &parallel::ThreadPool::global();
+  SoaApplyContext ctx;
+  ctx.re = state.re();
+  ctx.im = state.im();
+  ctx.dim = state.dim();
+  ctx.pool = pool;
+  ctx.threaded = num_qubits_ >= options_.threading_threshold_qubits && pool->size() > 1 &&
+                 !parallel::in_pool_worker();
+  ctx.table = &simd::kernel_table(isa_);
   EngineMetrics& metrics = EngineMetrics::get();
-  for (const CompiledOp& op : ops_) {
-    const auto start = std::chrono::steady_clock::now();
-    apply_op(ctx, op);
-    const auto end = std::chrono::steady_clock::now();
-    metrics.kernel_ns[static_cast<std::size_t>(op.cls)]->add(static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(end - start).count()));
+  metrics.applies->add();
+  const bool op_threaded = ctx.threaded && ctx.dim >= options_.min_parallel_work;
+  for (const Segment& seg : segments_) {
+    if (seg.blocked) {
+      const std::span<const CompiledOp> run{ops_.data() + seg.begin, seg.end - seg.begin};
+      const int bq = options_.cache_block_qubits;
+      const index_t sub = pow2(bq);
+      const std::uint64_t work = static_cast<std::uint64_t>(run.size()) * ctx.dim;
+      const bool seg_threaded = ctx.threaded && work >= options_.min_parallel_work;
+      metrics.blocked_segments->add();
+      timed_if_enabled(
+          [&] {
+            chunked_over(ctx.pool, seg_threaded, ctx.dim >> bq, index_t{1},
+                         [&](index_t t_lo, index_t t_hi) {
+                           for (index_t t = t_lo; t < t_hi; ++t) {
+                             SoaApplyContext subctx;
+                             subctx.re = ctx.re + (t << bq);
+                             subctx.im = ctx.im + (t << bq);
+                             subctx.dim = sub;
+                             subctx.table = ctx.table;
+                             for (const CompiledOp& op : run) apply_op_soa(subctx, op);
+                           }
+                         });
+          },
+          [&](std::uint64_t ns) { metrics.blocked_segment_ns->add(ns); });
+    } else {
+      const CompiledOp& op = ops_[seg.begin];
+      SoaApplyContext opctx = ctx;
+      opctx.threaded = op_threaded;
+      timed_if_enabled(
+          [&] { apply_op_soa(opctx, op); },
+          [&](std::uint64_t ns) {
+            metrics.kernel_ns[static_cast<std::size_t>(op.cls)]->add(ns);
+          });
+    }
   }
 }
 
@@ -376,6 +519,7 @@ CompiledCircuit compile_ops(std::span<const Operation> ops, int num_qubits,
   CompiledCircuit compiled;
   compiled.num_qubits_ = num_qubits;
   compiled.options_ = options;
+  compiled.isa_ = options.simd ? simd::best_isa() : IsaLevel::Scalar;
   compiled.ops_.reserve(ops.size());
   std::array<std::uint64_t, kNumKernelClasses> class_counts{};
   for (const Operation& op : ops) {
@@ -388,6 +532,30 @@ CompiledCircuit compile_ops(std::span<const Operation> ops, int num_qubits,
   EngineMetrics& metrics = EngineMetrics::get();
   for (std::size_t c = 0; c < kNumKernelClasses; ++c) {
     if (class_counts[c] > 0) metrics.ops[c]->add(class_counts[c]);
+  }
+
+  // Apply plan: fold maximal runs of >= 2 ops whose qubits all lie below
+  // cache_block_qubits into blocked segments (each 2^B-amplitude block is
+  // walked through the whole run while cache-resident); everything else is
+  // one full-state sweep per op. Blocking never changes the per-amplitude
+  // arithmetic sequence — every op's groups fall entirely inside one block
+  // — so the plan is bit-for-bit neutral.
+  const int bq = options.cache_block_qubits;
+  const bool blocking = bq > 0 && num_qubits > bq;
+  const auto blockable = [&](const CompiledOp& op) { return op.sorted_qubits.back() < bq; };
+  std::size_t i = 0;
+  while (i < compiled.ops_.size()) {
+    if (blocking && blockable(compiled.ops_[i])) {
+      std::size_t j = i + 1;
+      while (j < compiled.ops_.size() && blockable(compiled.ops_[j])) ++j;
+      if (j - i >= 2) {
+        compiled.segments_.push_back(CompiledCircuit::Segment{i, j, true});
+        i = j;
+        continue;
+      }
+    }
+    compiled.segments_.push_back(CompiledCircuit::Segment{i, i + 1, false});
+    ++i;
   }
   return compiled;
 }
@@ -404,7 +572,8 @@ CompiledCircuit compile_circuit(const circuit::Circuit& circuit, const EngineOpt
   EngineMetrics& metrics = EngineMetrics::get();
   metrics.fusion_gates_in->add(circuit.num_ops());
   metrics.fusion_gates_absorbed->add(compiled.fusion_stats_.merged_1q_gates +
-                                     compiled.fusion_stats_.folded_1q_gates);
+                                     compiled.fusion_stats_.folded_1q_gates +
+                                     compiled.fusion_stats_.merged_2q_gates);
   return compiled;
 }
 

@@ -36,7 +36,26 @@
 // Every kernel loop is element-wise independent (no cross-chunk reductions),
 // so results are bit-for-bit identical at ANY thread count, including 1.
 // Threading disengages automatically on pool worker threads (a nested
-// parallel wait could deadlock a saturated pool).
+// parallel wait could deadlock a saturated pool), and below a per-segment
+// work threshold (`min_parallel_work`) where pool dispatch would cost more
+// than the kernel itself.
+//
+// SIMD: with EngineOptions::simd the compiled circuit executes on a split
+// real/imag (SoA) amplitude layout through runtime-dispatched AVX2/AVX-512
+// kernels (sim/simd_kernels.hpp). FMA contraction changes roundings, so the
+// SIMD path is NOT bit-for-bit with the scalar kernels — it matches within
+// 1e-12 per amplitude and is a result-affecting knob that backends fold
+// into their cache identity, exactly like fusion. When the build or the CPU
+// lacks AVX2 the flag quietly falls back to the scalar path (dispatched_isa()
+// == IsaLevel::Scalar), preserving default-off semantics.
+//
+// Cache blocking: runs of at least two consecutive ops whose qubits all lie
+// below `cache_block_qubits` are applied block-by-block — every 2^B-sized
+// amplitude block is walked through the whole run while L2-resident instead
+// of one full-state sweep per op. Each op's amplitude groups fall entirely
+// inside one block, so the per-amplitude arithmetic sequence is unchanged:
+// blocking is bit-for-bit neutral by construction (and therefore NOT part
+// of the cache identity).
 
 #include <cstddef>
 #include <span>
@@ -49,6 +68,19 @@
 #include "sim/statevector.hpp"
 
 namespace qcut::sim {
+
+class SoAState;
+
+/// Instruction-set level a compiled circuit's kernels execute at. Scalar is
+/// the bit-exact reference; Avx2/Avx512 are the FMA-contracted SIMD tiers.
+enum class IsaLevel {
+  Scalar,
+  Avx2,
+  Avx512,
+};
+
+/// Lower-case ISA mnemonic ("scalar", "avx2", "avx512").
+[[nodiscard]] std::string isa_level_name(IsaLevel isa);
 
 struct EngineOptions {
   /// Classify operations and dispatch to specialized kernels. Bit-for-bit
@@ -63,21 +95,44 @@ struct EngineOptions {
   /// Fusion pass configuration (used when `fuse` is set).
   circuit::FusionOptions fusion{};
 
+  /// Execute through the SoA/SIMD kernel path (AVX2, or AVX-512 where the
+  /// CPU has it). FMA contraction makes this deviate from the scalar
+  /// kernels by floating-point rounding (within 1e-12 per amplitude);
+  /// backends fold the dispatched ISA into their cache identity. Falls
+  /// back to the bit-exact scalar path when the build (CMake QCUT_SIMD) or
+  /// the CPU lacks AVX2.
+  bool simd = false;
+
   /// Thread kernel loops over amplitude chunks for states with at least
   /// this many qubits. 27 (above the 26-qubit width cap) disables
   /// threading. Bit-for-bit identical at any thread count.
   int threading_threshold_qubits = 14;
 
+  /// Skip the pool entirely for segments whose work estimate
+  /// (ops x amplitudes) falls below this: small-state/many-gate circuits
+  /// would otherwise pay pool dispatch latency per op for kernels that
+  /// finish faster than the submit. Bit-for-bit neutral by construction
+  /// (threading never affects results at any grain).
+  std::uint64_t min_parallel_work = 16384;
+
+  /// Apply runs of >= 2 consecutive ops whose qubits all lie below this
+  /// many qubits block-by-block (one 2^B-amplitude block walked through the
+  /// whole run while cache-resident). 0 disables blocking. Bit-for-bit
+  /// neutral by construction.
+  int cache_block_qubits = 14;
+
   /// Pool for kernel-level threading; nullptr selects the global pool.
   parallel::ThreadPool* pool = nullptr;
 
   /// The pre-engine reference configuration: dense generic application of
-  /// every gate, no fusion, no threading. The benchmark baseline.
+  /// every gate, no fusion, no threading, no blocking. The benchmark
+  /// baseline.
   [[nodiscard]] static EngineOptions generic() {
     EngineOptions options;
     options.specialize = false;
     options.fuse = false;
     options.threading_threshold_qubits = 27;
+    options.cache_block_qubits = 0;
     return options;
   }
 };
@@ -126,27 +181,55 @@ struct CompiledOp {
 /// and safe to apply concurrently to distinct states.
 class CompiledCircuit {
  public:
+  /// A contiguous run of compiled ops with one application strategy. A
+  /// blocked segment (>= 2 ops, all qubits below cache_block_qubits) walks
+  /// each 2^B-amplitude block through the whole run while cache-resident;
+  /// an unblocked segment is a single op swept over the full state.
+  struct Segment {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    bool blocked = false;
+  };
+
   [[nodiscard]] int num_qubits() const noexcept { return num_qubits_; }
   [[nodiscard]] std::size_t num_ops() const noexcept { return ops_.size(); }
   [[nodiscard]] KernelClass kernel_class(std::size_t i) const { return ops_.at(i).cls; }
   [[nodiscard]] const EngineOptions& options() const noexcept { return options_; }
+  [[nodiscard]] std::span<const CompiledOp> compiled_ops() const noexcept { return ops_; }
+  [[nodiscard]] std::span<const Segment> segments() const noexcept { return segments_; }
+
+  /// The ISA the SIMD path dispatched to at compile time: Scalar unless
+  /// options.simd is set, the build has QCUT_SIMD, and the CPU supports at
+  /// least AVX2.
+  [[nodiscard]] IsaLevel isa() const noexcept { return isa_; }
 
   /// Gates absorbed by the fusion pass (zero when compiled without fusion).
   [[nodiscard]] const circuit::FusionStats& fusion_stats() const noexcept {
     return fusion_stats_;
   }
 
-  /// Applies every compiled operation in order.
+  /// Applies every compiled operation in order. When the SIMD path is
+  /// active (isa() != Scalar) the amplitudes round-trip through an SoA
+  /// scratch state; callers on the hot path hand the engine an SoAState
+  /// directly instead.
   void apply(StateVector& state) const;
+
+  /// Applies every compiled operation to a split re/im state using the
+  /// dispatched SIMD kernels (scalar SoA kernels when isa() == Scalar).
+  void apply(SoAState& state) const;
 
  private:
   friend CompiledCircuit compile_ops(std::span<const circuit::Operation>, int,
                                      const EngineOptions&);
   friend CompiledCircuit compile_circuit(const circuit::Circuit&, const EngineOptions&);
 
+  void apply_scalar(StateVector& state) const;
+
   int num_qubits_ = 0;
   EngineOptions options_{};
+  IsaLevel isa_ = IsaLevel::Scalar;
   std::vector<CompiledOp> ops_;
+  std::vector<Segment> segments_;
   circuit::FusionStats fusion_stats_{};
 };
 

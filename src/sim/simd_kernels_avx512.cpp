@@ -1,0 +1,47 @@
+// AVX-512 tier of the SoA kernels: identical code shape to the AVX2 tier at
+// twice the lane width. Compiled with -mavx512f -mavx512dq for exactly this
+// file; dispatched only when __builtin_cpu_supports confirms the host.
+
+#include "sim/simd_kernels.hpp"
+
+#if defined(QCUT_SIMD_AVX512)
+
+#include <immintrin.h>
+
+#include "sim/simd_kernels_impl.hpp"
+
+namespace qcut::sim::simd {
+
+namespace {
+
+struct Avx512Vec {
+  using reg = __m512d;
+  static constexpr index_t width = 8;
+  static reg load(const double* p) noexcept { return _mm512_loadu_pd(p); }
+  static void store(double* p, reg v) noexcept { _mm512_storeu_pd(p, v); }
+  static reg set1(double x) noexcept { return _mm512_set1_pd(x); }
+  static reg zero() noexcept { return _mm512_setzero_pd(); }
+  static reg add(reg a, reg b) noexcept { return _mm512_add_pd(a, b); }
+  static reg sub(reg a, reg b) noexcept { return _mm512_sub_pd(a, b); }
+  static reg mul(reg a, reg b) noexcept { return _mm512_mul_pd(a, b); }
+  // Same FMA rounding contract as the AVX2 tier (see simd_kernels.hpp).
+  static reg madd(reg a, reg b, reg c) noexcept {
+    // qcut-lint: allow(no-fp-reassociation) -- a*b+c contracted on the identity-bearing SIMD path
+    return _mm512_fmadd_pd(a, b, c);
+  }
+  static reg nmadd(reg a, reg b, reg c) noexcept {
+    // qcut-lint: allow(no-fp-reassociation) -- c-a*b contracted on the identity-bearing SIMD path
+    return _mm512_fnmadd_pd(a, b, c);
+  }
+};
+
+}  // namespace
+
+const KernelTable& detail::avx512_table() noexcept {
+  static const KernelTable table = SoaKernels<Avx512Vec>::table();
+  return table;
+}
+
+}  // namespace qcut::sim::simd
+
+#endif  // QCUT_SIMD_AVX512

@@ -1,0 +1,59 @@
+#pragma once
+// Split real/imaginary (structure-of-arrays) statevector storage.
+//
+// StateVector stores interleaved std::complex<double>, which forces every
+// vector lane to carry a re/im pair and every SIMD complex multiply to
+// shuffle in-register. Splitting the amplitudes into two plain double
+// arrays lets the AVX2/AVX-512 kernels (sim/simd_kernels.hpp) load W real
+// parts and W imaginary parts with two contiguous loads and keep the
+// complex arithmetic as independent FMA chains. Conversion to and from the
+// interleaved layout is an exact copy — no arithmetic, so it cannot perturb
+// amplitudes; only the SIMD kernels themselves (FMA contraction) deviate
+// from the scalar path, and that deviation is owned by EngineOptions::simd.
+
+#include <vector>
+
+#include "common/bits.hpp"
+#include "sim/statevector.hpp"
+
+namespace qcut::sim {
+
+class SoAState {
+ public:
+  /// |0...0> on n qubits.
+  explicit SoAState(int num_qubits);
+
+  [[nodiscard]] static SoAState from_statevector(const StateVector& sv);
+
+  /// Overwrites this state with `sv`'s amplitudes (widths must match);
+  /// reuses the existing buffers.
+  void assign_from(const StateVector& sv);
+
+  /// Writes the amplitudes back into `sv` (widths must match).
+  void extract_to(StateVector& sv) const;
+
+  /// Resets to |0...0> without reallocating.
+  void set_zero_state();
+
+  [[nodiscard]] int num_qubits() const noexcept { return num_qubits_; }
+  [[nodiscard]] index_t dim() const noexcept { return static_cast<index_t>(re_.size()); }
+
+  [[nodiscard]] double* re() noexcept { return re_.data(); }
+  [[nodiscard]] double* im() noexcept { return im_.data(); }
+  [[nodiscard]] const double* re() const noexcept { return re_.data(); }
+  [[nodiscard]] const double* im() const noexcept { return im_.data(); }
+
+  [[nodiscard]] cx amplitude(index_t basis_state) const;
+
+  /// Measurement probabilities, re^2 + im^2 per amplitude — the same
+  /// expression StateVector::probabilities_into evaluates via std::norm.
+  void probabilities_into(std::vector<double>& out) const;
+  [[nodiscard]] std::vector<double> probabilities() const;
+
+ private:
+  int num_qubits_ = 0;
+  std::vector<double> re_;
+  std::vector<double> im_;
+};
+
+}  // namespace qcut::sim

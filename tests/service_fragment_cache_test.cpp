@@ -4,6 +4,11 @@
 
 #include <vector>
 
+#include "backend/statevector_backend.hpp"
+#include "circuit/circuit.hpp"
+#include "service/circuit_hash.hpp"
+#include "sim/simd_kernels.hpp"
+
 namespace qcut::service {
 namespace {
 
@@ -98,6 +103,44 @@ TEST(FragmentCache, ClearEmptiesTheCache) {
 TEST(FragmentCache, HitRateZeroWithNoLookups) {
   FragmentResultCache cache(4);
   EXPECT_DOUBLE_EQ(cache.stats().hit_rate(), 0.0);
+}
+
+// Cache-key soundness across engine configurations: the fragment cache is
+// keyed by hash_variant_execution, which folds in Backend::identity(). A
+// scalar backend and a SIMD backend differ by floating-point rounding (FMA
+// contraction), so they must never share an entry; two SIMD backends built
+// from equal flags dispatch the same ISA and must share.
+TEST(FragmentCache, ScalarAndSimdBackendsNeverShareAnEntry) {
+  if (sim::simd::best_isa() == sim::IsaLevel::Scalar) {
+    GTEST_SKIP() << "SIMD tiers unavailable; both backends pin to scalar";
+  }
+  const backend::StatevectorBackend scalar(7);
+  sim::EngineOptions simd_engine;
+  simd_engine.simd = true;
+  const backend::StatevectorBackend simd_a(7, simd_engine);
+  const backend::StatevectorBackend simd_b(7, simd_engine);
+
+  EXPECT_NE(scalar.identity(), simd_a.identity());
+  EXPECT_EQ(simd_a.identity(), simd_b.identity());
+
+  circuit::Circuit c(3);
+  c.h(0).cx(0, 1).rz(0.3, 2).cz(1, 2);
+  const Hash128 scalar_key = hash_variant_execution(c, 256, false, 5, scalar.identity());
+  const Hash128 simd_key_a = hash_variant_execution(c, 256, false, 5, simd_a.identity());
+  const Hash128 simd_key_b = hash_variant_execution(c, 256, false, 5, simd_b.identity());
+  EXPECT_FALSE(scalar_key == simd_key_a);
+  EXPECT_TRUE(simd_key_a == simd_key_b);
+
+  // In cache terms: a distribution inserted under the scalar key is
+  // invisible to the SIMD key, while the two equal-flag SIMD backends hit
+  // the same entry.
+  FragmentResultCache cache(4);
+  cache.insert(scalar_key, dist(0.25));
+  EXPECT_FALSE(cache.lookup(simd_key_a).has_value());
+  cache.insert(simd_key_a, dist(0.75));
+  const auto hit = cache.lookup(simd_key_b);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ((**hit)[0], 0.75);
 }
 
 }  // namespace

@@ -26,6 +26,8 @@
 #include "common/rng.hpp"
 #include "linalg/ops.hpp"
 #include "linalg/pauli_matrices.hpp"
+#include "sim/simd_kernels.hpp"
+#include "sim/soa_state.hpp"
 #include "sim/statevector.hpp"
 
 namespace qcut::sim {
@@ -232,6 +234,229 @@ TEST(KernelEquivalence, ThreadCountInvariance) {
   expect_amps_equal(serial, run_with(&pool5, 2));
 }
 
+/// The per-segment work threshold (min_parallel_work) decides only WHETHER
+/// the pool engages, never what is computed: results are bit-for-bit equal
+/// at every grain, from "thread everything" to "never thread".
+TEST(KernelEquivalence, ParallelGrainInvariance) {
+  Rng rng(29);
+  circuit::RandomCircuitOptions rc;
+  rc.num_qubits = 9;
+  rc.depth = 20;
+  const Circuit c = circuit::random_circuit(rc, rng);
+
+  parallel::ThreadPool pool(4);
+  const auto run_with = [&](std::uint64_t min_work, int block_qubits) {
+    StateVector sv(rc.num_qubits);
+    EngineOptions options;
+    options.threading_threshold_qubits = 2;
+    options.min_parallel_work = min_work;
+    options.cache_block_qubits = block_qubits;
+    options.pool = &pool;
+    compile_circuit(c, options).apply(sv);
+    return sv;
+  };
+
+  StateVector serial(rc.num_qubits);
+  EngineOptions serial_options;
+  serial_options.threading_threshold_qubits = 27;
+  serial_options.cache_block_qubits = 0;
+  compile_circuit(c, serial_options).apply(serial);
+
+  for (const std::uint64_t min_work : {std::uint64_t{0}, std::uint64_t{512},
+                                       std::uint64_t{16384}, std::uint64_t{1} << 40}) {
+    expect_amps_equal(serial, run_with(min_work, 0));
+    expect_amps_equal(serial, run_with(min_work, 4));
+  }
+}
+
+/// Cache-blocked segment execution reorders WHICH amplitudes a run of ops
+/// visits first, never the arithmetic any amplitude sees: bit-for-bit equal
+/// to the unblocked walk at every block size, fusion on or off.
+TEST(CacheBlocking, BitForBitEqualToUnblocked) {
+  Rng rng(37);
+  for (const bool fuse : {false, true}) {
+    for (int width = 4; width <= 9; ++width) {
+      circuit::RandomCircuitOptions rc;
+      rc.num_qubits = width;
+      rc.depth = 24;
+      const Circuit c = circuit::random_circuit(rc, rng);
+
+      const auto run_with = [&](int block_qubits) {
+        StateVector sv(width);
+        EngineOptions options;
+        options.fuse = fuse;
+        options.cache_block_qubits = block_qubits;
+        compile_circuit(c, options).apply(sv);
+        return sv;
+      };
+
+      const StateVector unblocked = run_with(0);
+      expect_amps_equal(unblocked, run_with(2));
+      expect_amps_equal(unblocked, run_with(4));
+      expect_amps_equal(unblocked, run_with(width - 1));
+    }
+  }
+}
+
+// ---- SIMD path --------------------------------------------------------------
+//
+// The SoA/SIMD kernels are the engine's one tolerance-validated (not
+// bit-for-bit) execution path: FMA contraction changes roundings. The
+// budget is 1e-12 per amplitude — far above the few-ulp deviation FMA can
+// introduce, far below any physically meaningful difference — and the tests
+// skip (with a note) when neither the build nor the CPU provides AVX2.
+
+constexpr double kSimdTol = 1e-12;
+
+bool simd_available() { return simd::best_isa() != IsaLevel::Scalar; }
+
+/// Every named gate at every qubit placement: SIMD vs scalar-specialized,
+/// within kSimdTol per amplitude. Mirrors EveryNamedGateBitForBit's matrix
+/// (gate x width x qubit order) with the tolerance contract.
+TEST(SimdKernels, EveryNamedGateWithin1em12PerAmplitude) {
+  if (!simd_available()) {
+    GTEST_SKIP() << "SIMD tiers unavailable (build without QCUT_SIMD or CPU "
+                    "without AVX2); path pinned to bit-exact scalar";
+  }
+  struct Case {
+    GateKind kind;
+    int arity;
+    int params;
+  };
+  const std::vector<Case> cases = {
+      {GateKind::I, 1, 0},     {GateKind::X, 1, 0},    {GateKind::Y, 1, 0},
+      {GateKind::Z, 1, 0},     {GateKind::H, 1, 0},    {GateKind::S, 1, 0},
+      {GateKind::Sdg, 1, 0},   {GateKind::T, 1, 0},    {GateKind::Tdg, 1, 0},
+      {GateKind::SX, 1, 0},    {GateKind::SXdg, 1, 0}, {GateKind::RX, 1, 1},
+      {GateKind::RY, 1, 1},    {GateKind::RZ, 1, 1},   {GateKind::P, 1, 1},
+      {GateKind::U, 1, 3},     {GateKind::CX, 2, 0},   {GateKind::CY, 2, 0},
+      {GateKind::CZ, 2, 0},    {GateKind::CH, 2, 0},   {GateKind::SWAP, 2, 0},
+      {GateKind::ISwap, 2, 0}, {GateKind::CRX, 2, 1},  {GateKind::CRY, 2, 1},
+      {GateKind::CRZ, 2, 1},   {GateKind::CP, 2, 1},   {GateKind::RXX, 2, 1},
+      {GateKind::RYY, 2, 1},   {GateKind::RZZ, 2, 1},  {GateKind::CCX, 3, 0},
+      {GateKind::CSWAP, 3, 0},
+  };
+  Rng rng(61);
+  for (const Case& c : cases) {
+    for (int trial = 0; trial < 4; ++trial) {
+      const int width = c.arity + 1 + static_cast<int>(rng.uniform_int(0, 4));
+      std::vector<int> qubits;
+      while (static_cast<int>(qubits.size()) < c.arity) {
+        const int q = static_cast<int>(rng.uniform_int(0, static_cast<std::uint64_t>(width - 1)));
+        if (std::find(qubits.begin(), qubits.end(), q) == qubits.end()) qubits.push_back(q);
+      }
+      std::vector<double> params;
+      for (int p = 0; p < c.params; ++p) params.push_back(rng.uniform(0.0, 6.28));
+      const Operation op = make_op(c.kind, qubits, params);
+      const std::array<Operation, 1> ops = {op};
+
+      const StateVector input = random_state(width, rng);
+      EngineOptions scalar_options;
+      scalar_options.fuse = false;
+      StateVector scalar = input;
+      compile_ops(ops, width, scalar_options).apply(scalar);
+
+      EngineOptions simd_options = scalar_options;
+      simd_options.simd = true;
+      StateVector vectorized = input;
+      const CompiledCircuit compiled = compile_ops(ops, width, simd_options);
+      ASSERT_NE(compiled.isa(), IsaLevel::Scalar);
+      compiled.apply(vectorized);
+      expect_amps_near(scalar, vectorized, kSimdTol);
+    }
+  }
+}
+
+/// Whole random circuits through the SoA path, specialized and generic,
+/// with fusion and cache blocking in play.
+TEST(SimdKernels, RandomCircuitsWithin1em12PerAmplitude) {
+  if (!simd_available()) {
+    GTEST_SKIP() << "SIMD tiers unavailable; path pinned to bit-exact scalar";
+  }
+  Rng rng(67);
+  for (const bool specialize : {true, false}) {
+    for (int width = 2; width <= 10; ++width) {
+      circuit::RandomCircuitOptions rc;
+      rc.num_qubits = width;
+      rc.depth = 24;
+      const Circuit c = circuit::random_circuit(rc, rng);
+
+      EngineOptions scalar_options;
+      scalar_options.specialize = specialize;
+      StateVector scalar(width);
+      compile_circuit(c, scalar_options).apply(scalar);
+
+      EngineOptions simd_options = scalar_options;
+      simd_options.simd = true;
+      StateVector vectorized(width);
+      compile_circuit(c, simd_options).apply(vectorized);
+      expect_amps_near(scalar, vectorized, kSimdTol);
+    }
+  }
+}
+
+/// SoA round-trip conversions are exact copies, and the scalar SoA tier
+/// stays within the SIMD tolerance budget of the interleaved reference.
+/// (It shares the vector tiers' accumulate-then-subtract code shape, whose
+/// rounding sequence differs from complex<double> arithmetic by ulps, so
+/// tolerance — not bit equality — is the contract. The bit-exact scalar
+/// path is apply(StateVector&), which engages whenever isa() == Scalar.)
+TEST(SimdKernels, ScalarTierMatchesWithin1em12ThroughSoA) {
+  Rng rng(71);
+  circuit::RandomCircuitOptions rc;
+  rc.num_qubits = 6;
+  rc.depth = 20;
+  const Circuit c = circuit::random_circuit(rc, rng);
+
+  EngineOptions options;  // simd off: isa() == Scalar
+  const CompiledCircuit compiled = compile_circuit(c, options);
+  ASSERT_EQ(compiled.isa(), IsaLevel::Scalar);
+
+  StateVector direct(rc.num_qubits);
+  compiled.apply(direct);
+
+  StateVector via_soa(rc.num_qubits);
+  SoAState soa(rc.num_qubits);
+  compiled.apply(soa);
+  soa.extract_to(via_soa);
+  expect_amps_near(direct, via_soa, kSimdTol);
+
+  // The conversions themselves are exact: a pure round-trip is bit-equal.
+  SoAState copy = SoAState::from_statevector(direct);
+  StateVector back(rc.num_qubits);
+  copy.extract_to(back);
+  expect_amps_equal(direct, back);
+}
+
+/// SIMD results are thread-count and grain invariant too: chunk boundaries
+/// fall on group indices, and every group's arithmetic is independent.
+TEST(SimdKernels, ThreadAndGrainInvariance) {
+  if (!simd_available()) {
+    GTEST_SKIP() << "SIMD tiers unavailable; path pinned to bit-exact scalar";
+  }
+  Rng rng(73);
+  circuit::RandomCircuitOptions rc;
+  rc.num_qubits = 10;
+  rc.depth = 16;
+  const Circuit c = circuit::random_circuit(rc, rng);
+
+  parallel::ThreadPool pool(3);
+  const auto run_with = [&](parallel::ThreadPool* p, int threshold, std::uint64_t min_work) {
+    StateVector sv(rc.num_qubits);
+    EngineOptions options;
+    options.simd = true;
+    options.threading_threshold_qubits = threshold;
+    options.min_parallel_work = min_work;
+    options.pool = p;
+    compile_circuit(c, options).apply(sv);
+    return sv;
+  };
+
+  const StateVector serial = run_with(nullptr, 27, 16384);
+  expect_amps_equal(serial, run_with(&pool, 2, 0));
+  expect_amps_equal(serial, run_with(&pool, 2, std::uint64_t{1} << 40));
+}
+
 TEST(Fusion, MatchesUnfusedWithin1em12) {
   Rng rng(23);
   for (int width = 2; width <= 7; ++width) {
@@ -255,13 +480,67 @@ TEST(Fusion, MergesRunsAndFoldsIntoTwoQubitGates) {
   c.h(0).t(0).s(0).ch(0, 1).h(1).rz(0.3, 1);
   circuit::FusionStats stats;
   const Circuit fused = circuit::fuse_gates(c, FusionOptions{}, &stats);
-  // h-t-s fold into the dense ch (one 4x4); trailing h-rz merge into one 2x2.
-  EXPECT_EQ(fused.num_ops(), 2u);
-  EXPECT_EQ(stats.folded_1q_gates, 3u);
-  EXPECT_EQ(stats.merged_1q_gates, 2u);
+  // h-t-s fold into the dense ch, which opens a 2q chain; the trailing h-rz
+  // on wire 1 fold into the chain too. Everything collapses to one 4x4.
+  EXPECT_EQ(fused.num_ops(), 1u);
+  EXPECT_EQ(stats.folded_1q_gates, 5u);
+  EXPECT_EQ(stats.merged_1q_gates, 0u);
   const linalg::CMat u_orig = circuit_unitary(c);
   const linalg::CMat u_fused = circuit_unitary(fused);
   EXPECT_TRUE(u_orig.approx_equal(u_fused, 1e-12));
+}
+
+TEST(Fusion, ChainsDenseTwoQubitGatesOnOneWirePair) {
+  Circuit c(3);
+  // Three dense 2q gates on the {0,1} pair (one with reversed wire order)
+  // chain into a single 4x4; the CX on the same pair flushes the chain and
+  // stays a specialized permutation op; the crx on {1,2} flushes again.
+  c.append(GateKind::CRX, {0, 1}, {0.4}).ch(1, 0).append(GateKind::CRX, {0, 1}, {0.7});
+  c.cx(0, 1).append(GateKind::CRX, {1, 2}, {0.2});
+  circuit::FusionStats stats;
+  const Circuit fused = circuit::fuse_gates(c, FusionOptions{}, &stats);
+  ASSERT_EQ(fused.num_ops(), 3u);  // fused(crx,ch,crx), cx, crx
+  EXPECT_EQ(fused.op(0).kind, GateKind::Custom);
+  EXPECT_EQ(fused.op(1).kind, GateKind::CX);
+  EXPECT_EQ(fused.op(2).kind, GateKind::CRX);
+  EXPECT_EQ(stats.merged_2q_gates, 2u);
+  EXPECT_EQ(stats.fused_3q_blocks, 0u);
+  EXPECT_TRUE(circuit_unitary(c).approx_equal(circuit_unitary(fused), 1e-12));
+}
+
+TEST(Fusion, SingleDenseTwoQubitGateEmitsVerbatim) {
+  // A chain that never absorbs anything must flush as the original op, not
+  // a Custom matrix, so specialized kernel classification is unaffected.
+  Circuit c(2);
+  c.append(GateKind::CRX, {0, 1}, {0.4});
+  circuit::FusionStats stats;
+  const Circuit fused = circuit::fuse_gates(c, FusionOptions{}, &stats);
+  ASSERT_EQ(fused.num_ops(), 1u);
+  EXPECT_EQ(fused.op(0).kind, GateKind::CRX);
+  EXPECT_EQ(stats.merged_2q_gates, 0u);
+}
+
+TEST(Fusion, FuseTo3qGrowsSharedWireChainsInto8x8) {
+  Circuit c(3);
+  c.append(GateKind::CRX, {0, 1}, {0.4}).ch(1, 2).append(GateKind::CRX, {2, 0}, {0.7});
+  FusionOptions opts;
+  opts.fuse_to_3q = true;
+  circuit::FusionStats stats;
+  const Circuit fused = circuit::fuse_gates(c, opts, &stats);
+  ASSERT_EQ(fused.num_ops(), 1u);
+  EXPECT_EQ(fused.op(0).kind, GateKind::Custom);
+  EXPECT_EQ(fused.op(0).num_qubits(), 3);
+  EXPECT_EQ(stats.merged_2q_gates, 2u);
+  EXPECT_EQ(stats.fused_3q_blocks, 1u);
+  EXPECT_TRUE(circuit_unitary(c).approx_equal(circuit_unitary(fused), 1e-12));
+
+  // Default options keep chains at 2 qubits: same circuit flushes at each
+  // wire handoff instead.
+  circuit::FusionStats flat_stats;
+  const Circuit flat = circuit::fuse_gates(c, FusionOptions{}, &flat_stats);
+  EXPECT_EQ(flat.num_ops(), 3u);
+  EXPECT_EQ(flat_stats.fused_3q_blocks, 0u);
+  EXPECT_TRUE(circuit_unitary(c).approx_equal(circuit_unitary(flat), 1e-12));
 }
 
 TEST(Fusion, NeverDensifiesPermutationOrDiagonalGates) {

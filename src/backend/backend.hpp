@@ -103,6 +103,14 @@ class Backend {
   /// Samples `shots` measurements of all qubits after running `circuit`.
   /// `seed_stream` selects a deterministic random substream; callers that
   /// fan out concurrently pass distinct streams to stay reproducible.
+  ///
+  /// Failure contract: run() (and run_batch()) may throw
+  /// qcut::TransientError for failures worth retrying and
+  /// qcut::PermanentError for failures that are not; a throwing call must
+  /// be SIDE-EFFECT-FREE - no partial results, no stats() advance, no
+  /// internal state change - so that retrying the identical (circuit,
+  /// shots, seed_stream) yields bit-for-bit the result a fault-free call
+  /// would have produced. The service's retry policy relies on this.
   [[nodiscard]] virtual Counts run(const Circuit& circuit, std::size_t shots,
                                    std::uint64_t seed_stream) = 0;
 
@@ -130,6 +138,10 @@ class Backend {
   /// stats() advance exactly as the equivalent per-job calls would.
   /// Prefix sharing is therefore a pure execution-cost optimization: cache
   /// keys, counts, and downstream reconstructions cannot observe it.
+  ///
+  /// Failure contract: like run(), a throwing run_batch() must be
+  /// side-effect-free (TransientError marks the batch retryable; the
+  /// retried batch must reproduce the fault-free results bit-for-bit).
   ///
   /// The default implementation runs each job through run() /
   /// exact_probabilities() (fanned over `pool` when provided), so backends

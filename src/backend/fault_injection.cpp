@@ -1,0 +1,281 @@
+#include "backend/fault_injection.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+#include "common/rng.hpp"
+
+namespace qcut::backend {
+
+namespace {
+
+/// Deterministic uniform in [0, 1) from a tuple of mixing words.
+double hash_uniform(std::uint64_t seed, std::uint64_t stream, std::uint64_t attempt,
+                    std::uint64_t salt) noexcept {
+  std::uint64_t state = seed;
+  state ^= 0x9e3779b97f4a7c15ULL + stream;
+  (void)splitmix64_next(state);
+  state ^= 0xbf58476d1ce4e5b9ULL + attempt;
+  (void)splitmix64_next(state);
+  state ^= 0x94d049bb133111ebULL + salt;
+  const std::uint64_t bits = splitmix64_next(state);
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+bool FaultPlan::active() const noexcept {
+  return transient_rate > 0.0 || permanent_rate > 0.0 || slowdown_rate > 0.0 ||
+         hang_rate > 0.0 || !permanent_streams.empty();
+}
+
+FaultKind FaultPlan::fault_for(std::uint64_t stream, std::uint64_t attempt) const noexcept {
+  if (std::find(permanent_streams.begin(), permanent_streams.end(), stream) !=
+      permanent_streams.end()) {
+    return FaultKind::Permanent;
+  }
+  // Permanent and hang faults are per-stream decisions (attempt salt 0):
+  // a permanently failing stream fails every retry too, and a hanging
+  // stream hangs exactly once, on its first call.
+  if (permanent_rate > 0.0 && hash_uniform(seed, stream, 0, 1) < permanent_rate) {
+    return FaultKind::Permanent;
+  }
+  if (hang_rate > 0.0 && attempt == 0 && hash_uniform(seed, stream, 0, 2) < hang_rate) {
+    return FaultKind::Hang;
+  }
+  if (transient_rate > 0.0 && attempt < transient_attempt_limit &&
+      hash_uniform(seed, stream, attempt, 3) < transient_rate) {
+    return FaultKind::Transient;
+  }
+  if (slowdown_rate > 0.0 && hash_uniform(seed, stream, attempt, 4) < slowdown_rate) {
+    return FaultKind::Slowdown;
+  }
+  return FaultKind::None;
+}
+
+std::string FaultPlan::summary() const {
+  std::ostringstream oss;
+  oss << "faults(seed=" << seed << ",t=" << transient_rate << "@" << transient_attempt_limit
+      << ",p=" << permanent_rate << ",s=" << slowdown_rate << "x" << slowdown_seconds
+      << ",h=" << hang_rate;
+  for (std::uint64_t stream : permanent_streams) oss << ",P" << stream;
+  oss << ")";
+  return oss.str();
+}
+
+std::uint64_t circuit_fault_stream(const Circuit& circuit) {
+  std::uint64_t state = 0x51ab8e1c1d0f00d5ULL;
+  state ^= static_cast<std::uint64_t>(circuit.num_qubits());
+  (void)splitmix64_next(state);
+  for (std::size_t i = 0; i < circuit.num_ops(); ++i) {
+    const circuit::Operation& op = circuit.op(i);
+    state ^= static_cast<std::uint64_t>(op.kind);
+    (void)splitmix64_next(state);
+    for (int q : op.qubits) {
+      state ^= static_cast<std::uint64_t>(q) + 0x9e3779b97f4a7c15ULL;
+      (void)splitmix64_next(state);
+    }
+    for (double p : op.params) {
+      state ^= std::bit_cast<std::uint64_t>(p);
+      (void)splitmix64_next(state);
+    }
+  }
+  return splitmix64_next(state);
+}
+
+FaultInjectingBackend::FaultInjectingBackend(Backend& inner, FaultPlan plan,
+                                             std::function<void(double)> sleeper)
+    : inner_(inner), plan_(std::move(plan)), sleeper_(std::move(sleeper)) {
+  if (!sleeper_) {
+    sleeper_ = [](double seconds) {
+      if (seconds <= 0.0) return;
+      std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+    };
+  }
+}
+
+std::string FaultInjectingBackend::name() const { return "fault(" + inner_.name() + ")"; }
+
+std::string FaultInjectingBackend::identity() const {
+  // The plan is result-affecting construction state (a permanent fault
+  // changes what a stream returns: nothing), so it folds into identity()
+  // per the Backend contract. An inactive plan is the inner backend.
+  if (!plan_.active()) return inner_.identity();
+  return inner_.identity() + "+" + plan_.summary();
+}
+
+void FaultInjectingBackend::serve_hang() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ++counts_.hangs;
+  if (hangs_released_ || hangs_aborted_) {
+    const bool aborted = hangs_aborted_;
+    lock.unlock();
+    if (aborted) throw TransientError(name() + ": hanging execution aborted");
+    return;
+  }
+  ++hanging_;
+  hang_cv_.wait(lock, [&] { return hangs_released_ || hangs_aborted_; });
+  --hanging_;
+  const bool aborted = hangs_aborted_;
+  lock.unlock();
+  if (aborted) throw TransientError(name() + ": hanging execution aborted");
+}
+
+void FaultInjectingBackend::gate(std::uint64_t stream) {
+  std::uint64_t attempt = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    attempt = calls_[stream]++;
+  }
+  switch (plan_.fault_for(stream, attempt)) {
+    case FaultKind::None:
+      return;
+    case FaultKind::Transient: {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++counts_.transient;
+    }
+      throw TransientError(name() + ": injected transient fault (stream " +
+                           std::to_string(stream) + ", call " + std::to_string(attempt) + ")");
+    case FaultKind::Permanent: {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++counts_.permanent;
+    }
+      throw PermanentError(name() + ": injected permanent fault (stream " +
+                           std::to_string(stream) + ")");
+    case FaultKind::Slowdown: {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++counts_.slowdowns;
+      }
+      sleeper_(plan_.slowdown_seconds);
+      return;
+    }
+    case FaultKind::Hang:
+      serve_hang();
+      return;
+  }
+}
+
+void FaultInjectingBackend::gate_batch(const BatchRequest& request) {
+  // Reserve one call index per member first — severest fault wins, but a
+  // throwing batch must consume exactly one index on EVERY member so a
+  // batch retry sees each stream's next call.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> keyed;  // (stream, attempt)
+  keyed.reserve(request.jobs.size());
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const BatchJob& job : request.jobs) {
+      // Batch jobs always carry their stream (the service assigns one even
+      // in exact mode), so faults key identically with or without sampling.
+      keyed.emplace_back(job.seed_stream, calls_[job.seed_stream]++);
+    }
+  }
+  FaultKind worst = FaultKind::None;
+  std::uint64_t worst_stream = 0;
+  std::uint64_t worst_attempt = 0;
+  std::size_t slowdowns = 0;
+  auto severity = [](FaultKind kind) {
+    switch (kind) {
+      case FaultKind::Permanent: return 4;
+      case FaultKind::Hang: return 3;
+      case FaultKind::Transient: return 2;
+      case FaultKind::Slowdown: return 1;
+      case FaultKind::None: return 0;
+    }
+    return 0;
+  };
+  for (const auto& [stream, attempt] : keyed) {
+    const FaultKind kind = plan_.fault_for(stream, attempt);
+    if (kind == FaultKind::Slowdown) ++slowdowns;
+    if (severity(kind) > severity(worst)) {
+      worst = kind;
+      worst_stream = stream;
+      worst_attempt = attempt;
+    }
+  }
+  switch (worst) {
+    case FaultKind::None:
+      return;
+    case FaultKind::Transient: {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++counts_.transient;
+    }
+      throw TransientError(name() + ": injected transient fault (stream " +
+                           std::to_string(worst_stream) + ", call " +
+                           std::to_string(worst_attempt) + ")");
+    case FaultKind::Permanent: {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++counts_.permanent;
+    }
+      throw PermanentError(name() + ": injected permanent fault (stream " +
+                           std::to_string(worst_stream) + ")");
+    case FaultKind::Hang:
+      serve_hang();
+      [[fallthrough]];
+    case FaultKind::Slowdown: {
+      if (slowdowns > 0) {
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          counts_.slowdowns += slowdowns;
+        }
+        sleeper_(plan_.slowdown_seconds * static_cast<double>(slowdowns));
+      }
+      return;
+    }
+  }
+}
+
+Counts FaultInjectingBackend::run(const Circuit& circuit, std::size_t shots,
+                                  std::uint64_t seed_stream) {
+  gate(seed_stream);
+  return inner_.run(circuit, shots, seed_stream);
+}
+
+std::vector<double> FaultInjectingBackend::exact_probabilities(const Circuit& circuit) {
+  gate(circuit_fault_stream(circuit));
+  return inner_.exact_probabilities(circuit);
+}
+
+BatchResult FaultInjectingBackend::run_batch(const BatchRequest& request) {
+  gate_batch(request);
+  return inner_.run_batch(request);
+}
+
+void FaultInjectingBackend::release_hangs() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    hangs_released_ = true;
+  }
+  hang_cv_.notify_all();
+}
+
+void FaultInjectingBackend::abort_hangs() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    hangs_aborted_ = true;
+  }
+  hang_cv_.notify_all();
+}
+
+std::size_t FaultInjectingBackend::hanging() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hanging_;
+}
+
+FaultCounts FaultInjectingBackend::fault_counts() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counts_;
+}
+
+void FaultInjectingBackend::reset_fault_state() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  calls_.clear();
+  hangs_released_ = false;
+  hangs_aborted_ = false;
+  counts_ = FaultCounts{};
+}
+
+}  // namespace qcut::backend

@@ -1,0 +1,144 @@
+#pragma once
+// Deterministic fault injection: a chaos-testing decorator over any Backend.
+//
+// A FaultPlan is a seeded, per-call fault schedule. Every execution is keyed
+// by its seed stream plus a per-stream call index (how many times that
+// stream has been executed on this backend), so the fault a call sees is a
+// pure function of (plan seed, stream, call index) — chaos runs replay
+// bit-for-bit regardless of thread scheduling, and a retry of the same
+// stream sees the *next* call index, which is how transient faults clear.
+// Exact-mode calls that arrive without a stream (direct
+// exact_probabilities) key on a deterministic circuit fingerprint instead.
+//
+// Faults are decided and raised BEFORE the inner backend is touched, so a
+// throwing call is side-effect-free on the inner backend (the run/run_batch
+// contract in backend.hpp): a retried success is bit-for-bit the fault-free
+// result, and inner stats() advance only for executions that really ran.
+//
+// The plan folds into identity(): a fault-injecting backend never shares
+// cache entries with its fault-free inner backend or with a differently
+// seeded plan.
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "backend/backend.hpp"
+
+namespace qcut::backend {
+
+enum class FaultKind { None, Transient, Permanent, Slowdown, Hang };
+
+/// Seeded fault schedule. Rates are per-call probabilities evaluated from
+/// deterministic per-(stream, call-index) hashes; streams listed explicitly
+/// fault on every call regardless of rates (handy for targeted tests).
+struct FaultPlan {
+  std::uint64_t seed = 0;
+
+  /// Probability a call throws TransientError. Only the first
+  /// `transient_attempt_limit` calls of a stream may fault, so any retry
+  /// policy with max_attempts > transient_attempt_limit converges.
+  double transient_rate = 0.0;
+  std::uint64_t transient_attempt_limit = 1;
+
+  /// Probability a *stream* fails permanently: every call on an affected
+  /// stream throws PermanentError, retries included.
+  double permanent_rate = 0.0;
+
+  /// Probability a call is delayed by slowdown_seconds before executing
+  /// normally (results are unaffected; only wall time moves).
+  double slowdown_rate = 0.0;
+  double slowdown_seconds = 0.0;
+
+  /// Probability a stream's first call blocks until release_hangs() or
+  /// abort_hangs() is called on the backend (hang-until-cancelled faults).
+  double hang_rate = 0.0;
+
+  /// Streams that always throw PermanentError (in addition to permanent_rate).
+  std::vector<std::uint64_t> permanent_streams;
+
+  [[nodiscard]] bool active() const noexcept;
+
+  /// The fault the plan assigns to call number `attempt` (0-based) of
+  /// `stream`. Precedence: Permanent > Hang > Transient > Slowdown.
+  [[nodiscard]] FaultKind fault_for(std::uint64_t stream, std::uint64_t attempt) const noexcept;
+
+  /// Deterministic summary folded into Backend::identity().
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Counts of faults actually injected (thread-safe snapshot).
+struct FaultCounts {
+  std::uint64_t transient = 0;
+  std::uint64_t permanent = 0;
+  std::uint64_t slowdowns = 0;
+  std::uint64_t hangs = 0;
+};
+
+class FaultInjectingBackend : public Backend {
+ public:
+  /// Decorates `inner` (kept by reference; must outlive this backend).
+  /// `sleeper` serves slowdown faults; the default really sleeps.
+  explicit FaultInjectingBackend(Backend& inner, FaultPlan plan,
+                                 std::function<void(double)> sleeper = {});
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::string identity() const override;
+  [[nodiscard]] Counts run(const Circuit& circuit, std::size_t shots,
+                           std::uint64_t seed_stream) override;
+  [[nodiscard]] std::vector<double> exact_probabilities(const Circuit& circuit) override;
+  [[nodiscard]] BatchResult run_batch(const BatchRequest& request) override;
+  [[nodiscard]] BackendStats stats() const override { return inner_.stats(); }
+  void reset_stats() override { inner_.reset_stats(); }
+
+  /// Unblocks every hanging call (current and future); they proceed into
+  /// the inner backend normally.
+  void release_hangs();
+
+  /// Unblocks every hanging call (current and future) with a
+  /// TransientError, modeling a cancelled stuck execution.
+  void abort_hangs();
+
+  /// Number of calls currently blocked in a hang fault.
+  [[nodiscard]] std::size_t hanging() const;
+
+  [[nodiscard]] FaultCounts fault_counts() const;
+
+  /// Forgets per-stream call indices (a fresh chaos run from the same plan).
+  void reset_fault_state();
+
+ private:
+  /// Decides and serves the fault for one call on `stream`: throws for
+  /// transient/permanent, sleeps for slowdown, blocks for hang. Advances
+  /// the stream's call index exactly once.
+  void gate(std::uint64_t stream);
+
+  /// Reserves call indices for every job of a batch first, then serves the
+  /// severest fault once: a throwing batch consumes one call index per
+  /// member, so a batch retry sees every member's next index.
+  void gate_batch(const BatchRequest& request);
+
+  void serve_hang();
+
+  Backend& inner_;
+  const FaultPlan plan_;
+  std::function<void(double)> sleeper_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable hang_cv_;
+  std::unordered_map<std::uint64_t, std::uint64_t> calls_;  // stream -> calls so far
+  bool hangs_released_ = false;
+  bool hangs_aborted_ = false;
+  std::size_t hanging_ = 0;
+  FaultCounts counts_;
+};
+
+/// Deterministic fingerprint of a circuit, used to key faults for calls
+/// that carry no seed stream (direct exact_probabilities).
+[[nodiscard]] std::uint64_t circuit_fault_stream(const Circuit& circuit);
+
+}  // namespace qcut::backend

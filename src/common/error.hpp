@@ -5,7 +5,15 @@
 // Use QCUT_CHECK for user-facing precondition checks (always on) and
 // QCUT_ASSERT for internal invariants (also always on; the cost is
 // negligible next to simulation work).
+//
+// The fault-tolerant execution layer refines Error into a small taxonomy:
+// backends signal retryable conditions with TransientError (the service's
+// RetryPolicy re-executes the identical batch) and unrecoverable ones with
+// PermanentError; the service itself raises DeadlineExceeded and
+// CancelledError for job-level deadline and cancellation. Catching
+// qcut::Error continues to catch all of them.
 
+#include <exception>
 #include <stdexcept>
 #include <string>
 
@@ -16,6 +24,41 @@ class Error : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
 };
+
+/// A failure that may succeed on retry with identical arguments (queue
+/// congestion, a dropped connection, an injected chaos fault). Backends
+/// throwing it must be side-effect-free on the throw, so a retried success
+/// is bit-for-bit the result the fault-free call would have produced.
+class TransientError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A failure that retrying cannot fix (a rejected circuit, a dead device).
+class PermanentError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A job exceeded its CutRequest::deadline_seconds budget.
+class DeadlineExceeded : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A job was cancelled via CutService::cancel before it finished.
+class CancelledError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Re-wraps `error` with `context` prepended to its message, preserving the
+/// taxonomy type (a TransientError stays a TransientError, and so on; a
+/// non-qcut exception becomes a qcut::Error). Used by the service to attach
+/// variant/fragment identification to a failure before propagating it.
+/// Returns a null pointer unchanged.
+[[nodiscard]] std::exception_ptr with_context(const std::exception_ptr& error,
+                                              const std::string& context);
 
 namespace detail {
 [[noreturn]] void raise_error(const char* file, int line, const std::string& message);

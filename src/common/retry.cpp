@@ -1,0 +1,34 @@
+#include "common/retry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/rng.hpp"
+
+namespace qcut {
+
+double backoff_seconds(const RetryPolicy& policy, std::size_t failures, std::uint64_t stream) {
+  if (failures == 0) return 0.0;
+  double delay = policy.initial_backoff_seconds;
+  for (std::size_t i = 1; i < failures && delay < policy.max_backoff_seconds; ++i) {
+    delay *= policy.backoff_multiplier;
+  }
+  delay = std::min(delay, policy.max_backoff_seconds);
+  if (policy.jitter_fraction > 0.0) {
+    // Two-level child derivation keeps streams independent across both the
+    // retry scope and the attempt index; nothing here reads ambient state.
+    Rng jitter = Rng(policy.jitter_seed).child(stream).child(failures);
+    delay *= jitter.uniform(1.0 - policy.jitter_fraction, 1.0 + policy.jitter_fraction);
+  }
+  return std::max(delay, 0.0);
+}
+
+Sleeper default_sleeper() {
+  return [](double seconds) {
+    if (seconds <= 0.0) return;
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  };
+}
+
+}  // namespace qcut

@@ -1,0 +1,61 @@
+#pragma once
+// Retry policy with deterministic backoff.
+//
+// The cut-execution service retries variant groups that fail with
+// TransientError (see common/error.hpp). Two determinism constraints shape
+// this header:
+//
+//  * Backoff *jitter* must never read ambient entropy: the scale factor of
+//    every delay derives from (jitter_seed, stream, attempt) through
+//    qcut::Rng, so a chaos run replays bit-for-bit from its seeds.
+//  * Backoff *waiting* must never read a wall clock on a result path: the
+//    policy only computes durations; how to wait is the caller's injected
+//    Sleeper (tests pass a recording no-op so nothing wall-blocks), and any
+//    deadline arithmetic uses an injected monotonic clock (see
+//    common/stopwatch.hpp monotonic_now_ns, the sanctioned default).
+//
+// Retried executions reuse the identical (circuit, shots, seed_stream), so
+// a retried success is bit-for-bit the result a fault-free run would have
+// produced; the backoff schedule only shapes wall-clock time.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace qcut {
+
+struct RetryPolicy {
+  /// Total tries per variant group, including the first. 1 disables retry.
+  std::size_t max_attempts = 3;
+
+  /// Delay before the first retry; each further retry multiplies it.
+  double initial_backoff_seconds = 0.010;
+  double backoff_multiplier = 2.0;
+  double max_backoff_seconds = 1.0;
+
+  /// Each delay is scaled by a factor uniform in [1 - jitter, 1 + jitter),
+  /// drawn deterministically from (jitter_seed, stream, attempt). 0 turns
+  /// jitter off.
+  double jitter_fraction = 0.5;
+  std::uint64_t jitter_seed = 0;
+};
+
+/// Backoff delay after `failures` consecutive transient failures (1-based)
+/// of the retry scope identified by `stream` (the service uses the group's
+/// first variant seed stream). Deterministic in (policy, failures, stream).
+[[nodiscard]] double backoff_seconds(const RetryPolicy& policy, std::size_t failures,
+                                     std::uint64_t stream);
+
+/// How retry code waits out a backoff delay. Injected so tests never
+/// wall-block; the default really sleeps.
+using Sleeper = std::function<void(double seconds)>;
+
+/// Monotonic nanosecond clock used for deadline checks. Injected so tests
+/// control time; the default is monotonic_now_ns (common/stopwatch.hpp).
+using MonotonicClock = std::function<std::uint64_t()>;
+
+/// A Sleeper over std::this_thread::sleep_for. Non-positive delays return
+/// immediately.
+[[nodiscard]] Sleeper default_sleeper();
+
+}  // namespace qcut

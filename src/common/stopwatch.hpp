@@ -1,9 +1,23 @@
 #pragma once
-// Wall-clock stopwatch used by the runtime experiments (Figs. 4 and 5).
+// Wall-clock stopwatch used by the runtime experiments (Figs. 4 and 5),
+// plus the sanctioned monotonic clock the service's deadline checks inject
+// (qcut-lint exempts this file from the wallclock rules; everything on a
+// result path reads time through these wrappers or an injected clock).
 
 #include <chrono>
+#include <cstdint>
 
 namespace qcut {
+
+/// Monotonic nanoseconds since an arbitrary epoch (steady_clock). The
+/// default MonotonicClock (common/retry.hpp) behind job deadlines; tests
+/// substitute a controlled counter instead.
+[[nodiscard]] inline std::uint64_t monotonic_now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 /// Monotonic stopwatch. Starts running on construction.
 class Stopwatch {

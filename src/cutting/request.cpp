@@ -200,6 +200,8 @@ std::vector<circuit::WirePoint> ResolvedRequest::flat_cuts() const {
 void validate(const CutRequest& request) {
   QCUT_CHECK(request.circuit.num_qubits() >= 2,
              "CutRequest: circuit must have at least 2 qubits to cut");
+  QCUT_CHECK(!request.deadline_seconds.has_value() || *request.deadline_seconds > 0.0,
+             "CutRequest: deadline_seconds must be positive when set");
   validate_target(request);
   validate_cut_selection(request);
   validate_options(request);

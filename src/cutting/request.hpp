@@ -29,6 +29,7 @@
 #include "cutting/observables.hpp"
 #include "cutting/planner.hpp"
 #include "cutting/uncertainty.hpp"
+#include "cutting/variants.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace qcut::cutting {
@@ -57,6 +58,20 @@ enum class GoldenMode {
   /// fragment f's variants, run the statistical detector on its measured
   /// data, prune boundary f's spec, and only then execute fragment f+1.
   DetectOnline,
+};
+
+/// What the service does with a variant whose execution keeps failing after
+/// the retry policy is exhausted (or fails permanently).
+enum class OnVariantFailure {
+  /// Fail the whole job: the response future carries the backend error,
+  /// enriched with the failing variant's identity (the default).
+  Fail,
+
+  /// Drop the failed variant from reconstruction the same way a neglected
+  /// basis element is dropped, and report the induced error bound in
+  /// CutResponse::degradation. Trades a small, *quantified* reconstruction
+  /// error for availability - the job still completes.
+  Neglect,
 };
 
 /// Execution options shared by every target and cut selection.
@@ -132,6 +147,14 @@ struct CutRequest {
   /// When set (observable targets only), the response carries a bootstrap
   /// estimate of the expectation's sampling uncertainty.
   std::optional<BootstrapOptions> bootstrap;
+
+  /// Failure policy for variants that exhaust the service's retry policy.
+  OnVariantFailure on_variant_failure = OnVariantFailure::Fail;
+
+  /// When set, the job must finish within this many seconds of submission
+  /// (measured on the service's monotonic clock); past the deadline the job
+  /// fails with DeadlineExceeded at the next wave boundary.
+  std::optional<double> deadline_seconds;
 
   explicit CutRequest(circuit::Circuit request_circuit)
       : circuit(std::move(request_circuit)) {}
@@ -217,6 +240,20 @@ struct CutRequest {
     bootstrap = std::move(boot);
     return *this;
   }
+  /// Degrade gracefully instead of failing when a variant's execution
+  /// cannot be completed (OnVariantFailure::Neglect).
+  CutRequest& with_neglect_failures() {
+    on_variant_failure = OnVariantFailure::Neglect;
+    return *this;
+  }
+  CutRequest& with_on_variant_failure(OnVariantFailure policy) {
+    on_variant_failure = policy;
+    return *this;
+  }
+  CutRequest& with_deadline(double seconds) {
+    deadline_seconds = seconds;
+    return *this;
+  }
 
   [[nodiscard]] bool wants_distribution() const noexcept {
     return std::holds_alternative<DistributionTarget>(target);
@@ -225,6 +262,44 @@ struct CutRequest {
     return std::holds_alternative<AutoPlan>(cut_selection) ||
            std::holds_alternative<AutoChainPlan>(cut_selection);
   }
+};
+
+// ---- Degradation ------------------------------------------------------------
+
+/// One fragment variant dropped from reconstruction after its execution
+/// exhausted the retry policy (OnVariantFailure::Neglect).
+struct NeglectedVariant {
+  int fragment = 0;
+  FragmentVariantKey key;
+  std::string error;  // what() of the final failure
+};
+
+/// Reconstruction strings dropped at one boundary because a variant they
+/// require was neglected.
+struct BoundaryDegradation {
+  int boundary = 0;
+  std::uint64_t strings_dropped = 0;
+};
+
+/// How far the reconstruction degraded under OnVariantFailure::Neglect.
+/// Dropping a variant removes every chain term whose basis string requires
+/// it - exactly like neglecting a basis element, except forced by a fault
+/// instead of chosen by golden detection, so the induced error is bounded
+/// the same way.
+struct DegradationReport {
+  std::vector<NeglectedVariant> neglected_variants;
+  std::vector<BoundaryDegradation> boundaries;
+
+  /// Global chain terms removed from the reconstruction sum.
+  std::uint64_t terms_dropped = 0;
+
+  /// L1 bound on the reconstruction error induced by the dropped terms.
+  /// Each global term's quasiprobability weight (1 / prod_b 2^K_b) times its
+  /// string multiplicity is at most 1, so the bound is terms_dropped * 1.0
+  /// on the unnormalized quasi-distribution.
+  double error_bound = 0.0;
+
+  [[nodiscard]] bool degraded() const noexcept { return !neglected_variants.empty(); }
 };
 
 // ---- Response ---------------------------------------------------------------
@@ -257,6 +332,10 @@ struct CutResponse {
 
   /// Bootstrap uncertainty of the expectation (CutRequest::bootstrap).
   std::optional<ExpectationUncertainty> uncertainty;
+
+  /// Engaged when OnVariantFailure::Neglect dropped at least one variant:
+  /// which variants were neglected and the induced error bound.
+  std::optional<DegradationReport> degradation;
 
   double plan_seconds = 0.0;       // auto-planning + target resolution
   double fragment_seconds = 0.0;   // wall time gathering fragment data
@@ -314,7 +393,9 @@ using cutting::AutoPlan;
 using cutting::BoundaryList;
 using cutting::CutRequest;
 using cutting::CutResponse;
+using cutting::DegradationReport;
 using cutting::DistributionTarget;
+using cutting::OnVariantFailure;
 using cutting::ObservableTarget;
 using cutting::PauliTarget;
 }  // namespace qcut

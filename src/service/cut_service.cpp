@@ -1,8 +1,11 @@
 #include "service/cut_service.hpp"
 
+#include <string>
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/stopwatch.hpp"
+#include "cutting/basis.hpp"
 #include "cutting/fragment_executor.hpp"
 #include "cutting/variants.hpp"
 #include "service/circuit_hash.hpp"
@@ -30,6 +33,9 @@ CutService::CutService(backend::Backend& backend, CutServiceOptions options)
                                           : telemetry::MetricsRegistry::global()),
       cache_(options.cache_capacity, &metrics_),
       scheduler_(cache_, &metrics_),
+      retry_(options.retry),
+      sleeper_(options.sleeper ? std::move(options.sleeper) : default_sleeper()),
+      clock_(options.clock ? std::move(options.clock) : MonotonicClock(monotonic_now_ns)),
       jobs_submitted_(metrics_.counter("service.jobs_submitted")),
       jobs_completed_(metrics_.counter("service.jobs_completed")),
       jobs_failed_(metrics_.counter("service.jobs_failed")),
@@ -37,6 +43,12 @@ CutService::CutService(backend::Backend& backend, CutServiceOptions options)
       active_jobs_gauge_(metrics_.gauge("service.active_jobs")),
       wave_variants_(metrics_.histogram("service.wave_variants",
                                         telemetry::exponential_bounds(1.0, 2.0, 12))),
+      retries_(metrics_.counter("service.retries")),
+      variants_neglected_(metrics_.counter("service.variants_neglected")),
+      deadline_exceeded_(metrics_.counter("service.deadline_exceeded")),
+      cancelled_(metrics_.counter("service.cancelled")),
+      backoff_seconds_(metrics_.histogram("service.backoff_seconds",
+                                          telemetry::exponential_bounds(0.001, 2.0, 12))),
       scheduler_thread_([this] { scheduler_loop(); }) {}
 
 CutService::~CutService() {
@@ -50,20 +62,48 @@ CutService::~CutService() {
 }
 
 std::future<CutResponse> CutService::submit(CutRequest request) {
+  return submit_job(std::move(request)).future;
+}
+
+CutService::SubmittedJob CutService::submit_job(CutRequest request) {
   cutting::validate(request);  // eager: reject malformed requests before queuing
-  JobPtr job;
-  std::future<CutResponse> future;
+  SubmittedJob handle;
   jobs_submitted_->add();
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    job = std::make_shared<CutJob>(next_job_id_++, std::move(request));
-    future = job->promise.get_future();
+    JobPtr job = std::make_shared<CutJob>(next_job_id_++, std::move(request));
+    handle.id = job->id;
+    handle.future = job->promise.get_future();
+    if (job->request.deadline_seconds.has_value()) {
+      // Absolute deadline on the service clock, fixed at submission: queue
+      // time counts against it.
+      job->deadline_ns =
+          clock_() + static_cast<std::uint64_t>(*job->request.deadline_seconds * 1e9);
+    }
     ++active_jobs_;
     active_jobs_gauge_->set(static_cast<std::int64_t>(active_jobs_));
-    ready_.push_back(job);
+    jobs_.emplace(job->id, job);
+    ready_.push_back(std::move(job));
   }
   wake_.notify_one();
-  return future;
+  return handle;
+}
+
+bool CutService::cancel(std::uint64_t job_id) {
+  JobPtr job;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = jobs_.find(job_id);
+    if (it == jobs_.end()) return false;  // unknown or already finished
+    job = it->second;
+  }
+  // Takes effect at the next wave boundary (or before any not-yet-started
+  // variant group runs); the job's in-flight keys drain through the
+  // scheduler, so nothing is stranded. A backend call already executing is
+  // not interrupted - a stuck backend must be unblocked at the backend
+  // (e.g. FaultInjectingBackend::abort_hangs).
+  job->cancel_requested.store(true);
+  return true;
 }
 
 CutResponse CutService::run(const CutRequest& request) { return submit(request).get(); }
@@ -122,9 +162,20 @@ void CutService::enqueue_ready(const JobPtr& job) {
 
 void CutService::advance(const JobPtr& job) {
   if (job->phase == JobPhase::Done || job->phase == JobPhase::Failed) return;
-  if (job->phase != JobPhase::Queued && job->failed.load()) {
-    fail(job, job->error);
+  // Stop conditions (cancellation, deadline) are checked at every wave
+  // boundary and win over wave failures: a cancelled job fails with
+  // CancelledError even if its last wave also saw backend errors.
+  if (std::exception_ptr stop = job_stop_error(*job)) {
+    fail(job, std::move(stop));
     return;
+  }
+  if (job->phase != JobPhase::Queued && job->failed.load()) {
+    if (std::exception_ptr error = handle_wave_failures(job)) {
+      fail(job, std::move(error));
+      return;
+    }
+    // Every failure was neglected (OnVariantFailure::Neglect): the failed
+    // variants are out of the reconstruction and the job proceeds.
   }
   switch (job->phase) {
     case JobPhase::Queued:
@@ -357,7 +408,13 @@ void CutService::issue_wave(const JobPtr& job, const std::vector<WaveVariant>& v
                                    VariantSource source) {
       CutJob& owner = *job;
       if (error != nullptr) {
-        if (!owner.failed.exchange(true)) owner.error = error;
+        // Collect every slot failure; the scheduler thread resolves them at
+        // the wave boundary (enriched Fail error or per-variant Neglect).
+        {
+          std::lock_guard<std::mutex> lock(owner.failure_mutex);
+          owner.failures.push_back(SlotFailure{i, error});
+        }
+        owner.failed.store(true);
       } else {
         owner.slots[i].result = std::move(result);
         switch (source) {
@@ -385,11 +442,12 @@ void CutService::issue_wave(const JobPtr& job, const std::vector<WaveVariant>& v
   // executed results are bit-for-bit those of per-variant backend.run
   // calls (the run_batch determinism contract).
   scheduler_.request_batch(std::move(items), [&](const std::vector<std::size_t>& to_launch) {
-    launch_variant_groups(prepared, to_launch, opt.exact);
+    launch_variant_groups(job, prepared, to_launch, opt.exact);
   });
 }
 
-void CutService::launch_variant_groups(std::vector<PreparedVariant>& prepared,
+void CutService::launch_variant_groups(const JobPtr& job,
+                                       std::vector<PreparedVariant>& prepared,
                                        const std::vector<std::size_t>& to_launch, bool exact) {
   // Group the surviving variants by longest common circuit prefix; each
   // group becomes one pool task running one backend batch. Without prefix
@@ -414,8 +472,11 @@ void CutService::launch_variant_groups(std::vector<PreparedVariant>& prepared,
     struct GroupTask {
       backend::BatchRequest batch;
       std::vector<Hash128> keys;
+      JobPtr owner;                    // the issuing job, for stop checks
+      std::uint64_t retry_stream = 0;  // jitter stream: first member's seed stream
     };
     auto task = std::make_shared<GroupTask>();
+    task->owner = job;
     task->batch.exact = exact;
     task->batch.sim_engine = sim_engine_;
     // No intra-task pool: the task itself runs on a pool worker, and a
@@ -436,25 +497,57 @@ void CutService::launch_variant_groups(std::vector<PreparedVariant>& prepared,
       all.resize(task->batch.jobs.size());
       for (std::size_t m = 0; m < all.size(); ++m) all[m] = m;
     }
+    task->retry_stream = task->batch.jobs.front().seed_stream;
     (void)pool_.submit([this, task]() {
+      // A job already past its deadline (or cancelled) drains its claimed
+      // keys without touching the backend; the wave's pending count reaches
+      // zero through the failure callbacks and the scheduler thread fails
+      // the job with the stop error.
+      if (std::exception_ptr stop = job_stop_error(*task->owner)) {
+        scheduler_.complete_failed(task->keys, stop);
+        return;
+      }
       std::vector<CachedDistribution> results(task->keys.size());
       std::exception_ptr error;
-      try {
-        backend::BatchResult batched = backend_.run_batch(task->batch);
-        for (std::size_t m = 0; m < task->keys.size(); ++m) {
-          std::vector<double> probs = task->batch.exact
-                                          ? std::move(batched.probabilities[m])
-                                          : batched.counts[m].to_probabilities();
-          results[m] = std::make_shared<const std::vector<double>>(std::move(probs));
+      for (std::size_t attempt = 1;; ++attempt) {
+        error = nullptr;
+        try {
+          backend::BatchResult batched = backend_.run_batch(task->batch);
+          for (std::size_t m = 0; m < task->keys.size(); ++m) {
+            std::vector<double> probs = task->batch.exact
+                                            ? std::move(batched.probabilities[m])
+                                            : batched.counts[m].to_probabilities();
+            results[m] = std::make_shared<const std::vector<double>>(std::move(probs));
+          }
+          break;
+        } catch (const TransientError&) {
+          // Retry the IDENTICAL batch (circuits, shots, seed streams are
+          // untouched): per the backend contract a throwing call was
+          // side-effect-free, so a retried success is bit-for-bit the
+          // fault-free result. Backoff delays shape wall time only.
+          error = std::current_exception();
+          if (attempt >= retry_.max_attempts) break;
+          if (job_stop_error(*task->owner) != nullptr) break;
+          retries_->add();
+          const double delay =
+              backoff_seconds(retry_, attempt, task->retry_stream);
+          backoff_seconds_->record(delay);
+          sleeper_(delay);
+        } catch (...) {
+          error = std::current_exception();  // permanent: never retried
+          break;
         }
-      } catch (...) {
-        error = std::current_exception();
       }
-      // One complete() per claimed key, success or failure: a group that
-      // throws fails every member, and no key is ever left in flight.
+      if (error != nullptr) {
+        // Fail every key of the group atomically: waiters re-requesting a
+        // key claim a fresh execution, never a half-failed group. Failures
+        // never enter the cache.
+        scheduler_.complete_failed(task->keys, error);
+        return;
+      }
+      // One complete() per claimed key: no key is ever left in flight.
       for (std::size_t m = 0; m < task->keys.size(); ++m) {
-        scheduler_.complete(task->keys[m], error == nullptr ? std::move(results[m]) : nullptr,
-                            error);
+        scheduler_.complete(task->keys[m], std::move(results[m]), nullptr);
       }
     });
   }
@@ -468,6 +561,10 @@ void CutService::absorb_wave(const JobPtr& job) {
   cutting::ChainFragmentData& data = j.response.data;
   data.wall_seconds += j.wave_timer.elapsed_seconds();
   for (const VariantSlot& slot : j.slots) {
+    // A null result is a neglected failure (OnVariantFailure::Neglect):
+    // the variant was dropped from reconstruction, so it contributes no
+    // distribution - and never poisons the per-fragment data.
+    if (slot.result == nullptr) continue;
     data.fragments[static_cast<std::size_t>(slot.fragment)].variants.emplace(
         cutting::pack_variant_key(slot.key), *slot.result);
   }
@@ -480,6 +577,19 @@ void CutService::handle_fragment_wave_complete(const JobPtr& job) {
   const FragmentGraph& graph = j.response.graph;
   const int f = j.wave_fragment;
   const cutting::ChainFragment& fragment = graph.fragments[static_cast<std::size_t>(f)];
+
+  // A degraded wave (neglected variant of this fragment) has incomplete
+  // measured data, so the statistical detector cannot run on boundary f:
+  // keep the spec as-is (no golden pruning beyond the fault-forced drops)
+  // and move on. Conservative - extra variants execute downstream - but
+  // never wrong.
+  for (const cutting::NeglectedVariant& neglected : j.neglected) {
+    if (neglected.fragment == f) {
+      ++j.wave_fragment;
+      issue_wave(job, fragment_wave(graph, j.response.specs, j.wave_fragment));
+      return;
+    }
+  }
 
   // Incoming prep contexts actually executed (pruned by boundary f-1).
   const std::vector<std::uint32_t> contexts =
@@ -542,6 +652,7 @@ void CutService::reconstruct_and_finish(const JobPtr& job) {
   CutJob& j = *job;
   j.phase = JobPhase::Reconstructing;
   j.response.fragment_seconds = j.response.data.wall_seconds;
+  finalize_degradation(j);
 
   telemetry::Tracer& tracer = telemetry::Tracer::global();
   const std::uint64_t reconstruct_start_ns = j.traced ? tracer.now_ns() : 0;
@@ -597,6 +708,7 @@ void CutService::reconstruct_and_finish(const JobPtr& job) {
   jobs_completed_->add();
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    jobs_.erase(j.id);
     --active_jobs_;
     active_jobs_gauge_->set(static_cast<std::int64_t>(active_jobs_));
   }
@@ -613,15 +725,161 @@ void CutService::fail(const JobPtr& job, std::exception_ptr error) {
                      /*depth=*/0);
   }
   jobs_failed_->add();
+  // Classify the terminal error for the fault-tolerance counters (exactly
+  // once per job: fail() is idempotent via the phase check above).
+  if (error != nullptr) {
+    try {
+      std::rethrow_exception(error);
+    } catch (const DeadlineExceeded&) {
+      deadline_exceeded_->add();
+    } catch (const CancelledError&) {
+      cancelled_->add();
+    } catch (...) {
+    }
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    jobs_.erase(j.id);
     --active_jobs_;
     active_jobs_gauge_->set(static_cast<std::int64_t>(active_jobs_));
   }
-  j.promise.set_exception(error != nullptr ? error
-                                           : std::make_exception_ptr(
-                                                 Error("CutService: job failed without a cause")));
+  // Drop the job's own exception copies before delivery; the promise's
+  // shared state then holds the only long-lived reference, and the wave
+  // bookkeeping above is already final.
+  j.error = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(j.failure_mutex);
+    j.failures.clear();
+  }
+  if (error == nullptr) {
+    error = std::make_exception_ptr(Error("CutService: job failed without a cause"));
+  }
+  j.promise.set_exception(std::move(error));
   idle_.notify_all();
+}
+
+std::exception_ptr CutService::job_stop_error(CutJob& job) {
+  if (job.cancel_requested.load()) {
+    return std::make_exception_ptr(
+        CancelledError("CutService: job " + std::to_string(job.id) + " was cancelled"));
+  }
+  if (job.deadline_ns != 0 && clock_() >= job.deadline_ns) {
+    return std::make_exception_ptr(DeadlineExceeded(
+        "CutService: job " + std::to_string(job.id) + " exceeded its deadline of " +
+        std::to_string(*job.request.deadline_seconds) + " s"));
+  }
+  return nullptr;
+}
+
+std::exception_ptr CutService::handle_wave_failures(const JobPtr& job) {
+  CutJob& j = *job;
+  std::vector<SlotFailure> failures;
+  {
+    std::lock_guard<std::mutex> lock(j.failure_mutex);
+    failures.swap(j.failures);
+  }
+  j.failed.store(false);  // the wave's failures are resolved here
+  if (failures.empty()) return nullptr;
+
+  if (j.request.on_variant_failure == cutting::OnVariantFailure::Fail) {
+    // Propagate the first failure, enriched with the failing variant's
+    // identity and the wave's co-failure count; the taxonomy type
+    // (Transient/Permanent/...) survives the re-wrap (with_context).
+    const SlotFailure& first = failures.front();
+    const VariantSlot& slot = j.slots[first.slot];
+    std::string context = "CutService: variant (fragment " + std::to_string(slot.fragment) +
+                          ", prep " + std::to_string(slot.key.prep_index) + ", setting " +
+                          std::to_string(slot.key.setting_index) + ") failed";
+    if (failures.size() > 1) {
+      context += " [+" + std::to_string(failures.size() - 1) + " co-failed variant" +
+                 (failures.size() > 2 ? "s" : "") + "]";
+    }
+    return with_context(first.error, context);
+  }
+
+  // OnVariantFailure::Neglect: drop each failed variant from reconstruction
+  // exactly as a neglected basis element is dropped - the job survives, and
+  // the induced error is bounded in the response's degradation report.
+  for (const SlotFailure& failure : failures) {
+    const VariantSlot& slot = j.slots[failure.slot];
+    std::string what = "unknown error";
+    try {
+      std::rethrow_exception(failure.error);
+    } catch (const std::exception& e) {
+      what = e.what();
+    } catch (...) {
+    }
+    j.neglected.push_back(
+        cutting::NeglectedVariant{slot.fragment, slot.key, std::move(what)});
+    apply_variant_drop(j, slot.fragment, slot.key);
+    variants_neglected_->add();
+  }
+  return nullptr;
+}
+
+void CutService::apply_variant_drop(CutJob& job, int fragment,
+                                    cutting::FragmentVariantKey key) {
+  cutting::ChainNeglectSpec& specs = job.response.specs;
+  const int num_boundaries = job.response.graph.num_boundaries();
+  if (job.dropped_strings.empty()) {
+    job.dropped_strings.assign(static_cast<std::size_t>(num_boundaries), 0);
+  }
+  // A non-terminal fragment's variant is addressed by its *outgoing*
+  // setting: neglecting every active string with that setting at boundary
+  // `fragment` removes every reconstruction term that needs the variant.
+  // The last fragment has no outgoing boundary, so its variant is addressed
+  // by its *incoming* prep at the final boundary instead.
+  const bool outgoing = fragment < num_boundaries;
+  const int b = outgoing ? fragment : fragment - 1;
+  NeglectSpec& spec = specs.boundary(b);
+  const int num_cuts = spec.num_cuts();
+  std::uint64_t dropped = 0;
+  for (const std::vector<cutting::Pauli>& basis : spec.active_strings()) {
+    bool drop = false;
+    if (outgoing) {
+      drop = cutting::settings_index_for_basis(basis) == key.setting_index;
+    } else {
+      const std::uint32_t slots_end = 1u << num_cuts;
+      for (std::uint32_t a = 0; a < slots_end && !drop; ++a) {
+        drop = cutting::preps_index_for_basis(basis, a) == key.prep_index;
+      }
+    }
+    if (drop) {
+      spec.neglect_string(basis);
+      ++dropped;
+    }
+  }
+  job.dropped_strings[static_cast<std::size_t>(b)] += dropped;
+}
+
+void CutService::finalize_degradation(CutJob& job) {
+  if (job.neglected.empty()) return;
+  cutting::DegradationReport report;
+  report.neglected_variants = job.neglected;
+  const int num_boundaries = job.response.graph.num_boundaries();
+  // Terms are per-boundary string combinations; every combination's L1
+  // contribution to the reconstruction is at most 1 (the quasiprobability
+  // coefficient 1/prod_b 2^K_b times at most prod_b 2^K_b slot terms of
+  // unit weight), so the bound is simply the number of dropped
+  // combinations.
+  std::uint64_t terms_before = 1;
+  std::uint64_t terms_after = 1;
+  for (int b = 0; b < num_boundaries; ++b) {
+    const auto active =
+        static_cast<std::uint64_t>(job.response.specs.boundary(b).num_active_strings());
+    const std::uint64_t dropped =
+        b < static_cast<int>(job.dropped_strings.size())
+            ? job.dropped_strings[static_cast<std::size_t>(b)]
+            : 0;
+    terms_before *= active + dropped;
+    terms_after *= active;
+    if (dropped > 0) {
+      report.boundaries.push_back(cutting::BoundaryDegradation{b, dropped});
+    }
+  }
+  report.terms_dropped = terms_before - terms_after;
+  report.error_bound = static_cast<double>(report.terms_dropped);
+  job.response.degradation = std::move(report);
 }
 
 }  // namespace qcut::service

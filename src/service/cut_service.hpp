@@ -35,8 +35,10 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 
 #include "backend/backend.hpp"
+#include "common/retry.hpp"
 #include "cutting/pipeline.hpp"
 #include "service/fragment_cache.hpp"
 #include "service/job.hpp"
@@ -79,6 +81,20 @@ struct CutServiceOptions {
   /// registry to isolate one service's metrics from the rest of the
   /// process.
   telemetry::MetricsRegistry* metrics = nullptr;
+
+  /// Retry policy for variant-group executions failing with TransientError
+  /// (common/retry.hpp). Retries re-run the identical (circuit, shots,
+  /// seed stream) batch, so a retried success is bit-for-bit the fault-free
+  /// result. max_attempts = 1 disables retry.
+  RetryPolicy retry;
+
+  /// How retry code waits out backoff delays; the default really sleeps.
+  /// Tests inject a recording no-op so nothing wall-blocks.
+  Sleeper sleeper;
+
+  /// Monotonic nanosecond clock behind job deadlines; the default is
+  /// monotonic_now_ns. Tests inject a controlled counter.
+  MonotonicClock clock;
 };
 
 struct CutServiceStats {
@@ -111,6 +127,21 @@ class CutService {
   /// rethrown by the future.
   [[nodiscard]] std::future<cutting::CutResponse> submit(cutting::CutRequest request);
 
+  /// A submitted job's handle: the id addresses cancel().
+  struct SubmittedJob {
+    std::uint64_t id = 0;
+    std::future<cutting::CutResponse> future;
+  };
+
+  /// Like submit(), also returning the job id for cancellation.
+  [[nodiscard]] SubmittedJob submit_job(cutting::CutRequest request);
+
+  /// Requests cancellation of a job by id. Checked at wave boundaries (the
+  /// job's in-flight variants are drained first, so no scheduler key is
+  /// stranded); a cancelled job's future throws CancelledError. Returns
+  /// false when the job already finished or the id is unknown.
+  bool cancel(std::uint64_t job_id);
+
   /// Synchronous convenience: submit and wait.
   [[nodiscard]] cutting::CutResponse run(const cutting::CutRequest& request);
 
@@ -140,13 +171,40 @@ class CutService {
   /// Executes the cache-missed, deduped variants of a wave: groups them by
   /// shared circuit prefix and submits one Backend::run_batch pool task per
   /// group, publishing each variant through VariantScheduler::complete.
-  void launch_variant_groups(std::vector<PreparedVariant>& prepared,
+  /// Groups failing with TransientError are retried per options.retry with
+  /// the identical batch; exhausted or permanent failures fail every key of
+  /// the group atomically (VariantScheduler::complete_failed). `job` is the
+  /// issuing job: a stop condition (deadline / cancellation) observed before
+  /// a group runs drains the group's keys without touching the backend.
+  void launch_variant_groups(const JobPtr& job, std::vector<PreparedVariant>& prepared,
                              const std::vector<std::size_t>& to_launch, bool exact);
   void absorb_wave(const JobPtr& job);
   void handle_fragment_wave_complete(const JobPtr& job);
   void reconstruct_and_finish(const JobPtr& job);
   void fail(const JobPtr& job, std::exception_ptr error);
   void enqueue_ready(const JobPtr& job);
+
+  /// Deadline / cancellation check: returns the terminal error to fail the
+  /// job with, or nullptr when the job may proceed. Increments the matching
+  /// counter at most once per job (callers fail the job right away).
+  [[nodiscard]] std::exception_ptr job_stop_error(CutJob& job);
+
+  /// Resolves the wave's collected slot failures at the wave boundary.
+  /// Returns nullptr when the job may proceed (no failures, or every
+  /// failure was neglected under OnVariantFailure::Neglect — in which case
+  /// the failed variants are recorded in job.neglected and their
+  /// reconstruction strings dropped from the job's specs); otherwise the
+  /// enriched error to fail the job with.
+  [[nodiscard]] std::exception_ptr handle_wave_failures(const JobPtr& job);
+
+  /// Drops the reconstruction strings that require the failed variant
+  /// (fragment, key) from the job's chain specs, recording the per-boundary
+  /// drop counts. The neglect analogy made literal: the strings disappear
+  /// from reconstruction exactly as golden-detected negligible bases do.
+  void apply_variant_drop(CutJob& job, int fragment, cutting::FragmentVariantKey key);
+
+  /// Builds response.degradation from job.neglected / job.dropped_strings.
+  void finalize_degradation(CutJob& job);
 
   /// Records one finished phase of a traced job: a span on the job's
   /// virtual tracer track plus a response.phase_seconds entry. No-op for
@@ -163,6 +221,13 @@ class CutService {
   FragmentResultCache cache_;
   VariantScheduler scheduler_;
 
+  // Fault tolerance: retry policy plus the injected clock and sleeper
+  // (defaults wired in the constructor; service code never reads a wall
+  // clock or ambient entropy directly).
+  const RetryPolicy retry_;
+  Sleeper sleeper_;
+  MonotonicClock clock_;
+
   // Job-lifecycle instruments; CutServiceStats' integer fields are views.
   std::shared_ptr<telemetry::Counter> jobs_submitted_;
   std::shared_ptr<telemetry::Counter> jobs_completed_;
@@ -171,10 +236,19 @@ class CutService {
   std::shared_ptr<telemetry::Gauge> active_jobs_gauge_;
   std::shared_ptr<telemetry::Histogram> wave_variants_;
 
+  // Fault-tolerance instruments.
+  std::shared_ptr<telemetry::Counter> retries_;
+  std::shared_ptr<telemetry::Counter> variants_neglected_;
+  std::shared_ptr<telemetry::Counter> deadline_exceeded_;
+  std::shared_ptr<telemetry::Counter> cancelled_;
+  std::shared_ptr<telemetry::Histogram> backoff_seconds_;
+
   mutable std::mutex mutex_;
   std::condition_variable wake_;
   std::condition_variable idle_;
   std::deque<JobPtr> ready_;
+  /// Live jobs by id, for cancel(); entries are erased when a job finishes.
+  std::unordered_map<std::uint64_t, JobPtr> jobs_;
   std::size_t active_jobs_ = 0;
   bool stopping_ = false;
   std::uint64_t next_job_id_ = 1;

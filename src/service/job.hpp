@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <exception>
 #include <future>
+#include <mutex>
 #include <vector>
 
 #include "common/stopwatch.hpp"
@@ -48,6 +49,14 @@ struct VariantSlot {
   cutting::FragmentVariantKey key;
   std::size_t shots = 0;          // planned shots; 0 in exact mode
   CachedDistribution result;      // written by the scheduler callback
+};
+
+/// One variant slot whose execution failed (after the service's retry
+/// policy was exhausted). Collected during the wave, resolved at the wave
+/// boundary per CutRequest::on_variant_failure.
+struct SlotFailure {
+  std::size_t slot = 0;
+  std::exception_ptr error;
 };
 
 /// Physical backend work attributed to this job. Variants served from the
@@ -97,9 +106,28 @@ struct CutJob {
   std::uint64_t job_start_ns = 0;  // tracer-clock admission timestamp
   std::uint64_t wave_start_ns = 0; // tracer-clock start of the current wave
 
-  // First failure wins; read by the scheduler thread once pending hits 0.
+  // Slot failures are collected as they arrive (pool threads) and resolved
+  // by the scheduler thread at the wave boundary, once pending hits 0:
+  // OnVariantFailure::Fail propagates the first failure enriched with the
+  // variant's identity and the co-failure count; Neglect drops the failed
+  // variants from reconstruction and the job continues.
   std::atomic<bool> failed{false};
+  std::mutex failure_mutex;
+  std::vector<SlotFailure> failures;
+
+  /// Terminal error (deadline, cancellation, or a Fail-policy wave
+  /// failure); owned by the scheduler thread.
   std::exception_ptr error;
+
+  // Graceful degradation (OnVariantFailure::Neglect): variants dropped so
+  // far and, per boundary, how many reconstruction strings they removed.
+  // Owned by the scheduler thread between waves.
+  std::vector<cutting::NeglectedVariant> neglected;
+  std::vector<std::uint64_t> dropped_strings;  // one entry per boundary
+
+  // Deadline and cancellation, checked at wave boundaries.
+  std::uint64_t deadline_ns = 0;  // absolute, on the service clock; 0 = none
+  std::atomic<bool> cancel_requested{false};
 
   JobAccounting accounting;
 };

@@ -84,12 +84,15 @@ void VariantScheduler::request_batch(
 
 void VariantScheduler::complete(const Hash128& key, CachedDistribution result,
                                 std::exception_ptr error) {
-  if (result != nullptr) cache_.insert(key, result);
+  if (error != nullptr) {
+    complete_failed(std::span<const Hash128>(&key, 1), error);
+    return;
+  }
+  cache_.insert(key, result);
 
   std::vector<Waiter> waiters;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (error != nullptr) failures_->add();
     const auto it = in_flight_.find(key);
     QCUT_CHECK(it != in_flight_.end(),
                "VariantScheduler::complete: key was not claimed in flight");
@@ -101,8 +104,37 @@ void VariantScheduler::complete(const Hash128& key, CachedDistribution result,
   // waiter's job finishes, the service may be torn down, so no member
   // access after this point.
   for (Waiter& w : waiters) {
-    w.callback(result, error,
+    w.callback(result, nullptr,
                w.launcher ? VariantSource::Executed : VariantSource::SharedInFlight);
+  }
+}
+
+void VariantScheduler::complete_failed(std::span<const Hash128> keys,
+                                       const std::exception_ptr& error) {
+  // A failure never enters the cache: the next request for any of these
+  // keys misses, claims a fresh execution, and may well succeed (transient
+  // backend faults). Eviction of the WHOLE group and waiter collection
+  // happen under one lock, before any notification, so callbacks (and any
+  // concurrent request_batch) never observe a half-failed group.
+  std::vector<std::vector<Waiter>> waiters_per_key;
+  waiters_per_key.reserve(keys.size());
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const Hash128& key : keys) {
+      failures_->add();
+      const auto it = in_flight_.find(key);
+      QCUT_CHECK(it != in_flight_.end(),
+                 "VariantScheduler::complete_failed: key was not claimed in flight");
+      waiters_per_key.push_back(std::move(it->second));
+      in_flight_.erase(it);
+    }
+    in_flight_gauge_->set(static_cast<std::int64_t>(in_flight_.size()));
+  }
+  for (std::vector<Waiter>& waiters : waiters_per_key) {
+    for (Waiter& w : waiters) {
+      w.callback(nullptr, error,
+                 w.launcher ? VariantSource::Executed : VariantSource::SharedInFlight);
+    }
   }
 }
 

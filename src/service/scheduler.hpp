@@ -18,6 +18,7 @@
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -78,8 +79,19 @@ class VariantScheduler {
 
   /// Publishes the result (or failure) of an execution claimed via
   /// request_batch: inserts into the cache and notifies the launcher and
-  /// every waiter that joined in flight.
+  /// every waiter that joined in flight. A failure never touches the cache,
+  /// and the failed key is evicted from the in-flight table atomically with
+  /// collecting its waiters (single critical section), so a callback that
+  /// re-requests the key claims a fresh execution rather than joining the
+  /// dead one.
   void complete(const Hash128& key, CachedDistribution result, std::exception_ptr error);
+
+  /// Fails every key of a group at once: all keys are evicted from the
+  /// in-flight table under ONE critical section before any waiter is
+  /// notified. When a grouped backend batch throws, this closes the window
+  /// in which a concurrent request could observe the group half-evicted and
+  /// split a follower batch across live and dying keys.
+  void complete_failed(std::span<const Hash128> keys, const std::exception_ptr& error);
 
   [[nodiscard]] SchedulerStats stats() const;
 

@@ -1,0 +1,24 @@
+// Known-good: backoff jitter derived from a seeded stream keyed by
+// (jitter seed, variant stream, failure count). Every retry schedule is a
+// pure function of the policy, so chaos runs replay bit-for-bit.
+#include <cstdint>
+
+namespace fixture_good_seeded_jitter {
+
+struct SeededRng {
+  std::uint64_t state;
+  // Deterministic by construction: never touches rand() or a clock.
+  double uniform(double lo, double hi) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    const double unit = static_cast<double>(state >> 11) * 0x1.0p-53;
+    return lo + unit * (hi - lo);
+  }
+};
+
+double seeded_jitter(std::uint64_t jitter_seed, std::uint64_t stream,
+                     std::uint64_t failures, double nominal, double fraction) {
+  SeededRng rng{jitter_seed ^ (stream * 0x9e3779b97f4a7c15ULL) ^ failures};
+  return nominal * rng.uniform(1.0 - fraction, 1.0 + fraction);
+}
+
+}  // namespace fixture_good_seeded_jitter

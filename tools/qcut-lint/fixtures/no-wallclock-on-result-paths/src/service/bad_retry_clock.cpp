@@ -1,0 +1,30 @@
+// Known-bad: a retry loop whose backoff and deadline read the wall clock
+// directly on a result path. Whether a variant's execution is retried or
+// abandoned then depends on machine speed, so two identical runs can
+// reconstruct from different variant sets.
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace fixture_bad_retry_clock {
+
+bool execute_once(int attempt);
+
+bool retry_with_ambient_deadline(int max_attempts) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(2);  // FIRE(no-wallclock-on-result-paths)
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (execute_once(attempt)) return true;
+    if (std::chrono::steady_clock::now() > deadline) break;  // FIRE(no-wallclock-on-result-paths)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10 << attempt));
+  }
+  return false;
+}
+
+double backoff_from_wall_time(int attempt) {
+  const auto now = std::chrono::system_clock::now();  // FIRE(no-wallclock-on-result-paths)
+  const auto ns = now.time_since_epoch().count();
+  return 0.010 * static_cast<double>(1 << attempt) * (ns % 2 == 0 ? 1.0 : 1.5);
+}
+
+}  // namespace fixture_bad_retry_clock

@@ -1,0 +1,30 @@
+// Known-good: the retry/deadline surface with time injected. The clock and
+// the sleeper arrive as function values (wired to a real clock only at the
+// service boundary), so result-path code never reads wall time itself and
+// tests drive deadlines deterministically.
+#include <cstdint>
+#include <functional>
+
+namespace fixture_good_injected_clock {
+
+using MonotonicClock = std::function<std::uint64_t()>;
+using Sleeper = std::function<void(double)>;
+
+bool execute_once(int attempt);
+
+struct RetryContext {
+  MonotonicClock clock;
+  Sleeper sleeper;
+  std::uint64_t deadline_ns = 0;
+};
+
+bool retry_with_injected_clock(RetryContext& ctx, int max_attempts) {
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (execute_once(attempt)) return true;
+    if (ctx.deadline_ns != 0 && ctx.clock() >= ctx.deadline_ns) break;
+    ctx.sleeper(0.010 * static_cast<double>(1 << attempt));
+  }
+  return false;
+}
+
+}  // namespace fixture_good_injected_clock

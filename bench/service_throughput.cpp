@@ -14,9 +14,19 @@
 // transient faults, absorbed by the service's retry policy. Results must be
 // bit-for-bit identical to the fault-free pass, and the warm-cache
 // throughput must degrade by less than 20%.
+//
+// Overload pass (ISSUE 10): two tenants at weights 3:1 flood the service
+// with unique (uncacheable) requests at several times pool capacity. Gates:
+// observed throughput ratio within 25% of 3:1 while both tenants are
+// active, bounded p99 admission wait, and every admitted job's result
+// bit-for-bit identical to an uncontended serial baseline. A second,
+// admission-limited pass must surface typed ResourceExhausted rejections
+// while every admitted future still resolves correctly.
 
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
+#include <thread>
 #include <vector>
 
 #include "bench_json.hpp"
@@ -24,9 +34,11 @@
 #include "backend/fault_injection.hpp"
 #include "backend/statevector_backend.hpp"
 #include "circuit/circuit.hpp"
+#include "common/error.hpp"
 #include "common/stopwatch.hpp"
 #include "common/table.hpp"
 #include "service/cut_service.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace {
 
@@ -82,6 +94,161 @@ std::vector<Request> make_request_stream() {
     }
   }
   return stream;
+}
+
+// ---- Overload pass (ISSUE 10) ------------------------------------------------
+
+constexpr int kHeavyJobs = 48;           // tenant "heavy", weight 3
+constexpr int kLightJobs = 8;            // tenant "light", weight 1
+constexpr std::size_t kOverloadShots = 50000;
+
+/// Unique parameter point per job, with per-tenant disjoint gamma AND beta
+/// ranges: the cut leaves the final mixer layer in its own fragment, whose
+/// variants depend only on beta, so any beta shared across tenants would
+/// let one tenant serve the other's fragments from cache and make the
+/// fairness measurement meaningless.
+Request overload_request(int index, double gamma_base, double beta_base) {
+  Request r;
+  r.circuit = qaoa_path(gamma_base + 0.004 * index, beta_base + 0.003 * index);
+  r.cut = middle_cut(r.circuit);
+  r.options.shots_per_variant = kOverloadShots;
+  return r;
+}
+
+cutting::CutRequest as_cut_request(const Request& r) {
+  cutting::CutRequest request(r.circuit);
+  request.with_cut(r.cut);
+  request.options = r.options;
+  return request;
+}
+
+struct OverloadResult {
+  double seconds = 0.0;
+  double fairness_ratio = 0.0;  // heavy/light throughput while both active
+  double p99_wait_seconds = 0.0;
+  std::uint64_t rejections = 0;
+  bool ok = true;
+};
+
+/// Two-tenant flood at ~14x pool capacity (56 jobs, 4 workers), weights
+/// 3:1, plus an admission-limited rerun. `baseline` holds each job's
+/// uncontended serial result for the bit-for-bit check.
+OverloadResult run_overload_pass(const std::vector<Request>& heavy,
+                                 const std::vector<Request>& light,
+                                 const std::vector<std::vector<double>>& baseline) {
+  OverloadResult out;
+  const std::size_t total = heavy.size() + light.size();
+
+  backend::StatevectorBackend backend(2023);
+  parallel::ThreadPool pool(4);
+  telemetry::MetricsRegistry metrics;
+  service::CutServiceOptions options;
+  options.pool = &pool;
+  options.metrics = &metrics;
+  service::CutService service(backend, options);
+
+  // Interleave submissions (6 heavy : 1 light) so both tenants are active
+  // from the start; admission is serial, so submitting one tenant's whole
+  // stream first would grant it a measurable head start.
+  Stopwatch timer;
+  std::vector<std::future<cutting::CutResponse>> futures(total);
+  const std::size_t stripe = heavy.size() / light.size();
+  std::size_t h = 0, l = 0;
+  while (h < heavy.size() || l < light.size()) {
+    for (std::size_t k = 0; k < stripe && h < heavy.size(); ++k, ++h) {
+      cutting::CutRequest request = as_cut_request(heavy[h]);
+      request.with_tenant("heavy", 3);
+      futures[h] = service.submit(std::move(request));
+    }
+    if (l < light.size()) {
+      cutting::CutRequest request = as_cut_request(light[l]);
+      request.with_tenant("light", 1);
+      futures[heavy.size() + l] = service.submit(std::move(request));
+      ++l;
+    }
+  }
+
+  // One waiter per future records a global completion sequence number, so
+  // we can reconstruct who had finished by the time the light tenant's
+  // last job completed.
+  std::atomic<std::uint64_t> completion_seq{0};
+  std::vector<std::uint64_t> finish_seq(total, 0);
+  std::vector<std::vector<double>> contended(total);
+  std::vector<std::thread> waiters;
+  waiters.reserve(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    waiters.emplace_back([&, i] {
+      contended[i] = futures[i].get().reconstruction.raw_probabilities;
+      finish_seq[i] = completion_seq.fetch_add(1);
+    });
+  }
+  for (std::thread& t : waiters) t.join();
+  out.seconds = timer.elapsed_seconds();
+
+  for (std::size_t i = 0; i < total; ++i) {
+    if (contended[i] != baseline[i]) {
+      std::cerr << "FAIL: overload job " << i
+                << " differs from its uncontended serial result\n";
+      out.ok = false;
+    }
+  }
+
+  // Fairness: when the light tenant's last job completed, the heavy tenant
+  // (weight 3, with plenty of queued work the whole time) should have
+  // completed ~3 jobs for each light one.
+  std::uint64_t light_last = 0;
+  for (std::size_t i = heavy.size(); i < total; ++i) {
+    light_last = std::max(light_last, finish_seq[i]);
+  }
+  std::uint64_t heavy_done = 0;
+  for (std::size_t i = 0; i < heavy.size(); ++i) {
+    if (finish_seq[i] < light_last) ++heavy_done;
+  }
+  out.fairness_ratio =
+      static_cast<double>(heavy_done) / static_cast<double>(light.size());
+
+  const telemetry::MetricsSnapshot snapshot = metrics.snapshot();
+  if (const auto* wait = snapshot.find_histogram("service.tenant_wait_seconds.standard")) {
+    out.p99_wait_seconds = wait->quantile(0.99);
+  }
+
+  // Admission-limited rerun: same stream against a 4-job budget submitted
+  // as fast as possible. Rejections must be typed and admitted futures must
+  // still resolve to the baseline results.
+  backend::StatevectorBackend limited_backend(2023);
+  parallel::ThreadPool limited_pool(4);
+  service::CutServiceOptions limited_options;
+  limited_options.pool = &limited_pool;
+  limited_options.admission.max_queued_jobs = 4;
+  service::CutService limited(limited_backend, limited_options);
+
+  std::vector<std::pair<std::size_t, std::future<cutting::CutResponse>>> admitted;
+  for (std::size_t i = 0; i < total; ++i) {
+    const Request& r = i < heavy.size() ? heavy[i] : light[i - heavy.size()];
+    cutting::CutRequest request = as_cut_request(r);
+    request.with_tenant(i < heavy.size() ? "heavy" : "light", i < heavy.size() ? 3u : 1u);
+    try {
+      admitted.emplace_back(i, limited.submit(std::move(request)));
+    } catch (const ResourceExhausted& e) {
+      ++out.rejections;
+      if (e.details().max_queued_jobs != 4 || e.details().retry_after_seconds <= 0.0) {
+        std::cerr << "FAIL: rejection details not populated\n";
+        out.ok = false;
+      }
+    }
+  }
+  for (auto& [index, future] : admitted) {
+    if (future.get().reconstruction.raw_probabilities != baseline[index]) {
+      std::cerr << "FAIL: admitted job " << index
+                << " differs from baseline under admission pressure\n";
+      out.ok = false;
+    }
+  }
+  if (out.rejections == 0) {
+    std::cerr << "FAIL: admission-limited pass never rejected a job\n";
+    out.ok = false;
+  }
+  return out;
 }
 
 /// Submits the whole stream and waits; returns wall seconds.
@@ -194,6 +361,42 @@ int main() {
             << format_double(100.0 * fault_degradation, 1) << "% vs fault-free warm), "
             << fault_counts.transient << " faults injected, " << retries << " retries\n";
 
+  // Overload pass: uncontended serial baseline first, then the two-tenant
+  // flood and the admission-limited rerun against it.
+  std::vector<Request> heavy_stream;
+  for (int i = 0; i < kHeavyJobs; ++i) {
+    heavy_stream.push_back(overload_request(i, 0.20, 0.15));
+  }
+  std::vector<Request> light_stream;
+  for (int i = 0; i < kLightJobs; ++i) {
+    light_stream.push_back(overload_request(i, 0.60, 0.45));
+  }
+
+  std::vector<std::vector<double>> overload_baseline;
+  overload_baseline.reserve(heavy_stream.size() + light_stream.size());
+  {
+    backend::StatevectorBackend baseline_backend(2023);
+    service::CutService baseline_service(baseline_backend);
+    for (const Request& r : heavy_stream) {
+      overload_baseline.push_back(
+          baseline_service.run(as_cut_request(r)).reconstruction.raw_probabilities);
+    }
+    for (const Request& r : light_stream) {
+      overload_baseline.push_back(
+          baseline_service.run(as_cut_request(r)).reconstruction.raw_probabilities);
+    }
+  }
+  const OverloadResult overload =
+      run_overload_pass(heavy_stream, light_stream, overload_baseline);
+
+  std::cout << "\noverload pass (" << kHeavyJobs << "+" << kLightJobs
+            << " jobs, tenant weights 3:1, 4 workers): "
+            << format_double(overload.seconds, 3) << "s, throughput ratio "
+            << format_double(overload.fairness_ratio, 2)
+            << " (target 3.00 +/- 25%), p99 admission wait "
+            << format_double(overload.p99_wait_seconds * 1e3, 2) << "ms, "
+            << overload.rejections << " typed rejections in the limited rerun\n";
+
   if (!qcut::bench::write_bench_json(
           "service_throughput", cold_seconds + warm_seconds, speedup,
           {{"cold_seconds", cold_seconds},
@@ -202,7 +405,11 @@ int main() {
            {"fault_cold_seconds", fault_cold_seconds},
            {"fault_warm_seconds", fault_warm_seconds},
            {"transient_faults", static_cast<double>(fault_counts.transient)},
-           {"retries", static_cast<double>(retries)}})) {
+           {"retries", static_cast<double>(retries)},
+           {"overload_seconds", overload.seconds},
+           {"overload_fairness_ratio", overload.fairness_ratio},
+           {"overload_p99_wait_seconds", overload.p99_wait_seconds},
+           {"overload_rejections", static_cast<double>(overload.rejections)}})) {
     std::cerr << "warning: could not write BENCH_service_throughput.json\n";
   }
 
@@ -215,6 +422,20 @@ int main() {
   if (fault_warm_seconds > warm_seconds * 1.25 + 0.050) {
     std::cerr << "FAIL: warm throughput under 5% transient faults degraded "
               << format_double(100.0 * fault_degradation, 1) << "% (limit 20%)\n";
+    return EXIT_FAILURE;
+  }
+  if (!overload.ok) {
+    return EXIT_FAILURE;
+  }
+  if (overload.fairness_ratio < 3.0 * 0.75 || overload.fairness_ratio > 3.0 * 1.25) {
+    std::cerr << "FAIL: heavy/light throughput ratio "
+              << format_double(overload.fairness_ratio, 2)
+              << " outside 25% of the 3:1 weight ratio\n";
+    return EXIT_FAILURE;
+  }
+  if (overload.p99_wait_seconds > 1.0) {
+    std::cerr << "FAIL: p99 admission wait "
+              << format_double(overload.p99_wait_seconds, 3) << "s exceeds 1s bound\n";
     return EXIT_FAILURE;
   }
   std::cout << "PASS\n";

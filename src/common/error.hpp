@@ -10,9 +10,13 @@
 // backends signal retryable conditions with TransientError (the service's
 // RetryPolicy re-executes the identical batch) and unrecoverable ones with
 // PermanentError; the service itself raises DeadlineExceeded and
-// CancelledError for job-level deadline and cancellation. Catching
+// CancelledError for job-level deadline and cancellation, and
+// ResourceExhausted (a TransientError: back off and resubmit) when
+// admission control refuses new work past a high watermark. Catching
 // qcut::Error continues to catch all of them.
 
+#include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <stdexcept>
 #include <string>
@@ -50,6 +54,35 @@ class DeadlineExceeded : public Error {
 class CancelledError : public Error {
  public:
   using Error::Error;
+};
+
+/// CutService::submit refused a request at admission: the service is past a
+/// configured high watermark (job count, estimated in-flight variants, or
+/// estimated bytes). Derives from TransientError because it IS retryable -
+/// the same request may well be admitted once load drains - and details()
+/// carries the observed depth, the violated limits, and a retry-after hint
+/// so cooperative clients can back off instead of hammering.
+class ResourceExhausted : public TransientError {
+ public:
+  struct Details {
+    std::size_t queued_jobs = 0;            // active jobs at rejection time
+    std::size_t max_queued_jobs = 0;        // 0 = that limit was not configured
+    std::uint64_t in_flight_variants = 0;   // estimated variants of active jobs
+    std::uint64_t max_in_flight_variants = 0;
+    std::uint64_t in_flight_bytes = 0;      // estimated bytes of active jobs
+    std::uint64_t max_in_flight_bytes = 0;
+    /// Suggested client backoff before resubmitting. A hint, not a promise:
+    /// derived from the overload depth, never from a wall clock.
+    double retry_after_seconds = 0.0;
+  };
+
+  ResourceExhausted(const std::string& message, Details details)
+      : TransientError(message), details_(details) {}
+
+  [[nodiscard]] const Details& details() const noexcept { return details_; }
+
+ private:
+  Details details_;
 };
 
 /// Re-wraps `error` with `context` prepended to its message, preserving the

@@ -202,10 +202,41 @@ void validate(const CutRequest& request) {
              "CutRequest: circuit must have at least 2 qubits to cut");
   QCUT_CHECK(!request.deadline_seconds.has_value() || *request.deadline_seconds > 0.0,
              "CutRequest: deadline_seconds must be positive when set");
+  QCUT_CHECK(request.tenant_weight > 0, "CutRequest: tenant_weight must be >= 1");
+  if (request.load_shed.has_value()) {
+    QCUT_CHECK(request.load_shed->shot_fraction > 0.0 &&
+                   request.load_shed->shot_fraction <= 1.0,
+               "CutRequest: LoadShedPolicy::shot_fraction must be in (0, 1]");
+    QCUT_CHECK(request.load_shed->golden_tol_multiplier >= 1.0,
+               "CutRequest: LoadShedPolicy::golden_tol_multiplier must be >= 1 (a "
+               "smaller multiplier would tighten, not shed)");
+  }
   validate_target(request);
   validate_cut_selection(request);
   validate_options(request);
   validate_bootstrap(request);
+}
+
+std::uint64_t estimated_variant_count(const CutRequest& request) {
+  const std::vector<int> sizes = explicit_boundary_sizes(request);
+  if (!sizes.empty()) {
+    // Explicit selection: exact pre-pruning count. Provided specs already
+    // shrink it (the paper's point: neglect cuts the variant bill up front).
+    return static_cast<std::uint64_t>(
+        chain_variant_total(static_boundary_specs(request, sizes)));
+  }
+  // Auto-planned: assume single-wire boundaries without running the planner
+  // (admission must stay O(1)). One boundary costs 6 preps x 3 settings
+  // spread as 3 + 6 upstream/downstream variants = 9; each additional chain
+  // boundary adds a middle fragment (6 preps x 3 settings = 18).
+  if (const auto* chain = std::get_if<AutoChainPlan>(&request.cut_selection)) {
+    const std::uint64_t boundaries =
+        chain->planner.max_boundaries > 0
+            ? static_cast<std::uint64_t>(chain->planner.max_boundaries)
+            : 1;
+    return 9 + 18 * (boundaries - 1);
+  }
+  return 9;
 }
 
 ResolvedRequest resolve(const CutRequest& request) {

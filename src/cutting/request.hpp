@@ -60,6 +60,35 @@ enum class GoldenMode {
   DetectOnline,
 };
 
+/// Scheduling class of a request. The service's weighted-fair scheduler
+/// never serves classes strictly (strict tiers can starve Batch forever);
+/// instead each class multiplies the tenant weight (Interactive 4x,
+/// Standard 2x, Batch 1x), so a Batch job always makes progress - just
+/// proportionally slower under contention.
+enum class PriorityClass { Interactive, Standard, Batch };
+
+/// How a job may be degraded when the service is past its load-shed
+/// watermark (CutServiceOptions::admission.shed_watermark_jobs). Strictly
+/// opt-in, like OnVariantFailure::Neglect: a request without a policy is
+/// never silently degraded - under pressure it is either served in full or
+/// rejected with ResourceExhausted. What was shed is reported in
+/// CutResponse::degradation, the same report the paper's neglect machinery
+/// fills: trading bounded accuracy for cost is the library's core move, and
+/// under overload it doubles as a principled shed valve.
+struct LoadShedPolicy {
+  /// Scale factor applied to shots_per_variant / total_shot_budget while
+  /// shedding, in (0, 1]. Fewer shots mean more sampling noise, never bias;
+  /// the report carries the applied fraction and the sqrt noise inflation.
+  double shot_fraction = 0.5;
+
+  /// Multiplier (>= 1) on golden_tol under GoldenMode::DetectExact while
+  /// shedding: a looser tolerance neglects more basis elements, exactly the
+  /// paper's cost/accuracy dial. The report carries the applied tolerance
+  /// and the summed violation mass of everything neglected (an L1-style
+  /// bound on what the looser test may have cost).
+  double golden_tol_multiplier = 1.0;
+};
+
 /// What the service does with a variant whose execution keeps failing after
 /// the retry policy is exhausted (or fails permanently).
 enum class OnVariantFailure {
@@ -153,8 +182,34 @@ struct CutRequest {
 
   /// When set, the job must finish within this many seconds of submission
   /// (measured on the service's monotonic clock); past the deadline the job
-  /// fails with DeadlineExceeded at the next wave boundary.
+  /// fails with DeadlineExceeded at the next wave boundary. A deadline that
+  /// is already unmeetable at submit() (<= 0, or deadline_at_ns in the past)
+  /// is rejected immediately without enqueueing.
   std::optional<double> deadline_seconds;
+
+  /// Absolute variant of deadline_seconds: a point on the service's
+  /// injected monotonic clock (CutServiceOptions::clock, nanoseconds) by
+  /// which the job must finish. Lets cooperative clients propagate one
+  /// deadline across retries instead of restarting the budget each submit.
+  /// When both are set the earlier effective deadline wins.
+  std::optional<std::uint64_t> deadline_at_ns;
+
+  /// Identity the weighted-fair scheduler charges this job's variant work
+  /// to. Empty (the default) is itself a tenant, so single-tenant callers
+  /// see plain FIFO-equivalent behavior.
+  std::string tenant_id;
+
+  /// Relative share of pool dispatch this tenant receives under contention
+  /// (stride scheduling: a weight-3 tenant is dispatched 3x as often as a
+  /// weight-1 tenant). Must be >= 1.
+  std::uint32_t tenant_weight = 1;
+
+  /// Scheduling class; multiplies tenant_weight (see PriorityClass).
+  PriorityClass priority = PriorityClass::Standard;
+
+  /// Opt-in pressure-adaptive degradation (see LoadShedPolicy). Disengaged
+  /// means this job is never shed, only served in full or rejected.
+  std::optional<LoadShedPolicy> load_shed;
 
   explicit CutRequest(circuit::Circuit request_circuit)
       : circuit(std::move(request_circuit)) {}
@@ -254,6 +309,24 @@ struct CutRequest {
     deadline_seconds = seconds;
     return *this;
   }
+  /// Absolute deadline on the service's injected monotonic clock.
+  CutRequest& with_deadline_at_ns(std::uint64_t clock_ns) {
+    deadline_at_ns = clock_ns;
+    return *this;
+  }
+  CutRequest& with_tenant(std::string id, std::uint32_t weight = 1) {
+    tenant_id = std::move(id);
+    tenant_weight = weight;
+    return *this;
+  }
+  CutRequest& with_priority(PriorityClass priority_class) {
+    priority = priority_class;
+    return *this;
+  }
+  CutRequest& with_load_shed(LoadShedPolicy policy = {}) {
+    load_shed = policy;
+    return *this;
+  }
 
   [[nodiscard]] bool wants_distribution() const noexcept {
     return std::holds_alternative<DistributionTarget>(target);
@@ -296,10 +369,32 @@ struct DegradationReport {
   /// L1 bound on the reconstruction error induced by the dropped terms.
   /// Each global term's quasiprobability weight (1 / prod_b 2^K_b) times its
   /// string multiplicity is at most 1, so the bound is terms_dropped * 1.0
-  /// on the unnormalized quasi-distribution.
+  /// on the unnormalized quasi-distribution. Under load shedding with a
+  /// loosened DetectExact tolerance this also absorbs the summed violation
+  /// mass of the extra neglected golden elements.
   double error_bound = 0.0;
 
-  [[nodiscard]] bool degraded() const noexcept { return !neglected_variants.empty(); }
+  /// True when the service applied the request's LoadShedPolicy because
+  /// queue depth crossed the shed watermark at admission.
+  bool load_shed = false;
+
+  /// Shot scale factor actually applied while shedding (1.0 = none).
+  double shot_fraction = 1.0;
+
+  /// Estimated shots NOT taken because of the shed shot_fraction.
+  std::uint64_t shots_shed = 0;
+
+  /// Sampling-noise inflation from the reduced shots: standard error scales
+  /// as 1/sqrt(shots), so shedding to fraction f inflates it by 1/sqrt(f).
+  double sampling_inflation = 1.0;
+
+  /// DetectExact tolerance actually used (golden_tol after the shed
+  /// multiplier); equals the request's golden_tol when not shed.
+  double golden_tol_applied = 0.0;
+
+  [[nodiscard]] bool degraded() const noexcept {
+    return !neglected_variants.empty() || load_shed;
+  }
 };
 
 // ---- Response ---------------------------------------------------------------
@@ -385,6 +480,14 @@ struct ResolvedRequest {
 /// auto-planning finds no valid cut (chain).
 [[nodiscard]] ResolvedRequest resolve(const CutRequest& request);
 
+/// Upper-bound estimate of how many fragment variants the request will
+/// execute, WITHOUT resolving it (no planning work): explicit selections
+/// count exactly (6^Kin x 3^Kout per fragment, summed along the chain,
+/// before golden pruning); Auto[Chain]Plan assumes single-wire boundaries
+/// (9 variants for one cut, +18 per additional boundary). Admission control
+/// prices a job with this so submit() stays cheap and deterministic.
+[[nodiscard]] std::uint64_t estimated_variant_count(const CutRequest& request);
+
 }  // namespace qcut::cutting
 
 namespace qcut {
@@ -395,7 +498,9 @@ using cutting::CutRequest;
 using cutting::CutResponse;
 using cutting::DegradationReport;
 using cutting::DistributionTarget;
+using cutting::LoadShedPolicy;
 using cutting::OnVariantFailure;
 using cutting::ObservableTarget;
 using cutting::PauliTarget;
+using cutting::PriorityClass;
 }  // namespace qcut

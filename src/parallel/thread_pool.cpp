@@ -48,6 +48,11 @@ void ThreadPool::enqueue(std::function<void()> job) {
   wake_.notify_one();
 }
 
+std::size_t ThreadPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
 namespace {
 thread_local bool t_in_pool_worker = false;
 }  // namespace

@@ -36,6 +36,11 @@ class ThreadPool {
   /// Number of worker threads.
   [[nodiscard]] unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
 
+  /// Tasks enqueued and not yet claimed by a worker. A point-in-time
+  /// reading for overload/backpressure decisions (the service's admission
+  /// layer), not a synchronization primitive.
+  [[nodiscard]] std::size_t queue_depth() const;
+
   /// Schedules a callable; the returned future yields its result (or
   /// rethrows its exception).
   template <typename F>
@@ -54,7 +59,7 @@ class ThreadPool {
   void enqueue(std::function<void()> job);
   void worker_loop();
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable wake_;
   std::deque<std::function<void()>> queue_;
   bool stopping_ = false;

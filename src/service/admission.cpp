@@ -1,0 +1,73 @@
+#include "service/admission.hpp"
+
+#include <algorithm>
+
+namespace qcut::service {
+
+JobCost estimate_job_cost(const cutting::CutRequest& request) {
+  JobCost cost;
+  cost.variants = cutting::estimated_variant_count(request);
+  // One dense statevector at the full circuit's width per variant. Fragment
+  // splitting makes the real working set narrower, so this bounds from
+  // above; it also makes wide circuits expensive at admission, which is the
+  // point - a 2^n working set is exactly what overload control must price.
+  const int width = std::min(request.circuit.num_qubits(), 60);
+  const std::uint64_t statevector_bytes = static_cast<std::uint64_t>(sizeof(double))
+                                          << width;
+  cost.bytes = cost.variants * statevector_bytes;
+  return cost;
+}
+
+bool admits(const AdmissionOptions& options, const AdmissionLoad& load,
+            const JobCost& cost) {
+  if (options.max_queued_jobs > 0 && load.jobs + 1 > options.max_queued_jobs) {
+    return false;
+  }
+  if (options.max_in_flight_variants > 0 &&
+      load.variants + cost.variants > options.max_in_flight_variants) {
+    return false;
+  }
+  if (options.max_in_flight_bytes > 0 &&
+      load.bytes + cost.bytes > options.max_in_flight_bytes) {
+    return false;
+  }
+  return true;
+}
+
+bool never_admits(const AdmissionOptions& options, const JobCost& cost) {
+  // A lone job always fits the job-count cap (max_queued_jobs >= 1 by
+  // construction of the check in admits), so only the size budgets can make
+  // a job permanently inadmissible.
+  if (options.max_in_flight_variants > 0 &&
+      cost.variants > options.max_in_flight_variants) {
+    return true;
+  }
+  if (options.max_in_flight_bytes > 0 && cost.bytes > options.max_in_flight_bytes) {
+    return true;
+  }
+  return false;
+}
+
+double retry_after_hint(const AdmissionOptions& options, const AdmissionLoad& load,
+                        const JobCost& cost) {
+  // Worst overload ratio across the configured budgets: 1.0 = exactly at
+  // the limit, 4.0 = four times over. Purely a function of queue state.
+  double ratio = 1.0;
+  if (options.max_queued_jobs > 0) {
+    ratio = std::max(ratio, static_cast<double>(load.jobs + 1) /
+                                static_cast<double>(options.max_queued_jobs));
+  }
+  if (options.max_in_flight_variants > 0) {
+    ratio = std::max(ratio, static_cast<double>(load.variants + cost.variants) /
+                                static_cast<double>(options.max_in_flight_variants));
+  }
+  if (options.max_in_flight_bytes > 0) {
+    ratio = std::max(ratio, static_cast<double>(load.bytes + cost.bytes) /
+                                static_cast<double>(options.max_in_flight_bytes));
+  }
+  const double hint = options.retry_after_hint_seconds * ratio;
+  return std::clamp(hint, options.retry_after_hint_seconds,
+                    60.0 * options.retry_after_hint_seconds);
+}
+
+}  // namespace qcut::service

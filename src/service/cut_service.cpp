@@ -1,5 +1,8 @@
 #include "service/cut_service.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <string>
 #include <utility>
 
@@ -31,11 +34,13 @@ CutService::CutService(backend::Backend& backend, CutServiceOptions options)
       sim_engine_(options.sim_engine),
       metrics_(options.metrics != nullptr ? *options.metrics
                                           : telemetry::MetricsRegistry::global()),
-      cache_(options.cache_capacity, &metrics_),
+      cache_(options.cache_capacity, &metrics_, options.cache_max_bytes),
       scheduler_(cache_, &metrics_),
+      dispatcher_(pool_, options.dispatch_width, &metrics_),
       retry_(options.retry),
       sleeper_(options.sleeper ? std::move(options.sleeper) : default_sleeper()),
       clock_(options.clock ? std::move(options.clock) : MonotonicClock(monotonic_now_ns)),
+      admission_(options.admission),
       jobs_submitted_(metrics_.counter("service.jobs_submitted")),
       jobs_completed_(metrics_.counter("service.jobs_completed")),
       jobs_failed_(metrics_.counter("service.jobs_failed")),
@@ -49,6 +54,17 @@ CutService::CutService(backend::Backend& backend, CutServiceOptions options)
       cancelled_(metrics_.counter("service.cancelled")),
       backoff_seconds_(metrics_.histogram("service.backoff_seconds",
                                           telemetry::exponential_bounds(0.001, 2.0, 12))),
+      admission_rejected_(metrics_.counter("service.admission_rejected")),
+      load_shed_(metrics_.counter("service.load_shed")),
+      queue_depth_gauge_(metrics_.gauge("service.queue_depth")),
+      // 100us .. ~7min in powers of 4: queue waits span instant admission
+      // on an idle service to deep-backlog waits under sustained overload.
+      wait_interactive_(metrics_.histogram("service.tenant_wait_seconds.interactive",
+                                           telemetry::exponential_bounds(1e-4, 4.0, 12))),
+      wait_standard_(metrics_.histogram("service.tenant_wait_seconds.standard",
+                                        telemetry::exponential_bounds(1e-4, 4.0, 12))),
+      wait_batch_(metrics_.histogram("service.tenant_wait_seconds.batch",
+                                     telemetry::exponential_bounds(1e-4, 4.0, 12))),
       scheduler_thread_([this] { scheduler_loop(); }) {}
 
 CutService::~CutService() {
@@ -67,23 +83,90 @@ std::future<CutResponse> CutService::submit(CutRequest request) {
 
 CutService::SubmittedJob CutService::submit_job(CutRequest request) {
   cutting::validate(request);  // eager: reject malformed requests before queuing
+
+  // Absolute deadline on the service clock, fixed NOW: queue time - and any
+  // bounded-block wait below - counts against it. A deadline already
+  // unmeetable is rejected here, before it occupies queue space or a worker.
+  const std::uint64_t submit_ns = clock_();
+  std::uint64_t deadline_ns = 0;
+  if (request.deadline_seconds.has_value()) {
+    deadline_ns = submit_ns + static_cast<std::uint64_t>(*request.deadline_seconds * 1e9);
+  }
+  if (request.deadline_at_ns.has_value()) {
+    deadline_ns = deadline_ns == 0 ? *request.deadline_at_ns
+                                   : std::min(deadline_ns, *request.deadline_at_ns);
+  }
+  if (deadline_ns != 0 && deadline_ns <= submit_ns) {
+    deadline_exceeded_->add();
+    throw DeadlineExceeded(
+        "CutService: request deadline expired before submission (deadline_at_ns " +
+        std::to_string(deadline_ns) + " <= now " + std::to_string(submit_ns) + ")");
+  }
+
+  const JobCost cost = estimate_job_cost(request);
   SubmittedJob handle;
-  jobs_submitted_->add();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_lock<std::mutex> lock(mutex_);
+    const auto current_load = [this] {
+      return AdmissionLoad{active_jobs_, admitted_variants_, admitted_bytes_};
+    };
+    if (!admits(admission_, current_load(), cost)) {
+      bool admitted = false;
+      if (admission_.block && !never_admits(admission_, cost)) {
+        // Cooperative mode: wait in bounded slices for budget to drain. The
+        // injected clock bounds the total wait; the slice duration merely
+        // sets the polling cadence when a notify is missed.
+        const std::uint64_t block_deadline_ns =
+            submit_ns + static_cast<std::uint64_t>(admission_.max_block_seconds * 1e9);
+        while (!admitted && clock_() < block_deadline_ns &&
+               (deadline_ns == 0 || clock_() < deadline_ns)) {
+          admission_cv_.wait_for(lock, std::chrono::milliseconds(5));
+          admitted = admits(admission_, current_load(), cost);
+        }
+      }
+      if (!admitted) {
+        if (deadline_ns != 0 && clock_() >= deadline_ns) {
+          deadline_exceeded_->add();
+          throw DeadlineExceeded(
+              "CutService: request deadline expired while blocked at admission");
+        }
+        const AdmissionLoad load = current_load();
+        ResourceExhausted::Details details;
+        details.queued_jobs = load.jobs;
+        details.max_queued_jobs = admission_.max_queued_jobs;
+        details.in_flight_variants = load.variants;
+        details.max_in_flight_variants = admission_.max_in_flight_variants;
+        details.in_flight_bytes = load.bytes;
+        details.max_in_flight_bytes = admission_.max_in_flight_bytes;
+        details.retry_after_seconds = retry_after_hint(admission_, load, cost);
+        admission_rejected_->add();
+        throw ResourceExhausted(
+            "CutService: admission rejected (" + std::to_string(load.jobs) +
+                " active jobs, ~" + std::to_string(load.variants) +
+                " in-flight variants); retry after " +
+                std::to_string(details.retry_after_seconds) + " s",
+            details);
+      }
+    }
+
+    jobs_submitted_->add();
     JobPtr job = std::make_shared<CutJob>(next_job_id_++, std::move(request));
     handle.id = job->id;
     handle.future = job->promise.get_future();
-    if (job->request.deadline_seconds.has_value()) {
-      // Absolute deadline on the service clock, fixed at submission: queue
-      // time counts against it.
-      job->deadline_ns =
-          clock_() + static_cast<std::uint64_t>(*job->request.deadline_seconds * 1e9);
-    }
+    job->deadline_ns = deadline_ns;
+    job->submit_ns = submit_ns;
+    job->tenant_key = tenant_dispatch_key(job->request);
+    job->effective_weight =
+        job->request.tenant_weight * priority_multiplier(job->request.priority);
+    job->admitted_variants = cost.variants;
+    job->admitted_bytes = cost.bytes;
+    admitted_variants_ += cost.variants;
+    admitted_bytes_ += cost.bytes;
     ++active_jobs_;
     active_jobs_gauge_->set(static_cast<std::int64_t>(active_jobs_));
     jobs_.emplace(job->id, job);
     ready_.push_back(std::move(job));
+    queue_depth_gauge_->set(static_cast<std::int64_t>(ready_.size()));
   }
   wake_.notify_one();
   return handle;
@@ -118,6 +201,8 @@ CutServiceStats CutService::stats() const {
   out.jobs_submitted = jobs_submitted_->value();
   out.jobs_completed = jobs_completed_->value();
   out.jobs_failed = jobs_failed_->value();
+  out.jobs_rejected = admission_rejected_->value();
+  out.jobs_shed = load_shed_->value();
   out.scheduler = scheduler_.stats();
   out.cache = cache_.stats();
   out.telemetry = metrics_.snapshot();
@@ -141,6 +226,7 @@ void CutService::scheduler_loop() {
       if (ready_.empty()) return;  // stopping, and nothing left to drive
       job = std::move(ready_.front());
       ready_.pop_front();
+      queue_depth_gauge_->set(static_cast<std::int64_t>(ready_.size()));
     }
     try {
       advance(job);
@@ -157,6 +243,7 @@ void CutService::enqueue_ready(const JobPtr& job) {
   // service. Holding the mutex pins the service until the notify returns.
   std::lock_guard<std::mutex> lock(mutex_);
   ready_.push_back(job);
+  queue_depth_gauge_->set(static_cast<std::int64_t>(ready_.size()));
   wake_.notify_one();
 }
 
@@ -229,6 +316,18 @@ void CutService::admit(const JobPtr& job) {
   CutJob& j = *job;
   j.total_timer.reset();
 
+  // Queue wait (submit to the scheduler picking the job up), per class:
+  // the fairness observable the weighted scheduler is judged on.
+  const double wait_seconds = static_cast<double>(clock_() - j.submit_ns) * 1e-9;
+  switch (j.request.priority) {
+    case cutting::PriorityClass::Interactive: wait_interactive_->record(wait_seconds); break;
+    case cutting::PriorityClass::Standard: wait_standard_->record(wait_seconds); break;
+    case cutting::PriorityClass::Batch: wait_batch_->record(wait_seconds); break;
+  }
+
+  // Pressure-adaptive degradation, decided once per job at admit time.
+  maybe_shed(j);
+
   // A traced job gets its own virtual tracer track ("job <id>"): the job
   // hops between the scheduler thread and pool workers, so phase spans are
   // recorded from measured timestamps instead of thread-bound RAII scopes.
@@ -295,6 +394,12 @@ void CutService::admit(const JobPtr& job) {
       // for any target - mirroring the observable-aware planner's fallback
       // so an auto-planned cut never fails here.
       const std::uint64_t detect_start_ns = j.traced ? tracer.now_ns() : 0;
+      // A shed job detects with its loosened tolerance: more elements pass
+      // the golden test, fewer variants execute - the paper's cost dial
+      // turned by load. The summed violation of everything neglected is an
+      // L1-style bound on what the neglect may cost, surfaced in the
+      // degradation report.
+      const double golden_tol = j.shed ? j.shed_golden_tol : opt.golden_tol;
       std::vector<NeglectSpec> specs;
       for (const std::vector<circuit::WirePoint>& boundary : r.boundaries) {
         const cutting::Bipartition bp =
@@ -302,11 +407,19 @@ void CutService::admit(const JobPtr& job) {
         std::optional<cutting::GoldenDetectionReport> observable_report;
         if (j.resolved.observable.has_value()) {
           observable_report = cutting::try_detect_golden_for_observable(
-              bp, *j.resolved.observable, opt.golden_tol);
+              bp, *j.resolved.observable, golden_tol);
         }
-        specs.push_back(observable_report.has_value()
-                            ? observable_report->to_spec()
-                            : cutting::detect_golden_exact(bp, opt.golden_tol).to_spec());
+        const cutting::GoldenDetectionReport report =
+            observable_report.has_value() ? *observable_report
+                                          : cutting::detect_golden_exact(bp, golden_tol);
+        if (j.shed) {
+          for (std::size_t k = 0; k < report.golden.size(); ++k) {
+            for (std::size_t p = 0; p < 4; ++p) {
+              if (report.golden[k][p]) j.shed_neglect_mass += report.violation[k][p];
+            }
+          }
+        }
+        specs.push_back(report.to_spec());
       }
       r.specs = ChainNeglectSpec(std::move(specs));
       if (j.traced) record_job_phase(j, "job.detect", detect_start_ns, tracer.now_ns());
@@ -327,6 +440,50 @@ void CutService::admit(const JobPtr& job) {
 
   j.phase = JobPhase::ExecutingFragments;
   issue_wave(job, full_wave(graph, r.specs));
+}
+
+void CutService::maybe_shed(CutJob& job) {
+  if (!job.request.load_shed.has_value() || admission_.shed_watermark_jobs == 0) return;
+  bool over_watermark;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    over_watermark = active_jobs_ > admission_.shed_watermark_jobs;
+  }
+  if (!over_watermark) return;
+
+  const cutting::LoadShedPolicy& policy = *job.request.load_shed;
+  job.shed = true;
+  job.shed_shot_fraction = policy.shot_fraction;
+  job.shed_golden_tol = job.request.options.golden_tol * policy.golden_tol_multiplier;
+  load_shed_->add();
+
+  cutting::CutRunOptions& opt = job.request.options;
+  if (!opt.exact && policy.shot_fraction < 1.0) {
+    if (opt.shots_per_variant > 0) {
+      opt.shots_per_variant = std::max<std::size_t>(
+          1, static_cast<std::size_t>(std::llround(
+                 static_cast<double>(opt.shots_per_variant) * policy.shot_fraction)));
+    }
+    if (opt.total_shot_budget > 0) {
+      // Never scale below one shot per (estimated) variant: a budget that
+      // cannot cover the variants would fail validation, and shedding must
+      // degrade a job, not kill it.
+      opt.total_shot_budget = std::max<std::size_t>(
+          static_cast<std::size_t>(job.admitted_variants),
+          static_cast<std::size_t>(std::llround(
+              static_cast<double>(opt.total_shot_budget) * policy.shot_fraction)));
+    }
+  }
+}
+
+void CutService::release_admission_locked(CutJob& job) {
+  admitted_variants_ -= job.admitted_variants;
+  admitted_bytes_ -= job.admitted_bytes;
+  --active_jobs_;
+  active_jobs_gauge_->set(static_cast<std::int64_t>(active_jobs_));
+  // Notify under the lock: blocked submitters hold a service reference, so
+  // the cv outlives this call only while the mutex pins the service.
+  admission_cv_.notify_all();
 }
 
 void CutService::issue_wave(const JobPtr& job, const std::vector<WaveVariant>& variants) {
@@ -498,7 +655,11 @@ void CutService::launch_variant_groups(const JobPtr& job,
       for (std::size_t m = 0; m < all.size(); ++m) all[m] = m;
     }
     task->retry_stream = task->batch.jobs.front().seed_stream;
-    (void)pool_.submit([this, task]() {
+    // Weighted-fair release into the pool: the dispatcher grants pool slots
+    // across tenants by stride, so one job's large wave cannot monopolize
+    // the workers. Execution order changes nothing but wall clock - seed
+    // streams are per variant, so results stay bit-for-bit identical.
+    dispatcher_.submit(job->tenant_key, job->effective_weight, [this, task]() {
       // A job already past its deadline (or cancelled) drains its claimed
       // keys without touching the backend; the wave's pending count reaches
       // zero through the failure callbacks and the scheduler thread fails
@@ -709,8 +870,7 @@ void CutService::reconstruct_and_finish(const JobPtr& job) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     jobs_.erase(j.id);
-    --active_jobs_;
-    active_jobs_gauge_->set(static_cast<std::int64_t>(active_jobs_));
+    release_admission_locked(j);
   }
   j.promise.set_value(std::move(j.response));
   idle_.notify_all();
@@ -740,8 +900,7 @@ void CutService::fail(const JobPtr& job, std::exception_ptr error) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     jobs_.erase(j.id);
-    --active_jobs_;
-    active_jobs_gauge_->set(static_cast<std::int64_t>(active_jobs_));
+    release_admission_locked(j);
   }
   // Drop the job's own exception copies before delivery; the promise's
   // shared state then holds the only long-lived reference, and the wave
@@ -764,9 +923,12 @@ std::exception_ptr CutService::job_stop_error(CutJob& job) {
         CancelledError("CutService: job " + std::to_string(job.id) + " was cancelled"));
   }
   if (job.deadline_ns != 0 && clock_() >= job.deadline_ns) {
-    return std::make_exception_ptr(DeadlineExceeded(
-        "CutService: job " + std::to_string(job.id) + " exceeded its deadline of " +
-        std::to_string(*job.request.deadline_seconds) + " s"));
+    std::string message =
+        "CutService: job " + std::to_string(job.id) + " exceeded its deadline";
+    if (job.request.deadline_seconds.has_value()) {
+      message += " of " + std::to_string(*job.request.deadline_seconds) + " s";
+    }
+    return std::make_exception_ptr(DeadlineExceeded(std::move(message)));
   }
   return nullptr;
 }
@@ -853,7 +1015,7 @@ void CutService::apply_variant_drop(CutJob& job, int fragment,
 }
 
 void CutService::finalize_degradation(CutJob& job) {
-  if (job.neglected.empty()) return;
+  if (job.neglected.empty() && !job.shed) return;
   cutting::DegradationReport report;
   report.neglected_variants = job.neglected;
   const int num_boundaries = job.response.graph.num_boundaries();
@@ -879,6 +1041,24 @@ void CutService::finalize_degradation(CutJob& job) {
   }
   report.terms_dropped = terms_before - terms_after;
   report.error_bound = static_cast<double>(report.terms_dropped);
+
+  report.golden_tol_applied =
+      job.shed ? job.shed_golden_tol : job.request.options.golden_tol;
+  if (job.shed) {
+    report.load_shed = true;
+    report.shot_fraction = job.shed_shot_fraction;
+    // The loosened tolerance's neglect cost: summed violation mass of the
+    // golden-declared elements, an L1-style bound on the reconstruction
+    // terms the shed detection dropped.
+    report.error_bound += job.shed_neglect_mass;
+    if (!job.request.options.exact && job.shed_shot_fraction < 1.0) {
+      report.sampling_inflation = 1.0 / std::sqrt(job.shed_shot_fraction);
+      const std::uint64_t actual = job.response.data.total_shots;
+      const auto intended = static_cast<std::uint64_t>(std::llround(
+          static_cast<double>(actual) / job.shed_shot_fraction));
+      report.shots_shed = intended > actual ? intended - actual : 0;
+    }
+  }
   job.response.degradation = std::move(report);
 }
 

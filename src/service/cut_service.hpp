@@ -40,6 +40,8 @@
 #include "backend/backend.hpp"
 #include "common/retry.hpp"
 #include "cutting/pipeline.hpp"
+#include "service/admission.hpp"
+#include "service/fair_dispatcher.hpp"
 #include "service/fragment_cache.hpp"
 #include "service/job.hpp"
 #include "service/scheduler.hpp"
@@ -54,6 +56,20 @@ struct CutServiceOptions {
   /// Fragment-result cache capacity in entries; 0 disables caching
   /// (in-flight dedup still applies).
   std::size_t cache_capacity = 4096;
+
+  /// Byte bound on the fragment-result cache (payloads + bookkeeping);
+  /// 0 = entry count only. See FragmentResultCache.
+  std::uint64_t cache_max_bytes = 0;
+
+  /// Admission control: bounded job / in-flight-variant / byte budgets,
+  /// load-shed watermark, and the bounded-block mode. All limits default
+  /// to unbounded (the pre-admission behavior).
+  AdmissionOptions admission;
+
+  /// Weighted-fair dispatch width: variant-group tasks concurrently
+  /// released into the pool (see FairDispatcher); 0 = the pool's worker
+  /// count.
+  unsigned dispatch_width = 0;
 
   /// Cache-key namespace for the backend. Defaults to backend.identity(),
   /// which folds in result-affecting backend configuration (e.g. the
@@ -101,6 +117,11 @@ struct CutServiceStats {
   std::uint64_t jobs_submitted = 0;
   std::uint64_t jobs_completed = 0;
   std::uint64_t jobs_failed = 0;
+  /// Requests refused at admission (never became jobs; not counted in
+  /// jobs_submitted).
+  std::uint64_t jobs_rejected = 0;
+  /// Jobs served degraded under their LoadShedPolicy.
+  std::uint64_t jobs_shed = 0;
   SchedulerStats scheduler;
   CacheStats cache;
 
@@ -125,6 +146,14 @@ class CutService {
   /// throw qcut::Error here, before anything is queued. Failures discovered
   /// later (invalid bipartition, no plannable cut, backend errors) are
   /// rethrown by the future.
+  ///
+  /// Overload behavior (options.admission): a request that would exceed a
+  /// configured budget throws ResourceExhausted here - fail-fast and typed,
+  /// never a future that hangs - unless admission.block is set, in which
+  /// case submit() waits up to max_block_seconds for load to drain before
+  /// rejecting. A request whose deadline is already unmeetable (expired
+  /// deadline_at_ns, or a bounded-block wait that consumed the whole
+  /// deadline) throws DeadlineExceeded without enqueueing.
   [[nodiscard]] std::future<cutting::CutResponse> submit(cutting::CutRequest request);
 
   /// A submitted job's handle: the id addresses cancel().
@@ -203,8 +232,19 @@ class CutService {
   /// from reconstruction exactly as golden-detected negligible bases do.
   void apply_variant_drop(CutJob& job, int fragment, cutting::FragmentVariantKey key);
 
-  /// Builds response.degradation from job.neglected / job.dropped_strings.
+  /// Builds response.degradation from job.neglected / job.dropped_strings
+  /// and the job's load-shed state.
   void finalize_degradation(CutJob& job);
+
+  /// Returns the job's admission budgets to the pool and wakes blocked
+  /// submitters. Called exactly once per finished job (done or failed),
+  /// with mutex_ held.
+  void release_admission_locked(CutJob& job);
+
+  /// Applies the job's LoadShedPolicy when the service is past the shed
+  /// watermark at admit time: scales the shot knobs and arms the loosened
+  /// DetectExact tolerance. No-op for jobs that did not opt in.
+  void maybe_shed(CutJob& job);
 
   /// Records one finished phase of a traced job: a span on the job's
   /// virtual tracer track plus a response.phase_seconds entry. No-op for
@@ -220,6 +260,10 @@ class CutService {
   telemetry::MetricsRegistry& metrics_;  // before cache_/scheduler_: they register on it
   FragmentResultCache cache_;
   VariantScheduler scheduler_;
+  /// Weighted-fair release of variant-group tasks into the pool. Before
+  /// scheduler_thread_ (tasks reference service state) and after the pool
+  /// reference it dispatches onto.
+  FairDispatcher dispatcher_;
 
   // Fault tolerance: retry policy plus the injected clock and sleeper
   // (defaults wired in the constructor; service code never reads a wall
@@ -227,6 +271,9 @@ class CutService {
   const RetryPolicy retry_;
   Sleeper sleeper_;
   MonotonicClock clock_;
+
+  /// Admission budgets (immutable after construction).
+  const AdmissionOptions admission_;
 
   // Job-lifecycle instruments; CutServiceStats' integer fields are views.
   std::shared_ptr<telemetry::Counter> jobs_submitted_;
@@ -243,9 +290,23 @@ class CutService {
   std::shared_ptr<telemetry::Counter> cancelled_;
   std::shared_ptr<telemetry::Histogram> backoff_seconds_;
 
+  // Overload-control instruments.
+  std::shared_ptr<telemetry::Counter> admission_rejected_;
+  std::shared_ptr<telemetry::Counter> load_shed_;
+  std::shared_ptr<telemetry::Gauge> queue_depth_gauge_;
+  /// Queue wait (submit to admit) per priority class, seconds.
+  std::shared_ptr<telemetry::Histogram> wait_interactive_;
+  std::shared_ptr<telemetry::Histogram> wait_standard_;
+  std::shared_ptr<telemetry::Histogram> wait_batch_;
+
   mutable std::mutex mutex_;
   std::condition_variable wake_;
   std::condition_variable idle_;
+  /// Wakes bounded-block submitters when a finishing job returns budget.
+  std::condition_variable admission_cv_;
+  /// Estimated variants / bytes held by admitted, unfinished jobs.
+  std::uint64_t admitted_variants_ = 0;
+  std::uint64_t admitted_bytes_ = 0;
   std::deque<JobPtr> ready_;
   /// Live jobs by id, for cancel(); entries are erased when a job finishes.
   std::unordered_map<std::uint64_t, JobPtr> jobs_;

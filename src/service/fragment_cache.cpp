@@ -2,16 +2,32 @@
 
 namespace qcut::service {
 
+namespace {
+/// Per-entry bookkeeping beyond the payload: the list node (key, pointer,
+/// links) plus the index slot. A round fixed estimate keeps the accounting
+/// deterministic across allocators.
+constexpr std::uint64_t kEntryOverheadBytes = 64;
+}  // namespace
+
 FragmentResultCache::FragmentResultCache(std::size_t capacity,
-                                         telemetry::MetricsRegistry* metrics)
-    : capacity_(capacity) {
+                                         telemetry::MetricsRegistry* metrics,
+                                         std::uint64_t max_bytes)
+    : capacity_(capacity), max_bytes_(max_bytes) {
   telemetry::MetricsRegistry& registry =
       metrics != nullptr ? *metrics : telemetry::MetricsRegistry::global();
   hits_ = registry.counter("cache.hits");
   misses_ = registry.counter("cache.misses");
   insertions_ = registry.counter("cache.insertions");
   evictions_ = registry.counter("cache.evictions");
+  byte_evictions_ = registry.counter("cache.byte_evictions");
   size_gauge_ = registry.gauge("cache.size");
+  bytes_gauge_ = registry.gauge("cache.bytes");
+}
+
+std::uint64_t FragmentResultCache::entry_bytes(const CachedDistribution& value) noexcept {
+  const std::uint64_t payload =
+      value == nullptr ? 0 : static_cast<std::uint64_t>(value->size()) * sizeof(double);
+  return payload + kEntryOverheadBytes;
 }
 
 std::optional<CachedDistribution> FragmentResultCache::lookup(const Hash128& key) {
@@ -28,27 +44,52 @@ std::optional<CachedDistribution> FragmentResultCache::lookup(const Hash128& key
 
 void FragmentResultCache::insert(const Hash128& key, CachedDistribution value) {
   if (capacity_ == 0) return;
+  const std::uint64_t cost = entry_bytes(value);
+  // An entry that alone exceeds the byte bound would evict everything and
+  // still not fit; dropping it keeps the rest of the working set warm.
+  if (max_bytes_ > 0 && cost > max_bytes_) return;
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = index_.find(key);
   if (it != index_.end()) {
+    bytes_ -= it->second->bytes;
     it->second->value = std::move(value);
+    it->second->bytes = cost;
+    bytes_ += cost;
     lru_.splice(lru_.begin(), lru_, it->second);
+    evict_over_bounds();
+    bytes_gauge_->set(static_cast<std::int64_t>(bytes_));
+    size_gauge_->set(static_cast<std::int64_t>(lru_.size()));
     return;
   }
-  lru_.push_front(Entry{key, std::move(value)});
+  lru_.push_front(Entry{key, std::move(value), cost});
   index_.emplace(key, lru_.begin());
+  bytes_ += cost;
   insertions_->add();
-  while (lru_.size() > capacity_) {
+  evict_over_bounds();
+  size_gauge_->set(static_cast<std::int64_t>(lru_.size()));
+  bytes_gauge_->set(static_cast<std::int64_t>(bytes_));
+}
+
+void FragmentResultCache::evict_over_bounds() {
+  while (!lru_.empty() && (lru_.size() > capacity_ ||
+                           (max_bytes_ > 0 && bytes_ > max_bytes_))) {
+    const bool over_count = lru_.size() > capacity_;
+    bytes_ -= lru_.back().bytes;
     index_.erase(lru_.back().key);
     lru_.pop_back();
     evictions_->add();
+    if (!over_count) byte_evictions_->add();
   }
-  size_gauge_->set(static_cast<std::int64_t>(lru_.size()));
 }
 
 std::size_t FragmentResultCache::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return lru_.size();
+}
+
+std::uint64_t FragmentResultCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_;
 }
 
 CacheStats FragmentResultCache::stats() const {
@@ -57,6 +98,8 @@ CacheStats FragmentResultCache::stats() const {
   stats.misses = misses_->value();
   stats.insertions = insertions_->value();
   stats.evictions = evictions_->value();
+  stats.byte_evictions = byte_evictions_->value();
+  stats.bytes = bytes();
   return stats;
 }
 
@@ -64,7 +107,9 @@ void FragmentResultCache::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   lru_.clear();
   index_.clear();
+  bytes_ = 0;
   size_gauge_->set(0);
+  bytes_gauge_->set(0);
 }
 
 }  // namespace qcut::service

@@ -37,6 +37,11 @@ struct CacheStats {
   std::uint64_t misses = 0;
   std::uint64_t insertions = 0;
   std::uint64_t evictions = 0;
+  /// Evictions forced by the byte bound while the entry count was still
+  /// under capacity (also counted in `evictions`).
+  std::uint64_t byte_evictions = 0;
+  /// Current resident bytes (entry payloads plus bookkeeping overhead).
+  std::uint64_t bytes = 0;
 
   [[nodiscard]] double hit_rate() const noexcept {
     const std::uint64_t lookups = hits + misses;
@@ -46,12 +51,18 @@ struct CacheStats {
 
 /// LRU cache over variant-execution results. `capacity` counts entries;
 /// capacity 0 disables the cache (every lookup misses, inserts are
-/// dropped). Counters register on `metrics` (the global registry when
+/// dropped). `max_bytes` additionally bounds resident memory (0 =
+/// unbounded): a few wide-fragment distributions (2^width doubles each)
+/// can dwarf thousands of narrow ones, so the count cap alone cannot bound
+/// memory under load. Entries are priced at payload size plus a fixed
+/// bookkeeping overhead; an entry larger than max_bytes by itself is not
+/// cached at all. Counters register on `metrics` (the global registry when
 /// nullptr).
 class FragmentResultCache {
  public:
   explicit FragmentResultCache(std::size_t capacity,
-                               telemetry::MetricsRegistry* metrics = nullptr);
+                               telemetry::MetricsRegistry* metrics = nullptr,
+                               std::uint64_t max_bytes = 0);
 
   FragmentResultCache(const FragmentResultCache&) = delete;
   FragmentResultCache& operator=(const FragmentResultCache&) = delete;
@@ -65,17 +76,29 @@ class FragmentResultCache {
 
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::uint64_t max_bytes() const noexcept { return max_bytes_; }
+  /// Current resident bytes (payloads + per-entry overhead).
+  [[nodiscard]] std::uint64_t bytes() const;
   [[nodiscard]] CacheStats stats() const;
   void clear();
+
+  /// Admission price of one cached distribution (payload + bookkeeping).
+  [[nodiscard]] static std::uint64_t entry_bytes(const CachedDistribution& value) noexcept;
 
  private:
   struct Entry {
     Hash128 key;
     CachedDistribution value;
+    std::uint64_t bytes = 0;
   };
+
+  // Evicts LRU entries while either bound is exceeded. Caller holds mutex_.
+  void evict_over_bounds();
 
   mutable std::mutex mutex_;
   std::size_t capacity_;
+  std::uint64_t max_bytes_;
+  std::uint64_t bytes_ = 0;
   std::list<Entry> lru_;  // front = most recently used
   std::unordered_map<Hash128, std::list<Entry>::iterator, Hash128Hasher> index_;
 
@@ -84,7 +107,9 @@ class FragmentResultCache {
   std::shared_ptr<telemetry::Counter> misses_;
   std::shared_ptr<telemetry::Counter> insertions_;
   std::shared_ptr<telemetry::Counter> evictions_;
+  std::shared_ptr<telemetry::Counter> byte_evictions_;
   std::shared_ptr<telemetry::Gauge> size_gauge_;
+  std::shared_ptr<telemetry::Gauge> bytes_gauge_;
 };
 
 }  // namespace qcut::service

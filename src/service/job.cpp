@@ -4,6 +4,25 @@
 
 namespace qcut::service {
 
+std::uint32_t priority_multiplier(cutting::PriorityClass priority) noexcept {
+  switch (priority) {
+    case cutting::PriorityClass::Interactive: return 4;
+    case cutting::PriorityClass::Standard: return 2;
+    case cutting::PriorityClass::Batch: return 1;
+  }
+  return 2;
+}
+
+std::string tenant_dispatch_key(const cutting::CutRequest& request) {
+  const char* suffix = "/standard";
+  switch (request.priority) {
+    case cutting::PriorityClass::Interactive: suffix = "/interactive"; break;
+    case cutting::PriorityClass::Standard: suffix = "/standard"; break;
+    case cutting::PriorityClass::Batch: suffix = "/batch"; break;
+  }
+  return request.tenant_id + suffix;
+}
+
 const char* to_string(JobPhase phase) noexcept {
   switch (phase) {
     case JobPhase::Queued: return "queued";

@@ -129,8 +129,36 @@ struct CutJob {
   std::uint64_t deadline_ns = 0;  // absolute, on the service clock; 0 = none
   std::atomic<bool> cancel_requested{false};
 
+  // Multi-tenant fairness: the dispatcher key ("tenant_id/priority") and
+  // effective weight (tenant_weight x priority multiplier), fixed at submit.
+  std::string tenant_key;
+  std::uint32_t effective_weight = 1;
+
+  // Admission accounting: the budgets this job holds until it finishes
+  // (released in reconstruct_and_finish / fail), and when it was admitted
+  // (service clock, for the per-class wait histogram).
+  std::uint64_t admitted_variants = 0;
+  std::uint64_t admitted_bytes = 0;
+  std::uint64_t submit_ns = 0;
+
+  // Load shedding: set by admit() when the service was past the shed
+  // watermark and the request opted in. Owned by the scheduler thread.
+  bool shed = false;
+  double shed_shot_fraction = 1.0;
+  double shed_golden_tol = 0.0;     // tolerance actually used by DetectExact
+  double shed_neglect_mass = 0.0;   // summed violation of extra-neglected elements
+  std::uint64_t shed_planned_shots = 0;  // shots actually planned while shed
+
   JobAccounting accounting;
 };
+
+/// Priority-class weight multiplier (Interactive 4, Standard 2, Batch 1).
+[[nodiscard]] std::uint32_t priority_multiplier(cutting::PriorityClass priority) noexcept;
+
+/// Dispatcher key charged for a job's variant work: "tenant_id/<class>".
+/// The class is part of the key so one tenant's Interactive and Batch
+/// streams are separate scheduling entities with different weights.
+[[nodiscard]] std::string tenant_dispatch_key(const cutting::CutRequest& request);
 
 /// One variant of one fragment, before shot planning.
 struct WaveVariant {

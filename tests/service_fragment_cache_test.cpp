@@ -105,6 +105,75 @@ TEST(FragmentCache, HitRateZeroWithNoLookups) {
   EXPECT_DOUBLE_EQ(cache.stats().hit_rate(), 0.0);
 }
 
+// ---- Byte bound --------------------------------------------------------------
+
+/// A distribution of `n` doubles; entry cost = n * 8 + the fixed overhead.
+CachedDistribution wide(std::size_t n, double fill = 0.5) {
+  return std::make_shared<const std::vector<double>>(std::vector<double>(n, fill));
+}
+
+TEST(FragmentCache, ByteBoundEvictsBeforeEntryCap) {
+  // Each 100-double entry costs 800 + 64 = 864 bytes; three fit under 2800,
+  // a fourth forces the LRU entry out while the entry cap (16) is far away.
+  FragmentResultCache cache(16, nullptr, 2800);
+  EXPECT_EQ(cache.max_bytes(), 2800u);
+  cache.insert(key(1), wide(100));
+  cache.insert(key(2), wide(100));
+  cache.insert(key(3), wide(100));
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.bytes(), 3u * 864u);
+
+  cache.insert(key(4), wide(100));  // 4 * 864 = 3456 > 2800: evict key 1
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_FALSE(cache.lookup(key(1)).has_value());
+  EXPECT_TRUE(cache.lookup(key(4)).has_value());
+
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.byte_evictions, 1u);  // forced by bytes, not by count
+  EXPECT_EQ(stats.bytes, cache.bytes());
+}
+
+TEST(FragmentCache, CountEvictionIsNotAByteEviction) {
+  FragmentResultCache cache(2, nullptr, 1 << 20);
+  cache.insert(key(1), dist(0.1));
+  cache.insert(key(2), dist(0.2));
+  cache.insert(key(3), dist(0.3));  // over the entry cap, far under bytes
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().byte_evictions, 0u);
+}
+
+TEST(FragmentCache, OversizedEntryIsNotCachedAtAll) {
+  // One wide-fragment result larger than the whole budget would evict
+  // everything and still not fit; it must be dropped, leaving the warm
+  // working set intact.
+  FragmentResultCache cache(16, nullptr, 1000);
+  cache.insert(key(1), wide(64));  // 512 + 64 = 576 bytes: fits
+  cache.insert(key(2), wide(512));  // 4096 + 64 > 1000: dropped
+  EXPECT_TRUE(cache.lookup(key(1)).has_value());
+  EXPECT_FALSE(cache.lookup(key(2)).has_value());
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  EXPECT_EQ(cache.bytes(), 576u);
+}
+
+TEST(FragmentCache, RefreshReaccountsBytes) {
+  FragmentResultCache cache(8, nullptr, 4096);
+  cache.insert(key(1), wide(100));  // 864 bytes
+  cache.insert(key(1), wide(10));   // refresh with a smaller payload
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.bytes(), 10u * 8u + 64u);
+  cache.clear();
+  EXPECT_EQ(cache.bytes(), 0u);
+}
+
+TEST(FragmentCache, UnboundedBytesByDefault) {
+  FragmentResultCache cache(4);
+  EXPECT_EQ(cache.max_bytes(), 0u);
+  cache.insert(key(1), wide(4096));  // 32 KiB payload, happily cached
+  EXPECT_TRUE(cache.lookup(key(1)).has_value());
+  EXPECT_EQ(cache.stats().byte_evictions, 0u);
+}
+
 // Cache-key soundness across engine configurations: the fragment cache is
 // keyed by hash_variant_execution, which folds in Backend::identity(). A
 // scalar backend and a SIMD backend differ by floating-point rounding (FMA

@@ -1,0 +1,26 @@
+// Known-bad: a fair scheduler breaking stride-pass ties with ambient
+// entropy. Two runs over the same submission sequence then dispatch in
+// different orders, so per-tenant latency distributions are not
+// reproducible and a fairness regression cannot be bisected.
+#include <cstdlib>
+#include <random>
+
+namespace fixture_bad_fair_tiebreak {
+
+struct Candidate {
+  unsigned long long pass = 0;
+  int index = -1;
+};
+
+int pick_with_random_tiebreak(const Candidate& a, const Candidate& b) {
+  if (a.pass != b.pass) return a.pass < b.pass ? a.index : b.index;
+  std::random_device coin;  // FIRE(no-ambient-entropy)
+  return (coin() & 1u) != 0 ? a.index : b.index;
+}
+
+int pick_with_rand_tiebreak(const Candidate& a, const Candidate& b) {
+  if (a.pass != b.pass) return a.pass < b.pass ? a.index : b.index;
+  return (rand() & 1) != 0 ? a.index : b.index;  // FIRE(no-ambient-entropy)
+}
+
+}  // namespace fixture_bad_fair_tiebreak

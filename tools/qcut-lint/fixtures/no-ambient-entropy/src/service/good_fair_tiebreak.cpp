@@ -1,0 +1,19 @@
+// Known-good: stride-pass ties broken by submission sequence number. The
+// winner is a pure function of submission history - same submissions, same
+// dispatch order, on every run and every machine.
+#include <cstdint>
+
+namespace fixture_good_fair_tiebreak {
+
+struct Candidate {
+  std::uint64_t pass = 0;
+  std::uint64_t head_sequence = 0;  // monotone, assigned at submission
+  int index = -1;
+};
+
+int pick_deterministic(const Candidate& a, const Candidate& b) {
+  if (a.pass != b.pass) return a.pass < b.pass ? a.index : b.index;
+  return a.head_sequence < b.head_sequence ? a.index : b.index;
+}
+
+}  // namespace fixture_good_fair_tiebreak

@@ -1,0 +1,34 @@
+// Known-bad: admission control reading the wall clock directly. The
+// accept/reject decision and the retry-after hint then depend on when the
+// process happens to run, so an overload replay cannot reproduce the same
+// sequence of rejections, and tests cannot pin the deadline clock.
+#include <chrono>
+#include <cstdint>
+
+namespace fixture_bad_admission_clock {
+
+struct Load {
+  std::uint64_t jobs = 0;
+  std::uint64_t limit = 0;
+};
+
+bool admit_before_deadline(const Load& load, std::uint64_t deadline_ns) {
+  const auto now = std::chrono::steady_clock::now();  // FIRE(no-wallclock-on-result-paths)
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      now.time_since_epoch())
+                      .count();
+  if (static_cast<std::uint64_t>(ns) >= deadline_ns) return false;
+  return load.limit == 0 || load.jobs < load.limit;
+}
+
+double retry_after_from_wallclock() {
+  // Backoff hint keyed to the system clock's subsecond phase: different on
+  // every run, untestable, and meaningless to the client.
+  const auto now = std::chrono::system_clock::now();  // FIRE(no-wallclock-on-result-paths)
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                      now.time_since_epoch())
+                      .count();
+  return 0.05 + static_cast<double>(us % 1000) * 1e-6;
+}
+
+}  // namespace fixture_bad_admission_clock

@@ -1,0 +1,32 @@
+// Known-good: admission decisions against an injected monotonic clock.
+// The service never names a clock type; callers (and tests) supply `now`,
+// so a fixed-clock test can replay any overload scenario exactly, and the
+// retry-after hint is a pure function of the measured overload ratio.
+#include <cstdint>
+#include <functional>
+
+namespace fixture_good_admission_injected_clock {
+
+using MonotonicClock = std::function<std::uint64_t()>;
+
+struct Load {
+  std::uint64_t jobs = 0;
+  std::uint64_t limit = 0;
+};
+
+bool admit_before_deadline(const Load& load, std::uint64_t deadline_ns,
+                           const MonotonicClock& now_ns) {
+  if (deadline_ns != 0 && now_ns() >= deadline_ns) return false;
+  return load.limit == 0 || load.jobs < load.limit;
+}
+
+double retry_after_from_overload(const Load& load, double hint_seconds) {
+  if (load.limit == 0 || load.jobs <= load.limit) return hint_seconds;
+  const double ratio =
+      static_cast<double>(load.jobs) / static_cast<double>(load.limit);
+  const double scaled = hint_seconds * ratio;
+  const double ceiling = hint_seconds * 60.0;
+  return scaled < ceiling ? scaled : ceiling;
+}
+
+}  // namespace fixture_good_admission_injected_clock
